@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark suite.
+
+Benchmarks run at ``BENCH_SCALE`` (1/20000 of the paper's evaluation sizes)
+so the whole suite finishes in minutes while preserving every comparative
+shape (the input : k : memory ratios are the paper's).  Each benchmark
+both *times* its subject via pytest-benchmark and *asserts* the headline
+property the corresponding table/figure demonstrates, so the suite doubles
+as a reproduction check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.distributions import UNIFORM, Distribution
+from repro.datagen.workloads import Workload, keys_only_workload
+from repro.experiments.harness import Scale
+
+#: 1/20000 of the paper: memory 350 rows, k 1,500, inputs up to 100k.
+BENCH_SCALE = Scale("paper/20000", 20_000)
+
+#: Scaled anchors used across the benchmark files.
+MEMORY_ROWS = BENCH_SCALE.rows(7_000_000)       # 350
+DEFAULT_K = BENCH_SCALE.rows(30_000_000)        # 1,500
+MAX_INPUT = BENCH_SCALE.rows(2_000_000_000)     # 100,000
+
+
+def bench_workload(
+    input_rows: int = MAX_INPUT,
+    k: int = DEFAULT_K,
+    memory_rows: int = MEMORY_ROWS,
+    distribution: Distribution = UNIFORM,
+    seed: int = 0,
+) -> Workload:
+    """A benchmark workload at the shared scale."""
+    return keys_only_workload(input_rows, k, memory_rows,
+                              distribution=distribution, seed=seed)
+
+
+@pytest.fixture
+def workload() -> Workload:
+    """The default benchmark workload (input 100k, k 1,500, memory 350)."""
+    return bench_workload()

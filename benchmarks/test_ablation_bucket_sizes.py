@@ -1,0 +1,48 @@
+"""Ablation: approximate (conservatively quantized) bucket sizes.
+
+Section 4.5 suggests approximate bucket sizes as an approximation lever;
+the only safety requirement is that sizes are never overstated.  This
+ablation feeds the filter power-of-two-rounded sizes and measures the
+sharpness cost.
+"""
+
+from conftest import bench_workload
+from repro.core.analysis import simulate_uniform
+from repro.core.cutoff import CutoffFilter
+from repro.core.histogram import Bucket
+from repro.extensions.approximate import quantized_sink
+import numpy as np
+
+
+def _filter_sharpness(quantized: bool, seed: int = 0):
+    """Final cutoff after feeding run histograms for a fixed workload."""
+    rng = np.random.default_rng(seed)
+    k = 1_500
+    filt = CutoffFilter(k=k)
+    sink = quantized_sink(filt.insert) if quantized else filt.insert
+    for _run in range(60):
+        run = np.sort(rng.random(700))
+        for position in range(69, 700, 70):
+            sink(Bucket(float(run[position]), 70))
+    return filt
+
+
+def test_ablation_exact_sizes(benchmark):
+    filt = benchmark(_filter_sharpness, False)
+    assert filt.is_established
+
+
+def test_ablation_quantized_sizes(benchmark):
+    filt = benchmark(_filter_sharpness, True)
+    assert filt.is_established
+
+
+def test_ablation_quantization_costs_sharpness_only(benchmark):
+    def run():
+        return (_filter_sharpness(False), _filter_sharpness(True))
+
+    exact, quantized = benchmark(run)
+    # Quantized sizes understate coverage, so the cutoff is never sharper.
+    assert quantized.cutoff_key >= exact.cutoff_key
+    # But it remains a working filter within a small factor.
+    assert quantized.cutoff_key < 4 * exact.cutoff_key

@@ -1,0 +1,38 @@
+"""Ablation: histogram-memory consolidation budget (Section 5.1.2).
+
+When the bucket priority queue outgrows its allocation, it collapses to a
+single bucket.  Tight budgets trade filter sharpness for bounded memory;
+this ablation sweeps the budget.
+"""
+
+from conftest import bench_workload
+from repro.experiments.harness import run_algorithm
+
+
+def _run(capacity, workload):
+    return run_algorithm("histogram", workload,
+                         histogram_bucket_capacity=capacity)
+
+
+def test_ablation_unlimited_buckets(benchmark, workload):
+    result = benchmark(_run, None, workload)
+    assert result.output_rows == workload.k
+
+
+def test_ablation_tight_budget(benchmark, workload):
+    result = benchmark(_run, 8, workload)
+    assert result.output_rows == workload.k
+
+
+def test_ablation_budget_costs_sharpness_not_correctness(benchmark):
+    def run():
+        workload = bench_workload()
+        return (_run(None, workload), _run(32, workload),
+                _run(4, workload))
+
+    unlimited, moderate, tight = benchmark(run)
+    assert (unlimited.first_key, unlimited.last_key) \
+        == (tight.first_key, tight.last_key)
+    # Tighter budgets can only spill more (never less).
+    assert unlimited.rows_spilled <= moderate.rows_spilled * 1.02
+    assert moderate.rows_spilled <= tight.rows_spilled * 1.02

@@ -1,0 +1,36 @@
+"""Ablation: the second filter site (Algorithm 1, line 11).
+
+Rows admitted to memory are re-checked against the cutoff right before
+being spilled, because the cutoff may have sharpened in the meantime.
+This ablation disables the re-check to measure what it contributes.
+"""
+
+from conftest import bench_workload
+from repro.experiments.harness import run_algorithm
+
+
+def _run(double_filter, workload):
+    return run_algorithm("histogram", workload,
+                         double_filter=double_filter)
+
+
+def test_ablation_with_spill_recheck(benchmark, workload):
+    result = benchmark(_run, True, workload)
+    assert result.stats.rows_eliminated_at_spill > 0
+
+
+def test_ablation_without_spill_recheck(benchmark, workload):
+    result = benchmark(_run, False, workload)
+    assert result.stats.rows_eliminated_at_spill == 0
+
+
+def test_ablation_recheck_reduces_spill(benchmark):
+    def run():
+        workload = bench_workload()
+        return (_run(True, workload), _run(False, workload))
+
+    with_recheck, without = benchmark(run)
+    # Same answer either way; the re-check only avoids wasted writes.
+    assert (with_recheck.first_key, with_recheck.last_key) \
+        == (without.first_key, without.last_key)
+    assert with_recheck.rows_spilled < without.rows_spilled

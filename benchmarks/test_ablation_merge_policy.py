@@ -1,0 +1,37 @@
+"""Ablation: merge-step selection policy (Section 4.1).
+
+"The traditional policy for merging runs chooses the smallest remaining
+runs ... In a top operation, however, each merge step should choose the
+runs with the lowest keys."  This ablation compares both policies under a
+tight fan-in.
+"""
+
+from conftest import bench_workload
+from repro.experiments.harness import run_algorithm
+from repro.sorting.merge import MergePolicy
+
+
+def _run(policy, workload):
+    return run_algorithm("histogram", workload, fan_in=4,
+                         merge_policy=policy)
+
+
+def test_ablation_lowest_keys_first(benchmark, workload):
+    result = benchmark(_run, MergePolicy.LOWEST_KEYS_FIRST, workload)
+    assert result.output_rows == workload.k
+
+
+def test_ablation_smallest_first(benchmark, workload):
+    result = benchmark(_run, MergePolicy.SMALLEST_FIRST, workload)
+    assert result.output_rows == workload.k
+
+
+def test_ablation_policies_agree_on_answer(benchmark):
+    def run():
+        workload = bench_workload()
+        return (_run(MergePolicy.LOWEST_KEYS_FIRST, workload),
+                _run(MergePolicy.SMALLEST_FIRST, workload))
+
+    lowest, smallest = benchmark(run)
+    assert (lowest.first_key, lowest.last_key) \
+        == (smallest.first_key, smallest.last_key)

@@ -1,0 +1,37 @@
+"""Ablation: replacement selection vs quicksort run generation.
+
+The paper chooses replacement selection (Section 5.1.2) because it is
+pipelined and produces longer runs; with a cutoff filter, deferment also
+lets runs end earlier.  This ablation quantifies both effects.
+"""
+
+from conftest import bench_workload
+from repro.experiments.harness import run_algorithm
+
+
+def _run(generation, workload):
+    return run_algorithm("histogram", workload,
+                         run_generation=generation)
+
+
+def test_ablation_replacement_selection(benchmark, workload):
+    result = benchmark(_run, "replacement_selection", workload)
+    assert result.output_rows == workload.k
+
+
+def test_ablation_quicksort(benchmark, workload):
+    result = benchmark(_run, "quicksort", workload)
+    assert result.output_rows == workload.k
+
+
+def test_ablation_same_answer_fewer_longer_runs(benchmark):
+    def run():
+        workload = bench_workload()
+        return (_run("replacement_selection", workload),
+                _run("quicksort", workload))
+
+    rs, qs = benchmark(run)
+    assert (rs.first_key, rs.last_key) == (qs.first_key, qs.last_key)
+    # Replacement selection's runs are longer, so there are fewer of them
+    # for a comparable number of spilled rows.
+    assert rs.runs_written < qs.runs_written

@@ -1,0 +1,52 @@
+"""Benchmark: Section 5.2 — the performance cliff.
+
+PostgreSQL-style behavior: the traditional algorithm's cost jumps an order
+of magnitude the moment the requested output exceeds memory, while the
+histogram algorithm degrades in proportion to the surviving input.
+"""
+
+import pytest
+
+from conftest import MEMORY_ROWS, bench_workload
+from repro.experiments.harness import run_algorithm
+
+
+def _cost(algorithm, k):
+    workload = bench_workload(input_rows=MEMORY_ROWS * 40, k=k)
+    return run_algorithm(algorithm, workload).simulated_seconds
+
+
+def test_cliff_traditional_jumps(benchmark):
+    def run():
+        below = _cost("traditional", int(MEMORY_ROWS * 0.9))
+        above = _cost("traditional", int(MEMORY_ROWS * 1.1))
+        return below, above
+
+    below, above = benchmark(run)
+    assert above / below > 8.0  # the order-of-magnitude cliff
+
+
+def test_cliff_histogram_smooth(benchmark):
+    def run():
+        below = _cost("histogram", int(MEMORY_ROWS * 0.9))
+        above = _cost("histogram", int(MEMORY_ROWS * 1.1))
+        return below, above
+
+    below, above = benchmark(run)
+    # Crossing the boundary costs something, but nowhere near 10x.
+    assert above / below < 5.0
+
+
+def test_cliff_histogram_tracks_filtered_input(benchmark):
+    """Cost grows with k smoothly, 'proportional to the filtered input'."""
+
+    def run():
+        return [_cost("histogram", k)
+                for k in (MEMORY_ROWS * 2, MEMORY_ROWS * 4,
+                          MEMORY_ROWS * 8)]
+
+    costs = benchmark(run)
+    assert costs == sorted(costs)
+    # No adjacent pair explodes by an order of magnitude.
+    for previous, current in zip(costs, costs[1:]):
+        assert current / previous < 6.0

@@ -1,0 +1,54 @@
+"""Benchmark: the data-exchange top-k (Section 4.4).
+
+Sweeps the flow-control interval to quantify the paper's prediction that
+the producer/consumer design "probably also suffers from lower
+effectiveness than sharing histogram priority queues": staler cutoffs at
+the producers ship more rows across the network.
+"""
+
+import pytest
+
+from conftest import bench_workload
+from repro.extensions.exchange import ExchangeTopK
+
+
+def _run(flow_control_interval, workload, rows):
+    operator = ExchangeTopK(
+        workload.sort_spec, workload.k, workload.memory_rows,
+        producers=4, packet_rows=256,
+        flow_control_interval=flow_control_interval)
+    output = list(operator.execute(iter(rows)))
+    return operator, output
+
+
+def test_exchange_fresh_flow_control(benchmark):
+    workload = bench_workload(input_rows=40_000)
+    rows = list(workload.make_input())
+    operator, output = benchmark(_run, 1, workload, rows)
+    assert len(output) == workload.k
+    assert operator.rows_shipped < len(rows) // 2
+
+
+def test_exchange_stale_flow_control(benchmark):
+    workload = bench_workload(input_rows=40_000)
+    rows = list(workload.make_input())
+    operator, output = benchmark(_run, 32, workload, rows)
+    assert len(output) == workload.k
+
+
+def test_exchange_staleness_monotone(benchmark):
+    workload = bench_workload(input_rows=40_000)
+    rows = list(workload.make_input())
+
+    def sweep():
+        return [
+            _run(interval, workload, rows)[0].rows_shipped
+            for interval in (1, 4, 16)
+        ]
+
+    shipped = benchmark(sweep)
+    assert shipped[0] <= shipped[1] <= shipped[2]
+    # Even a quite stale configuration beats shipping everything.  (With
+    # an interval longer than a producer's whole packet stream, no
+    # cutoff ever arrives and the design degenerates to ship-all.)
+    assert shipped[2] < len(rows)

@@ -1,0 +1,54 @@
+"""Benchmarks for the Section 4 extensions (paging, groups, parallel)."""
+
+import random
+
+from conftest import MEMORY_ROWS, bench_workload
+from repro.extensions.grouped import GroupedTopK
+from repro.extensions.offset import Paginator
+from repro.extensions.parallel import ParallelTopK
+
+
+def test_paginator_serves_pages_without_resort(benchmark):
+    workload = bench_workload()
+    rows = list(workload.make_input())
+
+    def run():
+        paginator = Paginator(lambda: iter(rows), workload.sort_spec,
+                              page_size=100,
+                              memory_rows=workload.memory_rows,
+                              prefetch_pages=8)
+        return [paginator.page(number) for number in range(8)], paginator
+
+    pages, paginator = benchmark(run)
+    assert paginator.executions == 1
+    assert all(len(page) == 100 for page in pages)
+
+
+def test_grouped_topk(benchmark):
+    rng = random.Random(0)
+    rows = [(rng.randrange(8), rng.random()) for _ in range(40_000)]
+
+    def run():
+        operator = GroupedTopK(lambda r: r[0], lambda r: r[1],
+                               k=200, memory_rows=MEMORY_ROWS * 4)
+        return operator, list(operator.execute(iter(rows)))
+
+    operator, output = benchmark(run)
+    assert len(output) == 8 * 200
+    assert operator.stats.io.rows_spilled < len(rows)
+
+
+def test_parallel_topk_shared_filter(benchmark):
+    workload = bench_workload()
+    rows = list(workload.make_input())
+
+    def run():
+        operator = ParallelTopK(workload.sort_spec, k=workload.k,
+                                memory_rows=workload.memory_rows * 4,
+                                workers=4, use_threads=False)
+        return operator, list(operator.execute(iter(rows)))
+
+    operator, output = benchmark(run)
+    assert len(output) == workload.k
+    # Shared filtering keeps total spill close to single-threaded levels.
+    assert operator.total_rows_spilled < workload.input_rows // 2

@@ -1,0 +1,57 @@
+"""Benchmark: Figure 2 — speedup and spill reduction vs output size.
+
+Runs the real operators (histogram vs optimized external merge sort) on a
+scaled 2B-row-equivalent input while k sweeps from below memory to half the
+input, and checks the figure's shape: parity while the output fits in
+memory, a large win in the paper's sweet spot, a declining win as k
+approaches the input size.
+"""
+
+import pytest
+
+from conftest import MAX_INPUT, MEMORY_ROWS, bench_workload
+from repro.datagen.distributions import UNIFORM, fal
+from repro.experiments.harness import compare
+
+
+def _point(k, distribution=UNIFORM):
+    workload = bench_workload(input_rows=MAX_INPUT, k=k,
+                              distribution=distribution)
+    return compare(workload)
+
+
+def test_figure2_small_k_parity(benchmark):
+    """k below memory: both algorithms run in memory, speedup ~= 1."""
+    comparison = benchmark(_point, MEMORY_ROWS // 2)
+    assert comparison.verify_same_output()
+    assert comparison.speedup == pytest.approx(1.0, abs=0.15)
+
+
+def test_figure2_sweet_spot(benchmark):
+    """k well beyond memory but small vs the input: the big win."""
+    comparison = benchmark(_point, MAX_INPUT * 3 // 200)  # 1.5% of input
+    assert comparison.verify_same_output()
+    assert comparison.speedup > 2.5
+    assert comparison.spill_reduction > 3.0
+
+
+def test_figure2_large_k_decline(benchmark):
+    """k a large fraction of the input: the win shrinks."""
+
+    def run():
+        return (_point(MAX_INPUT * 3 // 200), _point(MAX_INPUT // 2))
+
+    sweet, large = benchmark(run)
+    assert large.speedup < sweet.speedup
+
+
+def test_figure2_distribution_insensitive(benchmark):
+    """The fal-1.25 series tracks the uniform series (paper's claim)."""
+
+    def run():
+        k = MAX_INPUT * 3 // 200
+        return (_point(k, UNIFORM), _point(k, fal(1.25)))
+
+    uniform_point, fal_point = benchmark(run)
+    assert fal_point.speedup == pytest.approx(uniform_point.speedup,
+                                              rel=0.35)

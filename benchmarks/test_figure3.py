@@ -1,0 +1,50 @@
+"""Benchmark: Figure 3 — speedup and spill reduction vs input size,
+across the paper's six key distributions."""
+
+import pytest
+
+from conftest import DEFAULT_K, bench_workload
+from repro.datagen.distributions import LOGNORMAL, UNIFORM, fal
+from repro.experiments.harness import compare
+
+
+def _point(multiple, distribution=UNIFORM):
+    workload = bench_workload(input_rows=int(DEFAULT_K * multiple),
+                              distribution=distribution)
+    return compare(workload)
+
+
+def test_figure3_small_input_small_win(benchmark):
+    """Input barely above k: ~1.1x (the paper's left edge)."""
+    comparison = benchmark(_point, 5 / 3)
+    assert comparison.verify_same_output()
+    assert 0.9 < comparison.speedup < 2.0
+
+
+def test_figure3_win_grows_with_input(benchmark):
+    def run():
+        return [_point(multiple) for multiple in (5, 50 / 3, 200 / 3)]
+
+    points = benchmark(run)
+    speedups = [point.speedup for point in points]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 3.0
+    reductions = [point.spill_reduction for point in points]
+    assert reductions[-1] > 5.0
+
+
+@pytest.mark.parametrize("distribution",
+                         [LOGNORMAL, fal(0.5), fal(1.05), fal(1.25),
+                          fal(1.5)],
+                         ids=lambda d: d.label)
+def test_figure3_distributions_match_uniform(benchmark, distribution):
+    """'The behavior ... is not affected by the distribution of the
+    sort keys.'"""
+
+    def run():
+        return (_point(50 / 3, UNIFORM), _point(50 / 3, distribution))
+
+    uniform_point, other = benchmark(run)
+    assert other.verify_same_output()
+    assert other.spill_reduction == pytest.approx(
+        uniform_point.spill_reduction, rel=0.35)

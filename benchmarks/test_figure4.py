@@ -1,0 +1,44 @@
+"""Benchmark: Figure 4 — tiny histograms (1 and 5 buckets per run).
+
+The paper's claim: even a single-bucket histogram achieves a substantial
+speedup (up to ~6.6x in their setup), and 5 buckets recover most of the
+50-bucket default's benefit.
+"""
+
+import pytest
+
+from conftest import DEFAULT_K, bench_workload
+from repro.core.policies import policy_for_bucket_count
+from repro.experiments.harness import compare
+
+
+def _point(buckets, multiple=200 / 3):
+    workload = bench_workload(input_rows=int(DEFAULT_K * multiple))
+    return compare(workload, ours_options={
+        "sizing_policy": policy_for_bucket_count(buckets, capped=False)})
+
+
+def test_figure4_single_bucket_still_wins(benchmark):
+    comparison = benchmark(_point, 1)
+    assert comparison.verify_same_output()
+    assert comparison.speedup > 1.5
+    assert comparison.spill_reduction > 1.5
+
+
+def test_figure4_five_buckets_close_the_gap(benchmark):
+    def run():
+        return (_point(1), _point(5), _point(50))
+
+    one, five, fifty = benchmark(run)
+    assert one.spill_reduction <= five.spill_reduction * 1.05
+    # 5 buckets recover most of the 50-bucket benefit.
+    assert five.spill_reduction > 0.6 * fifty.spill_reduction
+
+
+def test_figure4_ordering_monotone_in_buckets(benchmark):
+    def run():
+        return [_point(buckets) for buckets in (1, 5, 50)]
+
+    points = benchmark(run)
+    spilled = [point.ours.rows_spilled for point in points]
+    assert spilled[0] >= spilled[1] >= spilled[2]

@@ -1,0 +1,50 @@
+"""Benchmark: Figure 5 — varying the histogram size on a fixed input."""
+
+import pytest
+
+from conftest import bench_workload
+from repro.core.policies import policy_for_bucket_count
+from repro.experiments.harness import run_algorithm
+
+
+def _spilled(buckets, workload):
+    result = run_algorithm(
+        "histogram", workload,
+        sizing_policy=policy_for_bucket_count(buckets, capped=False))
+    return result
+
+
+def test_figure5_zero_buckets_filters_nothing(benchmark, workload):
+    result = benchmark(_spilled, 0, workload)
+    # Run generation spills the whole input; fan-in-limited intermediate
+    # merge steps re-write some of it on top.
+    assert result.rows_spilled >= workload.input_rows
+    assert result.stats.rows_eliminated == 0
+
+
+def test_figure5_diminishing_returns(benchmark, workload):
+    """Increasing 50 -> 100 buckets buys almost nothing (paper: <0.1x)."""
+
+    def sweep():
+        return {buckets: _spilled(buckets, workload).rows_spilled
+                for buckets in (1, 5, 10, 50, 100)}
+
+    spilled = benchmark(sweep)
+    assert spilled[1] > spilled[10] >= spilled[50]
+    gain_1_to_50 = spilled[1] - spilled[50]
+    gain_50_to_100 = spilled[50] - spilled[100]
+    assert gain_50_to_100 < 0.1 * max(gain_1_to_50, 1)
+
+
+def test_figure5_speedup_curve_saturates(benchmark, workload):
+    from repro.experiments.harness import Comparison
+
+    def sweep():
+        baseline = run_algorithm("optimized", workload)
+        return [Comparison(ours=_spilled(buckets, workload),
+                           baseline=baseline)
+                for buckets in (1, 10, 50)]
+
+    one, ten, fifty = benchmark(sweep)
+    assert one.speedup < ten.speedup * 1.05
+    assert fifty.speedup == pytest.approx(ten.speedup, rel=0.2)

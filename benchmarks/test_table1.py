@@ -1,0 +1,28 @@
+"""Benchmark: Table 1 — the run-by-run trace at full paper size.
+
+Regenerates the paper's Table 1 (top 5,000 of 1,000,000 rows, memory for
+1,000 rows, decile histograms) with the deterministic analysis model and
+checks the published trace values.
+"""
+
+import pytest
+
+from repro.core.analysis import simulate_uniform
+
+
+def _run_table1():
+    return simulate_uniform(1_000_000, 5_000, 1_000, 9, keep_traces=True)
+
+
+def test_table1_trace(benchmark):
+    result = benchmark(_run_table1)
+    assert result.runs == 39
+    assert result.rows_spilled < 35_000
+    # Paper rows: cutoffs before runs 7-10.
+    cutoffs = [trace.cutoff_before for trace in result.traces[6:10]]
+    assert cutoffs == pytest.approx([0.9, 0.72, 0.6, 0.504])
+    # Run 7's deciles: 0.09 .. 0.72, then the run is truncated.
+    run7 = result.traces[6]
+    assert run7.boundary_keys[0] == pytest.approx(0.09)
+    assert run7.boundary_keys[7] == pytest.approx(0.72)
+    assert run7.boundary_keys[8] is None

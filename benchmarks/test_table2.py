@@ -1,0 +1,38 @@
+"""Benchmark: Table 2 — varying histogram size at full paper size."""
+
+import pytest
+
+from repro.core.analysis import simulate_uniform
+from repro.experiments.paper_data import (
+    TABLE2,
+    paper_bucket_label_to_boundaries,
+)
+
+
+@pytest.mark.parametrize("label", [1, 10, 100])
+def test_table2_row(benchmark, label):
+    runs, rows, cutoff, _ratio = TABLE2[label]
+    result = benchmark(
+        simulate_uniform, 1_000_000, 5_000, 1_000,
+        paper_bucket_label_to_boundaries(label))
+    assert result.runs == runs
+    assert result.rows_spilled == pytest.approx(rows, rel=0.002, abs=4)
+    assert result.final_cutoff == pytest.approx(cutoff, rel=1e-3)
+
+
+def test_table2_diminishing_returns(benchmark):
+    """Going from 100 to 1,000 buckets is 'practically negligible'."""
+
+    def sweep():
+        return {label: simulate_uniform(
+            1_000_000, 5_000, 1_000,
+            paper_bucket_label_to_boundaries(label))
+            for label in (10, 100, 1000)}
+
+    results = benchmark(sweep)
+    improvement_10_to_100 = (results[10].rows_spilled
+                             - results[100].rows_spilled)
+    improvement_100_to_1000 = (results[100].rows_spilled
+                               - results[1000].rows_spilled)
+    assert improvement_10_to_100 < 0.15 * results[10].rows_spilled
+    assert improvement_100_to_1000 < improvement_10_to_100

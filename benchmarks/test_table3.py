@@ -1,0 +1,30 @@
+"""Benchmark: Table 3 — varying output size at full paper size."""
+
+import pytest
+
+from repro.core.analysis import simulate_uniform
+from repro.experiments.paper_data import TABLE3
+
+
+@pytest.mark.parametrize("k", [2_000, 5_000, 20_000])
+def test_table3_row(benchmark, k):
+    runs, rows, cutoff, _ratio = TABLE3[k]
+    result = benchmark(simulate_uniform, 1_000_000, k, 1_000, 9)
+    assert result.runs == pytest.approx(runs, abs=1)
+    assert result.rows_spilled == pytest.approx(rows, rel=0.01)
+    assert result.final_cutoff == pytest.approx(cutoff, rel=5e-3)
+
+
+def test_table3_output_scaling_shape(benchmark):
+    """Spill grows roughly linearly in k while runs stay proportional."""
+
+    def sweep():
+        return [simulate_uniform(1_000_000, k, 1_000, 9)
+                for k in (2_000, 5_000, 10_000, 20_000)]
+
+    results = benchmark(sweep)
+    spilled = [result.rows_spilled for result in results]
+    assert spilled == sorted(spilled)
+    # Roughly linear: 10x the output costs about 10x the spill (paper:
+    # 14,858 -> 109,016 for 2k -> 20k).
+    assert 5 < spilled[-1] / spilled[0] < 12

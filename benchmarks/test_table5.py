@@ -1,0 +1,33 @@
+"""Benchmark: Table 5 — minimal (median-only) histograms."""
+
+import pytest
+
+from repro.core.analysis import simulate_uniform
+from repro.experiments.paper_data import TABLE5
+
+
+@pytest.mark.parametrize("input_rows", [1_000_000, 100_000_000])
+def test_table5_row(benchmark, input_rows):
+    runs, rows, cutoff, _ideal, _ratio = TABLE5[input_rows]
+    result = benchmark(simulate_uniform, input_rows, 5_000, 1_000, 1)
+    assert result.runs == pytest.approx(runs, abs=1)
+    assert result.rows_spilled == pytest.approx(rows, rel=0.01)
+    assert result.effective_cutoff == pytest.approx(cutoff, rel=5e-3)
+
+
+def test_table5_still_beats_traditional(benchmark):
+    """Even the minimal histogram filters 99 7/8 % of a huge input."""
+    result = benchmark(simulate_uniform, 100_000_000, 5_000, 1_000, 1)
+    assert result.rows_spilled / 100_000_000 == pytest.approx(1 / 800,
+                                                              rel=0.02)
+
+
+def test_table5_vs_table4_doubling(benchmark):
+    """Minimal histograms need roughly twice the runs of decile ones."""
+
+    def both():
+        return (simulate_uniform(1_000_000, 5_000, 1_000, 1),
+                simulate_uniform(1_000_000, 5_000, 1_000, 9))
+
+    minimal, decile = benchmark(both)
+    assert 1.4 < minimal.runs / decile.runs < 2.2

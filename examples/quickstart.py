@@ -1,0 +1,88 @@
+"""Quickstart: histogram-guided top-k in five minutes.
+
+Runs the paper's headline scenario end to end — a top-k whose output is
+far larger than the operator's memory — and shows how much secondary
+storage the histogram cutoff filter saves compared to the classic
+approaches, on identical data.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    HistogramTopK,
+    SpillManager,
+    keys_only_workload,
+)
+from repro.baselines import (
+    OptimizedMergeSortTopK,
+    TraditionalMergeSortTopK,
+)
+
+
+def main() -> None:
+    # One million unsorted rows; we want the smallest 20,000; the operator
+    # gets memory for only 2,000 rows.  The output is 10x the memory: an
+    # in-memory top-k cannot run at all.
+    workload = keys_only_workload(
+        input_rows=1_000_000,
+        k=20_000,
+        memory_rows=2_000,
+        seed=7,
+    )
+    print(f"workload: {workload.name}")
+    print(f"output exceeds memory: {workload.output_exceeds_memory}\n")
+
+    contenders = [
+        ("histogram (this paper)", HistogramTopK),
+        ("optimized merge sort [Graefe'08]", OptimizedMergeSortTopK),
+        ("traditional merge sort (PostgreSQL-style)",
+         TraditionalMergeSortTopK),
+    ]
+    reference = None
+    for name, algorithm_cls in contenders:
+        spill = SpillManager()
+        operator = algorithm_cls(
+            workload.sort_spec,
+            k=workload.k,
+            memory_rows=workload.memory_rows,
+            spill_manager=spill,
+        )
+        result = list(operator.execute(workload.make_input()))
+        if reference is None:
+            reference = result
+        assert result == reference, "all algorithms must agree"
+        stats = operator.stats
+        print(f"{name}")
+        print(f"  rows spilled to storage: {spill.stats.rows_spilled:>9,}"
+              f"  (runs: {spill.stats.runs_written})")
+        print(f"  rows eliminated early:   {stats.rows_eliminated:>9,}"
+              f"  ({stats.elimination_fraction:.1%} of the input)\n")
+
+    print(f"first output key: {reference[0][0]:.8f}")
+    print(f"last output key:  {reference[-1][0]:.8f}")
+    print("all three algorithms returned identical top-20,000 rows")
+
+    # --- watch the cutoff key sharpen (the dynamics of Table 1) -------
+    traced = HistogramTopK(
+        workload.sort_spec,
+        k=workload.k,
+        memory_rows=workload.memory_rows,
+        trace_cutoff=True,
+    )
+    for _row in traced.execute(workload.make_input()):
+        break  # the trace is complete once run generation finished
+    trace = traced.cutoff_trace
+    print(f"\ncutoff sharpening ({len(trace)} refinements):")
+    from repro.experiments.charts import ascii_chart
+
+    xs = [point[0] for point in trace]
+    ys = [point[1] for point in trace]
+    print(ascii_chart(xs, {"cutoff": ys}, width=56, height=10,
+                      x_label="input rows consumed", y_label="cutoff key"))
+    print(f"ideal cutoff (k/N): {workload.k / workload.input_rows:.5f}; "
+          f"final learned cutoff: {ys[-1]:.5f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments whose setuptools predates PEP 660 support.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e .`` on toolchains without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

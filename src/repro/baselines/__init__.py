@@ -1,0 +1,11 @@
+"""The top-k algorithms the paper evaluates against (Sections 2.3-2.5)."""
+
+from repro.baselines.optimized_topk import OptimizedMergeSortTopK
+from repro.baselines.priority_queue_topk import PriorityQueueTopK
+from repro.baselines.traditional_topk import TraditionalMergeSortTopK
+
+__all__ = [
+    "PriorityQueueTopK",
+    "TraditionalMergeSortTopK",
+    "OptimizedMergeSortTopK",
+]

@@ -1,0 +1,40 @@
+"""The paper's core contribution: histogram-guided top-k filtering."""
+
+from repro.core.analysis import (
+    AnalysisResult,
+    RunTrace,
+    simulate_sampled,
+    simulate_uniform,
+)
+from repro.core.cutoff import CutoffFilter, CutoffFilterStats
+from repro.core.histogram import Bucket, RunHistogramBuilder
+from repro.core.rank_index import RankIndex
+from repro.core.policies import (
+    DEFAULT_BUCKETS_PER_RUN,
+    FixedStridePolicy,
+    NoHistogramPolicy,
+    SizingPolicy,
+    TargetBucketsPolicy,
+    policy_for_bucket_count,
+)
+from repro.core.topk import HistogramTopK, topk
+
+__all__ = [
+    "Bucket",
+    "RunHistogramBuilder",
+    "SizingPolicy",
+    "TargetBucketsPolicy",
+    "FixedStridePolicy",
+    "NoHistogramPolicy",
+    "policy_for_bucket_count",
+    "DEFAULT_BUCKETS_PER_RUN",
+    "CutoffFilter",
+    "CutoffFilterStats",
+    "RankIndex",
+    "HistogramTopK",
+    "topk",
+    "AnalysisResult",
+    "RunTrace",
+    "simulate_uniform",
+    "simulate_sampled",
+]

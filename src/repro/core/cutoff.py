@@ -1,0 +1,199 @@
+"""The cutoff filter: a priority queue of histogram buckets.
+
+This is the heart of the paper's contribution (Section 3.1.2).  The filter
+maintains a priority queue of histogram buckets sorted in the *inverse*
+direction of the requested output, so the top of the queue holds the largest
+boundary key.  Invariants:
+
+* A **cutoff key exists** exactly when the buckets together represent at
+  least ``k`` rows (``Σ size ≥ k``): then at least k rows are known to sort
+  at or below the top boundary, so any row sorting strictly above it cannot
+  be part of the output.
+* The filter **sharpens** by popping the top bucket whenever the remaining
+  buckets still cover k rows (``Σ size − top.size ≥ k``); the new top
+  boundary becomes the (smaller) cutoff key.  The pop check runs after
+  every insertion, so the cutoff can tighten while the very run that feeds
+  it is still being written.
+* When the queue grows beyond its memory allocation, a **consolidation**
+  step (Section 5.1.2) replaces all buckets with a single bucket whose
+  boundary is the current top's boundary and whose size is the sum of all
+  sizes — the filter keeps its current cutoff at the cost of future
+  sharpening granularity, and pays only one insertion.
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.histogram import Bucket
+from repro.errors import ConfigurationError
+
+logger = logging.getLogger(__name__)
+
+
+class _ReverseKey:
+    """Orders keys descending inside Python's min-heap."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any):
+        self.key = key
+
+    def __lt__(self, other: "_ReverseKey") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReverseKey) and not (
+            self.key < other.key or other.key < self.key)
+
+    def __repr__(self) -> str:
+        return f"_ReverseKey({self.key!r})"
+
+
+@dataclass
+class CutoffFilterStats:
+    """Observability counters for the filter (used by Section 5.5)."""
+
+    buckets_inserted: int = 0
+    buckets_popped: int = 0
+    consolidations: int = 0
+    refinements: int = 0
+    rows_eliminated: int = 0
+
+
+@dataclass
+class CutoffFilter:
+    """Histogram-priority-queue cutoff filter for a top-k operation.
+
+    Args:
+        k: Requested output size (including any OFFSET rows: the filter
+            must preserve ``offset + limit`` rows).
+        bucket_capacity: Maximum buckets resident in the queue before a
+            consolidation step; models the paper's 1 MB histogram memory
+            allocation.  ``None`` disables consolidation.
+        on_refine: Optional callback invoked with the new cutoff key on
+            every establishment/refinement — lets callers trace the
+            sharpening trajectory (the dynamics Table 1 tabulates).
+    """
+
+    k: int
+    bucket_capacity: int | None = None
+    stats: CutoffFilterStats = field(default_factory=CutoffFilterStats)
+    on_refine: Any = None
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ConfigurationError("k must be positive")
+        if self.bucket_capacity is not None and self.bucket_capacity < 1:
+            raise ConfigurationError("bucket_capacity must be >= 1")
+        self._heap: list[tuple[_ReverseKey, int, int]] = []
+        self._seq = 0
+        self._coverage = 0
+        self._cutoff: Any = None
+
+    # -- observers ---------------------------------------------------------
+
+    @property
+    def cutoff_key(self) -> Any:
+        """The current cutoff key, or ``None`` if not yet established."""
+        return self._cutoff
+
+    @property
+    def is_established(self) -> bool:
+        """Whether input rows can be eliminated yet."""
+        return self._cutoff is not None
+
+    @property
+    def coverage(self) -> int:
+        """Total rows represented by the resident buckets (Σ size)."""
+        return self._coverage
+
+    @property
+    def bucket_count(self) -> int:
+        """Buckets currently resident in the priority queue."""
+        return len(self._heap)
+
+    # -- core operations -----------------------------------------------------
+
+    def insert(self, bucket: Bucket) -> None:
+        """Add one histogram bucket and re-derive the cutoff key.
+
+        This is the whole update step: push, then pop while the remaining
+        buckets still cover ``k`` rows, then (maybe) consolidate.
+        """
+        if bucket.size <= 0:
+            raise ConfigurationError("bucket size must be positive")
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (_ReverseKey(bucket.boundary_key), self._seq,
+                         bucket.size))
+        self._coverage += bucket.size
+        self.stats.buckets_inserted += 1
+
+        # Sharpen: drop the largest boundaries while coverage allows.
+        while self._heap and self._coverage - self._heap[0][2] >= self.k:
+            _key, _seq, size = heapq.heappop(self._heap)
+            self._coverage -= size
+            self.stats.buckets_popped += 1
+
+        if self._coverage >= self.k:
+            new_cutoff = self._heap[0][0].key
+            if self._cutoff is None or new_cutoff < self._cutoff:
+                if self._cutoff is None and \
+                        logger.isEnabledFor(logging.DEBUG):
+                    logger.debug(
+                        "cutoff established at %r after %d buckets "
+                        "(coverage %d >= k=%d)", new_cutoff,
+                        self.stats.buckets_inserted, self._coverage,
+                        self.k)
+                self._cutoff = new_cutoff
+                self.stats.refinements += 1
+                if self.on_refine is not None:
+                    self.on_refine(new_cutoff)
+
+        if (self.bucket_capacity is not None
+                and len(self._heap) > self.bucket_capacity):
+            self._consolidate()
+
+    def _consolidate(self) -> None:
+        """Collapse all buckets into one (Section 5.1.2).
+
+        The new bucket's boundary is the current top's boundary, its size
+        the sum of all sizes; the established cutoff is unchanged.
+        """
+        top_key: _ReverseKey = self._heap[0][0]
+        total = self._coverage
+        dropped = len(self._heap) - 1
+        self._seq += 1
+        self._heap = [(top_key, self._seq, total)]
+        self.stats.consolidations += 1
+        logger.debug(
+            "consolidated %d buckets into one (boundary %r, size %d)",
+            dropped + 1, top_key.key, total)
+
+    def eliminate(self, key: Any) -> bool:
+        """Return True when a row with ``key`` cannot be in the output.
+
+        A row is eliminated only if its key sorts *strictly above* the
+        cutoff: ties with the cutoff key are retained, because the k
+        guaranteed rows are only known to be ≤ the cutoff.
+        """
+        if self._cutoff is None:
+            return False
+        if key > self._cutoff:
+            self.stats.rows_eliminated += 1
+            return True
+        return False
+
+    def describe(self) -> str:
+        """Debug/report summary of the filter state."""
+        return (
+            f"cutoff={self._cutoff!r} coverage={self._coverage}/{self.k} "
+            f"buckets={len(self._heap)} "
+            f"(ins={self.stats.buckets_inserted} "
+            f"pop={self.stats.buckets_popped} "
+            f"cons={self.stats.consolidations})"
+        )

@@ -1,0 +1,107 @@
+"""Histogram sizing policies.
+
+A sizing policy answers, per run: every how many spilled rows should a
+bucket boundary be recorded (the *stride*), and after how many buckets
+should collection stop (the *cap*)?  Section 3.2.2 (Table 2) studies the
+policy space; the production default is ~50 buckets per run and the paper's
+running example places boundaries at the nine deciles of a 1,000-row run.
+
+The quantile convention: a policy targeting ``B`` buckets places boundaries
+at quantiles ``j / (B + 1)`` for ``j = 1..B`` of the expected run, i.e.
+``stride = expected_rows // (B + 1)``.  With ``B = 1`` this tracks exactly
+the run's **median** — the paper's "minimal histogram"; with ``B = 9`` it
+tracks the nine deciles of the running example.  The tail beyond the last
+boundary is never represented (conservative coverage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Production default bucket target per run (Section 5.1.2).
+DEFAULT_BUCKETS_PER_RUN = 50
+
+
+class SizingPolicy:
+    """Interface: derive bucket stride and cap from an expected run size."""
+
+    def stride(self, expected_run_rows: int) -> int | None:
+        """Rows between boundaries, or ``None`` to collect no histogram."""
+        raise NotImplementedError
+
+    def max_buckets(self, expected_run_rows: int) -> int | None:
+        """Cap on buckets per run, or ``None`` for unlimited."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TargetBucketsPolicy(SizingPolicy):
+    """Collect about ``buckets_per_run`` equal-size buckets from each run.
+
+    Args:
+        buckets_per_run: Target bucket count ``B``; boundaries land on the
+            ``j/(B+1)`` quantiles of the expected run.
+        capped: When True (the analysis-model convention) at most ``B``
+            buckets are emitted per run even if the run grows longer than
+            expected; when False the stride simply continues, which suits
+            replacement selection where runs can reach twice the memory
+            size.
+    """
+
+    buckets_per_run: int = DEFAULT_BUCKETS_PER_RUN
+    capped: bool = True
+
+    def __post_init__(self) -> None:
+        if self.buckets_per_run < 0:
+            raise ConfigurationError("buckets_per_run must be >= 0")
+
+    def stride(self, expected_run_rows: int) -> int | None:
+        if self.buckets_per_run == 0:
+            return None
+        return max(1, expected_run_rows // (self.buckets_per_run + 1))
+
+    def max_buckets(self, expected_run_rows: int) -> int | None:
+        if not self.capped:
+            return None
+        return self.buckets_per_run
+
+
+@dataclass(frozen=True)
+class FixedStridePolicy(SizingPolicy):
+    """A bucket every ``rows_per_bucket`` spilled rows, without a cap."""
+
+    rows_per_bucket: int
+
+    def __post_init__(self) -> None:
+        if self.rows_per_bucket <= 0:
+            raise ConfigurationError("rows_per_bucket must be positive")
+
+    def stride(self, expected_run_rows: int) -> int | None:
+        return self.rows_per_bucket
+
+    def max_buckets(self, expected_run_rows: int) -> int | None:
+        return None
+
+
+class NoHistogramPolicy(SizingPolicy):
+    """Collect nothing: the filter never establishes a cutoff.
+
+    Equivalent to the ``#Buckets = 0`` row of Table 2, where the algorithm
+    degenerates to a plain external sort of the entire input.
+    """
+
+    def stride(self, expected_run_rows: int) -> int | None:
+        return None
+
+    def max_buckets(self, expected_run_rows: int) -> int | None:
+        return 0
+
+
+def policy_for_bucket_count(buckets_per_run: int,
+                            capped: bool = True) -> SizingPolicy:
+    """Factory used by the experiment sweeps (0 → no histogram)."""
+    if buckets_per_run == 0:
+        return NoHistogramPolicy()
+    return TargetBucketsPolicy(buckets_per_run=buckets_per_run, capped=capped)

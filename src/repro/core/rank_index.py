@@ -1,0 +1,116 @@
+"""Rank bounds from run histograms: the OFFSET optimization of §4.1.
+
+"Histograms can also speed up run generation and merging in the presence
+of an offset clause ... The combined histogram from all runs can
+determine the highest key value with a rank lower than the offset; this
+is the key value where the merge logic should start."
+
+A histogram boundary at position ``p`` of a run states *exactly* ``p``
+rows of that run sort at or below the boundary.  Summed over runs, that
+yields an **upper bound** on how many spilled rows sort below any
+boundary key: for each run, rows below ``key`` number at most the
+cumulative count of its smallest boundary ≥ ``key`` (or the whole run if
+no such boundary exists).
+
+:meth:`RankIndex.skip_key_for_offset` finds the largest boundary whose
+upper bound does not exceed the offset — every row below it is
+guaranteed to be inside the skipped region, so the merge may start there
+(skipping whole run pages via the page index) while keeping OFFSET
+semantics exact.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any
+
+from repro.core.histogram import Bucket
+
+
+class RankIndex:
+    """Accumulates per-run histogram boundaries for rank upper bounds.
+
+    Feed it in run order: :meth:`add_bucket` for every bucket a run
+    produces, then :meth:`end_run` with the run's final row count.
+    """
+
+    def __init__(self) -> None:
+        # Completed runs: parallel (boundaries, cumulative counts) plus
+        # the run's total spilled rows.
+        self._boundaries: list[list[Any]] = []
+        self._cumulative: list[list[int]] = []
+        self._totals: list[int] = []
+        self._current_boundaries: list[Any] = []
+        self._current_cumulative: list[int] = []
+        self._current_rows = 0
+
+    # -- construction -----------------------------------------------------
+
+    def add_bucket(self, bucket: Bucket) -> None:
+        """Record one bucket of the run currently being written."""
+        self._current_rows += bucket.size
+        self._current_boundaries.append(bucket.boundary_key)
+        self._current_cumulative.append(self._current_rows)
+
+    def end_run(self, total_rows: int) -> None:
+        """Seal the current run (``total_rows`` = rows actually spilled)."""
+        if self._current_boundaries:
+            self._boundaries.append(self._current_boundaries)
+            self._cumulative.append(self._current_cumulative)
+            self._totals.append(max(total_rows,
+                                    self._current_cumulative[-1]))
+        elif total_rows:
+            # A run with no histogram still contributes unknown-rank rows.
+            self._boundaries.append([])
+            self._cumulative.append([])
+            self._totals.append(total_rows)
+        self._current_boundaries = []
+        self._current_cumulative = []
+        self._current_rows = 0
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def run_count(self) -> int:
+        """Sealed runs represented in the index."""
+        return len(self._totals)
+
+    def upper_bound_rows_below(self, key: Any) -> int:
+        """At most this many spilled rows have keys strictly below ``key``."""
+        total = 0
+        for boundaries, cumulative, run_total in zip(
+                self._boundaries, self._cumulative, self._totals):
+            if not boundaries:
+                total += run_total
+                continue
+            index = bisect.bisect_left(boundaries, key)
+            if index < len(boundaries):
+                total += cumulative[index]
+            else:
+                total += run_total
+        return total
+
+    def skip_key_for_offset(self, offset: int) -> Any:
+        """The largest boundary below which at most ``offset`` rows sort.
+
+        Returns ``None`` when no boundary qualifies (tiny offsets or no
+        histograms).  The bound is monotone in the boundary key, so a
+        binary search over the global candidate list suffices.
+        """
+        if offset <= 0:
+            return None
+        candidates = sorted({boundary
+                             for run in self._boundaries
+                             for boundary in run})
+        if not candidates:
+            return None
+        low, high = 0, len(candidates) - 1
+        best = None
+        while low <= high:
+            middle = (low + high) // 2
+            if self.upper_bound_rows_below(candidates[middle]) <= offset:
+                best = candidates[middle]
+                low = middle + 1
+            else:
+                high = middle - 1
+        return best

@@ -1,0 +1,35 @@
+"""Synthetic data generation: key distributions and workload builders."""
+
+from repro.datagen.distributions import (
+    ASCENDING,
+    DESCENDING,
+    FIGURE3_DISTRIBUTIONS,
+    LOGNORMAL,
+    UNIFORM,
+    UNIFORM_INT,
+    Distribution,
+    fal,
+    get_distribution,
+    key_stream,
+)
+from repro.datagen.workloads import (
+    Workload,
+    keys_only_workload,
+    lineitem_workload,
+)
+
+__all__ = [
+    "Distribution",
+    "UNIFORM",
+    "UNIFORM_INT",
+    "LOGNORMAL",
+    "ASCENDING",
+    "DESCENDING",
+    "FIGURE3_DISTRIBUTIONS",
+    "fal",
+    "get_distribution",
+    "key_stream",
+    "Workload",
+    "keys_only_workload",
+    "lineitem_workload",
+]

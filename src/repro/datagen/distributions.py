@@ -1,0 +1,156 @@
+"""Sort-key distributions used by the paper's evaluation (Section 5.1.4).
+
+Three families:
+
+* ``uniform`` — what the ``L_ORDERKEY`` column of an unsorted TPC-H
+  ``LINEITEM`` table provides.
+* ``fal`` — the Faloutsos–Jagadish generator of Zipf-like values,
+  ``value(r) = N / r**z`` for rank ``r`` in ``1..N``; the shape parameter
+  ``z`` moves the family from uniform-ish (z → 0) to hyperbolic.  The paper
+  uses z ∈ {0.5, 1.05, 1.25, 1.5}.
+* ``lognormal`` — samples from LogNormal(μ=0, σ=2), modeling dwell times
+  and other natural long-tail phenomena.
+
+Two synthetic orderings are added for the overhead experiment (Section 5.5):
+``ascending`` (the filter eliminates almost everything immediately) and
+``descending`` (the *adversarial* input: the cutoff key sharpens constantly
+but never eliminates a single row, exposing pure filter overhead).
+
+All generators are deterministic given a seed and return ``numpy`` arrays;
+iterator helpers wrap them for streaming consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """A named, parameterized key distribution.
+
+    Attributes:
+        name: Registry name, e.g. ``"fal"``.
+        label: Display label used in experiment output, e.g. ``"fal-1.25"``.
+        sampler: Callable ``(n, rng) -> np.ndarray`` of float64 keys.
+    """
+
+    name: str
+    label: str
+    sampler: Callable[[int, np.random.Generator], np.ndarray]
+
+    def sample(self, n: int, seed: int = 0) -> np.ndarray:
+        """Draw ``n`` keys deterministically for ``seed``."""
+        if n < 0:
+            raise ConfigurationError("sample size must be non-negative")
+        rng = np.random.default_rng(seed)
+        return self.sampler(n, rng)
+
+
+def _uniform(n: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.random(n)
+
+
+def _uniform_int(n: int, rng: np.random.Generator) -> np.ndarray:
+    # Unsorted order keys: unique-ish integers in a 4x range, as dbgen's
+    # sparse orderkeys behave.
+    return rng.integers(1, max(2, 4 * n), size=n).astype(np.float64)
+
+
+def _lognormal(n: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.lognormal(mean=0.0, sigma=2.0, size=n)
+
+
+def _fal(z: float) -> Callable[[int, np.random.Generator], np.ndarray]:
+    def sampler(n: int, rng: np.random.Generator) -> np.ndarray:
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        values = n / ranks**z
+        rng.shuffle(values)
+        return values
+
+    return sampler
+
+
+def _ascending(n: int, rng: np.random.Generator) -> np.ndarray:
+    return np.sort(rng.random(n))
+
+
+def _descending(n: int, rng: np.random.Generator) -> np.ndarray:
+    return np.sort(rng.random(n))[::-1].copy()
+
+
+def fal(z: float) -> Distribution:
+    """The Faloutsos–Jagadish (Zipf-like) distribution with shape ``z``."""
+    if z < 0:
+        raise ConfigurationError("fal shape parameter must be non-negative")
+    return Distribution("fal", f"fal-{z:g}", _fal(z))
+
+
+UNIFORM = Distribution("uniform", "uniform", _uniform)
+UNIFORM_INT = Distribution("uniform_int", "uniform-int", _uniform_int)
+LOGNORMAL = Distribution("lognormal", "lognormal", _lognormal)
+ASCENDING = Distribution("ascending", "ascending", _ascending)
+DESCENDING = Distribution("descending", "descending (adversarial)", _descending)
+
+#: The six distributions of Figure 3, in the paper's order.
+FIGURE3_DISTRIBUTIONS = (
+    UNIFORM,
+    LOGNORMAL,
+    fal(0.5),
+    fal(1.05),
+    fal(1.25),
+    fal(1.5),
+)
+
+_REGISTRY = {
+    "uniform": lambda: UNIFORM,
+    "uniform_int": lambda: UNIFORM_INT,
+    "lognormal": lambda: LOGNORMAL,
+    "ascending": lambda: ASCENDING,
+    "descending": lambda: DESCENDING,
+}
+
+
+def get_distribution(name: str, **params) -> Distribution:
+    """Look up a distribution by name.
+
+    ``"fal"`` requires a ``z`` keyword; spelled parameters are also accepted
+    inline, e.g. ``get_distribution("fal-1.25")``.
+    """
+    if name == "fal":
+        if "z" not in params:
+            raise ConfigurationError("fal distribution requires z=<shape>")
+        return fal(params["z"])
+    if name.startswith("fal-"):
+        return fal(float(name[len("fal-"):]))
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown distribution {name!r}; known: "
+            f"{sorted(_REGISTRY) + ['fal']}"
+        ) from None
+
+
+def key_stream(distribution: Distribution, n: int, seed: int = 0,
+               chunk_rows: int = 262_144) -> Iterator[float]:
+    """Stream ``n`` keys without materializing them all at once.
+
+    Chunks are sampled independently (seeded per chunk) so memory stays
+    bounded for very large ``n``.
+    """
+    produced = 0
+    chunk_index = 0
+    while produced < n:
+        count = min(chunk_rows, n - produced)
+        chunk = distribution.sample(count, seed=seed + chunk_index)
+        yield from chunk.tolist()
+        produced += count
+        chunk_index += 1

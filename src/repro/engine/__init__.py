@@ -1,0 +1,42 @@
+"""Mini Volcano-style query engine: SQL front end, planner, operators."""
+
+from repro.engine.operators import (
+    Filter,
+    InMemorySort,
+    Limit,
+    Operator,
+    Project,
+    Table,
+    TableScan,
+    TopK,
+    TOPK_ALGORITHMS,
+)
+from repro.engine.planner import Planner
+from repro.engine.session import Database, QueryResult
+from repro.engine.sql import (
+    Comparison,
+    OrderItem,
+    ParsedQuery,
+    parse,
+    tokenize,
+)
+
+__all__ = [
+    "Database",
+    "QueryResult",
+    "Planner",
+    "parse",
+    "tokenize",
+    "ParsedQuery",
+    "Comparison",
+    "OrderItem",
+    "Operator",
+    "Table",
+    "TableScan",
+    "Filter",
+    "Project",
+    "Limit",
+    "InMemorySort",
+    "TopK",
+    "TOPK_ALGORITHMS",
+]

@@ -1,0 +1,86 @@
+"""Interactive SQL shell: ``python -m repro.engine``.
+
+Starts a session with a synthetic ``LINEITEM`` table registered and
+accepts the supported SQL subset on stdin.  Useful for poking at plans
+and filter behavior:
+
+    $ python -m repro.engine --rows 200000 --memory 5000
+    repro> EXPLAIN SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT 30000
+    repro> SELECT L_ORDERKEY FROM LINEITEM ORDER BY L_ORDERKEY LIMIT 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine.session import Database
+from repro.errors import ReproError
+from repro.rows.lineitem import LINEITEM_SCHEMA, generate_lineitem
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine",
+        description="Interactive SQL shell over a synthetic LINEITEM table.")
+    parser.add_argument("--rows", type=int, default=100_000,
+                        help="LINEITEM rows to generate (default 100000)")
+    parser.add_argument("--memory", type=int, default=7_000,
+                        help="operator memory in rows (default 7000)")
+    parser.add_argument("--algorithm", default="histogram",
+                        choices=["histogram", "optimized", "traditional",
+                                 "priority_queue"],
+                        help="top-k algorithm (default histogram)")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def run_statement(db: Database, statement: str) -> None:
+    statement = statement.strip().rstrip(";")
+    if not statement:
+        return
+    upper = statement.upper()
+    if upper in ("QUIT", "EXIT"):
+        raise EOFError
+    if upper.startswith("EXPLAIN "):
+        print(db.explain(statement[len("EXPLAIN "):]))
+        return
+    result = db.sql(statement)
+    preview = result.rows[:20]
+    print(" | ".join(result.schema.names))
+    for row in preview:
+        print(" | ".join(str(value) for value in row))
+    if len(result.rows) > len(preview):
+        print(f"... ({len(result.rows):,} rows total)")
+    io = result.stats.io
+    if io.rows_spilled:
+        print(f"-- spilled {io.rows_spilled:,} rows in "
+              f"{io.runs_written} runs; eliminated "
+              f"{result.stats.rows_eliminated:,} rows early; "
+              f"simulated {result.simulated_seconds():.3f}s")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    db = Database(memory_rows=args.memory, algorithm=args.algorithm)
+    print(f"generating {args.rows:,} LINEITEM rows ...", file=sys.stderr)
+    db.register_table("LINEITEM", LINEITEM_SCHEMA,
+                      list(generate_lineitem(args.rows, seed=args.seed)))
+    print(f"ready; memory={args.memory:,} rows, "
+          f"algorithm={args.algorithm}. Ctrl-D to exit.", file=sys.stderr)
+    while True:
+        try:
+            statement = input("repro> ")
+        except EOFError:
+            print()
+            return 0
+        try:
+            run_statement(db, statement)
+        except EOFError:
+            return 0
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

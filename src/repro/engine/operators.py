@@ -1,0 +1,375 @@
+"""Volcano-style physical operators.
+
+A deliberately small iterator-model engine — just enough to run the paper's
+evaluation query (``SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT k``)
+and realistic variations end to end: scan → filter → top-k/sort → project →
+limit.  Every operator exposes ``rows()`` (a fresh iterator over its
+output), its output ``schema``, and ``explain()`` for plan display.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.baselines.optimized_topk import OptimizedMergeSortTopK
+from repro.baselines.priority_queue_topk import PriorityQueueTopK
+from repro.baselines.traditional_topk import TraditionalMergeSortTopK
+from repro.core.topk import HistogramTopK
+from repro.errors import ConfigurationError
+from repro.rows.schema import Schema
+from repro.rows.sortspec import SortSpec
+from repro.storage.spill import SpillManager
+from repro.storage.stats import OperatorStats
+
+
+class Table:
+    """A named, registered input table.
+
+    Args:
+        name: Table name used in SQL.
+        schema: Row schema.
+        source: A list of rows, or a zero-argument callable returning a
+            fresh row iterator (for large/streaming inputs).
+        row_count: Optional row-count estimate for planning/reporting.
+        sorted_by: Optional physical sort order of the stored rows
+            (ascending column names).  The planner exploits a shared
+            prefix with a query's ORDER BY clause (Section 4.2): a fully
+            covered ORDER BY becomes a plain scan+limit; a shared prefix
+            enables segmented execution.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        source: Sequence[tuple] | Callable[[], Iterable[tuple]],
+        row_count: int | None = None,
+        sorted_by: Sequence[str] | None = None,
+    ):
+        self.name = name
+        self.schema = schema
+        self._source = source
+        self.sorted_by = tuple(sorted_by) if sorted_by else ()
+        for column in self.sorted_by:
+            schema.index_of(column)  # validates the declaration
+        if row_count is not None:
+            self.row_count = row_count
+        elif hasattr(source, "__len__"):
+            self.row_count = len(source)  # type: ignore[arg-type]
+        else:
+            self.row_count = None
+
+    def rows(self) -> Iterator[tuple]:
+        """A fresh iterator over the table's rows."""
+        if callable(self._source):
+            return iter(self._source())
+        return iter(self._source)
+
+
+class Operator:
+    """Base class for physical operators."""
+
+    schema: Schema
+
+    def rows(self) -> Iterator[tuple]:
+        """Return a fresh iterator over the operator's output."""
+        raise NotImplementedError
+
+    def label(self) -> str:
+        """One-line description for EXPLAIN output."""
+        return type(self).__name__
+
+    def children(self) -> list["Operator"]:
+        """Child operators, outermost first."""
+        return []
+
+    def explain(self, depth: int = 0) -> str:
+        """Render this operator subtree as indented text."""
+        lines = ["  " * depth + "-> " + self.label()]
+        for child in self.children():
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+
+class TableScan(Operator):
+    """Full scan of a registered table."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self.schema = table.schema
+
+    def rows(self) -> Iterator[tuple]:
+        return self.table.rows()
+
+    def label(self) -> str:
+        count = (f" (~{self.table.row_count} rows)"
+                 if self.table.row_count is not None else "")
+        return f"TableScan {self.table.name}{count}"
+
+
+class Filter(Operator):
+    """Row filter on a compiled predicate."""
+
+    def __init__(self, child: Operator,
+                 predicate: Callable[[tuple], bool],
+                 description: str = "<predicate>"):
+        self.child = child
+        self.schema = child.schema
+        self.predicate = predicate
+        self.description = description
+
+    def rows(self) -> Iterator[tuple]:
+        predicate = self.predicate
+        return (row for row in self.child.rows() if predicate(row))
+
+    def label(self) -> str:
+        return f"Filter [{self.description}]"
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+
+class Project(Operator):
+    """Column projection."""
+
+    def __init__(self, child: Operator, columns: Sequence[str]):
+        self.child = child
+        self.columns = tuple(columns)
+        self.schema = child.schema.project(self.columns)
+        self._projector = child.schema.projector(self.columns)
+
+    def rows(self) -> Iterator[tuple]:
+        projector = self._projector
+        return (projector(row) for row in self.child.rows())
+
+    def label(self) -> str:
+        return f"Project [{', '.join(self.columns)}]"
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+
+class Limit(Operator):
+    """Plain LIMIT/OFFSET without ordering."""
+
+    def __init__(self, child: Operator, limit: int | None, offset: int = 0):
+        if limit is not None and limit < 0:
+            raise ConfigurationError("LIMIT must be non-negative")
+        if offset < 0:
+            raise ConfigurationError("OFFSET must be non-negative")
+        self.child = child
+        self.schema = child.schema
+        self.limit = limit
+        self.offset = offset
+
+    def rows(self) -> Iterator[tuple]:
+        produced = 0
+        skipped = 0
+        for row in self.child.rows():
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if self.limit is not None and produced >= self.limit:
+                return
+            yield row
+            produced += 1
+
+    def label(self) -> str:
+        return f"Limit {self.limit} offset {self.offset}"
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+
+class InMemorySort(Operator):
+    """Full sort without a limit (used when a query has no LIMIT)."""
+
+    def __init__(self, child: Operator, sort_spec: SortSpec):
+        self.child = child
+        self.schema = child.schema
+        self.sort_spec = sort_spec
+
+    def rows(self) -> Iterator[tuple]:
+        return iter(sorted(self.child.rows(), key=self.sort_spec.key))
+
+    def label(self) -> str:
+        return f"Sort [{self.sort_spec!r}]"
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+
+#: Algorithm registry for the TopK physical operator.
+TOPK_ALGORITHMS = ("histogram", "optimized", "traditional", "priority_queue")
+
+
+class SegmentedTopKOperator(Operator):
+    """Physical segmented top-k for partially sorted inputs (Section 4.2).
+
+    The input arrives clustered (and ordered) on ``segment_columns`` — a
+    prefix of the query's ORDER BY — so the operator sorts segment by
+    segment on the remaining columns and stops after ``k`` rows; later
+    segments are never sorted or spilled.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        segment_columns: Sequence[str],
+        remainder_spec: SortSpec | None,
+        k: int,
+        memory_rows: int = 100_000,
+        spill_manager: SpillManager | None = None,
+    ):
+        self.child = child
+        self.schema = child.schema
+        self.segment_columns = tuple(segment_columns)
+        indexes = tuple(child.schema.index_of(name)
+                        for name in self.segment_columns)
+        if len(indexes) == 1:
+            index = indexes[0]
+            self._segment_key = lambda row: row[index]
+        else:
+            self._segment_key = lambda row: tuple(row[i] for i in indexes)
+        self.remainder_spec = remainder_spec
+        self.k = k
+        self.memory_rows = memory_rows
+        self.spill_manager = spill_manager
+        self.stats = OperatorStats()
+
+    def rows(self) -> Iterator[tuple]:
+        from repro.extensions.segmented import SegmentedTopK
+
+        self.stats = OperatorStats()
+        remainder = (self.remainder_spec.key if self.remainder_spec
+                     else (lambda _row: 0))
+        operator = SegmentedTopK(
+            segment_key=self._segment_key,
+            remainder_key=remainder,
+            k=self.k,
+            memory_rows=self.memory_rows,
+            spill_manager=self.spill_manager,
+            stats=self.stats,
+        )
+        return operator.execute(self.child.rows())
+
+    def label(self) -> str:
+        remainder = (repr(self.remainder_spec) if self.remainder_spec
+                     else "-")
+        return (f"SegmentedTopK k={self.k} "
+                f"segments=({', '.join(self.segment_columns)}) "
+                f"remainder={remainder}")
+
+    def children(self) -> list["Operator"]:
+        return [self.child]
+
+
+class GroupedTopKOperator(Operator):
+    """Physical ``LIMIT k PER <column>`` (Section 4.3 grouped top-k).
+
+    Keeps the top ``k`` rows within each distinct value of the group
+    column, each group's rows in sort order, groups contiguous.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        sort_spec: SortSpec,
+        group_column: str,
+        k: int,
+        memory_rows: int = 100_000,
+        spill_manager: SpillManager | None = None,
+    ):
+        self.child = child
+        self.schema = child.schema
+        self.sort_spec = sort_spec
+        self.group_column = group_column
+        self.group_index = child.schema.index_of(group_column)
+        self.k = k
+        self.memory_rows = memory_rows
+        self.spill_manager = spill_manager
+        self.stats = OperatorStats()
+
+    def rows(self) -> Iterator[tuple]:
+        from repro.extensions.grouped import GroupedTopK
+
+        self.stats = OperatorStats()
+        index = self.group_index
+        operator = GroupedTopK(
+            group_key=lambda row: row[index],
+            sort_key=self.sort_spec,
+            k=self.k,
+            memory_rows=self.memory_rows,
+            spill_manager=self.spill_manager,
+            stats=self.stats,
+        )
+        return (row for _group, row in operator.execute(self.child.rows()))
+
+    def label(self) -> str:
+        return (f"GroupedTopK k={self.k} per {self.group_column} "
+                f"[{self.sort_spec!r}]")
+
+    def children(self) -> list["Operator"]:
+        return [self.child]
+
+
+class TopK(Operator):
+    """Physical top-k: ORDER BY + LIMIT [+ OFFSET], algorithm-pluggable.
+
+    The default algorithm is the paper's adaptive histogram operator, which
+    subsumes the in-memory priority queue; the baselines remain selectable
+    for comparison (``algorithm=`` in the session, or per query via the
+    planner).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        sort_spec: SortSpec,
+        k: int,
+        offset: int = 0,
+        algorithm: str = "histogram",
+        memory_rows: int = 100_000,
+        spill_manager: SpillManager | None = None,
+        algorithm_options: dict | None = None,
+    ):
+        if algorithm not in TOPK_ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown top-k algorithm {algorithm!r}; "
+                f"choose from {TOPK_ALGORITHMS}")
+        self.child = child
+        self.schema = child.schema
+        self.sort_spec = sort_spec
+        self.k = k
+        self.offset = offset
+        self.algorithm = algorithm
+        self.memory_rows = memory_rows
+        self.spill_manager = spill_manager
+        self.algorithm_options = algorithm_options or {}
+        self.stats = OperatorStats()
+
+    def _make_impl(self):
+        options = dict(self.algorithm_options)
+        self.stats = OperatorStats()
+        common = dict(k=self.k, offset=self.offset, stats=self.stats)
+        if self.algorithm == "priority_queue":
+            return PriorityQueueTopK(
+                self.sort_spec, memory_rows=None, **common, **options)
+        common["memory_rows"] = self.memory_rows
+        common["spill_manager"] = self.spill_manager or SpillManager()
+        if self.algorithm == "histogram":
+            return HistogramTopK(self.sort_spec, **common, **options)
+        if self.algorithm == "optimized":
+            return OptimizedMergeSortTopK(self.sort_spec, **common, **options)
+        return TraditionalMergeSortTopK(self.sort_spec, **common, **options)
+
+    def rows(self) -> Iterator[tuple]:
+        impl = self._make_impl()
+        return impl.execute(self.child.rows())
+
+    def label(self) -> str:
+        return (f"TopK k={self.k} offset={self.offset} "
+                f"[{self.sort_spec!r}] algorithm={self.algorithm}")
+
+    def children(self) -> list[Operator]:
+        return [self.child]

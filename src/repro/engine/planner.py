@@ -1,0 +1,184 @@
+"""Planner: turn a :class:`ParsedQuery` into a physical operator tree.
+
+Plans are intentionally simple — scan, optional filter, then either a
+top-k, a full sort, or a plain limit, then a projection.  The interesting
+decision, and the one the paper makes moot, is the top-k algorithm choice:
+the histogram operator *adapts at runtime*, so the planner never needs to
+predict whether the output will fit in memory (Section 5.2: "an a-priori
+choice of algorithm is not required").  Baseline algorithms remain
+selectable to reproduce the evaluation.
+"""
+
+from __future__ import annotations
+
+import operator as _operator
+from typing import Any, Callable
+
+from repro.engine.operators import (
+    Filter,
+    GroupedTopKOperator,
+    InMemorySort,
+    Limit,
+    Operator,
+    Project,
+    SegmentedTopKOperator,
+    Table,
+    TableScan,
+    TopK,
+)
+from repro.engine.sql import Comparison, ParsedQuery
+from repro.errors import PlanError
+from repro.rows.schema import Schema
+from repro.rows.sortspec import SortColumn, SortSpec
+from repro.storage.spill import SpillManager
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": _operator.eq,
+    "!=": _operator.ne,
+    "<": _operator.lt,
+    "<=": _operator.le,
+    ">": _operator.gt,
+    ">=": _operator.ge,
+}
+
+
+def _resolve_column(schema: Schema, name: str) -> str:
+    """Case-insensitive column lookup returning the canonical name."""
+    if name in schema:
+        return name
+    lowered = {column_name.lower(): column_name
+               for column_name in schema.names}
+    try:
+        return lowered[name.lower()]
+    except KeyError:
+        raise PlanError(
+            f"unknown column {name!r}; available: {list(schema.names)}"
+        ) from None
+
+
+def _compile_predicates(schema: Schema,
+                        predicates: list[Comparison]):
+    """Compile WHERE conjuncts into one callable plus a description."""
+    compiled = []
+    parts = []
+    for predicate in predicates:
+        column = _resolve_column(schema, predicate.column)
+        index = schema.index_of(column)
+        comparator = _COMPARATORS[predicate.op]
+        value = predicate.value
+        compiled.append((index, comparator, value))
+        parts.append(f"{column} {predicate.op} {predicate.value!r}")
+
+    def test(row: tuple) -> bool:
+        return all(comparator(row[index], value)
+                   for index, comparator, value in compiled)
+
+    return test, " AND ".join(parts)
+
+
+class Planner:
+    """Builds physical plans for parsed queries.
+
+    Args:
+        memory_rows: Per-operator memory budget in rows.
+        algorithm: Top-k algorithm for ORDER BY + LIMIT queries.
+        spill_manager_factory: Zero-argument factory for each query's spill
+            substrate (lets a session share I/O accounting).
+        algorithm_options: Extra keyword arguments for the top-k operator's
+            algorithm (e.g. ``sizing_policy=...``).
+    """
+
+    def __init__(
+        self,
+        memory_rows: int = 100_000,
+        algorithm: str = "histogram",
+        spill_manager_factory: Callable[[], SpillManager] | None = None,
+        algorithm_options: dict | None = None,
+    ):
+        self.memory_rows = memory_rows
+        self.algorithm = algorithm
+        self.spill_manager_factory = spill_manager_factory or SpillManager
+        self.algorithm_options = algorithm_options or {}
+
+    @staticmethod
+    def _shared_sorted_prefix(table: Table,
+                              sort_columns: list[SortColumn]) -> int:
+        """How many leading ORDER BY columns the table's physical order
+        already provides (ascending only)."""
+        shared = 0
+        for declared, requested in zip(table.sorted_by, sort_columns):
+            if not requested.ascending or requested.name != declared:
+                break
+            shared += 1
+        return shared
+
+    def plan(self, query: ParsedQuery, table: Table) -> Operator:
+        """Produce the physical plan for ``query`` over ``table``."""
+        node: Operator = TableScan(table)
+
+        if query.predicates:
+            predicate, description = _compile_predicates(
+                table.schema, query.predicates)
+            node = Filter(node, predicate, description)
+
+        if query.order_by:
+            sort_columns = [
+                SortColumn(_resolve_column(table.schema, item.column),
+                           ascending=item.ascending)
+                for item in query.order_by
+            ]
+            spec = SortSpec(table.schema, sort_columns)
+            # Section 4.2: exploit a physical sort order shared with the
+            # ORDER BY clause.  Filters do not disturb row order, so the
+            # table's declared order survives the Filter node.
+            shared = self._shared_sorted_prefix(table, sort_columns)
+            if query.is_grouped_topk:
+                node = GroupedTopKOperator(
+                    node,
+                    sort_spec=spec,
+                    group_column=_resolve_column(table.schema,
+                                                 query.per_column),
+                    k=query.limit,
+                    memory_rows=self.memory_rows,
+                    spill_manager=self.spill_manager_factory(),
+                )
+            elif (query.limit is not None
+                    and shared == len(sort_columns)):
+                # The input is already sorted as requested: trivial.
+                node = Limit(node, query.limit, query.offset)
+            elif query.limit is not None and shared >= 1:
+                segmented = SegmentedTopKOperator(
+                    node,
+                    segment_columns=[column.name for column
+                                     in sort_columns[:shared]],
+                    remainder_spec=SortSpec(table.schema,
+                                            sort_columns[shared:]),
+                    k=query.limit + query.offset,
+                    memory_rows=self.memory_rows,
+                    spill_manager=self.spill_manager_factory(),
+                )
+                node = (Limit(segmented, query.limit, query.offset)
+                        if query.offset else segmented)
+            elif query.limit is not None:
+                node = TopK(
+                    node,
+                    sort_spec=spec,
+                    k=query.limit,
+                    offset=query.offset,
+                    algorithm=self.algorithm,
+                    memory_rows=self.memory_rows,
+                    spill_manager=self.spill_manager_factory(),
+                    algorithm_options=dict(self.algorithm_options),
+                )
+            else:
+                node = InMemorySort(node, spec)
+                if query.offset:
+                    node = Limit(node, None, query.offset)
+        elif query.limit is not None or query.offset:
+            node = Limit(node, query.limit, query.offset)
+
+        if query.columns is not None:
+            canonical = [_resolve_column(table.schema, name)
+                         for name in query.columns]
+            node = Project(node, canonical)
+        return node

@@ -1,0 +1,218 @@
+"""Database session: table registry + SQL execution.
+
+The user-facing entry point of the mini engine::
+
+    db = Database(memory_rows=7_000)
+    db.register_table("LINEITEM", LINEITEM_SCHEMA, rows)
+    result = db.sql("SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT 30000")
+    for row in result:
+        ...
+    print(result.stats.io.rows_spilled)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.engine.operators import Operator, Table, TopK
+from repro.engine.planner import Planner
+from repro.engine.sql import ParsedQuery, parse
+from repro.errors import PlanError
+from repro.rows.schema import Schema
+from repro.storage.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.storage.stats import OperatorStats
+
+
+@dataclass
+class QueryResult:
+    """Materialized query result plus execution metadata."""
+
+    rows: list[tuple]
+    schema: Schema
+    plan: Operator
+    query: ParsedQuery
+    stats: OperatorStats = field(default_factory=OperatorStats)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def explain(self) -> str:
+        """The physical plan as indented text."""
+        return self.plan.explain()
+
+    def simulated_seconds(self,
+                          cost_model: CostModel = DEFAULT_COST_MODEL) -> float:
+        """Simulated execution time under a storage cost model."""
+        return cost_model.total_seconds(self.stats)
+
+
+class Database:
+    """An in-process database over registered tables.
+
+    Args:
+        memory_rows: Memory budget (rows) for each sorting operator.
+        algorithm: Default top-k algorithm (``"histogram"``).
+        algorithm_options: Extra options forwarded to the top-k algorithm.
+    """
+
+    def __init__(
+        self,
+        memory_rows: int = 100_000,
+        algorithm: str = "histogram",
+        algorithm_options: dict | None = None,
+    ):
+        self._tables: dict[str, Table] = {}
+        self.planner = Planner(
+            memory_rows=memory_rows,
+            algorithm=algorithm,
+            algorithm_options=algorithm_options,
+        )
+
+    # -- registry -------------------------------------------------------------
+
+    def register_table(
+        self,
+        name: str,
+        schema: Schema,
+        source: Sequence[tuple] | Callable[[], Iterable[tuple]],
+        row_count: int | None = None,
+        sorted_by: Sequence[str] | None = None,
+    ) -> Table:
+        """Register (or replace) a table and return it.
+
+        ``sorted_by`` declares the physical (ascending) sort order of the
+        stored rows; the planner exploits shared prefixes with ORDER BY
+        clauses (Section 4.2).
+        """
+        table = Table(name, schema, source, row_count=row_count,
+                      sorted_by=sorted_by)
+        self._tables[name.upper()] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table case-insensitively."""
+        try:
+            return self._tables[name.upper()]
+        except KeyError:
+            raise PlanError(
+                f"unknown table {name!r}; registered: "
+                f"{sorted(self._tables)}") from None
+
+    @property
+    def tables(self) -> list[str]:
+        """Names of all registered tables."""
+        return sorted(self._tables)
+
+    # -- execution ---------------------------------------------------------------
+
+    def plan(self, sql_text: str) -> Operator:
+        """Parse and plan without executing."""
+        query = parse(sql_text)
+        return self.planner.plan(query, self.table(query.table))
+
+    def sql(self, sql_text: str) -> QueryResult:
+        """Parse, plan and execute ``sql_text``; results are materialized."""
+        query = parse(sql_text)
+        plan = self.planner.plan(query, self.table(query.table))
+        rows = list(plan.rows())
+        stats = _collect_stats(plan)
+        return QueryResult(rows=rows, schema=plan.schema, plan=plan,
+                           query=query, stats=stats)
+
+    def explain(self, sql_text: str) -> str:
+        """The physical plan for ``sql_text`` as text."""
+        return self.plan(sql_text).explain()
+
+    def paginate(self, sql_text: str, page_size: int,
+                 prefetch_pages: int = 4):
+        """Serve a top-k query page by page without re-sorting per page.
+
+        ``sql_text`` must be an ``ORDER BY ... LIMIT`` query without
+        OFFSET or PER; its LIMIT is ignored in favor of ``page_size``
+        paging.  Returns a :class:`~repro.extensions.offset.Paginator`
+        whose pages are projected rows (Sections 2.7 / 4.1: the sorted
+        runs from the first execution are retained and every later page
+        merges from them).
+        """
+        from repro.extensions.offset import Paginator
+        from repro.engine.operators import Project, TopK
+
+        query = parse(sql_text)
+        if not query.is_topk or query.offset or query.per_column:
+            raise PlanError(
+                "paginate() needs an ORDER BY ... LIMIT query without "
+                "OFFSET or PER")
+        plan = self.planner.plan(query, self.table(query.table))
+        # Peel the projection and the top-k node: the paginator re-sorts
+        # from the top-k's *input* and projects on the way out.
+        projector = None
+        node = plan
+        if isinstance(node, Project):
+            projector = node.schema.names
+            source_schema = node.child.schema
+            node = node.child
+        if not isinstance(node, TopK):
+            raise PlanError(
+                "paginate() supports plain top-k plans only (the "
+                "planner chose a specialized operator for this query)")
+        child = node.child
+        paginator = Paginator(
+            make_input=child.rows,
+            sort_key=node.sort_spec,
+            page_size=page_size,
+            memory_rows=self.planner.memory_rows,
+            prefetch_pages=prefetch_pages,
+        )
+        if projector is None:
+            return paginator
+        return _ProjectedPaginator(paginator, source_schema, projector)
+
+
+class _ProjectedPaginator:
+    """Applies a column projection to every served page."""
+
+    def __init__(self, paginator, schema: Schema, columns):
+        self._paginator = paginator
+        self._project = schema.projector(columns)
+
+    def page(self, page_number: int) -> list[tuple]:
+        project = self._project
+        return [project(row) for row in self._paginator.page(page_number)]
+
+    def pages(self):
+        project = self._project
+        for page in self._paginator.pages():
+            yield [project(row) for row in page]
+
+    @property
+    def executions(self) -> int:
+        return self._paginator.executions
+
+    @property
+    def stats(self):
+        return self._paginator.stats
+
+
+def _collect_stats(plan: Operator) -> OperatorStats:
+    """Aggregate operator stats from the plan tree (nodes that execute a
+    top-k algorithm carry an ``OperatorStats``)."""
+    total = OperatorStats()
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node.__dict__.get("stats"), OperatorStats):
+            stats = node.stats
+            total.rows_consumed += stats.rows_consumed
+            total.rows_eliminated_on_arrival += \
+                stats.rows_eliminated_on_arrival
+            total.rows_eliminated_at_spill += stats.rows_eliminated_at_spill
+            total.rows_output += stats.rows_output
+            total.cutoff_comparisons += stats.cutoff_comparisons
+            total.sort_comparisons += stats.sort_comparisons
+            total.io.merge(stats.io)
+        stack.extend(node.children())
+    return total

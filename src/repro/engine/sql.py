@@ -1,0 +1,259 @@
+"""A small SQL front end.
+
+Parses the subset of SQL the paper's evaluation exercises::
+
+    SELECT <column list | *>
+    FROM <table>
+    [WHERE <column> <op> <literal> [AND ...]]
+    [ORDER BY <column> [ASC|DESC] [, ...]]
+    [LIMIT <n> [OFFSET <m>]]
+
+The parser produces a :class:`ParsedQuery`; planning happens in
+:mod:`repro.engine.planner`.  Keywords are case-insensitive; identifiers
+are matched case-insensitively against the schema.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SqlSyntaxError
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|<>|!=|=|<|>)
+  | (?P<punct>[,()*])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "ORDER", "BY", "LIMIT", "OFFSET",
+    "ASC", "DESC", "PER",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "number" | "string" | "ident" | "keyword" | "op" | "punct"
+    text: str
+    position: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split ``sql`` into tokens, raising on anything unrecognized."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_PATTERN.match(sql, position)
+        if match is None:
+            raise SqlSyntaxError(
+                f"unexpected character {sql[position]!r} at offset {position}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        text = match.group()
+        if kind == "ident" and text.upper() in _KEYWORDS:
+            tokens.append(Token("keyword", text.upper(), match.start()))
+        else:
+            tokens.append(Token(kind, text, match.start()))
+    return tokens
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One ``column <op> literal`` predicate."""
+
+    column: str
+    op: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY component."""
+
+    column: str
+    ascending: bool = True
+
+
+@dataclass
+class ParsedQuery:
+    """The AST of a supported query."""
+
+    columns: list[str] | None  # None == SELECT *
+    table: str
+    predicates: list[Comparison] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    offset: int = 0
+    #: Grouped top-k extension (Section 4.3): ``LIMIT k PER <column>``
+    #: keeps the top k rows within each distinct value of the column.
+    per_column: str | None = None
+
+    @property
+    def is_topk(self) -> bool:
+        """Whether the query is a top-k query (ORDER BY + LIMIT)."""
+        return bool(self.order_by) and self.limit is not None
+
+    @property
+    def is_grouped_topk(self) -> bool:
+        """Whether the ``LIMIT ... PER`` extension applies."""
+        return self.is_topk and self.per_column is not None
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[Token], sql: str):
+        self._tokens = tokens
+        self._sql = sql
+        self._index = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self) -> Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SqlSyntaxError(f"unexpected end of query: {self._sql!r}")
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._next()
+        if token.kind != "keyword" or token.text != keyword:
+            raise SqlSyntaxError(
+                f"expected {keyword} at offset {token.position}, "
+                f"got {token.text!r}")
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        if token and token.kind == "keyword" and token.text == keyword:
+            self._index += 1
+            return True
+        return False
+
+    def _expect_ident(self) -> str:
+        token = self._next()
+        if token.kind != "ident":
+            raise SqlSyntaxError(
+                f"expected identifier at offset {token.position}, "
+                f"got {token.text!r}")
+        return token.text
+
+    def _expect_int(self, clause: str) -> int:
+        token = self._next()
+        if token.kind != "number" or not re.fullmatch(r"\d+", token.text):
+            raise SqlSyntaxError(
+                f"{clause} expects an integer, got {token.text!r}")
+        return int(token.text)
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> ParsedQuery:
+        self._expect_keyword("SELECT")
+        columns = self._select_list()
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        query = ParsedQuery(columns=columns, table=table)
+        if self._accept_keyword("WHERE"):
+            query.predicates = self._conjunction()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            query.order_by = self._order_list()
+        if self._accept_keyword("LIMIT"):
+            query.limit = self._expect_int("LIMIT")
+            if self._accept_keyword("PER"):
+                query.per_column = self._expect_ident()
+                if not query.order_by:
+                    raise SqlSyntaxError(
+                        "LIMIT ... PER requires an ORDER BY clause")
+            if self._accept_keyword("OFFSET"):
+                if query.per_column is not None:
+                    raise SqlSyntaxError(
+                        "OFFSET cannot be combined with LIMIT ... PER")
+                query.offset = self._expect_int("OFFSET")
+        trailing = self._peek()
+        if trailing is not None:
+            raise SqlSyntaxError(
+                f"unexpected trailing input at offset {trailing.position}: "
+                f"{trailing.text!r}")
+        return query
+
+    def _select_list(self) -> list[str] | None:
+        token = self._peek()
+        if token and token.kind == "punct" and token.text == "*":
+            self._index += 1
+            return None
+        columns = [self._expect_ident()]
+        while self._accept_punct(","):
+            columns.append(self._expect_ident())
+        return columns
+
+    def _accept_punct(self, punct: str) -> bool:
+        token = self._peek()
+        if token and token.kind == "punct" and token.text == punct:
+            self._index += 1
+            return True
+        return False
+
+    def _conjunction(self) -> list[Comparison]:
+        predicates = [self._comparison()]
+        while self._accept_keyword("AND"):
+            predicates.append(self._comparison())
+        return predicates
+
+    def _comparison(self) -> Comparison:
+        column = self._expect_ident()
+        op_token = self._next()
+        if op_token.kind != "op":
+            raise SqlSyntaxError(
+                f"expected comparison operator at offset "
+                f"{op_token.position}, got {op_token.text!r}")
+        literal = self._next()
+        if literal.kind == "number":
+            text = literal.text
+            value: Any = float(text) if any(c in text for c in ".eE") \
+                else int(text)
+        elif literal.kind == "string":
+            value = literal.text[1:-1].replace("''", "'")
+        else:
+            raise SqlSyntaxError(
+                f"expected literal at offset {literal.position}, "
+                f"got {literal.text!r}")
+        op = "!=" if op_token.text == "<>" else op_token.text
+        return Comparison(column=column, op=op, value=value)
+
+    def _order_list(self) -> list[OrderItem]:
+        items = [self._order_item()]
+        while self._accept_punct(","):
+            items.append(self._order_item())
+        return items
+
+    def _order_item(self) -> OrderItem:
+        column = self._expect_ident()
+        if self._accept_keyword("DESC"):
+            return OrderItem(column=column, ascending=False)
+        self._accept_keyword("ASC")
+        return OrderItem(column=column, ascending=True)
+
+
+def parse(sql: str) -> ParsedQuery:
+    """Parse ``sql`` into a :class:`ParsedQuery`.
+
+    Raises:
+        SqlSyntaxError: on anything outside the supported subset.
+    """
+    return _Parser(tokenize(sql), sql).parse()

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime resource
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An operator or substrate was constructed with invalid parameters."""
+
+
+class SchemaError(ReproError):
+    """A row or column reference does not match the declared schema."""
+
+
+class MemoryBudgetExceeded(ReproError):
+    """An allocation was requested beyond the configured memory budget."""
+
+
+class SpillError(ReproError):
+    """Secondary storage (the spill substrate) failed or was misused."""
+
+
+class MergeError(ReproError):
+    """The merge logic was driven into an invalid state."""
+
+
+class PlanError(ReproError):
+    """The planner could not produce an executable plan for a query."""
+
+
+class SqlSyntaxError(PlanError):
+    """The SQL text could not be parsed by the mini SQL front end."""

@@ -1,0 +1,23 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.experiments.harness import (
+    Comparison,
+    LINEITEM_ROW_BYTES,
+    PAPER_SCALE,
+    QUICK_SCALE,
+    RunResult,
+    Scale,
+    compare,
+    run_algorithm,
+)
+
+__all__ = [
+    "Scale",
+    "PAPER_SCALE",
+    "QUICK_SCALE",
+    "LINEITEM_ROW_BYTES",
+    "RunResult",
+    "Comparison",
+    "run_algorithm",
+    "compare",
+]

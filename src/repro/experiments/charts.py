@@ -1,0 +1,126 @@
+"""Minimal ASCII charts for the experiment report.
+
+EXPERIMENTS.md is plain Markdown; these helpers render the figure series
+as monospace line charts so the *shapes* the paper plots (speedup rising
+with input, declining past the sweet spot, saturating with histogram
+size) are visible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+_GLYPH = "*"
+_SERIES_GLYPHS = "*o+x#@"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    if abs(value) >= 100:
+        return f"{value:,.0f}"
+    return f"{value:.2f}"
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render one or more series over a shared x axis.
+
+    Args:
+        xs: Shared x coordinates (ascending).
+        series: Mapping of series name to y values (same length as xs).
+        width, height: Plot area size in characters.
+        x_label, y_label: Axis captions.
+        log_x: Place x ticks on a log scale (input-size sweeps span
+            orders of magnitude).
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if not xs:
+        raise ConfigurationError("chart needs at least one x value")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} xs")
+    if width < 8 or height < 3:
+        raise ConfigurationError("chart area too small")
+
+    def x_position(value: float) -> int:
+        if len(xs) == 1:
+            return 0
+        if log_x:
+            low, high = math.log(xs[0]), math.log(xs[-1])
+            scaled = (math.log(value) - low) / max(high - low, 1e-12)
+        else:
+            scaled = (value - xs[0]) / max(xs[-1] - xs[0], 1e-12)
+        return min(width - 1, max(0, round(scaled * (width - 1))))
+
+    all_ys = [y for ys in series.values() for y in ys]
+    y_low = min(all_ys)
+    y_high = max(all_ys)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    def y_position(value: float) -> int:
+        scaled = (value - y_low) / (y_high - y_low)
+        return min(height - 1, max(0, round(scaled * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(sorted(series.items())):
+        glyph = _SERIES_GLYPHS[index % len(_SERIES_GLYPHS)]
+        for x, y in zip(xs, ys):
+            row = height - 1 - y_position(y)
+            grid[row][x_position(x)] = glyph
+
+    left_labels = [_format_tick(y_high)] + [""] * (height - 2) \
+        + [_format_tick(y_low)]
+    gutter = max(len(label) for label in left_labels) + 1
+    lines = [f"{y_label}"]
+    for row, label in zip(grid, left_labels):
+        lines.append(f"{label:>{gutter}} |" + "".join(row))
+    lines.append(" " * gutter + "-" * (width + 2))
+    x_left = _format_tick(xs[0])
+    x_right = _format_tick(xs[-1])
+    padding = width - len(x_left) - len(x_right)
+    lines.append(" " * (gutter + 2) + x_left + " " * max(padding, 1)
+                 + x_right + f"  ({x_label}"
+                 + (", log scale" if log_x else "") + ")")
+    if len(series) > 1:
+        legend = "  ".join(
+            f"{_SERIES_GLYPHS[i % len(_SERIES_GLYPHS)]}={name}"
+            for i, name in enumerate(sorted(series)))
+        lines.append(" " * gutter + " legend: " + legend)
+    return "\n".join(lines)
+
+
+def chart_points(points, value="speedup", **kwargs) -> str:
+    """Chart :class:`~repro.experiments.figures.FigurePoint` lists.
+
+    Groups the points by series and plots ``speedup`` or
+    ``spill_reduction`` against x.
+    """
+    by_series: dict[str, list] = {}
+    xs_by_series: dict[str, list] = {}
+    for point in points:
+        by_series.setdefault(point.series, []).append(
+            getattr(point, value))
+        xs_by_series.setdefault(point.series, []).append(point.x)
+    xs_sets = {tuple(v) for v in xs_by_series.values()}
+    if len(xs_sets) != 1:
+        raise ConfigurationError(
+            "all series must share the same x coordinates")
+    xs = list(xs_sets.pop())
+    return ascii_chart(xs, by_series, **kwargs)

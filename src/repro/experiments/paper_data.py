@@ -1,0 +1,177 @@
+"""The paper's published numbers, embedded for paper-vs-measured reports.
+
+Tables are transcribed from the SIGMOD 2020 paper; figures are digitized to
+their headline shapes (the paper reports relative improvements only, since
+F1 Query absolute times are confidential).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Table 1 defaults: top 5,000 of 1,000,000 rows, memory for 1,000 rows.
+TABLE1_INPUT = 1_000_000
+TABLE1_K = 5_000
+TABLE1_MEMORY = 1_000
+
+#: Selected rows of Table 1: run -> (remaining input before the run,
+#: cutoff key before the run, [decile keys; None = eliminated]).
+TABLE1_ROWS = {
+    1: (1_000_000, None,
+        [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]),
+    6: (995_000, None,
+        [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]),
+    7: (994_000, 0.9,
+        [0.09, 0.18, 0.27, 0.36, 0.45, 0.54, 0.63, 0.72, None]),
+    8: (992_889, 0.72,
+        [0.072, 0.144, 0.216, 0.288, 0.36, 0.432, 0.504, 0.576, None]),
+    9: (991_501, 0.6,
+        [0.06, 0.12, 0.18, 0.24, 0.30, 0.36, 0.42, 0.48, None]),
+    10: (989_835, 0.504,
+         [0.0504, 0.1008, 0.1512, 0.2016, 0.252, 0.3024, 0.3528, 0.4032,
+          None]),
+    21: (937_767, 0.1,
+         [0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, None]),
+    39: (103_786, 0.0072,
+         [0.000964, 0.001927, None, None, None, None, None, None, None]),
+}
+
+#: Table 2 (varying histogram size): paper bucket label ->
+#: (runs, rows spilled, final cutoff, ratio).  Label 0 = no histogram:
+#: the entire input is sorted.
+TABLE2 = {
+    0: (1_000, 1_000_000, None, 200.0),
+    1: (66, 62_781, 0.015625, 3.13),
+    5: (44, 39_150, 0.007373, 1.47),
+    10: (39, 34_077, 0.0063, 1.26),
+    20: (37, 31_568, 0.00567, 1.13),
+    50: (35, 30_156, 0.00532, 1.06),
+    100: (35, 29_780, 0.005162, 1.03),
+    1000: (35, 29_258, 0.005014, 1.0),
+}
+
+#: Table 3 (varying output size, 10-bucket histograms):
+#: k -> (runs, rows, cutoff, ratio).
+TABLE3 = {
+    2_000: (20, 14_858, 0.00245, 1.23),
+    5_000: (39, 34_077, 0.0063, 1.26),
+    10_000: (67, 62_072, 0.0126, 1.26),
+    20_000: (113, 109_016, 0.025, 1.25),
+    50_000: (222, 218_539, 0.06048, 1.21),
+}
+
+#: Table 3's last experiment re-run with 100 and 1,000 buckets:
+#: paper bucket label -> (runs, rows, cutoff, ratio) at k = 50,000.
+TABLE3_K50000_BY_BUCKETS = {
+    10: (222, 218_539, 0.06048, 1.21),
+    100: (204, 200_161, 0.050803, 1.01),
+    1000: (202, 198_436, 0.050076, 1.0),
+}
+
+#: Table 4 (varying input size, 10-bucket histograms):
+#: input rows -> (runs, rows, cutoff, ideal, ratio).
+TABLE4 = {
+    6_000: (6, 5_900, 0.9, 0.833333, 1.08),
+    7_000: (7, 6_699, 0.8, 0.714286, 1.12),
+    10_000: (9, 8_332, 0.532978, 0.5, 1.06),
+    20_000: (13, 11_840, 0.288, 0.25, 1.15),
+    50_000: (19, 16_690, 0.116482, 0.1, 1.16),
+    100_000: (24, 20_627, 0.06174, 0.05, 1.23),
+    200_000: (28, 24_638, 0.0315, 0.025, 1.26),
+    500_000: (35, 30_008, 0.0126, 0.01, 1.26),
+    1_000_000: (39, 34_077, 0.0063, 0.005, 1.26),
+    2_000_000: (44, 38_188, 0.003175, 0.0025, 1.27),
+    5_000_000: (50, 43_565, 0.00126, 0.001, 1.26),
+    10_000_000: (55, 47_683, 0.000635, 0.0005, 1.27),
+    20_000_000: (60, 51_735, 0.000318, 0.00025, 1.27),
+    50_000_000: (66, 57_182, 0.000127, 0.0001, 1.27),
+    100_000_000: (71, 61_235, 0.000064, 0.00005, 1.28),
+}
+
+#: Table 5 (varying input size, minimal one-bucket histograms):
+#: input rows -> (runs, rows, cutoff, ideal, ratio).
+TABLE5 = {
+    6_000: (6, 6_000, 1.0, 0.833333, 1.2),
+    7_000: (7, 7_000, 1.0, 0.714286, 1.41),
+    10_000: (10, 9_500, 0.5, 0.5, 1.0),
+    20_000: (15, 14_500, 0.5, 0.25, 2.0),
+    50_000: (25, 24_000, 0.25, 0.1, 2.5),
+    100_000: (34, 32_250, 0.125, 0.05, 2.5),
+    200_000: (44, 41_125, 0.0625, 0.025, 2.5),
+    500_000: (56, 53_437, 0.03125, 0.01, 3.13),
+    1_000_000: (66, 62_781, 0.015625, 0.005, 3.13),
+    2_000_000: (76, 72_203, 0.007812, 0.0025, 3.13),
+    5_000_000: (90, 85_499, 0.003425, 0.001, 3.43),
+    10_000_000: (100, 94_999, 0.001773, 0.0005, 3.55),
+    20_000_000: (110, 104_500, 0.000903, 0.00025, 3.61),
+    50_000_000: (123, 116_209, 0.000244, 0.0001, 2.44),
+    100_000_000: (133, 125_708, 0.000122, 0.00005, 2.44),
+}
+
+
+@dataclass(frozen=True)
+class FigureShape:
+    """The qualitative claims a figure reproduction must match."""
+
+    figure: str
+    claim: str
+    max_speedup: float | None = None
+    max_spill_reduction: float | None = None
+
+
+#: Headline shapes per evaluation figure (Section 5).
+FIGURE_SHAPES = {
+    "figure2": FigureShape(
+        "Figure 2",
+        "≈1x while k fits in memory; up to ~11x for k well beyond memory; "
+        "declining again once k is a large fraction of the input; "
+        "distribution-insensitive",
+        max_speedup=11.0,
+    ),
+    "figure3": FigureShape(
+        "Figure 3",
+        "~1.1x at input ≈ 1.7*k rising to ~11x at input ≈ 66*k; "
+        "spill reduction up to ~13x; identical across distributions",
+        max_speedup=11.0,
+        max_spill_reduction=13.0,
+    ),
+    "figure4": FigureShape(
+        "Figure 4",
+        "even a 1-bucket histogram achieves up to ~6.6x; 5 buckets close "
+        "most of the gap to the 50-bucket default",
+        max_speedup=6.6,
+    ),
+    "figure5": FigureShape(
+        "Figure 5",
+        "0 buckets = no elimination (1x); diminishing returns past ~50 "
+        "buckets (<0.1x gained from 50 to 100)",
+    ),
+    "figure6": FigureShape(
+        "Figure 6",
+        "ours up to ~3x cheaper in GB*s; in-memory up to ~4x faster, only "
+        "~1.59x faster at the largest input",
+    ),
+    "overhead": FigureShape(
+        "Section 5.5",
+        "~3% overhead on an adversarial input that sharpens the filter "
+        "but never eliminates a row",
+    ),
+    "cliff": FigureShape(
+        "Section 5.2 (PostgreSQL)",
+        "an order-of-magnitude execution-time jump for the traditional "
+        "algorithm when k crosses the memory capacity; no cliff for ours",
+    ),
+}
+
+
+def paper_bucket_label_to_boundaries(label: int) -> int:
+    """Map the paper's '#Buckets' label to this library's boundary count.
+
+    Calibration against Tables 1/2/4/5 shows the paper's label counts the
+    *intervals* a run is divided into (label 10 = nine decile boundaries),
+    except label 1 which tracks the run median (one boundary).  Labels 0
+    and 1 map to themselves; any other label maps to ``label - 1``.
+    """
+    if label <= 1:
+        return label
+    return label - 1

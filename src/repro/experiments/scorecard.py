@@ -1,0 +1,231 @@
+"""Automated reproduction scorecard.
+
+Turns "does this repo reproduce the paper?" into a machine-checkable
+verdict: every cell of Tables 1-5 is compared against the published
+value under explicit tolerances, and every evaluation figure is reduced
+to the qualitative shape checks its section claims.  The CLI
+(``repro-experiments --scorecard``) prints the verdict and exits non-zero
+on any failure, making the reproduction CI-able.
+
+Tolerances: run counts exact (±1 where the paper's own arithmetic
+rounds); spilled rows ±0.5% (±10 rows); cutoff keys ±1% (the paper
+prints limited precision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analysis import simulate_uniform
+from repro.experiments import paper_data
+from repro.experiments.harness import QUICK_SCALE, Scale
+from repro.experiments.paper_data import paper_bucket_label_to_boundaries
+
+
+@dataclass
+class CellCheck:
+    """One measured-vs-paper cell."""
+
+    experiment: str
+    label: str
+    metric: str
+    measured: float | None
+    expected: float | None
+    passed: bool
+
+    def describe(self) -> str:
+        status = "ok " if self.passed else "FAIL"
+        return (f"[{status}] {self.experiment:<8} {self.label:<16} "
+                f"{self.metric:<8} measured={self.measured} "
+                f"expected={self.expected}")
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative figure-shape assertion."""
+
+    experiment: str
+    claim: str
+    passed: bool
+
+    def describe(self) -> str:
+        status = "ok " if self.passed else "FAIL"
+        return f"[{status}] {self.experiment:<10} {self.claim}"
+
+
+def _close(measured, expected, rel, abs_tol=0.0) -> bool:
+    if expected is None:
+        return measured is None
+    if measured is None:
+        return False
+    return abs(measured - expected) <= max(abs(expected) * rel, abs_tol)
+
+
+def _check_analysis_row(experiment: str, label: str, result,
+                        runs: int, rows: int, cutoff: float | None,
+                        runs_abs: int = 1) -> list[CellCheck]:
+    checks = [
+        CellCheck(experiment, label, "runs", result.runs, runs,
+                  abs(result.runs - runs) <= runs_abs),
+        CellCheck(experiment, label, "rows", result.rows_spilled, rows,
+                  _close(result.rows_spilled, rows, rel=0.005,
+                         abs_tol=10)),
+    ]
+    if cutoff is not None:
+        measured = result.effective_cutoff
+        checks.append(CellCheck(
+            experiment, label, "cutoff", measured, cutoff,
+            _close(measured, cutoff, rel=0.01)))
+    return checks
+
+
+def table_checks() -> list[CellCheck]:
+    """Every cell of Tables 2-5 plus the Table 1 headline."""
+    checks: list[CellCheck] = []
+
+    result = simulate_uniform(paper_data.TABLE1_INPUT, paper_data.TABLE1_K,
+                              paper_data.TABLE1_MEMORY, 9)
+    checks += _check_analysis_row("table1", "headline", result,
+                                  runs=39, rows=34_077, cutoff=0.0063)
+
+    for label, (runs, rows, cutoff, _ratio) in paper_data.TABLE2.items():
+        result = simulate_uniform(
+            paper_data.TABLE1_INPUT, paper_data.TABLE1_K,
+            paper_data.TABLE1_MEMORY,
+            paper_bucket_label_to_boundaries(label))
+        checks += _check_analysis_row("table2", f"B={label}", result,
+                                      runs, rows, cutoff)
+
+    for k, (runs, rows, cutoff, _ratio) in paper_data.TABLE3.items():
+        result = simulate_uniform(paper_data.TABLE1_INPUT, k,
+                                  paper_data.TABLE1_MEMORY, 9)
+        checks += _check_analysis_row("table3", f"k={k}", result,
+                                      runs, rows, cutoff)
+
+    for n, (runs, rows, cutoff, _ideal, _r) in paper_data.TABLE4.items():
+        result = simulate_uniform(n, paper_data.TABLE1_K,
+                                  paper_data.TABLE1_MEMORY, 9)
+        checks += _check_analysis_row("table4", f"N={n}", result,
+                                      runs, rows, cutoff)
+
+    for n, (runs, rows, cutoff, _ideal, _r) in paper_data.TABLE5.items():
+        result = simulate_uniform(n, paper_data.TABLE1_K,
+                                  paper_data.TABLE1_MEMORY, 1)
+        checks += _check_analysis_row("table5", f"N={n}", result,
+                                      runs, rows, cutoff)
+    return checks
+
+
+def figure_checks(scale: Scale = QUICK_SCALE) -> list[ShapeCheck]:
+    """The qualitative claims of Figures 2-6 and Sections 5.2/5.5."""
+    from repro.experiments import figures
+
+    checks: list[ShapeCheck] = []
+
+    points = figures.figure2(scale=scale, k_fractions=(0.0025, 0.015, 0.5))
+    uniform = [p for p in points if p.series == "uniform"]
+    checks.append(ShapeCheck(
+        "figure2", "parity while k fits in memory",
+        abs(uniform[0].speedup - 1.0) < 0.25))
+    checks.append(ShapeCheck(
+        "figure2", "large win in the sweet spot, declining at large k",
+        uniform[1].speedup > 2.0
+        and uniform[1].speedup > uniform[2].speedup))
+
+    points = figures.figure3(scale=scale)
+    by_series: dict[str, list] = {}
+    for point in points:
+        by_series.setdefault(point.series, []).append(point)
+    finals = {name: series[-1].speedup
+              for name, series in by_series.items()}
+    checks.append(ShapeCheck(
+        "figure3", "speedup grows with input size",
+        all(series[0].speedup < series[-1].speedup
+            for series in by_series.values())))
+    spread = max(finals.values()) / min(finals.values())
+    checks.append(ShapeCheck(
+        "figure3", "distribution-insensitive (spread < 1.5x)",
+        spread < 1.5))
+
+    points = figures.figure5(scale=scale, bucket_counts=(0, 1, 50, 100))
+    by_buckets = {p.x: p for p in points}
+    checks.append(ShapeCheck(
+        "figure5", "0 buckets filters nothing; 1 bucket already wins",
+        by_buckets[0].spill_reduction < by_buckets[1].spill_reduction))
+    gain = by_buckets[100].speedup - by_buckets[50].speedup
+    checks.append(ShapeCheck(
+        "figure5", "diminishing returns past 50 buckets",
+        gain < 0.35 * max(by_buckets[50].speedup, 1e-9)))
+
+    points = figures.figure6(scale=scale, input_multiples=(5, 200 / 3))
+    checks.append(ShapeCheck(
+        "figure6", "our cost advantage grows with input size",
+        points[0].extra["cost_improvement"]
+        < points[-1].extra["cost_improvement"]))
+    checks.append(ShapeCheck(
+        "figure6", "in-memory time advantage shrinks with input size",
+        points[0].extra["in_memory_time_advantage"]
+        > points[-1].extra["in_memory_time_advantage"]))
+
+    cliff = figures.cliff_experiment(scale=scale,
+                                     k_over_memory=(0.9, 1.5))
+    below, above = cliff
+    traditional_jump = (above.extra["traditional_seconds"]
+                        / max(below.extra["traditional_seconds"], 1e-12))
+    ours_jump = (above.extra["ours_seconds"]
+                 / max(below.extra["ours_seconds"], 1e-12))
+    checks.append(ShapeCheck(
+        "cliff", "traditional jumps >= 5x across the memory boundary",
+        traditional_jump >= 5.0))
+    checks.append(ShapeCheck(
+        "cliff", "ours degrades smoothly (jump well below traditional)",
+        ours_jump < traditional_jump / 2))
+
+    overhead = figures.overhead_experiment(scale=scale, repeats=3)
+    checks.append(ShapeCheck(
+        "overhead", "adversarial input eliminates nothing",
+        overhead["rows_eliminated_with_filter"] == 0))
+    checks.append(ShapeCheck(
+        "overhead", "filter overhead small (< 25% wall clock)",
+        overhead["overhead_fraction"] < 0.25))
+    return checks
+
+
+@dataclass
+class Scorecard:
+    """The full verdict."""
+
+    cells: list[CellCheck] = field(default_factory=list)
+    shapes: list[ShapeCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return (all(cell.passed for cell in self.cells)
+                and all(shape.passed for shape in self.shapes))
+
+    def render(self) -> str:
+        lines = ["reproduction scorecard", "=" * 60]
+        failed_cells = [cell for cell in self.cells if not cell.passed]
+        lines.append(f"table cells: {len(self.cells) - len(failed_cells)}"
+                     f"/{len(self.cells)} within tolerance")
+        for cell in failed_cells:
+            lines.append("  " + cell.describe())
+        failed_shapes = [s for s in self.shapes if not s.passed]
+        lines.append(f"figure shapes: "
+                     f"{len(self.shapes) - len(failed_shapes)}"
+                     f"/{len(self.shapes)} hold")
+        for shape in self.shapes:
+            lines.append("  " + shape.describe())
+        lines.append("=" * 60)
+        lines.append("VERDICT: " + ("REPRODUCED" if self.passed
+                                    else "DEVIATIONS FOUND"))
+        return "\n".join(lines)
+
+
+def run_scorecard(scale: Scale = QUICK_SCALE,
+                  include_figures: bool = True) -> Scorecard:
+    """Run all checks and return the scorecard."""
+    return Scorecard(
+        cells=table_checks(),
+        shapes=figure_checks(scale) if include_figures else [],
+    )

@@ -1,0 +1,171 @@
+"""Drivers regenerating the paper's analysis tables (Section 3.2).
+
+Each ``tableN()`` function runs the deterministic analysis simulator at the
+paper's full sizes and returns structured rows; ``render_tableN`` produces
+the paper-style text table with measured-vs-paper columns.  Everything here
+is exact arithmetic over the expected-value model, so results are
+deterministic and fast even for the 100-million-row experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import AnalysisResult, simulate_uniform
+from repro.experiments import paper_data
+from repro.experiments.paper_data import paper_bucket_label_to_boundaries
+
+
+@dataclass
+class TableRow:
+    """One measured row plus the paper's published values (if any)."""
+
+    label: str
+    measured: AnalysisResult
+    paper_runs: int | None = None
+    paper_rows: int | None = None
+    paper_cutoff: float | None = None
+
+    @property
+    def runs_delta(self) -> int | None:
+        if self.paper_runs is None:
+            return None
+        return self.measured.runs - self.paper_runs
+
+    @property
+    def rows_delta(self) -> int | None:
+        if self.paper_rows is None:
+            return None
+        return self.measured.rows_spilled - self.paper_rows
+
+
+# -- Table 1 --------------------------------------------------------------
+
+def table1() -> AnalysisResult:
+    """The Table 1 trace: per-run cutoffs and decile keys."""
+    return simulate_uniform(
+        paper_data.TABLE1_INPUT,
+        paper_data.TABLE1_K,
+        paper_data.TABLE1_MEMORY,
+        buckets_per_run=9,
+        keep_traces=True,
+    )
+
+
+def render_table1(result: AnalysisResult | None = None) -> str:
+    """Render the Table 1 trace (all runs, paper-style columns)."""
+    result = result or table1()
+    header = (f"{'Run':>4} {'Remaining':>11} {'Cutoff':>10} "
+              + " ".join(f"{f'{d}0%':>9}" for d in range(1, 10)))
+    lines = [header, "-" * len(header)]
+    for trace in result.traces:
+        cutoff = ("-" if trace.cutoff_before is None
+                  else f"{trace.cutoff_before:.6g}")
+        deciles = " ".join(
+            f"{key:>9.6g}" if key is not None else f"{'':>9}"
+            for key in trace.boundary_keys)
+        lines.append(f"{trace.run_index:>4} {trace.remaining_before:>11,} "
+                     f"{cutoff:>10} {deciles}")
+    lines.append(f"total runs={result.runs} rows spilled="
+                 f"{result.rows_spilled:,} final cutoff="
+                 f"{result.final_cutoff:.6g}")
+    return "\n".join(lines)
+
+
+# -- Tables 2-5 -------------------------------------------------------------
+
+def table2() -> list[TableRow]:
+    """Varying histogram size (paper labels 0..1000)."""
+    rows = []
+    for label, (runs, spilled, cutoff, _ratio) in paper_data.TABLE2.items():
+        if label == 0:
+            # No histogram: the algorithm sorts the entire input; the
+            # simulator models it directly with zero buckets.
+            measured = simulate_uniform(
+                paper_data.TABLE1_INPUT, paper_data.TABLE1_K,
+                paper_data.TABLE1_MEMORY, buckets_per_run=0)
+        else:
+            measured = simulate_uniform(
+                paper_data.TABLE1_INPUT, paper_data.TABLE1_K,
+                paper_data.TABLE1_MEMORY,
+                buckets_per_run=paper_bucket_label_to_boundaries(label))
+        rows.append(TableRow(label=str(label), measured=measured,
+                             paper_runs=runs, paper_rows=spilled,
+                             paper_cutoff=cutoff))
+    return rows
+
+
+def table3() -> list[TableRow]:
+    """Varying output size (k), plus the 3-histogram k=50,000 variants."""
+    rows = []
+    for k, (runs, spilled, cutoff, _ratio) in paper_data.TABLE3.items():
+        measured = simulate_uniform(
+            paper_data.TABLE1_INPUT, k, paper_data.TABLE1_MEMORY,
+            buckets_per_run=9)
+        rows.append(TableRow(label=f"k={k}", measured=measured,
+                             paper_runs=runs, paper_rows=spilled,
+                             paper_cutoff=cutoff))
+    for label, (runs, spilled, cutoff, _ratio) \
+            in paper_data.TABLE3_K50000_BY_BUCKETS.items():
+        if label == 10:
+            continue  # already measured above
+        measured = simulate_uniform(
+            paper_data.TABLE1_INPUT, 50_000, paper_data.TABLE1_MEMORY,
+            buckets_per_run=paper_bucket_label_to_boundaries(label))
+        rows.append(TableRow(label=f"k=50000/B={label}", measured=measured,
+                             paper_runs=runs, paper_rows=spilled,
+                             paper_cutoff=cutoff))
+    return rows
+
+
+def _input_size_sweep(paper_table: dict, buckets_per_run: int,
+                      max_input: int | None = None) -> list[TableRow]:
+    rows = []
+    for input_rows, values in paper_table.items():
+        if max_input is not None and input_rows > max_input:
+            continue
+        runs, spilled, cutoff = values[0], values[1], values[2]
+        measured = simulate_uniform(
+            input_rows, paper_data.TABLE1_K, paper_data.TABLE1_MEMORY,
+            buckets_per_run=buckets_per_run)
+        rows.append(TableRow(label=f"N={input_rows}", measured=measured,
+                             paper_runs=runs, paper_rows=spilled,
+                             paper_cutoff=cutoff))
+    return rows
+
+
+def table4(max_input: int | None = None) -> list[TableRow]:
+    """Varying input size with the default (decile) histograms."""
+    return _input_size_sweep(paper_data.TABLE4, buckets_per_run=9,
+                             max_input=max_input)
+
+
+def table5(max_input: int | None = None) -> list[TableRow]:
+    """Varying input size with minimal (median-only) histograms."""
+    return _input_size_sweep(paper_data.TABLE5, buckets_per_run=1,
+                             max_input=max_input)
+
+
+def render_table(rows: list[TableRow], title: str) -> str:
+    """Paper-style rendering with measured-vs-paper deltas."""
+    header = (f"{'Label':>16} | {'Runs':>5} {'(paper)':>8} | "
+              f"{'Rows':>11} {'(paper)':>11} | {'Cutoff':>10} "
+              f"{'(paper)':>10} | {'Ratio':>6}")
+    lines = [title, header, "-" * len(header)]
+    for row in rows:
+        measured = row.measured
+        cutoff = ("-" if measured.final_cutoff is None
+                  else f"{measured.final_cutoff:.6g}")
+        paper_cutoff = ("-" if row.paper_cutoff is None
+                        else f"{row.paper_cutoff:.6g}")
+        ratio = ("-" if measured.cutoff_ratio is None
+                 else f"{measured.cutoff_ratio:.2f}")
+        paper_runs = ("-" if row.paper_runs is None
+                      else str(row.paper_runs))
+        paper_rows = ("-" if row.paper_rows is None
+                      else f"{row.paper_rows:,}")
+        lines.append(
+            f"{row.label:>16} | {measured.runs:>5} {paper_runs:>8} | "
+            f"{measured.rows_spilled:>11,} {paper_rows:>11} | "
+            f"{cutoff:>10} {paper_cutoff:>10} | {ratio:>6}")
+    return "\n".join(lines)

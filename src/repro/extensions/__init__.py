@@ -1,0 +1,30 @@
+"""Section 4 extensions: paging, segments, groups, parallelism, approximation."""
+
+from repro.extensions.approximate import (
+    ApproximateTopK,
+    quantize_size_down,
+    quantized_sink,
+)
+from repro.extensions.exchange import (
+    ExchangeStats,
+    ExchangeTopK,
+    ProducerNode,
+)
+from repro.extensions.grouped import GroupedTopK
+from repro.extensions.offset import Paginator
+from repro.extensions.parallel import ParallelTopK, SharedCutoffFilter
+from repro.extensions.segmented import SegmentedTopK
+
+__all__ = [
+    "Paginator",
+    "SegmentedTopK",
+    "GroupedTopK",
+    "ParallelTopK",
+    "SharedCutoffFilter",
+    "ExchangeTopK",
+    "ExchangeStats",
+    "ProducerNode",
+    "ApproximateTopK",
+    "quantize_size_down",
+    "quantized_sink",
+]

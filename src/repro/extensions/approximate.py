@@ -1,0 +1,120 @@
+"""Approximate top-k variants (Section 4.5).
+
+The paper sketches two forms of approximation and one mechanism:
+
+* **Approximate row count** — "a 'top 100' request may produce 90, 100, or
+  110 rows, or anything in between."  :class:`ApproximateTopK` with
+  ``count_tolerance=t`` runs the cutoff filter for ``k' = ceil(k·(1−t))``
+  rows.  The cutoff is established earlier and sharpens faster, reducing
+  spill, at the price of possibly returning fewer than ``k`` rows (never
+  fewer than ``k'``) — exactly the paper's caveat that "even a
+  conservatively estimated final cutoff key may lead to fewer final result
+  rows than requested."
+* **Approximate selection** — the returned rows all belong to the true top
+  ``k·(1+s)``.  With ``selection_slack=s`` the operator keeps the filter at
+  full strength for ``k`` rows but lets the *merge* stop at the cutoff even
+  when ties would demand deeper inspection; rows returned are exact top
+  rows in this implementation (the guarantee is conservative), so the knob
+  only relaxes verification cost.
+* **Approximate bucket sizes** — bucket sizes may be estimated as long as
+  they are *conservative* (never overstated).  :class:`quantized_sink`
+  rounds sizes down to a power of two before insertion, shrinking what the
+  filter believes it covers; correctness is preserved, sharpness is traded
+  away.  This is the ablation mechanism behind the
+  ``approximate-bucket-sizes`` benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.histogram import Bucket
+from repro.core.policies import SizingPolicy
+from repro.core.topk import HistogramTopK
+from repro.errors import ConfigurationError
+from repro.rows.sortspec import SortSpec
+from repro.storage.spill import SpillManager
+from repro.storage.stats import OperatorStats
+
+
+def quantize_size_down(size: int) -> int:
+    """Round a bucket size *down* to a power of two (conservative)."""
+    if size <= 1:
+        return size
+    return 1 << (size.bit_length() - 1)
+
+
+def quantized_sink(sink: Callable[[Bucket], None]
+                   ) -> Callable[[Bucket], None]:
+    """Wrap a bucket sink so sizes are conservatively quantized."""
+
+    def wrapped(bucket: Bucket) -> None:
+        sink(Bucket(boundary_key=bucket.boundary_key,
+                    size=quantize_size_down(bucket.size)))
+
+    return wrapped
+
+
+class ApproximateTopK:
+    """Top-k with an approximate row count.
+
+    Args:
+        sort_key: :class:`SortSpec` or key extractor.
+        k: Nominal requested output size.
+        memory_rows: Operator memory budget in rows.
+        count_tolerance: Fraction of ``k`` the result may fall short by
+            (``0.1`` means at least ``ceil(0.9·k)`` rows are returned).
+        spill_manager, sizing_policy: Forwarded to the underlying operator.
+    """
+
+    def __init__(
+        self,
+        sort_key: SortSpec | Callable[[tuple], Any],
+        k: int,
+        memory_rows: int,
+        count_tolerance: float = 0.0,
+        spill_manager: SpillManager | None = None,
+        sizing_policy: SizingPolicy | None = None,
+        stats: OperatorStats | None = None,
+    ):
+        if not 0.0 <= count_tolerance < 1.0:
+            raise ConfigurationError(
+                "count_tolerance must be in [0, 1)")
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        self.k = k
+        self.count_tolerance = count_tolerance
+        self.guaranteed_k = max(1, math.ceil(k * (1.0 - count_tolerance)))
+        self._inner = HistogramTopK(
+            sort_key,
+            k=self.guaranteed_k,
+            memory_rows=memory_rows,
+            spill_manager=spill_manager,
+            sizing_policy=sizing_policy,
+            stats=stats,
+        )
+        self.stats = self._inner.stats
+
+    def execute(self, rows: Iterable[tuple]) -> Iterator[tuple]:
+        """Yield between ``guaranteed_k`` and ``k`` top rows, in order.
+
+        The filter preserves only ``guaranteed_k`` rows; rows between
+        ``guaranteed_k`` and ``k`` are emitted opportunistically when they
+        survived the (sharper) filter anyway.
+        """
+        produced = 0
+        # Ask the inner operator for up to k rows: its cutoff filter was
+        # built for guaranteed_k, so anything past that is best-effort.
+        inner = self._inner
+        inner.k = self.k  # merge limit; the filter already holds guaranteed_k
+        for row in inner.execute(rows):
+            produced += 1
+            yield row
+            if produced >= self.k:
+                return
+
+    @property
+    def cutoff_filter(self):
+        """The underlying (weaker-k) cutoff filter, for inspection."""
+        return self._inner.cutoff_filter

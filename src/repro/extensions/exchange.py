@@ -1,0 +1,230 @@
+"""Distributed top-k over a data exchange (Section 4.4, second design).
+
+"An alternative approach puts the sort and top logic on the consumer side
+of the data exchange and the filtering on the producer side.  The
+producers ship to the consumers full data packets and the consumers send
+to the producers flow control packets containing the current cutoff key.
+This alternative implementation approach promises less development effort
+but probably also suffers from lower effectiveness than sharing histogram
+priority queues."
+
+This module simulates that architecture explicitly: producer nodes hold
+partitions of the input and filter rows against the *last cutoff key they
+received*; the single consumer node runs the full histogram top-k (run
+generation + cutoff filter) and piggybacks a flow-control packet back
+every ``flow_control_interval`` data packets.  Network traffic (packets
+and rows shipped) is metered, making the paper's "lower effectiveness"
+claim measurable: longer flow-control intervals ship more rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.cutoff import CutoffFilter
+from repro.core.histogram import RunHistogramBuilder
+from repro.core.policies import SizingPolicy, TargetBucketsPolicy
+from repro.errors import ConfigurationError
+from repro.rows.sortspec import SortSpec
+from repro.sorting.merge import Merger
+from repro.sorting.replacement_selection import (
+    ReplacementSelectionRunGenerator,
+)
+from repro.storage.spill import SpillManager
+from repro.storage.stats import OperatorStats
+
+
+@dataclass
+class ExchangeStats:
+    """Network traffic counters for one exchange execution."""
+
+    data_packets: int = 0
+    rows_shipped: int = 0
+    flow_control_packets: int = 0
+    rows_filtered_at_producers: int = 0
+
+    @property
+    def shipping_fraction(self) -> float:
+        """Fraction of produced rows that actually crossed the network."""
+        total = self.rows_shipped + self.rows_filtered_at_producers
+        if total == 0:
+            return 0.0
+        return self.rows_shipped / total
+
+
+class ProducerNode:
+    """One producer: a partition of the input plus a stale local cutoff."""
+
+    def __init__(self, producer_id: int, partition: Iterator[tuple],
+                 sort_key: Callable[[tuple], Any],
+                 stats: ExchangeStats):
+        self.producer_id = producer_id
+        self._partition = partition
+        self._sort_key = sort_key
+        self._stats = stats
+        self._local_cutoff: Any = None
+        self.exhausted = False
+
+    def receive_flow_control(self, cutoff_key: Any) -> None:
+        """Apply a flow-control packet (a fresher cutoff key)."""
+        self._stats.flow_control_packets += 1
+        if cutoff_key is not None:
+            if self._local_cutoff is None or cutoff_key < self._local_cutoff:
+                self._local_cutoff = cutoff_key
+
+    def produce_packet(self, packet_rows: int) -> list[tuple]:
+        """Fill one data packet, filtering with the local cutoff."""
+        packet: list[tuple] = []
+        while len(packet) < packet_rows:
+            row = next(self._partition, None)
+            if row is None:
+                self.exhausted = True
+                break
+            if (self._local_cutoff is not None
+                    and self._sort_key(row) > self._local_cutoff):
+                self._stats.rows_filtered_at_producers += 1
+                continue
+            packet.append(row)
+        if packet:
+            self._stats.data_packets += 1
+            self._stats.rows_shipped += len(packet)
+        return packet
+
+
+class _ConsumerNode:
+    """The consumer: incremental histogram top-k over arriving packets."""
+
+    def __init__(self, sort_key, k: int, memory_rows: int,
+                 spill_manager: SpillManager,
+                 sizing_policy: SizingPolicy,
+                 stats: OperatorStats):
+        self.cutoff_filter = CutoffFilter(k=k)
+        self._sort_key = sort_key
+        self._stats = stats
+        builder = RunHistogramBuilder(
+            policy=sizing_policy,
+            expected_run_rows=min(2 * memory_rows, k),
+            sink=self.cutoff_filter.insert,
+        )
+        self._generator = ReplacementSelectionRunGenerator(
+            sort_key=sort_key,
+            memory_rows=memory_rows,
+            spill_manager=spill_manager,
+            run_size_limit=k,
+            spill_filter=self.cutoff_filter.eliminate,
+            on_spill=lambda key, _row: builder.add(key),
+            on_run_closed=lambda _run: builder.close(),
+            stats=stats,
+        )
+
+    def consume_packet(self, packet: list[tuple]) -> None:
+        admitted = []
+        for row in packet:
+            self._stats.rows_consumed += 1
+            self._stats.cutoff_comparisons += 1
+            if self.cutoff_filter.eliminate(self._sort_key(row)):
+                self._stats.rows_eliminated_on_arrival += 1
+                continue
+            admitted.append(row)
+        self._generator.consume(admitted)
+
+    def finish(self):
+        return self._generator.finish()
+
+
+class ExchangeTopK:
+    """Top-k across an exchange: producer-side filtering via flow control.
+
+    Args:
+        sort_key: :class:`SortSpec` or key extractor.
+        k: Requested output size.
+        memory_rows: Consumer memory budget in rows.
+        producers: Number of producer nodes (input is dealt round-robin
+            into per-producer partitions as it streams).
+        packet_rows: Rows per data packet.
+        flow_control_interval: Send a flow-control packet back to a
+            producer after each of its ``interval`` data packets; larger
+            intervals = staler producer cutoffs = more rows shipped.
+    """
+
+    def __init__(
+        self,
+        sort_key: SortSpec | Callable[[tuple], Any],
+        k: int,
+        memory_rows: int,
+        producers: int = 4,
+        packet_rows: int = 512,
+        flow_control_interval: int = 1,
+        spill_manager: SpillManager | None = None,
+        sizing_policy: SizingPolicy | None = None,
+    ):
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        if producers <= 0:
+            raise ConfigurationError("producers must be positive")
+        if packet_rows <= 0:
+            raise ConfigurationError("packet_rows must be positive")
+        if flow_control_interval <= 0:
+            raise ConfigurationError(
+                "flow_control_interval must be positive")
+        self.sort_key = (sort_key.key if isinstance(sort_key, SortSpec)
+                         else sort_key)
+        self.k = k
+        self.memory_rows = memory_rows
+        self.producers = producers
+        self.packet_rows = packet_rows
+        self.flow_control_interval = flow_control_interval
+        self.spill_manager = spill_manager or SpillManager()
+        self.sizing_policy = sizing_policy or TargetBucketsPolicy(capped=False)
+        self.stats = OperatorStats()
+        self.stats.io = self.spill_manager.stats
+        self.exchange_stats = ExchangeStats()
+
+    def _partitions(self, rows: Iterator[tuple]) -> list[Iterator[tuple]]:
+        """Deal the input round-robin into producer partitions, lazily."""
+        import itertools
+
+        streams = itertools.tee(rows, self.producers)
+        return [itertools.islice(stream, index, None, self.producers)
+                for index, stream in enumerate(streams)]
+
+    def execute(self, rows: Iterable[tuple]) -> Iterator[tuple]:
+        """Run the exchange and yield the global top k rows in order."""
+        partitions = self._partitions(iter(rows))
+        producer_nodes = [
+            ProducerNode(index, partition, self.sort_key,
+                         self.exchange_stats)
+            for index, partition in enumerate(partitions)
+        ]
+        consumer = _ConsumerNode(
+            self.sort_key, self.k, self.memory_rows,
+            self.spill_manager, self.sizing_policy, self.stats)
+
+        packets_since_flow = dict.fromkeys(range(self.producers), 0)
+        active = list(producer_nodes)
+        while active:
+            for producer in list(active):
+                packet = producer.produce_packet(self.packet_rows)
+                if packet:
+                    consumer.consume_packet(packet)
+                    packets_since_flow[producer.producer_id] += 1
+                    if (packets_since_flow[producer.producer_id]
+                            >= self.flow_control_interval):
+                        producer.receive_flow_control(
+                            consumer.cutoff_filter.cutoff_key)
+                        packets_since_flow[producer.producer_id] = 0
+                if producer.exhausted:
+                    active.remove(producer)
+
+        runs = consumer.finish()
+        merger = Merger(self.sort_key, spill_manager=self.spill_manager)
+        for row in merger.merge_topk(
+                runs, self.k, cutoff=consumer.cutoff_filter.cutoff_key):
+            self.stats.rows_output += 1
+            yield row
+
+    @property
+    def rows_shipped(self) -> int:
+        """Rows that crossed the exchange network."""
+        return self.exchange_stats.rows_shipped

@@ -1,0 +1,193 @@
+"""Grouped top-k: the top rows *within each group* (Section 4.3).
+
+Example: "the 10 million most active customers from each country".  The
+principal difficulty is bookkeeping: instead of a single cutoff key, the
+operator tracks one histogram priority queue and one cutoff key per group.
+Rows are eliminated on arrival / at spill against **their own group's**
+filter; groups too small to ever exceed ``k`` rows simply never establish a
+cutoff.
+
+Implementation notes:
+
+* Run generation is shared: one replacement-selection generator sorted on
+  the composite key ``(group, sort key)``, so each run is clustered by
+  group and the merge produces group-contiguous output.
+* Histograms are built per group from each run's spilled rows; per the
+  paper, bucket sizing is decided independently per group (small groups
+  get what they get — a partial tail bucket is discarded as usual).
+* The final merge emits at most ``k`` rows per group and skips rows of
+  groups that are already complete.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Iterator
+
+from repro.core.cutoff import CutoffFilter
+from repro.core.histogram import RunHistogramBuilder
+from repro.core.policies import SizingPolicy, TargetBucketsPolicy
+from repro.errors import ConfigurationError
+from repro.rows.sortspec import SortSpec
+from repro.sorting.merge import Merger
+from repro.sorting.replacement_selection import (
+    ReplacementSelectionRunGenerator,
+)
+from repro.storage.spill import SpillManager
+from repro.storage.stats import OperatorStats
+
+
+class GroupedTopK:
+    """Top-k within each group of an unsorted, ungrouped input stream.
+
+    Args:
+        group_key: Callable extracting a hashable group identifier.
+        sort_key: :class:`SortSpec` or key extractor for the in-group order.
+        k: Rows to keep per group.
+        memory_rows: Shared memory budget in rows.
+        spill_manager: Secondary-storage substrate (private one if omitted).
+        sizing_policy: Per-group histogram sizing (stride derived from the
+            memory capacity; the per-group builder simply sees fewer rows).
+    """
+
+    def __init__(
+        self,
+        group_key: Callable[[tuple], Hashable],
+        sort_key: SortSpec | Callable[[tuple], Any],
+        k: int,
+        memory_rows: int,
+        spill_manager: SpillManager | None = None,
+        sizing_policy: SizingPolicy | None = None,
+        stats: OperatorStats | None = None,
+    ):
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        if memory_rows <= 0:
+            raise ConfigurationError("memory_rows must be positive")
+        self.group_key = group_key
+        self.value_key = (sort_key.key if isinstance(sort_key, SortSpec)
+                          else sort_key)
+        self.k = k
+        self.memory_rows = memory_rows
+        self.spill_manager = spill_manager or SpillManager()
+        self.sizing_policy = sizing_policy or TargetBucketsPolicy(capped=False)
+        self.stats = stats or OperatorStats()
+        self.stats.io = self.spill_manager.stats
+        self._filters: dict[Hashable, CutoffFilter] = {}
+        self._builders: dict[Hashable, RunHistogramBuilder] = {}
+
+    # -- per-group filter plumbing ---------------------------------------------
+
+    def _filter_for(self, group: Hashable) -> CutoffFilter:
+        cutoff_filter = self._filters.get(group)
+        if cutoff_filter is None:
+            cutoff_filter = CutoffFilter(k=self.k)
+            self._filters[group] = cutoff_filter
+        return cutoff_filter
+
+    def _builder_for(self, group: Hashable) -> RunHistogramBuilder:
+        builder = self._builders.get(group)
+        if builder is None:
+            builder = RunHistogramBuilder(
+                policy=self.sizing_policy,
+                expected_run_rows=self.memory_rows,
+                sink=self._filter_for(group).insert,
+            )
+            self._builders[group] = builder
+        return builder
+
+    def _composite_key(self, row: tuple) -> tuple:
+        group = self.group_key(row)
+        return (_group_orderable(group), self.value_key(row))
+
+    def _spill_filter(self, composite: tuple) -> bool:
+        group_token, value = composite
+        cutoff_filter = self._filters.get(group_token.group)
+        if cutoff_filter is None:
+            return False
+        return cutoff_filter.eliminate(value)
+
+    def _on_spill(self, composite: tuple, _row: tuple) -> None:
+        group_token, value = composite
+        self._builder_for(group_token.group).add(value)
+
+    def _on_run_closed(self, _run) -> None:
+        for builder in self._builders.values():
+            builder.close()
+
+    # -- execution ----------------------------------------------------------------
+
+    def cutoff_key(self, group: Hashable) -> Any:
+        """The current cutoff key of ``group`` (``None`` if none)."""
+        cutoff_filter = self._filters.get(group)
+        return cutoff_filter.cutoff_key if cutoff_filter else None
+
+    def execute(self, rows: Iterable[tuple]) -> Iterator[tuple[Hashable, tuple]]:
+        """Yield ``(group, row)`` pairs: up to k rows per group, grouped
+        and in sort order within each group."""
+        stats = self.stats
+        generator = ReplacementSelectionRunGenerator(
+            sort_key=self._composite_key,
+            memory_rows=self.memory_rows,
+            spill_manager=self.spill_manager,
+            spill_filter=self._spill_filter,
+            on_spill=self._on_spill,
+            on_run_closed=self._on_run_closed,
+            stats=stats,
+        )
+
+        def admitted(stream: Iterable[tuple]) -> Iterator[tuple]:
+            for row in stream:
+                stats.rows_consumed += 1
+                group = self.group_key(row)
+                cutoff_filter = self._filters.get(group)
+                if cutoff_filter is not None:
+                    stats.cutoff_comparisons += 1
+                    if cutoff_filter.eliminate(self.value_key(row)):
+                        stats.rows_eliminated_on_arrival += 1
+                        continue
+                yield row
+
+        runs = generator.generate(admitted(rows))
+        merger = Merger(sort_key=self._composite_key,
+                        spill_manager=self.spill_manager)
+        produced: dict[Hashable, int] = {}
+        for row in merger.merge_topk(runs, k=None):
+            group = self.group_key(row)
+            count = produced.get(group, 0)
+            if count >= self.k:
+                continue
+            produced[group] = count + 1
+            stats.rows_output += 1
+            yield group, row
+
+
+class _group_orderable:
+    """Wraps arbitrary hashable groups so heterogeneous ones still sort.
+
+    Groups are ordered by ``(type name, repr)`` when direct comparison
+    fails, which only needs to be *consistent*, not meaningful: grouping
+    correctness never depends on which group sorts first.
+    """
+
+    __slots__ = ("group",)
+
+    def __init__(self, group: Hashable):
+        self.group = group
+
+    def __lt__(self, other: "_group_orderable") -> bool:
+        try:
+            return self.group < other.group
+        except TypeError:
+            mine = (type(self.group).__name__, repr(self.group))
+            theirs = (type(other.group).__name__, repr(other.group))
+            return mine < theirs
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, _group_orderable)
+                and self.group == other.group)
+
+    def __hash__(self) -> int:
+        return hash(self.group)
+
+    def __repr__(self) -> str:
+        return f"_group_orderable({self.group!r})"

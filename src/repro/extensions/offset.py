@@ -1,0 +1,138 @@
+"""Pause-and-resume paging: LIMIT + OFFSET support (Sections 2.7 and 4.1).
+
+Query engines present results one screenful at a time: page *p* is
+``LIMIT k OFFSET p*k``.  Re-running the whole top-k pipeline per page would
+re-consume and re-sort the input every time; the paper notes that the
+histogram algorithm supports offsets effectively because (a) the cutoff
+filter simply preserves ``offset + k`` rows, and (b) once runs exist, the
+combined histogram bounds where in the merge a page begins.
+
+:class:`Paginator` implements the practical version of this: the first page
+runs the histogram top-k once for several pages' worth of rows, *retains the
+sorted runs*, and serves subsequent pages by merging the retained runs with
+a new offset — no input re-scan, no re-sort.  Pages beyond the prefetched
+horizon trigger one re-execution with a doubled horizon (the input factory
+must be replayable, as registered tables are).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.policies import SizingPolicy
+from repro.core.topk import HistogramTopK
+from repro.errors import ConfigurationError
+from repro.rows.sortspec import SortSpec
+from repro.sorting.merge import Merger
+from repro.storage.spill import SpillManager
+from repro.storage.stats import OperatorStats
+
+
+class Paginator:
+    """Serves successive top-k pages without re-sorting the input.
+
+    Args:
+        make_input: Zero-argument factory returning a fresh input iterator.
+        sort_key: :class:`SortSpec` or key extractor.
+        page_size: Rows per page (the per-page ``LIMIT``).
+        memory_rows: Operator memory budget in rows.
+        prefetch_pages: How many pages the first execution prepares for.
+        spill_manager: Optional shared spill substrate.
+        sizing_policy: Optional histogram sizing policy.
+    """
+
+    def __init__(
+        self,
+        make_input: Callable[[], Iterable[tuple]],
+        sort_key: SortSpec | Callable[[tuple], Any],
+        page_size: int,
+        memory_rows: int,
+        prefetch_pages: int = 4,
+        spill_manager: SpillManager | None = None,
+        sizing_policy: SizingPolicy | None = None,
+    ):
+        if page_size <= 0:
+            raise ConfigurationError("page_size must be positive")
+        if prefetch_pages <= 0:
+            raise ConfigurationError("prefetch_pages must be positive")
+        self._make_input = make_input
+        self._sort_key = (sort_key.key if isinstance(sort_key, SortSpec)
+                          else sort_key)
+        self.page_size = page_size
+        self.memory_rows = memory_rows
+        self.prefetch_pages = prefetch_pages
+        self._sizing_policy = sizing_policy
+        self._spill_manager = spill_manager or SpillManager()
+        self.stats = OperatorStats()
+        self._operator: HistogramTopK | None = None
+        self._covered_rows = 0
+        self._in_memory_result: list[tuple] | None = None
+        self.executions = 0
+
+    # -- internals -------------------------------------------------------------
+
+    def _ensure_coverage(self, rows_needed: int) -> None:
+        """(Re-)execute the top-k pipeline if the horizon is exceeded."""
+        if rows_needed <= self._covered_rows:
+            return
+        horizon = max(rows_needed, self.prefetch_pages * self.page_size)
+        operator = HistogramTopK(
+            self._sort_key,
+            k=horizon,
+            memory_rows=self.memory_rows,
+            spill_manager=self._spill_manager,
+            sizing_policy=self._sizing_policy,
+            build_rank_index=True,
+            stats=self.stats,
+        )
+        self.executions += 1
+        result = list(operator.execute(self._make_input()))
+        if operator.runs:
+            # Retained runs cover the horizon; pages merge from them and
+            # the materialized first result is dropped.
+            self._in_memory_result = None
+        else:
+            # Pure in-memory execution (small input or output fits): the
+            # materialized result *is* the coverage.
+            self._in_memory_result = result
+        self._operator = operator
+        self._covered_rows = horizon
+        if len(result) < horizon:
+            # The input is exhausted below the horizon: coverage is total,
+            # and deeper pages are simply short or empty.
+            self._covered_rows = float("inf")
+
+    # -- public API ------------------------------------------------------------
+
+    def page(self, page_number: int) -> list[tuple]:
+        """Return page ``page_number`` (0-based) in sort order.
+
+        A short (or empty) page means the input was exhausted.
+        """
+        if page_number < 0:
+            raise ConfigurationError("page_number must be non-negative")
+        offset = page_number * self.page_size
+        self._ensure_coverage(offset + self.page_size)
+        if self._in_memory_result is not None:
+            return self._in_memory_result[offset:offset + self.page_size]
+        assert self._operator is not None
+        merger = Merger(self._sort_key,
+                        spill_manager=self._spill_manager)
+        return list(merger.merge_topk(
+            self._operator.runs,
+            self.page_size,
+            offset=offset,
+            rank_index=self._operator.rank_index,
+        ))
+
+    def pages(self) -> Iterator[list[tuple]]:
+        """Iterate pages until the input is exhausted."""
+        number = 0
+        while True:
+            page = self.page(number)
+            if not page:
+                return
+            yield page
+            if len(page) < self.page_size:
+                return
+            number += 1

@@ -1,0 +1,254 @@
+"""Parallel top-k with shared or exchanged cutoff keys (Section 4.4).
+
+Two designs from the paper:
+
+* **Shared filter** — worker threads in one address space share a single
+  histogram priority queue (here a lock-protected
+  :class:`~repro.core.cutoff.CutoffFilter`).  "Such a group of threads
+  retains basically the same number of input rows as a single thread."
+* **Cutoff exchange** — producers and the consumer live in different
+  address spaces; producers filter with the *last cutoff key they were
+  sent* (flow-control packets), which is cheaper to build but retains more
+  rows.  Modeled by refreshing each worker's local cutoff copy only every
+  ``exchange_interval_rows`` rows.
+
+Each worker runs its own replacement-selection run generation over its
+partition of the input; the final result merges every worker's runs.  The
+Python GIL means threads add no CPU parallelism here, but the *filtering
+behavior* — the paper's subject — is identical to a truly parallel
+execution, and all spill accounting is real.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.cutoff import CutoffFilter
+from repro.core.histogram import Bucket, RunHistogramBuilder
+from repro.core.policies import SizingPolicy, TargetBucketsPolicy
+from repro.errors import ConfigurationError
+from repro.rows.sortspec import SortSpec
+from repro.sorting.merge import Merger
+from repro.sorting.replacement_selection import (
+    ReplacementSelectionRunGenerator,
+)
+from repro.storage.spill import SpillManager
+from repro.storage.stats import OperatorStats
+
+
+class SharedCutoffFilter:
+    """A lock-protected cutoff filter shared by worker threads."""
+
+    def __init__(self, k: int, bucket_capacity: int | None = None):
+        self._filter = CutoffFilter(k=k, bucket_capacity=bucket_capacity)
+        self._lock = threading.Lock()
+
+    def insert(self, bucket: Bucket) -> None:
+        with self._lock:
+            self._filter.insert(bucket)
+
+    def eliminate(self, key: Any) -> bool:
+        with self._lock:
+            return self._filter.eliminate(key)
+
+    @property
+    def cutoff_key(self) -> Any:
+        with self._lock:
+            return self._filter.cutoff_key
+
+    @property
+    def stats(self):
+        return self._filter.stats
+
+
+class _Worker:
+    """One parallel participant: partition consumer + run generator."""
+
+    def __init__(
+        self,
+        index: int,
+        parent: "ParallelTopK",
+        shared_filter: SharedCutoffFilter,
+    ):
+        self.index = index
+        self.parent = parent
+        self.shared = shared_filter
+        # Each worker owns its spill manager so concurrent run writes never
+        # contend; counters are aggregated after the join.
+        self.spill_manager = SpillManager()
+        self.stats = OperatorStats()
+        self.stats.io = self.spill_manager.stats
+        self._local_cutoff: Any = None
+        self._rows_since_exchange = 0
+        builder = RunHistogramBuilder(
+            policy=parent.sizing_policy,
+            expected_run_rows=parent.expected_run_rows,
+            sink=self.shared.insert,
+        )
+        self.generator = ReplacementSelectionRunGenerator(
+            sort_key=parent.sort_key,
+            memory_rows=parent.memory_rows_per_worker,
+            spill_manager=self.spill_manager,
+            run_size_limit=parent.k,
+            spill_filter=self._eliminate,
+            on_spill=lambda key, _row: builder.add(key),
+            on_run_closed=lambda _run: builder.close(),
+            stats=self.stats,
+        )
+
+    def _eliminate(self, key: Any) -> bool:
+        if self.parent.exchange_interval_rows is None:
+            return self.shared.eliminate(key)
+        # Cutoff-exchange mode: consult only the locally cached cutoff,
+        # refreshed every ``exchange_interval_rows`` rows.
+        self._rows_since_exchange += 1
+        if (self._local_cutoff is None
+                or self._rows_since_exchange
+                >= self.parent.exchange_interval_rows):
+            self._local_cutoff = self.shared.cutoff_key
+            self._rows_since_exchange = 0
+        return self._local_cutoff is not None and key > self._local_cutoff
+
+    def run(self, shared_input: "_SharedInput") -> None:
+        sort_key = self.parent.sort_key
+        stats = self.stats
+
+        def admitted() -> Iterator[tuple]:
+            while True:
+                batch = shared_input.next_batch()
+                if not batch:
+                    return
+                for row in batch:
+                    stats.rows_consumed += 1
+                    stats.cutoff_comparisons += 1
+                    if self._eliminate(sort_key(row)):
+                        stats.rows_eliminated_on_arrival += 1
+                        continue
+                    yield row
+
+        self.generator.generate(admitted())
+
+    def consume_batch(self, batch: list[tuple]) -> None:
+        """Sequential mode: filter and feed one batch (no finish)."""
+        sort_key = self.parent.sort_key
+        stats = self.stats
+
+        def admitted() -> Iterator[tuple]:
+            for row in batch:
+                stats.rows_consumed += 1
+                stats.cutoff_comparisons += 1
+                if self._eliminate(sort_key(row)):
+                    stats.rows_eliminated_on_arrival += 1
+                    continue
+                yield row
+
+        self.generator.consume(admitted())
+
+
+class _SharedInput:
+    """Lock-protected batched reader over the single input stream."""
+
+    def __init__(self, rows: Iterator[tuple], batch_rows: int = 512):
+        self._rows = rows
+        self._batch_rows = batch_rows
+        self._lock = threading.Lock()
+
+    def next_batch(self) -> list[tuple]:
+        """Take the next batch; an empty list signals exhaustion."""
+        with self._lock:
+            return list(itertools.islice(self._rows, self._batch_rows))
+
+
+class ParallelTopK:
+    """Multi-worker top-k with a shared histogram priority queue.
+
+    Args:
+        sort_key: :class:`SortSpec` or key extractor.
+        k: Requested output size.
+        memory_rows: *Total* memory budget, divided among workers.
+        workers: Degree of parallelism.
+        spill_manager: Shared spill substrate (private one if omitted).
+        sizing_policy: Histogram sizing policy per worker run.
+        exchange_interval_rows: ``None`` (default) shares the filter
+            directly; a number switches to producer/consumer cutoff
+            exchange with that refresh interval.
+        use_threads: Execute workers on real threads (default) or
+            sequentially, partition by partition (deterministic, useful
+            for tests).
+    """
+
+    def __init__(
+        self,
+        sort_key: SortSpec | Callable[[tuple], Any],
+        k: int,
+        memory_rows: int,
+        workers: int = 4,
+        spill_manager: SpillManager | None = None,
+        sizing_policy: SizingPolicy | None = None,
+        exchange_interval_rows: int | None = None,
+        use_threads: bool = True,
+    ):
+        if workers <= 0:
+            raise ConfigurationError("workers must be positive")
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        if memory_rows < workers:
+            raise ConfigurationError(
+                "memory_rows must be at least the worker count")
+        self.sort_key = (sort_key.key if isinstance(sort_key, SortSpec)
+                         else sort_key)
+        self.k = k
+        self.workers = workers
+        self.memory_rows_per_worker = memory_rows // workers
+        self.spill_manager = spill_manager or SpillManager()
+        self.sizing_policy = sizing_policy or TargetBucketsPolicy(capped=False)
+        self.exchange_interval_rows = exchange_interval_rows
+        self.use_threads = use_threads
+        self.expected_run_rows = min(2 * self.memory_rows_per_worker, k)
+        self.shared_filter = SharedCutoffFilter(k=k)
+        self.worker_stats: list[OperatorStats] = []
+
+    def execute(self, rows: Iterable[tuple]) -> Iterator[tuple]:
+        """Consume ``rows`` (batch-partitioned on demand), yield the top k."""
+        shared_input = _SharedInput(iter(rows))
+        workers = [_Worker(i, self, self.shared_filter)
+                   for i in range(self.workers)]
+        if self.use_threads and self.workers > 1:
+            threads = [
+                threading.Thread(target=worker.run, args=(shared_input,),
+                                 name=f"topk-worker-{worker.index}")
+                for worker in workers
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        else:
+            # Deterministic sequential mode: workers take turns per batch.
+            active = list(workers)
+            while active:
+                for worker in list(active):
+                    batch = shared_input.next_batch()
+                    if not batch:
+                        active.remove(worker)
+                        continue
+                    worker.consume_batch(batch)
+            for worker in workers:
+                worker.generator.finish()
+
+        self.worker_stats = [worker.stats for worker in workers]
+        for worker in workers:
+            self.spill_manager.stats.merge(worker.spill_manager.stats)
+        all_runs = list(itertools.chain.from_iterable(
+            worker.generator.runs for worker in workers))
+        merger = Merger(sort_key=self.sort_key,
+                        spill_manager=self.spill_manager)
+        yield from merger.merge_topk(
+            all_runs, self.k, cutoff=self.shared_filter.cutoff_key)
+
+    @property
+    def total_rows_spilled(self) -> int:
+        """Rows spilled across all workers (aggregated after the join)."""
+        return self.spill_manager.stats.rows_spilled

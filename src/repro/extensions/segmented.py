@@ -1,0 +1,141 @@
+"""Segmented execution for partially sorted inputs (Section 4.2).
+
+When the input arrives sorted on a *prefix* of the ``ORDER BY`` columns,
+the top-k can run segment by segment: all rows of a segment (one distinct
+prefix value) sort before every row of later segments, so
+
+* segments are consumed in order,
+* each earlier segment contributes **all** of its rows to the output (it
+  must be fully sorted on the remaining columns),
+* the *last relevant segment* contributes only a top-m, which is where the
+  histogram filtering applies, and
+* every segment after the k-th output row is skipped entirely — never
+  sorted, never spilled.
+
+:class:`SegmentedTopK` implements exactly this, delegating the per-segment
+work to :class:`~repro.core.topk.HistogramTopK` (which degrades gracefully
+to a plain bounded sort when a whole segment is needed).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.policies import SizingPolicy
+from repro.core.topk import HistogramTopK
+from repro.errors import ConfigurationError
+from repro.rows.sortspec import SortSpec
+from repro.storage.spill import SpillManager
+from repro.storage.stats import OperatorStats
+
+
+class SegmentedTopK:
+    """Top-k over an input clustered on a sort-order prefix.
+
+    Args:
+        segment_key: Callable extracting the *prefix* key a row is
+            clustered by (rows with equal prefix arrive consecutively, in
+            prefix sort order).
+        remainder_key: Callable extracting the sort key for the remaining
+            ``ORDER BY`` columns (the within-segment order).
+        k: Requested total output rows.
+        memory_rows: Memory budget per segment sort.
+        spill_manager: Shared spill substrate (private one if omitted).
+        sizing_policy: Histogram sizing policy for the last segment's
+            filtered sort.
+
+    Raises:
+        ConfigurationError: for non-positive ``k`` / ``memory_rows``.
+    """
+
+    def __init__(
+        self,
+        segment_key: Callable[[tuple], Any],
+        remainder_key: SortSpec | Callable[[tuple], Any],
+        k: int,
+        memory_rows: int,
+        spill_manager: SpillManager | None = None,
+        sizing_policy: SizingPolicy | None = None,
+        stats: OperatorStats | None = None,
+    ):
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        if memory_rows <= 0:
+            raise ConfigurationError("memory_rows must be positive")
+        self.segment_key = segment_key
+        self.remainder_key = (remainder_key.key
+                              if isinstance(remainder_key, SortSpec)
+                              else remainder_key)
+        self.k = k
+        self.memory_rows = memory_rows
+        self.spill_manager = spill_manager or SpillManager()
+        self.sizing_policy = sizing_policy
+        self.stats = stats or OperatorStats()
+        self.stats.io = self.spill_manager.stats
+        self.segments_processed = 0
+        self.segments_skipped = 0
+
+    def _segments(self, rows: Iterator[tuple]) -> Iterator[Iterator[tuple]]:
+        """Split the clustered stream into per-segment sub-iterators.
+
+        Each inner iterator must be fully consumed (or abandoned) before
+        the next one is requested; unconsumed rows are drained lazily.
+        """
+        pushback: list[tuple] = []
+        done = False
+
+        def read() -> tuple | None:
+            nonlocal done
+            if pushback:
+                return pushback.pop()
+            row = next(rows, None)
+            if row is None:
+                done = True
+            return row
+
+        while not done:
+            first = read()
+            if first is None:
+                return
+            current_segment = self.segment_key(first)
+
+            def segment_rows(first_row: tuple = first,
+                             segment: Any = current_segment
+                             ) -> Iterator[tuple]:
+                yield first_row
+                while True:
+                    row = read()
+                    if row is None:
+                        return
+                    if self.segment_key(row) != segment:
+                        pushback.append(row)
+                        return
+                    yield row
+
+            yield segment_rows()
+
+    def execute(self, rows: Iterable[tuple]) -> Iterator[tuple]:
+        """Yield the top k rows of the clustered stream, in full order."""
+        produced = 0
+        stream = iter(rows)
+        for segment in self._segments(stream):
+            if produced >= self.k:
+                # Section 4.2: subsequent segments are ignored; drain the
+                # stream without sorting (the scan itself is unavoidable).
+                self.segments_skipped += 1
+                for _row in segment:
+                    self.stats.rows_consumed += 1
+                continue
+            remaining = self.k - produced
+            operator = HistogramTopK(
+                self.remainder_key,
+                k=remaining,
+                memory_rows=self.memory_rows,
+                spill_manager=self.spill_manager,
+                sizing_policy=self.sizing_policy,
+                stats=self.stats,
+            )
+            self.segments_processed += 1
+            for row in operator.execute(segment):
+                produced += 1
+                yield row

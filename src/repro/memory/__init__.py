@@ -1,0 +1,5 @@
+"""Memory accounting substrate."""
+
+from repro.memory.budget import MemoryBudget, byte_budget, row_budget
+
+__all__ = ["MemoryBudget", "row_budget", "byte_budget"]

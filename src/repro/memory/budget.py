@@ -1,0 +1,133 @@
+"""Memory budget accounting.
+
+The paper's setting (Section 2.1, "Resource Provisioning") is a busy shared
+server where each operator gets only a small slice of RAM; the top-k
+operator's behavior is therefore driven by an explicit budget rather than
+whatever the host machine happens to have.  :class:`MemoryBudget` provides
+that accounting: operators *charge* rows (or raw bytes) against the budget
+and *release* them when rows are spilled, filtered, or emitted.
+
+Budgets can be expressed in rows (the unit the paper's analysis uses — e.g.
+"memory capacity is 1,000 rows") or in bytes (the unit the evaluation uses —
+"1 GB, sufficient for 7 million rows").  A budget may carry both limits; an
+allocation must satisfy every configured limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, MemoryBudgetExceeded
+
+
+@dataclass
+class MemoryBudget:
+    """Tracks row- and byte-level memory consumption against hard limits.
+
+    Attributes:
+        row_limit: Maximum number of rows resident at once (``None`` = no
+            row limit).
+        byte_limit: Maximum resident bytes (``None`` = no byte limit).
+    """
+
+    row_limit: int | None = None
+    byte_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.row_limit is None and self.byte_limit is None:
+            raise ConfigurationError(
+                "a memory budget needs a row limit, a byte limit, or both"
+            )
+        if self.row_limit is not None and self.row_limit <= 0:
+            raise ConfigurationError("row_limit must be positive")
+        if self.byte_limit is not None and self.byte_limit <= 0:
+            raise ConfigurationError("byte_limit must be positive")
+        self.rows_used = 0
+        self.bytes_used = 0
+        self.peak_rows = 0
+        self.peak_bytes = 0
+
+    # -- queries ---------------------------------------------------------
+
+    def fits(self, rows: int = 1, bytes_: int = 0) -> bool:
+        """Would charging ``rows`` rows / ``bytes_`` bytes stay in budget?"""
+        if self.row_limit is not None and self.rows_used + rows > self.row_limit:
+            return False
+        if (self.byte_limit is not None
+                and self.bytes_used + bytes_ > self.byte_limit):
+            return False
+        return True
+
+    @property
+    def is_full(self) -> bool:
+        """True when not even one more zero-byte row fits."""
+        return not self.fits(rows=1, bytes_=0)
+
+    def row_capacity(self, avg_row_bytes: int = 0) -> int:
+        """Estimated total row capacity given an average row size.
+
+        Used by planners to decide whether a requested ``k`` fits in memory
+        before any row has been consumed.
+        """
+        capacities = []
+        if self.row_limit is not None:
+            capacities.append(self.row_limit)
+        if self.byte_limit is not None and avg_row_bytes > 0:
+            capacities.append(self.byte_limit // avg_row_bytes)
+        if not capacities:
+            raise ConfigurationError(
+                "byte-limited budget needs avg_row_bytes to estimate capacity"
+            )
+        return min(capacities)
+
+    # -- mutations -------------------------------------------------------
+
+    def charge(self, rows: int = 1, bytes_: int = 0) -> None:
+        """Account for ``rows`` rows / ``bytes_`` bytes entering memory.
+
+        Raises:
+            MemoryBudgetExceeded: if any configured limit would be exceeded.
+        """
+        if not self.fits(rows, bytes_):
+            raise MemoryBudgetExceeded(
+                f"allocation of {rows} rows / {bytes_} bytes exceeds budget "
+                f"({self.describe()})"
+            )
+        self.rows_used += rows
+        self.bytes_used += bytes_
+        self.peak_rows = max(self.peak_rows, self.rows_used)
+        self.peak_bytes = max(self.peak_bytes, self.bytes_used)
+
+    def release(self, rows: int = 1, bytes_: int = 0) -> None:
+        """Account for rows leaving memory (spilled, filtered, or emitted)."""
+        if rows > self.rows_used or bytes_ > self.bytes_used:
+            raise MemoryBudgetExceeded(
+                f"release of {rows} rows / {bytes_} bytes exceeds usage "
+                f"({self.rows_used} rows / {self.bytes_used} bytes)"
+            )
+        self.rows_used -= rows
+        self.bytes_used -= bytes_
+
+    def reset(self) -> None:
+        """Drop all usage accounting (peaks are preserved)."""
+        self.rows_used = 0
+        self.bytes_used = 0
+
+    def describe(self) -> str:
+        """Human-readable summary of limits and usage."""
+        parts = []
+        if self.row_limit is not None:
+            parts.append(f"rows {self.rows_used}/{self.row_limit}")
+        if self.byte_limit is not None:
+            parts.append(f"bytes {self.bytes_used}/{self.byte_limit}")
+        return ", ".join(parts)
+
+
+def row_budget(rows: int) -> MemoryBudget:
+    """Budget limited to ``rows`` resident rows (the analysis-model unit)."""
+    return MemoryBudget(row_limit=rows)
+
+
+def byte_budget(bytes_: int) -> MemoryBudget:
+    """Budget limited to ``bytes_`` resident bytes (the evaluation unit)."""
+    return MemoryBudget(byte_limit=bytes_)

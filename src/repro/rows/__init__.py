@@ -1,0 +1,32 @@
+"""Row, schema and sort-order substrate.
+
+Rows are plain Python tuples; :class:`~repro.rows.schema.Schema` gives them
+types and sizes, and :class:`~repro.rows.sortspec.SortSpec` compiles an
+``ORDER BY`` clause into a key-extraction function.  The TPC-H ``LINEITEM``
+table used throughout the paper's evaluation lives in
+:mod:`repro.rows.lineitem`.
+"""
+
+from repro.rows.schema import Column, ColumnType, Schema, single_key_schema
+from repro.rows.sortspec import Desc, SortColumn, SortSpec, sort_spec
+from repro.rows.lineitem import (
+    LINEITEM_SCHEMA,
+    average_lineitem_row_bytes,
+    generate_lineitem,
+    lineitem_with_keys,
+)
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "single_key_schema",
+    "Desc",
+    "SortColumn",
+    "SortSpec",
+    "sort_spec",
+    "LINEITEM_SCHEMA",
+    "generate_lineitem",
+    "lineitem_with_keys",
+    "average_lineitem_row_bytes",
+]

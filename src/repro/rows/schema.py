@@ -1,0 +1,184 @@
+"""Typed column and schema definitions.
+
+The engine represents rows as plain Python tuples; a :class:`Schema` gives
+those tuples meaning: column names, declared types, and byte-size estimates
+used by the memory-budget accounting.  Schemas are immutable after
+construction so they can be shared freely between operators.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+
+
+class ColumnType(Enum):
+    """Supported column types.
+
+    The set mirrors what the TPC-H ``LINEITEM`` table needs plus a generic
+    float type for synthetic sort keys.  ``DECIMAL`` values are stored as
+    Python floats; the distinction matters only for formatting and size
+    accounting.
+    """
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    DECIMAL = "decimal"
+    STRING = "string"
+    DATE = "date"
+    BOOL = "bool"
+
+    @property
+    def fixed_width(self) -> int | None:
+        """Byte width for fixed-width types, ``None`` for variable width."""
+        widths = {
+            ColumnType.INT64: 8,
+            ColumnType.FLOAT64: 8,
+            ColumnType.DECIMAL: 8,
+            ColumnType.DATE: 4,
+            ColumnType.BOOL: 1,
+        }
+        return widths.get(self)
+
+
+_PYTHON_TYPES = {
+    ColumnType.INT64: (int,),
+    ColumnType.FLOAT64: (float, int),
+    ColumnType.DECIMAL: (float, int),
+    ColumnType.STRING: (str,),
+    ColumnType.DATE: (datetime.date,),
+    ColumnType.BOOL: (bool,),
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single named, typed column.
+
+    Attributes:
+        name: Column name, unique within its schema.
+        type: Declared :class:`ColumnType`.
+        nullable: Whether ``None`` is an accepted value.
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = False
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaError` if ``value`` is invalid for the column."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        expected = _PYTHON_TYPES[self.type]
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type.value}, "
+                f"got {type(value).__name__}: {value!r}"
+            )
+
+    def estimate_bytes(self, value: Any) -> int:
+        """Approximate in-memory byte footprint of ``value`` in this column."""
+        if value is None:
+            return 1
+        width = self.type.fixed_width
+        if width is not None:
+            return width
+        # Variable width: strings dominate; count the encoded payload plus a
+        # small per-value overhead for the length header.
+        return len(value) + 4
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, immutable collection of :class:`Column` definitions."""
+
+    columns: tuple[Column, ...]
+    _index: dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __init__(self, columns: Iterable[Column]):
+        cols = tuple(columns)
+        names = [c.name for c in cols]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        object.__setattr__(self, "columns", cols)
+        object.__setattr__(self, "_index", {c.name: i for i, c in enumerate(cols)})
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names in schema order."""
+        return tuple(c.name for c in self.columns)
+
+    def index_of(self, name: str) -> int:
+        """Return the position of column ``name``.
+
+        Raises:
+            SchemaError: if the column does not exist.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; available: {list(self._index)}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        """Return the :class:`Column` named ``name``."""
+        return self.columns[self.index_of(name)]
+
+    def validate_row(self, row: Sequence[Any]) -> None:
+        """Check arity and per-column types of ``row``.
+
+        Raises:
+            SchemaError: on arity mismatch or any invalid column value.
+        """
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema arity "
+                f"{len(self.columns)}"
+            )
+        for column, value in zip(self.columns, row):
+            column.validate(value)
+
+    def estimate_row_bytes(self, row: Sequence[Any]) -> int:
+        """Approximate in-memory footprint of one row under this schema.
+
+        Includes a per-row overhead constant so that accounting on very
+        narrow rows is not wildly optimistic.
+        """
+        overhead = 16
+        return overhead + sum(
+            column.estimate_bytes(value)
+            for column, value in zip(self.columns, row)
+        )
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema containing only ``names`` (in that order)."""
+        return Schema(self.column(name) for name in names)
+
+    def projector(self, names: Sequence[str]):
+        """Return a fast callable mapping a row to the projected tuple."""
+        indexes = tuple(self.index_of(name) for name in names)
+        if indexes == tuple(range(len(self.columns))):
+            return lambda row: row
+        return lambda row: tuple(row[i] for i in indexes)
+
+
+def single_key_schema(name: str = "key",
+                      type_: ColumnType = ColumnType.FLOAT64) -> Schema:
+    """Convenience schema for synthetic single-column benchmark inputs."""
+    return Schema([Column(name, type_)])

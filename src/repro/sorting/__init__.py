@@ -1,0 +1,22 @@
+"""Sorting substrate: runs, run generation, merging, external sort."""
+
+from repro.sorting.external_sort import RUN_GENERATORS, ExternalSort
+from repro.sorting.merge import Merger, MergePolicy, merge_keyed
+from repro.sorting.quicksort_runs import QuicksortRunGenerator
+from repro.sorting.replacement_selection import (
+    ReplacementSelectionRunGenerator,
+)
+from repro.sorting.runs import RunWriter, SortedRun, write_run
+
+__all__ = [
+    "SortedRun",
+    "RunWriter",
+    "write_run",
+    "ReplacementSelectionRunGenerator",
+    "QuicksortRunGenerator",
+    "Merger",
+    "MergePolicy",
+    "merge_keyed",
+    "ExternalSort",
+    "RUN_GENERATORS",
+]

@@ -1,0 +1,243 @@
+"""Multiway merging of sorted runs.
+
+The merge phase produces the final top-k output: runs are scanned
+sequentially and merged with a heap until ``k`` rows (after an optional
+``OFFSET``) have been produced.  Two of the paper's merge-specific
+optimizations are implemented (Section 4.1):
+
+* **Early termination** — a merge step ends when the desired row count is
+  reached or when the latest merged key exceeds the cutoff key; for
+  intermediate steps the output run is also capped at ``offset + k`` rows,
+  since no single merged subset can contribute more rows to the final
+  answer.
+* **Lowest-keys-first policy** — when the fan-in is limited and multiple
+  merge steps are needed, a top operation should merge the runs with the
+  lowest keys (the most recently produced ones) rather than the classic
+  smallest-runs-first choice.
+"""
+
+from __future__ import annotations
+
+import heapq
+from enum import Enum
+from typing import Any, Callable, Iterator
+
+from repro.errors import ConfigurationError, MergeError
+from repro.sorting.runs import RunWriter, SortedRun
+from repro.storage.spill import SpillManager
+
+
+class MergePolicy(Enum):
+    """How to pick runs for an intermediate merge step."""
+
+    #: Merge the runs with the lowest first keys (best for top-k).
+    LOWEST_KEYS_FIRST = "lowest_keys_first"
+    #: Merge the smallest runs (the classic external-sort policy).
+    SMALLEST_FIRST = "smallest_first"
+
+
+def merge_keyed(
+    runs: list[SortedRun],
+    sort_key: Callable[[tuple], Any],
+    sources: list[Iterator[tuple]] | None = None,
+) -> Iterator[tuple[Any, tuple]]:
+    """Yield ``(key, row)`` pairs from ``runs`` in global sort order.
+
+    Uses a heap of per-run cursors; run order within equal keys follows run
+    id, making the merge stable with respect to run creation order.
+    ``sources`` substitutes a custom row iterator per run (used by offset
+    skipping, which starts each run mid-file).
+    """
+    heap: list[tuple] = []
+    iterators = []
+    for order, run in enumerate(runs):
+        iterator = sources[order] if sources is not None else run.rows()
+        iterators.append(iterator)
+        first = next(iterator, None)
+        if first is not None:
+            heap.append((sort_key(first), order, first))
+    heapq.heapify(heap)
+    while heap:
+        key, order, row = heap[0]
+        yield key, row
+        following = next(iterators[order], None)
+        if following is None:
+            heapq.heappop(heap)
+        else:
+            heapq.heapreplace(heap, (sort_key(following), order, following))
+
+
+class Merger:
+    """Merges sorted runs, honoring fan-in limits and top-k early stops.
+
+    Args:
+        sort_key: Normalized key extractor.
+        spill_manager: Needed only when intermediate merge steps must write
+            new runs (fan-in smaller than the number of runs).
+        fan_in: Maximum runs merged at once (``None`` = unlimited).
+        policy: Run-selection policy for intermediate steps.
+    """
+
+    def __init__(
+        self,
+        sort_key: Callable[[tuple], Any],
+        spill_manager: SpillManager | None = None,
+        fan_in: int | None = None,
+        policy: MergePolicy = MergePolicy.LOWEST_KEYS_FIRST,
+    ):
+        if fan_in is not None and fan_in < 2:
+            raise ConfigurationError("merge fan-in must be at least 2")
+        self._sort_key = sort_key
+        self._spill_manager = spill_manager
+        self._fan_in = fan_in
+        self._policy = policy
+        self._next_intermediate_id = 1_000_000  # distinct from run-gen ids
+        #: Rows skipped unread by the last offset-optimized merge.
+        self.offset_rows_skipped = 0
+
+    # -- intermediate steps ------------------------------------------------
+
+    def _rank(self, runs: list[SortedRun]) -> list[SortedRun]:
+        """Order runs for intermediate merging per the configured policy."""
+        if self._policy is MergePolicy.SMALLEST_FIRST:
+            return sorted(runs, key=lambda run: run.row_count)
+        return sorted(runs, key=lambda run: (run.first_key, run.run_id))
+
+    def _select_inputs(self, runs: list[SortedRun],
+                       count: int) -> list[SortedRun]:
+        """Pick ``count`` runs to merge next, per the configured policy."""
+        return self._rank(runs)[:count]
+
+    def _prune(self, runs: list[SortedRun], cutoff: Any
+               ) -> list[SortedRun]:
+        """Drop (and reclaim) runs that lie entirely above the cutoff.
+
+        A run whose first key already exceeds the cutoff cannot
+        contribute a single output row; it is deleted without being read.
+        """
+        if cutoff is None:
+            return runs
+        surviving = []
+        for run in runs:
+            if run.first_key is not None and run.first_key > cutoff:
+                if self._spill_manager is not None:
+                    self._spill_manager.delete_file(run.file)
+                continue
+            surviving.append(run)
+        return surviving
+
+    def merge_step(
+        self,
+        runs: list[SortedRun],
+        row_limit: int | None = None,
+        cutoff: Any = None,
+        on_spill: Callable[[Any, tuple], None] | None = None,
+    ) -> SortedRun:
+        """Merge ``runs`` into one new run, truncated per top-k rules.
+
+        The inputs are deleted after the step (their storage is reclaimed),
+        matching an external sort's behavior.
+        """
+        if self._spill_manager is None:
+            raise MergeError("intermediate merge steps need a spill manager")
+        writer = RunWriter(self._spill_manager, self._next_intermediate_id,
+                           on_spill=on_spill)
+        self._next_intermediate_id += 1
+        for key, row in merge_keyed(runs, self._sort_key):
+            if cutoff is not None and key > cutoff:
+                writer.truncated = True
+                break
+            if row_limit is not None and writer.row_count >= row_limit:
+                writer.truncated = True
+                break
+            writer.write(key, row)
+        merged = writer.close()
+        for run in runs:
+            self._spill_manager.delete_file(run.file)
+        return merged
+
+    # -- final merge ---------------------------------------------------------
+
+    def merge_topk(
+        self,
+        runs: list[SortedRun],
+        k: int | None,
+        offset: int = 0,
+        cutoff: Any = None,
+        rank_index=None,
+    ) -> Iterator[tuple]:
+        """Yield up to ``k`` output rows (after ``offset``) from ``runs``.
+
+        Performs intermediate merge steps as needed to respect the fan-in
+        limit, then streams the final merge, stopping early at the row
+        limit or as soon as a key exceeds the cutoff.  An optional
+        :class:`~repro.core.rank_index.RankIndex` lets deep offsets skip
+        run pages without reading them.
+        """
+        if offset < 0:
+            raise ConfigurationError("offset must be non-negative")
+        runs = [run for run in runs if run.row_count > 0]
+        budget = None if k is None else offset + k
+        if self._fan_in is not None:
+            # Level-based merge plan: each level merges disjoint groups
+            # of at most ``fan_in`` runs, so no run is rewritten more
+            # than once per level (a naive re-rank-and-merge loop keeps
+            # re-selecting the freshly merged run and rewrites the same
+            # rows over and over).
+            while len(runs) > self._fan_in:
+                ranked = self._prune(self._rank(runs), cutoff)
+                next_level: list[SortedRun] = []
+                for start in range(0, len(ranked), self._fan_in):
+                    group = ranked[start:start + self._fan_in]
+                    if len(group) == 1:
+                        next_level.append(group[0])
+                        continue
+                    merged = self.merge_step(group, row_limit=budget,
+                                             cutoff=cutoff)
+                    if merged.row_count == 0:
+                        # Fully truncated by the cutoff: nothing to keep.
+                        if self._spill_manager is not None:
+                            self._spill_manager.delete_file(merged.file)
+                        continue
+                    next_level.append(merged)
+                    # Section 4.1: "Each merge step can also reduce the
+                    # cutoff key."  A merged run holding ``offset + k``
+                    # rows proves that many rows sort at or below its
+                    # last key: a sound, usually sharper cutoff for every
+                    # later group and level.
+                    if (budget is not None
+                            and merged.row_count >= budget
+                            and (cutoff is None
+                                 or merged.last_key < cutoff)):
+                        cutoff = merged.last_key
+                runs = next_level
+            runs = self._prune(runs, cutoff)
+
+        # Section 4.1 offset optimization: with rank bounds from the run
+        # histograms, whole leading pages of every run can be skipped
+        # unread — they are guaranteed to lie inside the OFFSET region.
+        sources = None
+        self.offset_rows_skipped = 0
+        if offset > 0 and rank_index is not None:
+            skip_key = rank_index.skip_key_for_offset(offset)
+            if skip_key is not None:
+                sources = []
+                for run in runs:
+                    skipped_rows, iterator = run.rows_skipping(skip_key)
+                    self.offset_rows_skipped += skipped_rows
+                    sources.append(iterator)
+        remaining_offset = offset - self.offset_rows_skipped
+
+        produced = 0
+        skipped = 0
+        for key, row in merge_keyed(runs, self._sort_key,
+                                    sources=sources):
+            if cutoff is not None and key > cutoff:
+                return
+            if skipped < remaining_offset:
+                skipped += 1
+                continue
+            yield row
+            produced += 1
+            if budget is not None and produced >= k:
+                return

@@ -1,0 +1,145 @@
+"""Run generation by load-sort-store (quicksort runs).
+
+The classic alternative to replacement selection: fill operator memory with
+input rows, sort them, write the sorted load as one run, repeat.  This is
+what PostgreSQL's top-k path does (Section 5.2) and it is also the
+simplified model the paper uses for its Section 3.2 analysis, so the same
+hooks as the replacement-selection generator are provided:
+
+* ``spill_filter`` re-checks each row right before it is written.  Because
+  a memory-load is written in ascending key order, the first eliminated row
+  *truncates* the run — every later row in the load is at least as large
+  and is eliminated wholesale.  This reproduces the paper's "Writing run 8
+  ends immediately after writing the key value equal to or higher than the
+  new cutoff key" behavior.
+* ``on_spill`` fires after each written row so the histogram logic can
+  sharpen the cutoff *while the run is being written*, which is what makes
+  the truncation above possible at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import ConfigurationError
+from repro.sorting.runs import RunWriter, SortedRun
+from repro.storage.spill import SpillManager
+from repro.storage.stats import OperatorStats
+
+
+class QuicksortRunGenerator:
+    """Generates sorted runs by repeatedly sorting memory-loads.
+
+    Args: mirror :class:`ReplacementSelectionRunGenerator`.
+    """
+
+    def __init__(
+        self,
+        sort_key: Callable[[tuple], Any],
+        memory_rows: int | None,
+        spill_manager: SpillManager,
+        run_size_limit: int | None = None,
+        spill_filter: Callable[[Any], bool] | None = None,
+        on_spill: Callable[[Any, tuple], None] | None = None,
+        on_run_closed: Callable[[SortedRun], None] | None = None,
+        memory_bytes: int | None = None,
+        row_size: Callable[[tuple], int] | None = None,
+        stats: OperatorStats | None = None,
+    ):
+        if memory_rows is None and memory_bytes is None:
+            raise ConfigurationError(
+                "a row and/or byte memory capacity is required")
+        if memory_rows is not None and memory_rows <= 0:
+            raise ConfigurationError("memory_rows must be positive")
+        if memory_bytes is not None and memory_bytes <= 0:
+            raise ConfigurationError("memory_bytes must be positive")
+        if run_size_limit is not None and run_size_limit <= 0:
+            raise ConfigurationError("run_size_limit must be positive")
+        self._sort_key = sort_key
+        self._memory_rows = memory_rows
+        self._memory_bytes = memory_bytes
+        self._row_size = row_size or (lambda row: 16 + 8 * len(row))
+        self._buffer_bytes = 0
+        self._spill_manager = spill_manager
+        self._run_size_limit = run_size_limit
+        self._spill_filter = spill_filter
+        self._on_spill = on_spill
+        self._on_run_closed = on_run_closed
+        self._stats = stats or OperatorStats()
+        self._buffer: list[tuple] = []
+        self._next_run_id = 0
+        self.runs: list[SortedRun] = []
+
+    def _flush_buffer(self) -> None:
+        """Sort the buffered load and write it as one (possibly truncated,
+        possibly split) run."""
+        if not self._buffer:
+            return
+        key = self._sort_key
+        self._buffer.sort(key=key)
+        # ~n log n comparisons for the sort, as a CPU-effort proxy.
+        n = len(self._buffer)
+        self._stats.sort_comparisons += n * max(1, n.bit_length())
+
+        writer = RunWriter(self._spill_manager, self._next_run_id,
+                           on_spill=self._on_spill)
+        self._next_run_id += 1
+        for index, row in enumerate(self._buffer):
+            row_key = key(row)
+            if self._spill_filter is not None:
+                self._stats.cutoff_comparisons += 1
+                if self._spill_filter(row_key):
+                    # Ascending order: every remaining row is >= this one,
+                    # so the whole tail is eliminated and the run truncated.
+                    remaining = len(self._buffer) - index
+                    self._stats.rows_eliminated_at_spill += remaining
+                    writer.truncated = True
+                    break
+            if (self._run_size_limit is not None
+                    and writer.row_count >= self._run_size_limit):
+                run = writer.close()
+                self.runs.append(run)
+                if self._on_run_closed is not None:
+                    self._on_run_closed(run)
+                writer = RunWriter(self._spill_manager, self._next_run_id,
+                                   on_spill=self._on_spill)
+                self._next_run_id += 1
+            writer.write(row_key, row)
+        self._buffer = []
+        self._buffer_bytes = 0
+        if writer.row_count == 0:
+            writer.abandon()
+            return
+        run = writer.close()
+        self.runs.append(run)
+        if self._on_run_closed is not None:
+            self._on_run_closed(run)
+
+    def consume(self, rows: Iterable[tuple]) -> None:
+        """Feed rows; a run is emitted every time memory fills."""
+        track_bytes = self._memory_bytes is not None
+        for row in rows:
+            self._buffer.append(row)
+            if track_bytes:
+                self._buffer_bytes += self._row_size(row)
+                if self._buffer_bytes >= self._memory_bytes:
+                    self._flush_buffer()
+                    continue
+            if (self._memory_rows is not None
+                    and len(self._buffer) >= self._memory_rows):
+                self._flush_buffer()
+
+    def finish(self) -> list[SortedRun]:
+        """Flush the final partial load and return all runs."""
+        self._flush_buffer()
+        return self.runs
+
+    def generate(self, rows: Iterable[tuple]) -> list[SortedRun]:
+        """Convenience: consume all of ``rows`` and finish."""
+        self.consume(rows)
+        return self.finish()
+
+    @property
+    def resident_rows(self) -> int:
+        """Rows currently buffered in operator memory."""
+        return len(self._buffer)

@@ -1,0 +1,167 @@
+"""Sorted runs on secondary storage.
+
+A *run* is a sorted sequence of rows written once and scanned sequentially
+during merging.  :class:`RunWriter` streams rows into pages on a spill file
+while verifying sort order and collecting metadata; the sealed result is a
+:class:`SortedRun`.
+
+Run writers expose an ``on_spill`` hook invoked *after* each row is
+physically appended — this is exactly the paper's ``rowSpilled`` call
+(Algorithm 1, line 13) through which the cutoff-filter logic builds its
+histogram while the run is still being written.
+
+Each run also records the first key of every page — a tiny page index
+(the "linear partitioned b-tree" idea of Section 4.1) that lets deep
+``OFFSET`` merges skip whole pages without reading them, while knowing
+exactly how many rows were skipped.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.errors import SpillError
+from repro.storage.pages import PageBuilder
+from repro.storage.spill import SpillFile, SpillManager
+
+
+@dataclass
+class SortedRun:
+    """Metadata and reader for one sealed sorted run."""
+
+    run_id: int
+    file: SpillFile
+    row_count: int
+    first_key: Any = None
+    last_key: Any = None
+    truncated: bool = False
+    #: First key of each page — the page index used by offset skipping.
+    page_first_keys: list = field(default_factory=list)
+
+    def rows(self) -> Iterator[tuple]:
+        """Sequentially scan the run's rows in sort order."""
+        return self.file.rows()
+
+    def rows_skipping(self, skip_key: Any
+                      ) -> tuple[int, Iterator[tuple]]:
+        """Scan the run, skipping leading pages that end below
+        ``skip_key`` — without reading them.
+
+        A page's rows are all <= the next page's first key, so every
+        page whose successor starts strictly below ``skip_key`` holds
+        only keys < ``skip_key`` and can be skipped wholesale.  Returns
+        ``(rows_skipped, iterator_over_the_rest)``; the first delivered
+        page may still contain keys below ``skip_key`` — callers with
+        OFFSET semantics simply count those against the offset like any
+        other leading row.
+        """
+        if not self.page_first_keys or skip_key is None:
+            return 0, self.rows()
+        start = bisect.bisect_left(self.page_first_keys, skip_key)
+        start = max(0, start - 1)
+        skipped = sum(self.file.page_row_counts[:start])
+        return skipped, self.file.rows(start_page=start)
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __repr__(self) -> str:
+        keys = f"[{self.first_key!r} .. {self.last_key!r}]"
+        flag = " truncated" if self.truncated else ""
+        return f"SortedRun(#{self.run_id}, {self.row_count} rows, {keys}{flag})"
+
+
+class RunWriter:
+    """Streams sorted rows into a spill file.
+
+    Args:
+        spill_manager: Storage substrate providing the file and accounting.
+        run_id: Identifier recorded in the resulting :class:`SortedRun`.
+        on_spill: Optional callback ``(key, row)`` fired after each row is
+            appended — the paper's ``rowSpilled`` hook.
+        check_order: Verify keys are non-decreasing (cheap; on by default).
+    """
+
+    def __init__(
+        self,
+        spill_manager: SpillManager,
+        run_id: int,
+        on_spill: Callable[[Any, tuple], None] | None = None,
+        check_order: bool = True,
+    ):
+        self._manager = spill_manager
+        self._file = spill_manager.create_file()
+        self._builder: PageBuilder = spill_manager.new_page_builder()
+        self._on_spill = on_spill
+        self._check_order = check_order
+        self.run_id = run_id
+        self.row_count = 0
+        self.first_key: Any = None
+        self.last_key: Any = None
+        self.truncated = False
+        self.page_first_keys: list = []
+        self._closed = False
+
+    def write(self, key: Any, row: tuple) -> None:
+        """Append one row (must not sort before the previous row)."""
+        if self._closed:
+            raise SpillError("run writer is already closed")
+        if self._check_order and self.row_count and key < self.last_key:
+            raise SpillError(
+                f"run #{self.run_id} order violation: {key!r} after "
+                f"{self.last_key!r}"
+            )
+        if self._builder.pending_rows == 0:
+            # This row opens a new page: index its key.
+            self.page_first_keys.append(key)
+        page = self._builder.add(row)
+        if page is not None:
+            self._file.append_page(page)
+        if self.row_count == 0:
+            self.first_key = key
+        self.last_key = key
+        self.row_count += 1
+        if self._on_spill is not None:
+            self._on_spill(key, row)
+
+    def close(self) -> SortedRun:
+        """Flush, seal and return the finished :class:`SortedRun`."""
+        if self._closed:
+            raise SpillError("run writer is already closed")
+        page = self._builder.flush()
+        if page is not None:
+            self._file.append_page(page)
+        self._file.seal()
+        self._closed = True
+        self._manager.stats.runs_written += 1
+        return SortedRun(
+            run_id=self.run_id,
+            file=self._file,
+            row_count=self.row_count,
+            first_key=self.first_key,
+            last_key=self.last_key,
+            truncated=self.truncated,
+            page_first_keys=self.page_first_keys,
+        )
+
+    def abandon(self) -> None:
+        """Discard the partially-written run (e.g. it became empty)."""
+        if not self._closed:
+            self._file.seal()
+            self._manager.delete_file(self._file)
+            self._closed = True
+
+
+def write_run(
+    spill_manager: SpillManager,
+    run_id: int,
+    keyed_rows,
+    on_spill: Callable[[Any, tuple], None] | None = None,
+) -> SortedRun:
+    """Write an iterable of ``(key, row)`` pairs as one run (test helper)."""
+    writer = RunWriter(spill_manager, run_id, on_spill=on_spill)
+    for key, row in keyed_rows:
+        writer.write(key, row)
+    return writer.close()

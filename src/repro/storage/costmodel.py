@@ -1,0 +1,122 @@
+"""Disaggregated-storage cost model.
+
+The paper's production environment (Section 2.1, "Late Materialization")
+uses storage *disaggregated* from compute: every I/O pays a network round
+trip, the invocation of a storage service, and time on a shared, busy disk.
+Random reads are "extremely expensive" there, which is exactly why the
+algorithm never re-reads the input and only performs sequential run I/O.
+
+Re-running 2-billion-row experiments against real disks from Python would
+measure the interpreter, not the algorithm (the repro calibration notes the
+same).  Instead this model converts the deterministic :class:`IOStats`
+counters into simulated seconds.  Because the model is a monotone function
+of storage traffic and the paper observes that "the speedup ... and the
+reduction of rows spilled ... are perfectly correlated", simulated-time
+speedups preserve the paper's comparative shapes (who wins, where the
+crossovers are) even though absolute constants differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.stats import IOStats, OperatorStats
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Simulated time model for a disaggregated storage service.
+
+    Defaults are loosely calibrated to the paper's environment: a network
+    round trip plus service invocation per request, a shared 7200-rpm-class
+    drive for sequential bandwidth, and very expensive random I/O.
+
+    Attributes:
+        request_overhead_s: Network RTT + storage-service invocation charged
+            per read or write request.
+        write_bandwidth_bytes_per_s: Sequential write throughput.
+        read_bandwidth_bytes_per_s: Sequential read throughput.
+        random_read_s: Full cost of one random read (seek + RTT).
+        cpu_row_s: CPU time charged per row consumed by an operator.
+        cpu_comparison_s: CPU time charged per key comparison.
+    """
+
+    request_overhead_s: float = 0.0007
+    write_bandwidth_bytes_per_s: float = 120e6
+    read_bandwidth_bytes_per_s: float = 140e6
+    random_read_s: float = 0.010
+    cpu_row_s: float = 2.0e-8
+    cpu_comparison_s: float = 6.0e-9
+
+    def io_seconds(self, io: IOStats) -> float:
+        """Simulated seconds spent on storage traffic alone."""
+        request_time = (io.write_requests + io.read_requests) \
+            * self.request_overhead_s
+        write_time = io.bytes_written / self.write_bandwidth_bytes_per_s
+        read_time = io.bytes_read / self.read_bandwidth_bytes_per_s
+        random_time = io.random_reads * self.random_read_s
+        return request_time + write_time + read_time + random_time
+
+    def cpu_seconds(self, stats: OperatorStats) -> float:
+        """Simulated seconds of operator CPU work."""
+        comparisons = stats.cutoff_comparisons + stats.sort_comparisons
+        return (stats.rows_consumed * self.cpu_row_s
+                + comparisons * self.cpu_comparison_s)
+
+    def total_seconds(self, stats: OperatorStats) -> float:
+        """Simulated end-to-end operator time (CPU + I/O)."""
+        return self.cpu_seconds(stats) + self.io_seconds(stats.io)
+
+
+#: Model of the paper's workstation + disaggregated storage setup.
+DEFAULT_COST_MODEL = CostModel()
+
+#: Scale-consistent model for scaled-down experiments.  Per-request
+#: overhead is folded into the bandwidth terms (a fixed per-request charge
+#: does not shrink when a workload is scaled 1/1000, which would distort
+#: comparisons at small sizes), and CPU constants reflect realistic
+#: engine per-row costs so that the Figure 6 CPU-vs-I/O trade-off keeps
+#: the paper's proportions.  All terms are linear in row counts, making
+#: simulated-time *ratios* invariant under proportional scaling.
+SCALED_COST_MODEL = CostModel(
+    request_overhead_s=0.0,
+    write_bandwidth_bytes_per_s=50e6,
+    read_bandwidth_bytes_per_s=65e6,
+    random_read_s=0.010,
+    cpu_row_s=2.0e-7,
+    cpu_comparison_s=4.0e-8,
+)
+
+#: A model where I/O utterly dominates (isolates spill-volume effects).
+IO_BOUND_COST_MODEL = CostModel(
+    request_overhead_s=0.002,
+    write_bandwidth_bytes_per_s=60e6,
+    read_bandwidth_bytes_per_s=80e6,
+    random_read_s=0.020,
+    cpu_row_s=0.0,
+    cpu_comparison_s=0.0,
+)
+
+
+@dataclass(frozen=True)
+class ResourceCost:
+    """Pay-as-you-go resource cost, Section 5.6: ``memory × time``.
+
+    The paper compares its algorithm (small memory, some extra time) to the
+    in-memory priority-queue algorithm (memory for the whole output, less
+    time) under a cloud-style cost of ``size of resource * time used``.
+    """
+
+    memory_bytes: int
+    seconds: float
+
+    @property
+    def gigabyte_seconds(self) -> float:
+        """Cost in GB·s, the unit used by the Figure 6 reproduction."""
+        return self.memory_bytes / 1e9 * self.seconds
+
+    def improvement_over(self, other: "ResourceCost") -> float:
+        """How many times cheaper ``self`` is than ``other``."""
+        if self.gigabyte_seconds == 0:
+            return float("inf")
+        return other.gigabyte_seconds / self.gigabyte_seconds

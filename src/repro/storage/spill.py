@@ -1,0 +1,249 @@
+"""Spill files: the secondary-storage substrate.
+
+Two interchangeable backends implement the same small interface:
+
+* :class:`MemorySpillBackend` — keeps pages in process memory while fully
+  accounting bytes and requests.  This is the default for experiments: it
+  makes multi-million-row simulations fast and deterministic while the cost
+  model still charges for every byte "written".
+* :class:`DiskSpillBackend` — writes length-prefixed pickled pages to real
+  temporary files.  Used to validate that the abstraction is honest and for
+  workloads that genuinely exceed process memory.
+
+All traffic is recorded into a shared :class:`~repro.storage.stats.IOStats`
+via the owning :class:`SpillManager`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import SpillError
+from repro.storage.pages import DEFAULT_PAGE_BYTES, Page, PageBuilder
+from repro.storage.stats import IOStats
+
+_LENGTH_HEADER = struct.Struct("<Q")
+
+
+class SpillFile:
+    """A write-once, sequentially-read file of pages.
+
+    Lifecycle: ``append_page`` while writing, then ``seal``, then any number
+    of sequential ``pages()`` scans, then ``delete``.
+    """
+
+    def __init__(self, file_id: int, stats: IOStats):
+        self.file_id = file_id
+        self._stats = stats
+        self._sealed = False
+        self.page_count = 0
+        self.row_count = 0
+        self.byte_size = 0
+        #: Row count of each page, in order — lets readers skip whole
+        #: pages (and know exactly how many rows they skipped) without
+        #: touching storage.
+        self.page_row_counts: list[int] = []
+
+    # -- write side ------------------------------------------------------
+
+    def append_page(self, page: Page) -> None:
+        """Write one page; charges a write request and its bytes."""
+        if self._sealed:
+            raise SpillError("cannot append to a sealed spill file")
+        self._store_page(page)
+        self.page_count += 1
+        self.row_count += len(page)
+        self.byte_size += page.byte_size
+        self.page_row_counts.append(len(page))
+        self._stats.write_requests += 1
+        self._stats.bytes_written += page.byte_size
+        self._stats.rows_spilled += len(page)
+
+    def seal(self) -> None:
+        """Finish writing; the file becomes readable."""
+        self._sealed = True
+
+    # -- read side -------------------------------------------------------
+
+    def pages(self, start_page: int = 0) -> Iterator[Page]:
+        """Sequentially scan pages from ``start_page``; charges read
+        requests and bytes only for the pages actually delivered."""
+        if not self._sealed:
+            raise SpillError("spill file must be sealed before reading")
+        for page in self._load_pages(start_page):
+            self._stats.read_requests += 1
+            self._stats.bytes_read += page.byte_size
+            self._stats.rows_read += len(page)
+            yield page
+
+    def rows(self, start_page: int = 0) -> Iterator[tuple]:
+        """Sequentially scan rows, optionally starting at a later page."""
+        for page in self.pages(start_page):
+            yield from page.rows
+
+    def delete(self) -> None:
+        """Release the file's storage."""
+        self._discard()
+
+    # -- backend hooks ---------------------------------------------------
+
+    def _store_page(self, page: Page) -> None:
+        raise NotImplementedError
+
+    def _load_pages(self, start_page: int = 0) -> Iterator[Page]:
+        raise NotImplementedError
+
+    def _discard(self) -> None:
+        raise NotImplementedError
+
+
+class _MemorySpillFile(SpillFile):
+    """Spill file held in process memory (byte-accounted)."""
+
+    def __init__(self, file_id: int, stats: IOStats):
+        super().__init__(file_id, stats)
+        self._pages: list[Page] = []
+
+    def _store_page(self, page: Page) -> None:
+        self._pages.append(page)
+
+    def _load_pages(self, start_page: int = 0) -> Iterator[Page]:
+        return iter(self._pages[start_page:])
+
+    def _discard(self) -> None:
+        self._pages = []
+
+
+class _DiskSpillFile(SpillFile):
+    """Spill file backed by a real temporary file of pickled pages."""
+
+    def __init__(self, file_id: int, stats: IOStats, directory: str):
+        super().__init__(file_id, stats)
+        fd, self._path = tempfile.mkstemp(
+            prefix=f"run{file_id:06d}_", suffix=".spill", dir=directory)
+        self._handle = os.fdopen(fd, "wb")
+        self._page_offsets: list[int] = []
+        self._bytes_on_disk = 0
+
+    def _store_page(self, page: Page) -> None:
+        payload = page.to_bytes()
+        self._page_offsets.append(self._bytes_on_disk)
+        self._handle.write(_LENGTH_HEADER.pack(len(payload)))
+        self._handle.write(payload)
+        self._bytes_on_disk += _LENGTH_HEADER.size + len(payload)
+
+    def seal(self) -> None:
+        if not self._sealed:
+            self._handle.close()
+        super().seal()
+
+    def _load_pages(self, start_page: int = 0) -> Iterator[Page]:
+        with open(self._path, "rb") as handle:
+            if start_page:
+                if start_page >= len(self._page_offsets):
+                    return
+                handle.seek(self._page_offsets[start_page])
+            while True:
+                header = handle.read(_LENGTH_HEADER.size)
+                if not header:
+                    return
+                if len(header) != _LENGTH_HEADER.size:
+                    raise SpillError(f"truncated page header in {self._path}")
+                (length,) = _LENGTH_HEADER.unpack(header)
+                payload = handle.read(length)
+                if len(payload) != length:
+                    raise SpillError(f"truncated page body in {self._path}")
+                yield Page.from_bytes(payload)
+
+    def _discard(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+        if os.path.exists(self._path):
+            os.unlink(self._path)
+
+
+class MemorySpillBackend:
+    """Creates in-memory spill files."""
+
+    def create_file(self, file_id: int, stats: IOStats) -> SpillFile:
+        return _MemorySpillFile(file_id, stats)
+
+    def close(self) -> None:
+        """Nothing to release for the in-memory backend."""
+
+
+class DiskSpillBackend:
+    """Creates real temporary spill files under one directory."""
+
+    def __init__(self, directory: str | None = None):
+        self._own_directory = directory is None
+        self._directory = directory or tempfile.mkdtemp(prefix="repro_spill_")
+
+    def create_file(self, file_id: int, stats: IOStats) -> SpillFile:
+        return _DiskSpillFile(file_id, stats, self._directory)
+
+    def close(self) -> None:
+        """Remove the spill directory if this backend created it."""
+        if self._own_directory and os.path.isdir(self._directory):
+            for name in os.listdir(self._directory):
+                os.unlink(os.path.join(self._directory, name))
+            os.rmdir(self._directory)
+
+
+class SpillManager:
+    """Factory and accounting hub for spill files.
+
+    Args:
+        backend: Storage backend; defaults to the in-memory one.
+        stats: Shared counters; a fresh record is created when omitted.
+        page_bytes: Page capacity handed to writers.
+        row_size: Row byte estimator handed to writers.
+    """
+
+    def __init__(
+        self,
+        backend: MemorySpillBackend | DiskSpillBackend | None = None,
+        stats: IOStats | None = None,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        row_size: Callable[[Sequence], int] | None = None,
+    ):
+        self.backend = backend or MemorySpillBackend()
+        self.stats = stats if stats is not None else IOStats()
+        self.page_bytes = page_bytes
+        self.row_size = row_size or (lambda row: 16 + 8 * len(row))
+        self._next_file_id = 0
+        self._open_files: list[SpillFile] = []
+
+    def create_file(self) -> SpillFile:
+        """Create a new spill file registered with this manager."""
+        spill_file = self.backend.create_file(self._next_file_id, self.stats)
+        self._next_file_id += 1
+        self._open_files.append(spill_file)
+        return spill_file
+
+    def new_page_builder(self) -> PageBuilder:
+        """A page builder configured with this manager's page geometry."""
+        return PageBuilder(page_bytes=self.page_bytes, row_size=self.row_size)
+
+    def delete_file(self, spill_file: SpillFile) -> None:
+        """Delete a file and record the run deletion."""
+        spill_file.delete()
+        if spill_file in self._open_files:
+            self._open_files.remove(spill_file)
+        self.stats.runs_deleted += 1
+
+    def close(self) -> None:
+        """Delete all files and release backend resources."""
+        for spill_file in list(self._open_files):
+            spill_file.delete()
+        self._open_files.clear()
+        self.backend.close()
+
+    def __enter__(self) -> "SpillManager":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,27 @@
+"""Alternative top-k execution strategies the paper weighs and rejects.
+
+Section 2.1 surveys execution strategies for large-output top-k; each is
+implemented here so its costs can be measured rather than asserted:
+
+* :class:`LateMaterializationTopK` — sort narrow ``(key, row_id)`` pairs,
+  fetch winners with random reads (loses on disaggregated storage);
+* :class:`RangePartitionTopK` — range-partition and discard high
+  partitions (needs quantile foreknowledge);
+* :class:`ZoneMapTopK` — materialize everything with min/max block
+  statistics, prune, then select (pays full materialization up front).
+"""
+
+from repro.strategies.late_materialization import (
+    LateMaterializationTopK,
+    SimulatedRowStore,
+)
+from repro.strategies.range_partition import RangePartitionTopK
+from repro.strategies.zone_maps import ZoneMapEntry, ZoneMapTopK
+
+__all__ = [
+    "LateMaterializationTopK",
+    "SimulatedRowStore",
+    "RangePartitionTopK",
+    "ZoneMapTopK",
+    "ZoneMapEntry",
+]

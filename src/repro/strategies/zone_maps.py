@@ -1,0 +1,157 @@
+"""Alternative strategy: materialize + min/max statistics (Section 2.1).
+
+"A possible execution strategy materializes the input before the top-k
+operator, collects statistics, as is common in column stores with min/max
+statistics, and uses the statistics to skip parts of the input."  The
+paper rejects it because the *materialization of the entire input* costs
+more than histogram filtering ever saves, and pruning works on blocks,
+not rows.  This module implements the strategy faithfully so that cost
+can be measured:
+
+1. **Materialize**: the whole input is written to fixed-size blocks on
+   secondary storage, each annotated with its min/max key (a zone map).
+2. **Prune**: blocks sorted by ``min_key``; take blocks until their
+   cumulative row count reaches ``k`` — the maximum of their ``max_key``
+   is a sound cutoff; every block whose ``min_key`` exceeds it is skipped
+   without being read.
+3. **Select**: a histogram top-k runs over the surviving blocks only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.topk import HistogramTopK
+from repro.errors import ConfigurationError
+from repro.rows.sortspec import SortSpec
+from repro.storage.spill import SpillFile, SpillManager
+from repro.storage.stats import OperatorStats
+
+
+@dataclass
+class ZoneMapEntry:
+    """Zone map for one materialized block."""
+
+    block: SpillFile
+    row_count: int
+    min_key: Any
+    max_key: Any
+
+
+class ZoneMapTopK:
+    """Materialize-with-statistics top-k.
+
+    Args:
+        sort_key: :class:`SortSpec` or key extractor.
+        k: Requested output size.
+        memory_rows: Memory budget in rows for the selection phase and
+            the materialization buffer.
+        block_rows: Rows per materialized block (granularity of pruning;
+            smaller blocks prune more but cost more requests).
+    """
+
+    def __init__(
+        self,
+        sort_key: SortSpec | Callable[[tuple], Any],
+        k: int,
+        memory_rows: int,
+        block_rows: int = 1_024,
+        spill_manager: SpillManager | None = None,
+        stats: OperatorStats | None = None,
+    ):
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        if block_rows <= 0:
+            raise ConfigurationError("block_rows must be positive")
+        self.sort_key = (sort_key.key if isinstance(sort_key, SortSpec)
+                         else sort_key)
+        self.k = k
+        self.memory_rows = memory_rows
+        self.block_rows = block_rows
+        self.spill_manager = spill_manager or SpillManager()
+        self.stats = stats or OperatorStats()
+        self.stats.io = self.spill_manager.stats
+        self.zone_map: list[ZoneMapEntry] = []
+        self.blocks_skipped = 0
+
+    # -- phase 1: materialization ------------------------------------------
+
+    def _write_block(self, rows: list[tuple]) -> None:
+        keys = [self.sort_key(row) for row in rows]
+        block = self.spill_manager.create_file()
+        builder = self.spill_manager.new_page_builder()
+        for row in rows:
+            page = builder.add(row)
+            if page is not None:
+                block.append_page(page)
+        tail = builder.flush()
+        if tail is not None:
+            block.append_page(tail)
+        block.seal()
+        self.zone_map.append(ZoneMapEntry(
+            block=block,
+            row_count=len(rows),
+            min_key=min(keys),
+            max_key=max(keys),
+        ))
+
+    def _materialize(self, rows: Iterable[tuple]) -> None:
+        buffer: list[tuple] = []
+        for row in rows:
+            self.stats.rows_consumed += 1
+            buffer.append(row)
+            if len(buffer) >= self.block_rows:
+                self._write_block(buffer)
+                buffer = []
+        if buffer:
+            self._write_block(buffer)
+
+    # -- phase 2: pruning -----------------------------------------------------
+
+    def _pruned_cutoff(self) -> Any:
+        """A sound cutoff from the zone map, or ``None`` if nothing can
+        be pruned (fewer than k rows)."""
+        by_min = sorted(self.zone_map, key=lambda entry: entry.min_key)
+        cumulative = 0
+        cutoff = None
+        for entry in by_min:
+            cumulative += entry.row_count
+            cutoff = entry.max_key if cutoff is None \
+                else max(cutoff, entry.max_key)
+            if cumulative >= self.k:
+                return cutoff
+        return None
+
+    # -- phase 3: selection -----------------------------------------------------
+
+    def execute(self, rows: Iterable[tuple]) -> Iterator[tuple]:
+        """Materialize, prune by zone map, select the top k."""
+        self._materialize(rows)
+        cutoff = self._pruned_cutoff()
+        surviving: list[ZoneMapEntry] = []
+        for entry in self.zone_map:
+            if cutoff is not None and entry.min_key > cutoff:
+                self.blocks_skipped += 1
+                self.stats.rows_eliminated_on_arrival += entry.row_count
+                continue
+            surviving.append(entry)
+
+        def scan() -> Iterator[tuple]:
+            for entry in surviving:
+                yield from entry.block.rows()
+
+        inner = HistogramTopK(
+            self.sort_key,
+            k=self.k,
+            memory_rows=self.memory_rows,
+            spill_manager=self.spill_manager,
+        )
+        for row in inner.execute(scan()):
+            self.stats.rows_output += 1
+            yield row
+
+    @property
+    def rows_pruned(self) -> int:
+        """Rows skipped without being read back, thanks to zone maps."""
+        return self.stats.rows_eliminated_on_arrival

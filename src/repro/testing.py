@@ -1,0 +1,131 @@
+"""Public testing utilities for top-k operator implementations.
+
+Downstream users extending this library (custom run generation, new
+filter policies, alternative operators) can verify their implementation
+against the same contract the built-in algorithms satisfy:
+
+    from repro.testing import check_topk_contract
+
+    check_topk_contract(lambda k, memory_rows:
+                        MyOperator(key_fn, k, memory_rows))
+
+The checker runs a battery of adversarially chosen inputs — duplicates,
+sorted/reverse-sorted orders, ties at the k-th position, inputs smaller
+than k, heavy skew — and asserts exact agreement with the sorted-prefix
+oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ReproError
+
+
+class TopKContractError(ReproError, AssertionError):
+    """A contract violation, with the offending scenario named."""
+
+
+def reference_topk(rows: Sequence[tuple], k: int,
+                   sort_key: Callable[[tuple], Any],
+                   offset: int = 0) -> list[tuple]:
+    """The oracle: a stable full sort, sliced."""
+    return sorted(rows, key=sort_key)[offset:offset + k]
+
+
+def contract_scenarios(seed: int = 0) -> list[tuple[str, list[tuple]]]:
+    """Named input scenarios every top-k operator must handle."""
+    rng = random.Random(seed)
+    uniform = [(rng.random(),) for _ in range(4_000)]
+    return [
+        ("empty", []),
+        ("single row", [(0.5,)]),
+        ("uniform random", uniform),
+        ("already sorted", sorted(uniform)),
+        ("reverse sorted (adversarial)",
+         sorted(uniform, reverse=True)),
+        ("all duplicates", [(1.0,)] * 1_000),
+        ("ties at the boundary",
+         [(float(value),) for value in
+          [0] * 10 + [1] * 300 + [2] * 10] ),
+        ("heavy skew",
+         [(float(rng.randrange(3)),) for _ in range(2_000)]),
+        ("negative and zero keys",
+         [(float(rng.randrange(-50, 5)),) for _ in range(1_500)]),
+        ("tiny input vs large k", [(rng.random(),) for _ in range(7)]),
+    ]
+
+
+def check_topk_contract(
+    make_operator: Callable[[int, int], Any],
+    ks: Iterable[int] = (1, 17, 400),
+    memory_rows: Iterable[int] = (8, 100),
+    sort_key: Callable[[tuple], Any] | None = None,
+    seed: int = 0,
+) -> int:
+    """Assert an operator factory satisfies the top-k contract.
+
+    Args:
+        make_operator: Callable ``(k, memory_rows) -> operator`` where the
+            operator exposes ``execute(rows) -> iterator``.
+        ks: Output sizes to try (spanning both memory regimes).
+        memory_rows: Memory budgets to try.
+        sort_key: Key extractor matching the operator's ordering
+            (defaults to the first column).
+        seed: Scenario seed.
+
+    Returns:
+        The number of (scenario, k, memory) combinations checked.
+
+    Raises:
+        TopKContractError: naming the first failing combination.
+    """
+    key = sort_key or (lambda row: row[0])
+    checked = 0
+    for name, rows in contract_scenarios(seed):
+        for k in ks:
+            expected_full = sorted(rows, key=key)
+            for memory in memory_rows:
+                operator = make_operator(k, memory)
+                try:
+                    result = list(operator.execute(iter(list(rows))))
+                except ReproError:
+                    raise
+                except Exception as error:  # noqa: BLE001 - reported
+                    raise TopKContractError(
+                        f"scenario {name!r} k={k} memory={memory}: "
+                        f"operator raised {type(error).__name__}: {error}"
+                    ) from error
+                expected = expected_full[:k]
+                if [key(row) for row in result] \
+                        != [key(row) for row in expected]:
+                    raise TopKContractError(
+                        f"scenario {name!r} k={k} memory={memory}: "
+                        f"got {len(result)} rows, keys differ from the "
+                        f"sorted-prefix oracle")
+                checked += 1
+    return checked
+
+
+def check_filter_safety(
+    insert_buckets: Callable,
+    eliminate: Callable[[Any], bool],
+    keys: Sequence[float],
+    k: int,
+) -> None:
+    """Assert a cutoff-filter implementation never kills an output row.
+
+    ``insert_buckets`` is called with the key list (the implementation
+    builds whatever model it wants); afterwards no key among the true
+    top k may be eliminated.
+
+    Raises:
+        TopKContractError: on the first unsafe elimination.
+    """
+    insert_buckets(list(keys))
+    for key in sorted(keys)[:k]:
+        if eliminate(key):
+            raise TopKContractError(
+                f"filter eliminated key {key!r}, which belongs to the "
+                f"true top {k}")

@@ -1,0 +1,12 @@
+"""Vectorized (numpy) execution path for the histogram top-k."""
+
+from repro.vectorized.baselines import VectorizedOptimizedTopK
+from repro.vectorized.runs import VectorRun, VectorRunStore
+from repro.vectorized.topk import VectorizedHistogramTopK
+
+__all__ = [
+    "VectorRun",
+    "VectorRunStore",
+    "VectorizedHistogramTopK",
+    "VectorizedOptimizedTopK",
+]

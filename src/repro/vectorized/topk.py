@@ -1,0 +1,327 @@
+"""Vectorized histogram top-k over numpy key chunks.
+
+Same algorithm as :class:`repro.core.topk.HistogramTopK` — admission
+filter, load-sort-store run generation with histogram buckets created as
+rows are written, spill-time truncation against the live cutoff, merge of
+the filtered survivors — but every step operates on numpy arrays, making
+multi-ten-million-row workloads practical in Python.  Payload travels as
+a parallel ``row_id`` array (late-binding indices into the caller's
+storage), or is omitted entirely for keys-only analysis.
+
+The operator is exact: its output equals ``np.sort(all_keys)[:k]`` and
+its spill accounting uses the same counters as the row engine, so the two
+engines can be cross-checked (see ``tests/test_vectorized.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.cutoff import CutoffFilter
+from repro.core.histogram import Bucket
+from repro.errors import ConfigurationError
+from repro.storage.stats import OperatorStats
+from repro.vectorized.runs import VectorRunStore
+
+
+class VectorizedHistogramTopK:
+    """Histogram-filtered top-k over chunked numpy keys.
+
+    Args:
+        k: Requested output size.
+        memory_rows: Operator memory budget in rows (one sort load).
+        buckets_per_run: Histogram boundaries per run (``B`` boundaries on
+            the ``j/(B+1)`` quantiles of a full load; 0 disables
+            filtering).
+        offset: Rows to skip before the output (pagination).
+        store: Vector run store (fresh one if omitted).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        memory_rows: int,
+        buckets_per_run: int = 50,
+        offset: int = 0,
+        store: VectorRunStore | None = None,
+        stats: OperatorStats | None = None,
+    ):
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        if memory_rows <= 0:
+            raise ConfigurationError("memory_rows must be positive")
+        if offset < 0:
+            raise ConfigurationError("offset must be non-negative")
+        if buckets_per_run < 0:
+            raise ConfigurationError("buckets_per_run must be >= 0")
+        self.k = k
+        self.offset = offset
+        self.memory_rows = memory_rows
+        self.buckets_per_run = buckets_per_run
+        self.store = store or VectorRunStore()
+        self.stats = stats or OperatorStats()
+        self.stats.io = self.store.stats
+        self.cutoff_filter = CutoffFilter(k=k + offset)
+        if buckets_per_run > 0:
+            stride = max(1, memory_rows // (buckets_per_run + 1))
+            self._positions = list(range(stride, memory_rows + 1, stride))
+            self._positions = self._positions[:buckets_per_run]
+        else:
+            self._positions = []
+
+    # -- regime selection ---------------------------------------------------
+
+    @property
+    def output_fits_in_memory(self) -> bool:
+        """Whether the vectorized priority-queue-equivalent regime applies."""
+        return self.k + self.offset <= self.memory_rows
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(
+        self,
+        chunks: Iterable[np.ndarray | tuple[np.ndarray, np.ndarray]],
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Consume key chunks and return ``(keys, row_ids)`` of the top k.
+
+        Each chunk is either a key array or a ``(keys, row_ids)`` pair;
+        mixing forms is not allowed.  Returned keys are sorted ascending;
+        ``row_ids`` is ``None`` for keys-only input.
+        """
+        normalized = self._normalize(chunks)
+        if self.output_fits_in_memory:
+            keys, ids = self._execute_in_memory(normalized)
+        else:
+            keys, ids = self._execute_external(normalized)
+        self.stats.rows_output += int(keys.size)
+        return keys, ids
+
+    def execute_keys(self, chunks: Iterable[np.ndarray]) -> np.ndarray:
+        """Keys-only convenience wrapper."""
+        keys, _ids = self.execute(chunks)
+        return keys
+
+    # -- internals -------------------------------------------------------------
+
+    def _normalize(self, chunks) -> Iterator[tuple[np.ndarray,
+                                                   np.ndarray | None]]:
+        for chunk in chunks:
+            if isinstance(chunk, tuple):
+                keys, ids = chunk
+                yield (np.asarray(keys), np.asarray(ids))
+            else:
+                yield (np.asarray(chunk), None)
+
+    def _take(self, keys: np.ndarray, ids: np.ndarray | None,
+              selector) -> tuple[np.ndarray, np.ndarray | None]:
+        return keys[selector], (ids[selector] if ids is not None else None)
+
+    # -- in-memory regime -----------------------------------------------------
+
+    def _execute_in_memory(self, chunks) -> tuple[np.ndarray,
+                                                  np.ndarray | None]:
+        """Vector equivalent of the priority-queue algorithm: keep the
+        ``k`` best candidates, compacting with ``np.partition`` whenever
+        the candidate buffer outgrows a small multiple of k."""
+        needed = self.k + self.offset
+        compact_at = max(4 * needed, 16_384)
+        buffer_keys: list[np.ndarray] = []
+        buffer_ids: list[np.ndarray] = []
+        buffered = 0
+        has_ids: bool | None = None
+        cutoff = None
+
+        def compact(final: bool):
+            nonlocal buffer_keys, buffer_ids, buffered, cutoff
+            keys = np.concatenate(buffer_keys) if buffer_keys \
+                else np.empty(0)
+            ids = np.concatenate(buffer_ids) if has_ids else None
+            if keys.size > needed:
+                order = np.argsort(keys, kind="stable")[:needed] \
+                    if final else np.argpartition(keys, needed - 1)[:needed]
+                keys, ids = self._take(keys, ids, order)
+                cutoff = float(np.max(keys))
+            elif final and keys.size:
+                order = np.argsort(keys, kind="stable")
+                keys, ids = self._take(keys, ids, order)
+            buffer_keys = [keys]
+            buffer_ids = [ids] if has_ids else []
+            buffered = int(keys.size)
+            return keys, ids
+
+        for keys, ids in chunks:
+            if has_ids is None:
+                has_ids = ids is not None
+            self.stats.rows_consumed += int(keys.size)
+            if cutoff is not None:
+                self.stats.cutoff_comparisons += int(keys.size)
+                mask = keys <= cutoff
+                dropped = int(keys.size - mask.sum())
+                if dropped:
+                    self.stats.rows_eliminated_on_arrival += dropped
+                    keys, ids = self._take(keys, ids, mask)
+            buffer_keys.append(keys)
+            if has_ids:
+                buffer_ids.append(ids)
+            buffered += int(keys.size)
+            if buffered >= compact_at:
+                compact(final=False)
+        keys, ids = compact(final=True)
+        # ``compact`` keeps only the first ``needed``; the final sort may
+        # include ties beyond position k — the slice resolves them.
+        return self._take(keys, ids, slice(self.offset,
+                                           self.offset + self.k))
+
+    # -- external regime ----------------------------------------------------------
+
+    def _flush_run(self, keys: np.ndarray, ids: np.ndarray | None) -> None:
+        """Sort one memory load and write it, sharpening as we go."""
+        order = np.argsort(keys, kind="stable")
+        keys, ids = self._take(keys, ids, order)
+        written = 0
+        cursor = 0
+        truncated = False
+        for index, position in enumerate(self._positions):
+            if position > keys.size:
+                break
+            cutoff = self.cutoff_filter.cutoff_key
+            if cutoff is not None:
+                writable = int(np.searchsorted(
+                    keys[cursor:position], cutoff, side="right"))
+                if cursor + writable < position:
+                    written = cursor + writable
+                    truncated = True
+                    break
+            previous = self._positions[index - 1] if index else 0
+            self.cutoff_filter.insert(Bucket(
+                boundary_key=float(keys[position - 1]),
+                size=position - previous))
+            cursor = position
+            written = position
+        if not truncated and cursor < keys.size:
+            cutoff = self.cutoff_filter.cutoff_key
+            tail = keys[cursor:]
+            if cutoff is not None:
+                written = cursor + int(np.searchsorted(tail, cutoff,
+                                                       side="right"))
+            else:
+                written = int(keys.size)
+        dropped = int(keys.size) - written
+        if dropped:
+            self.stats.rows_eliminated_at_spill += dropped
+        self.store.write_run(keys[:written],
+                             ids[:written] if ids is not None else None)
+
+    def _execute_external(self, chunks) -> tuple[np.ndarray,
+                                                 np.ndarray | None]:
+        pending_keys: list[np.ndarray] = []
+        pending_ids: list[np.ndarray] = []
+        pending = 0
+        has_ids: bool | None = None
+
+        def assemble_load() -> bool:
+            """Flush one full memory load; False when, after re-filtering,
+            not enough admitted rows remain (gather more input first)."""
+            nonlocal pending_keys, pending_ids, pending
+            keys = np.concatenate(pending_keys)
+            ids = np.concatenate(pending_ids) if has_ids else None
+            # Rows buffered before the cutoff sharpened still "arrive" at
+            # the sort one load at a time: re-filter with the live cutoff
+            # (this is what the per-row admission check does naturally in
+            # the row engine).
+            cutoff = self.cutoff_filter.cutoff_key
+            if cutoff is not None:
+                mask = keys <= cutoff
+                dropped = int(keys.size - mask.sum())
+                if dropped:
+                    self.stats.rows_eliminated_on_arrival += dropped
+                    keys, ids = self._take(keys, ids, mask)
+            if keys.size < self.memory_rows:
+                pending_keys = [keys] if keys.size else []
+                pending_ids = [ids] if has_ids and keys.size else []
+                pending = int(keys.size)
+                return False
+            load_keys, rest_keys = keys[:self.memory_rows], \
+                keys[self.memory_rows:]
+            if ids is not None:
+                load_ids, rest_ids = ids[:self.memory_rows], \
+                    ids[self.memory_rows:]
+            else:
+                load_ids = rest_ids = None
+            pending_keys = [rest_keys] if rest_keys.size else []
+            pending_ids = [rest_ids] if has_ids and rest_keys.size else []
+            pending = int(rest_keys.size)
+            self._flush_run(load_keys, load_ids)
+            return True
+
+        for keys, ids in chunks:
+            if has_ids is None:
+                has_ids = ids is not None
+            self.stats.rows_consumed += int(keys.size)
+            cutoff = self.cutoff_filter.cutoff_key
+            if cutoff is not None:
+                self.stats.cutoff_comparisons += int(keys.size)
+                mask = keys <= cutoff
+                dropped = int(keys.size - mask.sum())
+                if dropped:
+                    self.stats.rows_eliminated_on_arrival += dropped
+                    keys, ids = self._take(keys, ids, mask)
+            if keys.size:
+                pending_keys.append(keys)
+                if has_ids:
+                    pending_ids.append(ids)
+                pending += int(keys.size)
+            while pending >= self.memory_rows:
+                if not assemble_load():
+                    break
+        if pending:
+            keys = np.concatenate(pending_keys)
+            ids = np.concatenate(pending_ids) if has_ids else None
+            cutoff = self.cutoff_filter.cutoff_key
+            if cutoff is not None:
+                mask = keys <= cutoff
+                dropped = int(keys.size - mask.sum())
+                if dropped:
+                    self.stats.rows_eliminated_on_arrival += dropped
+                    keys, ids = self._take(keys, ids, mask)
+            if keys.size:
+                self._flush_run(keys, ids)
+
+        return self._select(has_ids=bool(has_ids))
+
+    def _select(self, has_ids: bool) -> tuple[np.ndarray,
+                                              np.ndarray | None]:
+        """Merge phase: read the filtered survivors and take the top k."""
+        needed = self.k + self.offset
+        all_keys: list[np.ndarray] = []
+        all_ids: list[np.ndarray] = []
+        cutoff = self.cutoff_filter.cutoff_key
+        for run in list(self.store.runs):
+            if cutoff is not None and run.first_key is not None \
+                    and run.first_key > cutoff:
+                # Entirely above the cutoff: skipped without reading.
+                self.store.delete_run(run)
+                continue
+            keys, ids = self.store.read_run(run)
+            if cutoff is not None:
+                end = int(np.searchsorted(keys, cutoff, side="right"))
+                keys = keys[:end]
+                ids = ids[:end] if ids is not None else None
+            all_keys.append(keys)
+            if has_ids:
+                all_ids.append(ids)
+        if not all_keys:
+            empty = np.empty(0)
+            return empty, (np.empty(0, dtype=np.int64) if has_ids
+                           else None)
+        keys = np.concatenate(all_keys)
+        ids = np.concatenate(all_ids) if has_ids else None
+        if keys.size > needed:
+            order = np.argpartition(keys, needed - 1)[:needed]
+            keys, ids = self._take(keys, ids, order)
+        order = np.argsort(keys, kind="stable")
+        keys, ids = self._take(keys, ids, order)
+        return self._take(keys, ids, slice(self.offset,
+                                           self.offset + self.k))

@@ -1,0 +1,138 @@
+"""Tests for the Section 3.2 analysis simulators."""
+
+import pytest
+
+from repro.core.analysis import (
+    _boundary_positions,
+    simulate_sampled,
+    simulate_uniform,
+)
+from repro.datagen.distributions import LOGNORMAL
+from repro.errors import ConfigurationError
+
+
+class TestBoundaryPositions:
+    def test_deciles(self):
+        assert _boundary_positions(1_000, 9) == [
+            100, 200, 300, 400, 500, 600, 700, 800, 900]
+
+    def test_median(self):
+        assert _boundary_positions(1_000, 1) == [500]
+
+    def test_zero_buckets(self):
+        assert _boundary_positions(1_000, 0) == []
+
+    def test_more_buckets_than_rows(self):
+        positions = _boundary_positions(10, 100)
+        assert positions == list(range(1, 11))[:100]
+
+
+class TestDeterministicSimulator:
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            simulate_uniform(-1, 10, 10, 1)
+        with pytest.raises(ConfigurationError):
+            simulate_uniform(100, 10, 0, 1)
+
+    def test_empty_input(self):
+        result = simulate_uniform(0, 10, 10, 1)
+        assert result.runs == 0
+        assert result.rows_spilled == 0
+
+    def test_no_histogram_sorts_everything(self):
+        result = simulate_uniform(100_000, 5_000, 1_000, 0)
+        assert result.runs == 100
+        assert result.rows_spilled == 100_000
+        assert result.final_cutoff is None
+        assert result.cutoff_ratio is None
+
+    def test_table1_scenario_headline(self):
+        """39 runs, <35,000 rows spilled (Section 3.2.1)."""
+        result = simulate_uniform(1_000_000, 5_000, 1_000, 9)
+        assert result.runs == 39
+        assert result.rows_spilled < 35_000
+        assert result.final_cutoff == pytest.approx(0.0063, rel=1e-6)
+
+    def test_table1_trace_first_cutoffs(self):
+        result = simulate_uniform(1_000_000, 5_000, 1_000, 9,
+                                  keep_traces=True)
+        cutoffs = [t.cutoff_before for t in result.traces[:10]]
+        assert cutoffs[:6] == [None] * 6
+        assert cutoffs[6] == pytest.approx(0.9)
+        assert cutoffs[7] == pytest.approx(0.72)
+        assert cutoffs[8] == pytest.approx(0.6)
+        assert cutoffs[9] == pytest.approx(0.504)
+
+    def test_trace_consumed_matches_paper(self):
+        result = simulate_uniform(1_000_000, 5_000, 1_000, 9,
+                                  keep_traces=True)
+        consumed = [t.input_consumed for t in result.traces[:10]]
+        assert consumed[:6] == [1_000] * 6
+        assert consumed[6] == 1_111
+        assert consumed[7] == 1_388
+        assert consumed[8] == 1_666
+
+    def test_minimal_histogram_matches_table5(self):
+        result = simulate_uniform(1_000_000, 5_000, 1_000, 1)
+        assert result.runs == 66
+        assert result.rows_spilled == 62_781
+        assert result.final_cutoff == pytest.approx(0.015625)
+
+    def test_ratio_computation(self):
+        result = simulate_uniform(1_000_000, 5_000, 1_000, 9)
+        assert result.ideal_cutoff == pytest.approx(0.005)
+        assert result.cutoff_ratio == pytest.approx(1.26, abs=0.01)
+
+    def test_spill_reduction_property(self):
+        result = simulate_uniform(1_000_000, 5_000, 1_000, 9)
+        assert result.spill_reduction_vs_full_sort > 25
+
+    def test_larger_histograms_never_hurt_much(self):
+        coarse = simulate_uniform(500_000, 5_000, 1_000, 1)
+        fine = simulate_uniform(500_000, 5_000, 1_000, 49)
+        assert fine.rows_spilled < coarse.rows_spilled
+
+    def test_input_scaling_adds_few_runs(self):
+        """Doubling the input adds only a handful of runs (Table 4)."""
+        small = simulate_uniform(1_000_000, 5_000, 1_000, 9)
+        large = simulate_uniform(2_000_000, 5_000, 1_000, 9)
+        assert large.runs - small.runs <= 6
+
+    def test_input_barely_larger_than_output(self):
+        result = simulate_uniform(6_000, 5_000, 1_000, 9)
+        assert result.runs == 6
+        assert result.rows_spilled == 5_900
+
+    def test_traces_only_when_requested(self):
+        assert simulate_uniform(10_000, 500, 100, 9).traces == []
+
+
+class TestSampledSimulator:
+    def test_close_to_deterministic_on_uniform(self):
+        expected = simulate_uniform(200_000, 5_000, 1_000, 9)
+        sampled = simulate_sampled(200_000, 5_000, 1_000, 9, seed=1)
+        assert sampled.runs == pytest.approx(expected.runs, rel=0.2)
+        assert sampled.rows_spilled == pytest.approx(
+            expected.rows_spilled, rel=0.2)
+
+    def test_cutoff_close_to_ideal(self):
+        sampled = simulate_sampled(200_000, 5_000, 1_000, 9, seed=2)
+        assert sampled.final_cutoff == pytest.approx(
+            5_000 / 200_000, rel=0.6)
+
+    def test_works_on_lognormal(self):
+        result = simulate_sampled(100_000, 2_000, 500, 9, seed=3,
+                                  distribution=LOGNORMAL)
+        # Filtering still removes the overwhelming majority of the input.
+        assert result.rows_spilled < 30_000
+        assert result.final_cutoff is not None
+
+    def test_no_histogram_spills_all(self):
+        result = simulate_sampled(50_000, 2_000, 500, 0, seed=4)
+        assert result.rows_spilled == 50_000
+
+    def test_deterministic_for_seed(self):
+        first = simulate_sampled(50_000, 2_000, 500, 9, seed=5)
+        second = simulate_sampled(50_000, 2_000, 500, 9, seed=5)
+        assert first.rows_spilled == second.rows_spilled
+        assert first.runs == second.runs

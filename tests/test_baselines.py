@@ -1,0 +1,178 @@
+"""Tests for the three baseline top-k algorithms."""
+
+import random
+
+import pytest
+
+from repro.baselines.optimized_topk import OptimizedMergeSortTopK
+from repro.baselines.priority_queue_topk import PriorityQueueTopK
+from repro.baselines.traditional_topk import TraditionalMergeSortTopK
+from repro.errors import ConfigurationError, MemoryBudgetExceeded
+from repro.storage.spill import SpillManager
+
+KEY = lambda row: row[0]  # noqa: E731
+
+
+def uniform(count, seed=0):
+    rng = random.Random(seed)
+    return [(rng.random(),) for _ in range(count)]
+
+
+class TestPriorityQueue:
+    def test_correctness(self):
+        rows = uniform(5_000)
+        out = list(PriorityQueueTopK(KEY, 100).execute(rows))
+        assert out == sorted(rows)[:100]
+
+    def test_offset(self):
+        rows = uniform(1_000)
+        out = list(PriorityQueueTopK(KEY, 10, offset=20).execute(rows))
+        assert out == sorted(rows)[20:30]
+
+    def test_fails_when_output_exceeds_memory(self):
+        """The robustness problem of Section 2.3, reported honestly."""
+        with pytest.raises(MemoryBudgetExceeded):
+            PriorityQueueTopK(KEY, 1_000, memory_rows=500)
+
+    def test_unbounded_memory_mode(self):
+        operator = PriorityQueueTopK(KEY, 1_000, memory_rows=None)
+        assert operator.peak_memory_rows == 1_000
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            PriorityQueueTopK(KEY, 0)
+
+    def test_eliminations_counted(self):
+        rows = uniform(10_000)
+        operator = PriorityQueueTopK(KEY, 10)
+        list(operator.execute(rows))
+        assert operator.stats.rows_eliminated_on_arrival == 10_000 - 10
+
+    def test_k_larger_than_input(self):
+        rows = uniform(50)
+        out = list(PriorityQueueTopK(KEY, 100).execute(rows))
+        assert out == sorted(rows)
+
+    def test_duplicate_keys(self):
+        rows = [(1.0,), (1.0,), (0.0,), (1.0,)]
+        out = list(PriorityQueueTopK(KEY, 3).execute(rows))
+        assert out == [(0.0,), (1.0,), (1.0,)]
+
+
+class TestTraditional:
+    def test_in_memory_path_when_k_fits(self):
+        spill = SpillManager()
+        rows = uniform(5_000)
+        operator = TraditionalMergeSortTopK(KEY, 100, 1_000,
+                                            spill_manager=spill)
+        out = list(operator.execute(rows))
+        assert out == sorted(rows)[:100]
+        assert spill.stats.rows_spilled == 0
+
+    def test_external_path_spills_entire_input(self):
+        spill = SpillManager()
+        rows = uniform(8_000)
+        operator = TraditionalMergeSortTopK(KEY, 2_000, 500,
+                                            spill_manager=spill)
+        out = list(operator.execute(rows))
+        assert out == sorted(rows)[:2_000]
+        assert spill.stats.rows_spilled == 8_000
+
+    def test_offset(self):
+        rows = uniform(5_000)
+        operator = TraditionalMergeSortTopK(KEY, 100, 500, offset=900)
+        assert list(operator.execute(rows)) == sorted(rows)[900:1_000]
+
+    def test_performance_cliff_exists(self):
+        """Crossing the memory boundary explodes the spill volume."""
+        rows = uniform(20_000)
+        below = TraditionalMergeSortTopK(KEY, 499, 500)
+        list(below.execute(iter(rows)))
+        above = TraditionalMergeSortTopK(KEY, 501, 500)
+        list(above.execute(iter(rows)))
+        assert below.stats.io.rows_spilled == 0
+        assert above.stats.io.rows_spilled == 20_000
+
+
+class TestOptimized:
+    def test_in_memory_path_when_k_fits(self):
+        rows = uniform(3_000)
+        operator = OptimizedMergeSortTopK(KEY, 50, 500)
+        assert list(operator.execute(rows)) == sorted(rows)[:50]
+
+    def test_external_correctness(self):
+        rows = uniform(30_000, seed=1)
+        operator = OptimizedMergeSortTopK(KEY, 2_000, 500)
+        assert list(operator.execute(rows)) == sorted(rows)[:2_000]
+
+    def test_early_merge_establishes_cutoff(self):
+        rows = uniform(30_000, seed=2)
+        operator = OptimizedMergeSortTopK(KEY, 2_000, 500)
+        list(operator.execute(rows))
+        assert operator.early_merge_steps == 1
+        assert operator.cutoff_key is not None
+
+    def test_spills_less_than_traditional(self):
+        rows = uniform(30_000, seed=3)
+        optimized = OptimizedMergeSortTopK(KEY, 2_000, 500)
+        list(optimized.execute(iter(rows)))
+        traditional = TraditionalMergeSortTopK(KEY, 2_000, 500)
+        list(traditional.execute(iter(rows)))
+        assert (optimized.stats.io.rows_spilled
+                < traditional.stats.io.rows_spilled)
+
+    def test_early_merge_can_be_disabled(self):
+        rows = uniform(20_000, seed=4)
+        operator = OptimizedMergeSortTopK(KEY, 2_000, 500,
+                                          early_merge=False)
+        out = list(operator.execute(rows))
+        assert out == sorted(rows)[:2_000]
+        assert operator.early_merge_steps == 0
+
+    def test_run_completion_refines_cutoff(self):
+        # Without early merges, a completed size-k run still provides a
+        # cutoff (run size is limited to k).
+        rows = uniform(30_000, seed=5)
+        operator = OptimizedMergeSortTopK(KEY, 500, 400,
+                                          early_merge=False)
+        list(operator.execute(rows))
+        assert operator.cutoff_key is not None
+
+    def test_custom_trigger(self):
+        rows = uniform(30_000, seed=6)
+        late = OptimizedMergeSortTopK(KEY, 2_000, 500,
+                                      early_merge_trigger_rows=20_000)
+        list(late.execute(iter(rows)))
+        early = OptimizedMergeSortTopK(KEY, 2_000, 500,
+                                       early_merge_trigger_rows=4_000)
+        list(early.execute(iter(rows)))
+        # Triggering later merges more rows and yields a sharper first
+        # cutoff, but filters later; both must stay correct.
+        assert late.cutoff_key <= early.cutoff_key
+
+    def test_offset(self):
+        rows = uniform(10_000, seed=7)
+        operator = OptimizedMergeSortTopK(KEY, 300, 200, offset=100)
+        assert list(operator.execute(rows)) == sorted(rows)[100:400]
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            OptimizedMergeSortTopK(KEY, 0, 10)
+        with pytest.raises(ConfigurationError):
+            OptimizedMergeSortTopK(KEY, 10, 0)
+
+
+class TestCrossAlgorithmAgreement:
+    @pytest.mark.parametrize("seed", [11, 22, 33])
+    def test_all_algorithms_agree(self, seed):
+        rows = uniform(12_000, seed=seed)
+        expected = sorted(rows)[:1_500]
+        histogram_out = None
+        from repro.core.topk import HistogramTopK
+        for operator in (
+            HistogramTopK(KEY, 1_500, 400),
+            TraditionalMergeSortTopK(KEY, 1_500, 400),
+            OptimizedMergeSortTopK(KEY, 1_500, 400),
+            PriorityQueueTopK(KEY, 1_500),
+        ):
+            assert list(operator.execute(iter(rows))) == expected

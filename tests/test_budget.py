@@ -1,0 +1,98 @@
+"""Tests for the memory budget accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemoryBudgetExceeded
+from repro.memory.budget import MemoryBudget, byte_budget, row_budget
+
+
+class TestConstruction:
+    def test_requires_some_limit(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBudget()
+
+    def test_rejects_non_positive_limits(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBudget(row_limit=0)
+        with pytest.raises(ConfigurationError):
+            MemoryBudget(byte_limit=-5)
+
+    def test_helpers(self):
+        assert row_budget(10).row_limit == 10
+        assert byte_budget(1024).byte_limit == 1024
+
+
+class TestAccounting:
+    def test_charge_and_release(self):
+        budget = row_budget(3)
+        budget.charge(rows=2)
+        assert budget.rows_used == 2
+        budget.release(rows=1)
+        assert budget.rows_used == 1
+
+    def test_charge_beyond_limit_raises(self):
+        budget = row_budget(2)
+        budget.charge(rows=2)
+        with pytest.raises(MemoryBudgetExceeded):
+            budget.charge(rows=1)
+
+    def test_release_more_than_used_raises(self):
+        budget = row_budget(2)
+        budget.charge(rows=1)
+        with pytest.raises(MemoryBudgetExceeded):
+            budget.release(rows=2)
+
+    def test_byte_accounting(self):
+        budget = byte_budget(100)
+        budget.charge(rows=1, bytes_=60)
+        assert not budget.fits(rows=1, bytes_=50)
+        assert budget.fits(rows=1, bytes_=40)
+
+    def test_both_limits_enforced(self):
+        budget = MemoryBudget(row_limit=10, byte_limit=100)
+        assert not budget.fits(rows=11)
+        assert not budget.fits(rows=1, bytes_=101)
+        assert budget.fits(rows=10, bytes_=100)
+
+    def test_is_full(self):
+        budget = row_budget(1)
+        assert not budget.is_full
+        budget.charge()
+        assert budget.is_full
+
+    def test_peaks_track_high_water(self):
+        budget = row_budget(5)
+        budget.charge(rows=4, bytes_=40)
+        budget.release(rows=3, bytes_=30)
+        budget.charge(rows=1, bytes_=5)
+        assert budget.peak_rows == 4
+        assert budget.peak_bytes == 40
+
+    def test_reset_preserves_peaks(self):
+        budget = row_budget(5)
+        budget.charge(rows=5)
+        budget.reset()
+        assert budget.rows_used == 0
+        assert budget.peak_rows == 5
+
+    def test_describe_mentions_limits(self):
+        budget = MemoryBudget(row_limit=5, byte_limit=100)
+        text = budget.describe()
+        assert "rows 0/5" in text
+        assert "bytes 0/100" in text
+
+
+class TestCapacity:
+    def test_row_capacity_row_limited(self):
+        assert row_budget(7).row_capacity() == 7
+
+    def test_row_capacity_byte_limited(self):
+        assert byte_budget(1000).row_capacity(avg_row_bytes=100) == 10
+
+    def test_row_capacity_takes_minimum(self):
+        budget = MemoryBudget(row_limit=5, byte_limit=1000)
+        assert budget.row_capacity(avg_row_bytes=100) == 5
+
+    def test_byte_only_without_avg_raises(self):
+        with pytest.raises(ConfigurationError):
+            byte_budget(1000).row_capacity()

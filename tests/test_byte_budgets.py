@@ -1,0 +1,153 @@
+"""Tests for byte-based memory budgets and runtime adaptivity.
+
+Section 2.3 warns that the pure priority-queue top-k "may unexpectedly
+fail" when rows are unexpectedly large or the memory allocation
+unexpectedly small.  The histogram operator with a ``memory_bytes`` budget
+handles both: it tracks resident bytes and switches to the external
+regime mid-execution the moment the output stops fitting.
+"""
+
+import random
+
+import pytest
+
+from repro.core.topk import HistogramTopK
+from repro.errors import ConfigurationError
+from repro.sorting.quicksort_runs import QuicksortRunGenerator
+from repro.sorting.replacement_selection import (
+    ReplacementSelectionRunGenerator,
+)
+from repro.storage.spill import SpillManager
+
+KEY = lambda row: row[0]  # noqa: E731
+
+
+def sized_rows(count, payload_for, seed=0):
+    """Rows ``(key, payload)`` whose payload size is key-dependent."""
+    rng = random.Random(seed)
+    rows = []
+    for _ in range(count):
+        key = rng.random()
+        rows.append((key, "x" * payload_for(key)))
+    return rows
+
+
+def row_bytes(row):
+    return 24 + len(row[1])
+
+
+class TestGeneratorsByteBudget:
+    def test_requires_some_capacity(self, spill):
+        with pytest.raises(ConfigurationError):
+            ReplacementSelectionRunGenerator(KEY, None, spill)
+        with pytest.raises(ConfigurationError):
+            QuicksortRunGenerator(KEY, None, spill)
+
+    def test_rejects_bad_byte_budget(self, spill):
+        with pytest.raises(ConfigurationError):
+            ReplacementSelectionRunGenerator(KEY, 10, spill,
+                                             memory_bytes=0)
+
+    @pytest.mark.parametrize("generator_cls",
+                             [ReplacementSelectionRunGenerator,
+                              QuicksortRunGenerator])
+    def test_byte_only_budget_partitions_input(self, spill, generator_cls):
+        rows = sized_rows(2_000, lambda _key: 40, seed=1)
+        generator = generator_cls(KEY, None, spill,
+                                  memory_bytes=64 * 64,
+                                  row_size=row_bytes)
+        runs = generator.generate(rows)
+        assert len(runs) > 5
+        recovered = sorted(row for run in runs for row in run.rows())
+        assert recovered == sorted(rows)
+
+    def test_byte_budget_bounds_residency(self, spill):
+        rows = sized_rows(1_000, lambda _key: 100, seed=2)
+        budget = 124 * 20  # room for ~20 rows
+        generator = ReplacementSelectionRunGenerator(
+            KEY, None, spill, memory_bytes=budget, row_size=row_bytes)
+        for row in rows:
+            generator.consume([row])
+            assert generator._bytes_used <= budget
+        generator.finish()
+
+    def test_oversized_row_still_flows(self, spill):
+        """A single row larger than the whole budget must not wedge."""
+        rows = [(0.5, "y" * 10_000), (0.1, "z"), (0.9, "w")]
+        generator = ReplacementSelectionRunGenerator(
+            KEY, None, spill, memory_bytes=256, row_size=row_bytes)
+        runs = generator.generate(rows)
+        recovered = sorted(row for run in runs for row in run.rows())
+        assert recovered == sorted(rows)
+
+    def test_row_and_byte_limits_both_enforced(self, spill):
+        rows = sized_rows(500, lambda _key: 10, seed=3)
+        generator = QuicksortRunGenerator(
+            KEY, 50, spill, memory_bytes=10_000_000, row_size=row_bytes)
+        runs = generator.generate(rows)
+        # The byte budget is huge: the row limit governs.
+        assert all(run.row_count <= 50 for run in runs)
+
+
+class TestAdaptiveOperator:
+    def test_rejects_bad_byte_budget(self):
+        with pytest.raises(ConfigurationError):
+            HistogramTopK(KEY, 10, 100, memory_bytes=-1)
+
+    def test_stays_in_memory_when_bytes_suffice(self):
+        rows = sized_rows(5_000, lambda _key: 10, seed=4)
+        operator = HistogramTopK(KEY, 200, 1_000,
+                                 memory_bytes=1_000_000,
+                                 row_size=row_bytes)
+        out = list(operator.execute(iter(rows)))
+        assert out == sorted(rows)[:200]
+        assert not operator.switched_to_external
+        assert operator.stats.io.rows_spilled == 0
+
+    def test_switches_when_rows_unexpectedly_large(self):
+        """k rows 'fit' by count but not by bytes: the operator must
+        switch instead of failing like the pure priority queue."""
+        rows = sized_rows(5_000, lambda _key: 500, seed=5)
+        operator = HistogramTopK(KEY, 400, 1_000,
+                                 memory_bytes=400 * 200,  # half enough
+                                 row_size=row_bytes)
+        out = list(operator.execute(iter(rows)))
+        assert out == sorted(rows)[:400]
+        assert operator.switched_to_external
+        assert operator.stats.io.rows_spilled > 0
+
+    def test_switch_preserves_exact_row_accounting(self):
+        rows = sized_rows(3_000, lambda _key: 300, seed=6)
+        operator = HistogramTopK(KEY, 300, 1_000,
+                                 memory_bytes=20_000,
+                                 row_size=row_bytes)
+        out = list(operator.execute(iter(rows)))
+        assert out == sorted(rows)[:300]
+        assert operator.stats.rows_consumed == 3_000
+        assert operator.stats.rows_output == 300
+
+    def test_variable_width_payloads_skew_correlated_with_key(self):
+        """Small keys carry big payloads: exactly the rows the operator
+        must retain are the expensive ones."""
+        rows = sized_rows(4_000,
+                          lambda key: 1_000 if key < 0.1 else 20,
+                          seed=7)
+        operator = HistogramTopK(KEY, 300, 2_000,
+                                 memory_bytes=50_000,
+                                 row_size=row_bytes)
+        out = list(operator.execute(iter(rows)))
+        assert out == sorted(rows)[:300]
+        assert operator.switched_to_external
+
+    def test_external_regime_honors_byte_budget_too(self):
+        spill = SpillManager()
+        rows = sized_rows(8_000, lambda _key: 80, seed=8)
+        operator = HistogramTopK(KEY, 2_000, 500,
+                                 memory_bytes=104 * 120,
+                                 row_size=row_bytes,
+                                 spill_manager=spill)
+        out = list(operator.execute(iter(rows)))
+        assert out == sorted(rows)[:2_000]
+        # Byte cap of ~120 rows forces many more (smaller) runs than the
+        # 500-row limit alone would.
+        assert spill.stats.runs_written > 8_000 // 500

@@ -1,0 +1,82 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.charts import ascii_chart, chart_points
+from repro.experiments.figures import FigurePoint
+
+
+class TestAsciiChart:
+    def test_single_series_renders(self):
+        chart = ascii_chart([1, 2, 3, 4], {"s": [1.0, 2.0, 3.0, 2.5]},
+                            width=20, height=6)
+        assert "*" in chart
+        assert "|" in chart
+
+    def test_extremes_on_borders(self):
+        chart = ascii_chart([0, 10], {"s": [0.0, 5.0]},
+                            width=12, height=5)
+        lines = [line for line in chart.splitlines() if "|" in line]
+        # max value on the top plot row, min on the bottom one.
+        assert "*" in lines[0]
+        assert "*" in lines[-1]
+
+    def test_multiple_series_distinct_glyphs(self):
+        chart = ascii_chart([1, 2], {"a": [1, 2], "b": [2, 1]},
+                            width=10, height=4)
+        assert "legend:" in chart
+        assert "*=a" in chart and "o=b" in chart
+
+    def test_log_scale_noted(self):
+        chart = ascii_chart([1, 10, 100], {"s": [1, 2, 3]},
+                            width=20, height=4, log_x=True)
+        assert "log scale" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart([1, 2, 3], {"s": [5.0, 5.0, 5.0]},
+                            width=10, height=4)
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([], {"s": []})
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1, 2], {"s": [1.0]})
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1], {"s": [1.0]}, width=2, height=2)
+
+    def test_tick_formatting(self):
+        chart = ascii_chart([1_000, 2_000_000], {"s": [0.001, 12_345]},
+                            width=20, height=4)
+        assert "1.0e-03" in chart or "0.00" in chart
+
+
+class TestChartPoints:
+    def _points(self):
+        return [
+            FigurePoint(x=10, series="uniform", speedup=1.0,
+                        spill_reduction=1.1),
+            FigurePoint(x=100, series="uniform", speedup=4.0,
+                        spill_reduction=7.0),
+            FigurePoint(x=10, series="fal", speedup=1.1,
+                        spill_reduction=1.2),
+            FigurePoint(x=100, series="fal", speedup=4.1,
+                        spill_reduction=7.2),
+        ]
+
+    def test_groups_by_series(self):
+        chart = chart_points(self._points(), width=16, height=4)
+        assert "legend:" in chart
+
+    def test_value_selector(self):
+        chart = chart_points(self._points(), value="spill_reduction",
+                             width=16, height=4)
+        assert "7.2" in chart  # the max tick
+
+    def test_mismatched_xs_rejected(self):
+        points = self._points()
+        points[2] = FigurePoint(x=11, series="fal", speedup=1.1,
+                                spill_reduction=1.2)
+        with pytest.raises(ConfigurationError):
+            chart_points(points)

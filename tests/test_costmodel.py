@@ -1,0 +1,77 @@
+"""Tests for the disaggregated-storage cost model."""
+
+import pytest
+
+from repro.storage.costmodel import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    IO_BOUND_COST_MODEL,
+    ResourceCost,
+)
+from repro.storage.stats import IOStats, OperatorStats
+
+
+class TestCostModel:
+    def test_zero_stats_cost_zero(self):
+        assert DEFAULT_COST_MODEL.total_seconds(OperatorStats()) == 0.0
+
+    def test_io_seconds_charges_requests(self):
+        io = IOStats(write_requests=10)
+        model = CostModel(request_overhead_s=0.001)
+        assert model.io_seconds(io) == pytest.approx(0.01)
+
+    def test_io_seconds_charges_bandwidth(self):
+        io = IOStats(bytes_written=120_000_000)
+        model = CostModel(request_overhead_s=0.0,
+                          write_bandwidth_bytes_per_s=120e6)
+        assert model.io_seconds(io) == pytest.approx(1.0)
+
+    def test_random_reads_are_expensive(self):
+        sequential = IOStats(read_requests=100)
+        random_io = IOStats(random_reads=100)
+        assert (DEFAULT_COST_MODEL.io_seconds(random_io)
+                > DEFAULT_COST_MODEL.io_seconds(sequential))
+
+    def test_cpu_seconds_scale_with_rows(self):
+        small = OperatorStats(rows_consumed=1_000)
+        large = OperatorStats(rows_consumed=1_000_000)
+        assert (DEFAULT_COST_MODEL.cpu_seconds(large)
+                > DEFAULT_COST_MODEL.cpu_seconds(small))
+
+    def test_total_is_cpu_plus_io(self):
+        stats = OperatorStats(rows_consumed=1000)
+        stats.io.bytes_written = 1_000_000
+        stats.io.write_requests = 10
+        total = DEFAULT_COST_MODEL.total_seconds(stats)
+        assert total == pytest.approx(
+            DEFAULT_COST_MODEL.cpu_seconds(stats)
+            + DEFAULT_COST_MODEL.io_seconds(stats.io))
+
+    def test_more_spill_costs_more(self):
+        light, heavy = OperatorStats(), OperatorStats()
+        light.io.bytes_written = 1_000_000
+        light.io.write_requests = 10
+        heavy.io.bytes_written = 50_000_000
+        heavy.io.write_requests = 500
+        assert (DEFAULT_COST_MODEL.total_seconds(heavy)
+                > DEFAULT_COST_MODEL.total_seconds(light))
+
+    def test_io_bound_model_ignores_cpu(self):
+        stats = OperatorStats(rows_consumed=10**9)
+        assert IO_BOUND_COST_MODEL.cpu_seconds(stats) == 0.0
+
+
+class TestResourceCost:
+    def test_gigabyte_seconds(self):
+        cost = ResourceCost(memory_bytes=2_000_000_000, seconds=3.0)
+        assert cost.gigabyte_seconds == pytest.approx(6.0)
+
+    def test_improvement_over(self):
+        cheap = ResourceCost(memory_bytes=10**9, seconds=1.0)
+        pricey = ResourceCost(memory_bytes=10**9, seconds=3.0)
+        assert cheap.improvement_over(pricey) == pytest.approx(3.0)
+
+    def test_improvement_over_zero_cost(self):
+        free = ResourceCost(memory_bytes=0, seconds=1.0)
+        other = ResourceCost(memory_bytes=10**9, seconds=1.0)
+        assert free.improvement_over(other) == float("inf")

@@ -1,0 +1,85 @@
+"""Property-based cross-engine equivalence tests.
+
+The row engine, the vectorized engine, and the extensions all implement
+the same specification: ``sorted(input)[offset:offset+k]`` (suitably
+grouped/paged).  Hypothesis drives all of them against the oracle and
+against each other.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.topk import HistogramTopK
+from repro.extensions.exchange import ExchangeTopK
+from repro.extensions.grouped import GroupedTopK
+from repro.extensions.offset import Paginator
+from repro.vectorized import VectorizedHistogramTopK
+
+KEY = lambda row: row[0]  # noqa: E731
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          width=32)
+
+
+@given(keys=st.lists(finite_floats, min_size=0, max_size=500),
+       k=st.integers(1, 60), memory=st.integers(2, 64),
+       chunk=st.integers(1, 128))
+@settings(max_examples=50, deadline=None)
+def test_vectorized_matches_row_engine(keys, k, memory, chunk):
+    array = np.asarray(keys, dtype=np.float64)
+    chunks = [array[start:start + chunk]
+              for start in range(0, len(array), chunk)]
+    vector = VectorizedHistogramTopK(k=k, memory_rows=memory,
+                                     buckets_per_run=9)
+    vector_out = vector.execute_keys(iter(chunks))
+
+    row = HistogramTopK(KEY, k, memory)
+    row_out = np.asarray([r[0] for r in
+                          row.execute((float(key),) for key in array)])
+    assert np.array_equal(vector_out, row_out)
+
+
+@given(keys=st.lists(finite_floats, min_size=0, max_size=400),
+       k=st.integers(1, 40), memory=st.integers(4, 48),
+       producers=st.integers(1, 4),
+       interval=st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_exchange_matches_oracle(keys, k, memory, producers, interval):
+    rows = [(key,) for key in keys]
+    operator = ExchangeTopK(KEY, k, memory, producers=producers,
+                            packet_rows=16,
+                            flow_control_interval=interval)
+    assert list(operator.execute(iter(rows))) == sorted(rows)[:k]
+
+
+@given(data=st.lists(st.tuples(st.integers(0, 4), finite_floats),
+                     min_size=0, max_size=400),
+       k=st.integers(1, 20), memory=st.integers(4, 48))
+@settings(max_examples=40, deadline=None)
+def test_grouped_matches_oracle(data, k, memory):
+    import collections
+
+    rows = list(data)
+    operator = GroupedTopK(lambda row: row[0], lambda row: row[1],
+                           k=k, memory_rows=memory)
+    got = collections.defaultdict(list)
+    for group, row in operator.execute(iter(rows)):
+        got[group].append(row)
+    expected = collections.defaultdict(list)
+    for row in rows:
+        expected[row[0]].append(row)
+    for group, members in expected.items():
+        assert got[group] == sorted(members,
+                                    key=lambda row: row[1])[:k]
+
+
+@given(keys=st.lists(finite_floats, min_size=0, max_size=400),
+       page_size=st.integers(1, 40), memory=st.integers(4, 64),
+       page=st.integers(0, 12))
+@settings(max_examples=40, deadline=None)
+def test_paginator_matches_slices(keys, page_size, memory, page):
+    rows = [(key,) for key in keys]
+    paginator = Paginator(lambda: iter(rows), KEY, page_size=page_size,
+                          memory_rows=memory, prefetch_pages=2)
+    expected = sorted(rows)[page * page_size:(page + 1) * page_size]
+    assert paginator.page(page) == expected

@@ -1,0 +1,68 @@
+"""Tests for live cutoff-trajectory tracing."""
+
+import random
+
+from repro.core.cutoff import CutoffFilter
+from repro.core.histogram import Bucket
+from repro.core.topk import HistogramTopK
+
+KEY = lambda row: row[0]  # noqa: E731
+
+
+class TestFilterCallback:
+    def test_on_refine_fires_per_refinement(self):
+        seen = []
+        filt = CutoffFilter(k=4, on_refine=seen.append)
+        filt.insert(Bucket(0.9, 4))   # establishment
+        filt.insert(Bucket(0.5, 4))   # pop -> refine to 0.5
+        filt.insert(Bucket(0.3, 4))   # pop -> refine to 0.3
+        assert seen == [0.9, 0.5, 0.3]
+
+    def test_no_callback_by_default(self):
+        filt = CutoffFilter(k=2)
+        filt.insert(Bucket(0.5, 2))  # must not raise
+        assert filt.cutoff_key == 0.5
+
+
+class TestOperatorTrace:
+    def test_trace_records_sharpening_trajectory(self):
+        rng = random.Random(3)
+        rows = [(rng.random(),) for _ in range(40_000)]
+        operator = HistogramTopK(KEY, 2_000, 500, trace_cutoff=True)
+        list(operator.execute(iter(rows)))
+        trace = operator.cutoff_trace
+        assert len(trace) > 5
+        consumed = [point[0] for point in trace]
+        cutoffs = [point[1] for point in trace]
+        # Consumed counts advance; the cutoff strictly sharpens.
+        assert consumed == sorted(consumed)
+        assert cutoffs == sorted(cutoffs, reverse=True)
+        assert cutoffs[0] > cutoffs[-1]
+
+    def test_final_trace_point_matches_filter(self):
+        rng = random.Random(4)
+        rows = [(rng.random(),) for _ in range(20_000)]
+        operator = HistogramTopK(KEY, 1_000, 300, trace_cutoff=True)
+        list(operator.execute(iter(rows)))
+        assert operator.cutoff_trace[-1][1] \
+            == operator.cutoff_filter.cutoff_key
+
+    def test_tracing_off_by_default(self):
+        rng = random.Random(5)
+        rows = [(rng.random(),) for _ in range(10_000)]
+        operator = HistogramTopK(KEY, 1_000, 300)
+        list(operator.execute(iter(rows)))
+        assert operator.cutoff_trace == []
+
+    def test_trace_matches_table1_dynamics(self):
+        """At the paper's Table 1 parameters the trace reaches within
+        ~1.3x of the ideal cutoff, like the analysis does."""
+        rng = random.Random(6)
+        rows = [(rng.random(),) for _ in range(200_000)]
+        operator = HistogramTopK(KEY, 5_000, 1_000,
+                                 run_generation="quicksort",
+                                 trace_cutoff=True)
+        list(operator.execute(iter(rows)))
+        final_cutoff = operator.cutoff_trace[-1][1]
+        ideal = 5_000 / 200_000
+        assert final_cutoff < 2.0 * ideal

@@ -1,0 +1,126 @@
+"""Tests for the key distributions of Section 5.1.4."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.distributions import (
+    ASCENDING,
+    DESCENDING,
+    FIGURE3_DISTRIBUTIONS,
+    LOGNORMAL,
+    UNIFORM,
+    UNIFORM_INT,
+    fal,
+    get_distribution,
+    key_stream,
+)
+from repro.errors import ConfigurationError
+
+
+class TestUniform:
+    def test_range(self):
+        keys = UNIFORM.sample(10_000, seed=1)
+        assert keys.min() >= 0.0
+        assert keys.max() <= 1.0
+
+    def test_deterministic(self):
+        assert np.array_equal(UNIFORM.sample(100, seed=5),
+                              UNIFORM.sample(100, seed=5))
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(UNIFORM.sample(100, seed=1),
+                                  UNIFORM.sample(100, seed=2))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UNIFORM.sample(-1)
+
+    def test_uniform_int_values(self):
+        keys = UNIFORM_INT.sample(1_000, seed=0)
+        assert np.all(keys == np.floor(keys))
+        assert keys.min() >= 1
+
+
+class TestFal:
+    def test_formula(self):
+        """fal: value(r) = N / r**z over ranks 1..N (then shuffled)."""
+        n, z = 1_000, 1.25
+        keys = np.sort(fal(z).sample(n, seed=3))[::-1]
+        ranks = np.arange(1, n + 1, dtype=float)
+        assert np.allclose(keys, n / ranks**z)
+
+    def test_shuffled(self):
+        keys = fal(1.25).sample(1_000, seed=3)
+        assert not np.all(np.diff(keys) <= 0)
+
+    def test_shape_controls_skew(self):
+        gentle = fal(0.5).sample(10_000, seed=1)
+        steep = fal(1.5).sample(10_000, seed=1)
+        # Steeper shapes concentrate mass: relative spread grows.
+        assert (steep.max() / np.median(steep)
+                > gentle.max() / np.median(gentle))
+
+    def test_label(self):
+        assert fal(1.25).label == "fal-1.25"
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fal(-1.0)
+
+
+class TestLognormal:
+    def test_positive(self):
+        keys = LOGNORMAL.sample(10_000, seed=2)
+        assert keys.min() > 0
+
+    def test_long_tail(self):
+        keys = LOGNORMAL.sample(100_000, seed=2)
+        assert keys.max() / np.median(keys) > 50
+
+
+class TestSyntheticOrders:
+    def test_ascending_sorted(self):
+        keys = ASCENDING.sample(1_000, seed=1)
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_descending_sorted(self):
+        keys = DESCENDING.sample(1_000, seed=1)
+        assert np.all(np.diff(keys) <= 0)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_distribution("uniform") is UNIFORM
+        assert get_distribution("lognormal") is LOGNORMAL
+
+    def test_fal_requires_shape(self):
+        with pytest.raises(ConfigurationError):
+            get_distribution("fal")
+
+    def test_fal_with_kwarg(self):
+        assert get_distribution("fal", z=1.05).label == "fal-1.05"
+
+    def test_fal_inline_shape(self):
+        assert get_distribution("fal-1.5").label == "fal-1.5"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_distribution("gaussian")
+
+    def test_figure3_set(self):
+        labels = [d.label for d in FIGURE3_DISTRIBUTIONS]
+        assert labels == ["uniform", "lognormal", "fal-0.5", "fal-1.05",
+                          "fal-1.25", "fal-1.5"]
+
+
+class TestKeyStream:
+    def test_streams_exact_count(self):
+        assert sum(1 for _ in key_stream(UNIFORM, 1_000, seed=1)) == 1_000
+
+    def test_chunked_generation_matches_itself(self):
+        first = list(key_stream(UNIFORM, 500, seed=7, chunk_rows=100))
+        second = list(key_stream(UNIFORM, 500, seed=7, chunk_rows=100))
+        assert first == second
+
+    def test_zero_rows(self):
+        assert list(key_stream(UNIFORM, 0)) == []

@@ -1,0 +1,159 @@
+"""Tests for the experiment harness and drivers (at tiny scales)."""
+
+import pytest
+
+from repro.datagen.workloads import keys_only_workload
+from repro.errors import ConfigurationError
+from repro.experiments.figures import (
+    cliff_experiment,
+    figure2,
+    figure5,
+    figure6,
+    overhead_experiment,
+    render_points,
+)
+from repro.experiments.harness import (
+    Comparison,
+    PAPER_SCALE,
+    QUICK_SCALE,
+    Scale,
+    compare,
+    run_algorithm,
+)
+from repro.experiments.paper_data import paper_bucket_label_to_boundaries
+from repro.experiments.report import generate_report
+from repro.experiments.tables import (
+    render_table,
+    render_table1,
+    table1,
+    table2,
+)
+
+#: 1/100000-paper scale for fast driver tests.
+TINY = Scale("tiny", 100_000)
+
+
+class TestScale:
+    def test_rows(self):
+        assert PAPER_SCALE.rows(2_000_000_000) == 2_000_000
+        assert QUICK_SCALE.rows(7_000_000) == 700
+
+    def test_rows_never_zero(self):
+        assert TINY.rows(5) == 1
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return keys_only_workload(8_000, 600, 200, seed=1)
+
+    def test_run_algorithm_measures(self, workload):
+        result = run_algorithm("histogram", workload)
+        assert result.output_rows == 600
+        assert result.rows_spilled > 0
+        assert result.simulated_seconds > 0
+        assert result.wall_seconds > 0
+
+    def test_unknown_algorithm(self, workload):
+        with pytest.raises(ConfigurationError):
+            run_algorithm("magic", workload)
+
+    def test_compare_shapes(self, workload):
+        comparison = compare(workload)
+        assert comparison.verify_same_output()
+        assert comparison.speedup > 1.0
+        assert comparison.spill_reduction > 1.0
+
+    def test_priority_queue_run(self, workload):
+        result = run_algorithm("priority_queue", workload)
+        assert result.rows_spilled == 0
+        assert result.output_rows == 600
+
+    def test_resource_cost(self, workload):
+        result = run_algorithm("histogram", workload)
+        cost = result.resource_cost(row_bytes=100)
+        assert cost.memory_bytes == workload.memory_rows * 100
+        assert cost.gigabyte_seconds > 0
+
+
+class TestPaperBucketMapping:
+    def test_mapping(self):
+        assert paper_bucket_label_to_boundaries(0) == 0
+        assert paper_bucket_label_to_boundaries(1) == 1
+        assert paper_bucket_label_to_boundaries(10) == 9
+        assert paper_bucket_label_to_boundaries(1000) == 999
+
+
+class TestTableDrivers:
+    def test_table1_render(self):
+        text = render_table1(table1())
+        assert "0.504" in text
+        assert "total runs=39" in text
+
+    def test_table2_rows_annotated(self):
+        rows = table2()
+        assert all(row.paper_runs is not None for row in rows)
+        measured_minus_paper = [row.rows_delta for row in rows]
+        assert all(abs(delta) < 50 for delta in measured_minus_paper)
+
+    def test_render_table(self):
+        text = render_table(table2(), "Table 2")
+        assert "Table 2" in text
+        assert "62,781" in text
+
+
+class TestFigureDrivers:
+    def test_figure2_shape(self):
+        points = figure2(scale=TINY, distributions=(
+            __import__("repro.datagen.distributions",
+                       fromlist=["UNIFORM"]).UNIFORM,),
+            k_fractions=(0.005, 0.05, 0.2))
+        assert len(points) == 3
+        # Spill reduction should peak at moderate k, not the largest.
+        assert points[1].spill_reduction >= points[2].spill_reduction
+
+    def test_figure5_zero_buckets_weakest(self):
+        points = figure5(scale=TINY, bucket_counts=(0, 5, 50))
+        by_buckets = {p.x: p.spill_reduction for p in points}
+        assert by_buckets[0] < by_buckets[5] <= by_buckets[50] * 1.1
+
+    def test_figure6_cost_advantage_grows_with_input(self):
+        points = figure6(scale=TINY, input_multiples=(10, 66))
+        small, large = points
+        # Ours gets relatively cheaper as the input grows (the paper's
+        # trend), overtaking the in-memory algorithm at large inputs.
+        assert (large.extra["cost_improvement"]
+                > small.extra["cost_improvement"])
+        assert large.extra["cost_improvement"] > 1.0
+        # The in-memory algorithm stays faster, by a shrinking margin.
+        assert (large.extra["in_memory_time_advantage"]
+                < small.extra["in_memory_time_advantage"])
+
+    def test_overhead_experiment_keys(self):
+        # QUICK_SCALE keeps per-run wall time large enough (~tens of ms)
+        # that the overhead ratio is signal, not timer noise.
+        result = overhead_experiment(scale=QUICK_SCALE, repeats=3)
+        assert result["rows_eliminated_with_filter"] == 0
+        assert result["rows_spilled_with"] == result["rows_spilled_without"]
+        assert -0.3 < result["overhead_fraction"] < 1.0
+
+    def test_cliff_experiment(self):
+        points = cliff_experiment(scale=TINY,
+                                  k_over_memory=(0.5, 2.0))
+        below, above = points
+        assert below.extra["traditional_spilled"] == 0
+        assert above.extra["traditional_spilled"] > 0
+
+    def test_render_points(self):
+        points = figure5(scale=TINY, bucket_counts=(0, 50))
+        text = render_points(points, "Figure 5", "buckets")
+        assert "Figure 5" in text
+        assert "uniform" in text
+
+
+class TestReport:
+    def test_tables_only_report(self):
+        report = generate_report(scale=TINY, include_figures=False)
+        assert "# EXPERIMENTS" in report
+        assert "Table 4" in report
+        assert "62,781" in report

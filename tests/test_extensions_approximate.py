@@ -1,0 +1,100 @@
+"""Tests for approximate top-k variants."""
+
+import random
+
+import pytest
+
+from repro.core.cutoff import CutoffFilter
+from repro.core.histogram import Bucket
+from repro.errors import ConfigurationError
+from repro.extensions.approximate import (
+    ApproximateTopK,
+    quantize_size_down,
+    quantized_sink,
+)
+
+KEY = lambda row: row[0]  # noqa: E731
+
+
+def uniform(count, seed=0):
+    rng = random.Random(seed)
+    return [(rng.random(),) for _ in range(count)]
+
+
+class TestQuantization:
+    def test_rounds_down_to_power_of_two(self):
+        assert quantize_size_down(100) == 64
+        assert quantize_size_down(64) == 64
+        assert quantize_size_down(65) == 64
+
+    def test_small_sizes_unchanged(self):
+        assert quantize_size_down(1) == 1
+        assert quantize_size_down(0) == 0
+
+    def test_never_overstates(self):
+        for size in range(1, 2_000):
+            assert quantize_size_down(size) <= size
+
+    def test_quantized_sink_wraps(self):
+        received = []
+        sink = quantized_sink(received.append)
+        sink(Bucket(0.5, 100))
+        assert received == [Bucket(0.5, 64)]
+
+    def test_quantized_filter_remains_conservative(self):
+        """A filter fed quantized sizes never eliminates output rows."""
+        rng = random.Random(3)
+        keys = [rng.random() for _ in range(20_000)]
+        k = 500
+        filt = CutoffFilter(k=k)
+        sink = quantized_sink(filt.insert)
+        for start in range(0, len(keys), 1_000):
+            run = sorted(keys[start:start + 1_000])
+            for position in range(99, 1_000, 100):
+                sink(Bucket(run[position], 100))
+        kth = sorted(keys)[k - 1]
+        assert filt.cutoff_key is None or filt.cutoff_key >= kth
+
+
+class TestApproximateTopK:
+    def test_invalid_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            ApproximateTopK(KEY, 100, 50, count_tolerance=1.0)
+        with pytest.raises(ConfigurationError):
+            ApproximateTopK(KEY, 100, 50, count_tolerance=-0.1)
+
+    def test_zero_tolerance_is_exact(self):
+        rows = uniform(10_000, seed=1)
+        operator = ApproximateTopK(KEY, 1_000, 300, count_tolerance=0.0)
+        assert list(operator.execute(rows)) == sorted(rows)[:1_000]
+
+    def test_guaranteed_count_honored(self):
+        rows = uniform(20_000, seed=2)
+        operator = ApproximateTopK(KEY, 2_000, 400, count_tolerance=0.2)
+        out = list(operator.execute(rows))
+        assert operator.guaranteed_k == 1_600
+        assert 1_600 <= len(out) <= 2_000
+
+    def test_returned_rows_are_true_top_rows(self):
+        rows = uniform(20_000, seed=3)
+        operator = ApproximateTopK(KEY, 2_000, 400, count_tolerance=0.25)
+        out = list(operator.execute(rows))
+        assert out == sorted(rows)[:len(out)]
+
+    def test_tolerance_reduces_spill(self):
+        rows = uniform(30_000, seed=4)
+        exact = ApproximateTopK(KEY, 3_000, 400, count_tolerance=0.0)
+        list(exact.execute(iter(rows)))
+        loose = ApproximateTopK(KEY, 3_000, 400, count_tolerance=0.3)
+        list(loose.execute(iter(rows)))
+        assert (loose.stats.io.rows_spilled
+                <= exact.stats.io.rows_spilled)
+
+    def test_cutoff_filter_sized_for_guaranteed_k(self):
+        operator = ApproximateTopK(KEY, 1_000, 200, count_tolerance=0.1)
+        assert operator.cutoff_filter.k == 900
+
+    def test_small_input_returns_everything(self):
+        rows = uniform(50, seed=5)
+        operator = ApproximateTopK(KEY, 1_000, 200, count_tolerance=0.1)
+        assert list(operator.execute(rows)) == sorted(rows)

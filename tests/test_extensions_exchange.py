@@ -1,0 +1,107 @@
+"""Tests for the producer/consumer exchange top-k (Section 4.4)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extensions.exchange import ExchangeTopK, ProducerNode, \
+    ExchangeStats
+
+KEY = lambda row: row[0]  # noqa: E731
+
+
+def uniform(count, seed=0):
+    rng = random.Random(seed)
+    return [(rng.random(),) for _ in range(count)]
+
+
+class TestProducerNode:
+    def test_packets_respect_size(self):
+        stats = ExchangeStats()
+        producer = ProducerNode(0, iter(uniform(100)), KEY, stats)
+        packet = producer.produce_packet(32)
+        assert len(packet) == 32
+        assert stats.rows_shipped == 32
+        assert stats.data_packets == 1
+
+    def test_exhaustion_flag(self):
+        stats = ExchangeStats()
+        producer = ProducerNode(0, iter(uniform(10)), KEY, stats)
+        producer.produce_packet(32)
+        assert producer.exhausted
+
+    def test_filters_with_received_cutoff(self):
+        stats = ExchangeStats()
+        rows = [(0.1,), (0.9,), (0.2,), (0.8,)]
+        producer = ProducerNode(0, iter(rows), KEY, stats)
+        producer.receive_flow_control(0.5)
+        packet = producer.produce_packet(10)
+        assert packet == [(0.1,), (0.2,)]
+        assert stats.rows_filtered_at_producers == 2
+
+    def test_cutoff_only_tightens(self):
+        stats = ExchangeStats()
+        producer = ProducerNode(0, iter([]), KEY, stats)
+        producer.receive_flow_control(0.5)
+        producer.receive_flow_control(0.9)  # stale, must be ignored
+        assert producer._local_cutoff == 0.5
+
+
+class TestExchangeTopK:
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            ExchangeTopK(KEY, 0, 100)
+        with pytest.raises(ConfigurationError):
+            ExchangeTopK(KEY, 10, 100, producers=0)
+        with pytest.raises(ConfigurationError):
+            ExchangeTopK(KEY, 10, 100, packet_rows=0)
+        with pytest.raises(ConfigurationError):
+            ExchangeTopK(KEY, 10, 100, flow_control_interval=0)
+
+    @pytest.mark.parametrize("producers", [1, 3, 5])
+    def test_correctness(self, producers):
+        rows = uniform(20_000, seed=1)
+        operator = ExchangeTopK(KEY, 1_500, 400, producers=producers)
+        assert list(operator.execute(iter(rows))) == sorted(rows)[:1_500]
+
+    def test_producers_filter_most_rows(self):
+        rows = uniform(40_000, seed=2)
+        operator = ExchangeTopK(KEY, 1_000, 400, producers=4)
+        list(operator.execute(iter(rows)))
+        stats = operator.exchange_stats
+        assert stats.rows_filtered_at_producers > 20_000
+        assert stats.rows_shipped < 20_000
+        assert stats.flow_control_packets > 0
+
+    def test_stale_cutoffs_ship_more_rows(self):
+        """The paper's 'lower effectiveness' prediction: longer flow
+        control intervals leave producers with staler cutoffs."""
+        rows = uniform(40_000, seed=3)
+        fresh = ExchangeTopK(KEY, 1_000, 400, producers=4,
+                             flow_control_interval=1)
+        out_fresh = list(fresh.execute(iter(rows)))
+        stale = ExchangeTopK(KEY, 1_000, 400, producers=4,
+                             flow_control_interval=20)
+        out_stale = list(stale.execute(iter(rows)))
+        assert out_fresh == out_stale == sorted(rows)[:1_000]
+        assert stale.rows_shipped > fresh.rows_shipped
+
+    def test_shipping_fraction_metric(self):
+        rows = uniform(20_000, seed=4)
+        operator = ExchangeTopK(KEY, 500, 300, producers=4)
+        list(operator.execute(iter(rows)))
+        fraction = operator.exchange_stats.shipping_fraction
+        assert 0.0 < fraction < 0.6
+
+    def test_small_input_all_shipped(self):
+        rows = uniform(50, seed=5)
+        operator = ExchangeTopK(KEY, 100, 200, producers=2)
+        assert list(operator.execute(iter(rows))) == sorted(rows)
+        assert operator.exchange_stats.rows_filtered_at_producers == 0
+
+    def test_consumer_spills_filtered_subset_only(self):
+        rows = uniform(40_000, seed=6)
+        operator = ExchangeTopK(KEY, 1_000, 400, producers=4)
+        list(operator.execute(iter(rows)))
+        assert operator.stats.io.rows_spilled < 15_000

@@ -1,0 +1,110 @@
+"""Tests for grouped top-k (Section 4.3)."""
+
+import collections
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extensions.grouped import GroupedTopK
+
+GROUP = lambda row: row[0]  # noqa: E731
+VALUE = lambda row: row[1]  # noqa: E731
+
+
+def grouped_input(groups, rows, seed=0):
+    rng = random.Random(seed)
+    return [(rng.randrange(groups), rng.random()) for _ in range(rows)]
+
+
+def expected_per_group(rows, k):
+    by_group = collections.defaultdict(list)
+    for row in rows:
+        by_group[row[0]].append(row)
+    return {group: sorted(members, key=VALUE)[:k]
+            for group, members in by_group.items()}
+
+
+class TestGroupedTopK:
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            GroupedTopK(GROUP, VALUE, k=0, memory_rows=10)
+        with pytest.raises(ConfigurationError):
+            GroupedTopK(GROUP, VALUE, k=5, memory_rows=0)
+
+    def test_per_group_topk_correct(self):
+        rows = grouped_input(6, 30_000)
+        operator = GroupedTopK(GROUP, VALUE, k=400, memory_rows=800)
+        got = collections.defaultdict(list)
+        for group, row in operator.execute(iter(rows)):
+            got[group].append(row)
+        expected = expected_per_group(rows, 400)
+        assert dict(got) == expected
+
+    def test_output_grouped_and_sorted_within_group(self):
+        rows = grouped_input(4, 8_000)
+        operator = GroupedTopK(GROUP, VALUE, k=100, memory_rows=500)
+        output = list(operator.execute(iter(rows)))
+        groups_seen = [group for group, _row in output]
+        # Group-contiguous output.
+        boundaries = [g for i, g in enumerate(groups_seen)
+                      if i == 0 or groups_seen[i - 1] != g]
+        assert len(boundaries) == len(set(groups_seen))
+        # Sorted within each group.
+        for group in set(groups_seen):
+            keys = [row[1] for g, row in output if g == group]
+            assert keys == sorted(keys)
+
+    def test_filters_reduce_spill(self):
+        rows = grouped_input(5, 30_000)
+        filtered = GroupedTopK(GROUP, VALUE, k=100, memory_rows=500)
+        list(filtered.execute(iter(rows)))
+        everything = GroupedTopK(GROUP, VALUE, k=10_000, memory_rows=500)
+        list(everything.execute(iter(rows)))
+        assert (filtered.stats.io.rows_spilled
+                < everything.stats.io.rows_spilled)
+
+    def test_per_group_cutoffs_tracked_separately(self):
+        rng = random.Random(7)
+        # Group "hot" has tiny values, group "cold" large ones: the
+        # cutoffs must differ.
+        rows = []
+        for _ in range(20_000):
+            if rng.random() < 0.5:
+                rows.append(("hot", rng.random() * 0.01))
+            else:
+                rows.append(("cold", 1.0 + rng.random()))
+        operator = GroupedTopK(GROUP, VALUE, k=200, memory_rows=400)
+        list(operator.execute(iter(rows)))
+        hot_cutoff = operator.cutoff_key("hot")
+        cold_cutoff = operator.cutoff_key("cold")
+        assert hot_cutoff is not None and cold_cutoff is not None
+        assert hot_cutoff < 0.02
+        assert cold_cutoff > 1.0
+
+    def test_small_groups_never_establish_cutoffs(self):
+        rows = [(1, 0.5), (2, 0.25), (1, 0.75)]
+        operator = GroupedTopK(GROUP, VALUE, k=100, memory_rows=2)
+        output = list(operator.execute(iter(rows)))
+        assert len(output) == 3
+        assert operator.cutoff_key(1) is None
+
+    def test_string_groups(self):
+        rng = random.Random(9)
+        rows = [(rng.choice(["us", "de", "jp"]), rng.random())
+                for _ in range(5_000)]
+        operator = GroupedTopK(GROUP, VALUE, k=50, memory_rows=300)
+        got = collections.defaultdict(list)
+        for group, row in operator.execute(iter(rows)):
+            got[group].append(row)
+        assert dict(got) == expected_per_group(rows, 50)
+
+    def test_mixed_type_groups_do_not_crash(self):
+        rows = [(1, 0.5), ("a", 0.25), (2, 0.1), ("b", 0.9)] * 50
+        operator = GroupedTopK(GROUP, VALUE, k=10, memory_rows=20)
+        output = list(operator.execute(iter(rows)))
+        assert len(output) == 4 * 10
+
+    def test_empty_input(self):
+        operator = GroupedTopK(GROUP, VALUE, k=10, memory_rows=20)
+        assert list(operator.execute(iter([]))) == []

@@ -1,0 +1,89 @@
+"""Tests for pause-and-resume paging (Paginator)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extensions.offset import Paginator
+
+KEY = lambda row: row[0]  # noqa: E731
+
+
+@pytest.fixture
+def data():
+    rng = random.Random(21)
+    return [(rng.random(),) for _ in range(10_000)]
+
+
+def make_paginator(data, **kwargs):
+    defaults = dict(page_size=250, memory_rows=400, prefetch_pages=4)
+    defaults.update(kwargs)
+    return Paginator(lambda: iter(data), KEY, **defaults)
+
+
+class TestPages:
+    def test_first_page(self, data):
+        paginator = make_paginator(data)
+        assert paginator.page(0) == sorted(data)[:250]
+
+    def test_random_page_access(self, data):
+        paginator = make_paginator(data)
+        expected = sorted(data)
+        assert paginator.page(3) == expected[750:1_000]
+        assert paginator.page(1) == expected[250:500]
+
+    def test_pages_are_served_from_retained_runs(self, data):
+        paginator = make_paginator(data)
+        paginator.page(0)
+        executions_after_first = paginator.executions
+        paginator.page(1)
+        paginator.page(2)
+        paginator.page(3)
+        assert paginator.executions == executions_after_first == 1
+
+    def test_deep_page_triggers_reexecution(self, data):
+        paginator = make_paginator(data, prefetch_pages=2)
+        paginator.page(0)
+        assert paginator.executions == 1
+        paginator.page(5)  # beyond 2 prefetched pages
+        assert paginator.executions == 2
+        assert paginator.page(5) == sorted(data)[1_250:1_500]
+
+    def test_pages_iterator_covers_everything(self):
+        rng = random.Random(3)
+        data = [(rng.random(),) for _ in range(1_100)]
+        paginator = make_paginator(data, page_size=200, memory_rows=150,
+                                   prefetch_pages=10)
+        pages = list(paginator.pages())
+        assert [len(p) for p in pages] == [200, 200, 200, 200, 200, 100]
+        flattened = [row for page in pages for row in page]
+        assert flattened == sorted(data)
+
+    def test_past_end_page_empty(self, data):
+        paginator = make_paginator(data, page_size=4_000,
+                                   prefetch_pages=1)
+        paginator.page(0)
+        paginator.page(1)
+        paginator.page(2)
+        assert paginator.page(3) == []
+
+    def test_small_input_served_in_memory(self):
+        data = [(float(i),) for i in range(30)]
+        paginator = make_paginator(data, page_size=10, memory_rows=100)
+        assert paginator.page(0) == sorted(data)[:10]
+        assert paginator.page(2) == sorted(data)[20:30]
+        assert paginator.page(3) == []
+
+    def test_invalid_parameters(self, data):
+        with pytest.raises(ConfigurationError):
+            make_paginator(data, page_size=0)
+        with pytest.raises(ConfigurationError):
+            make_paginator(data, prefetch_pages=0)
+        paginator = make_paginator(data)
+        with pytest.raises(ConfigurationError):
+            paginator.page(-1)
+
+    def test_page_results_stable_across_calls(self, data):
+        paginator = make_paginator(data)
+        assert paginator.page(2) == paginator.page(2)

@@ -1,0 +1,118 @@
+"""Tests for parallel top-k with shared/exchanged cutoff filters."""
+
+import random
+
+import pytest
+
+from repro.core.histogram import Bucket
+from repro.errors import ConfigurationError
+from repro.extensions.parallel import ParallelTopK, SharedCutoffFilter
+
+KEY = lambda row: row[0]  # noqa: E731
+
+
+def uniform(count, seed=0):
+    rng = random.Random(seed)
+    return [(rng.random(),) for _ in range(count)]
+
+
+class TestSharedCutoffFilter:
+    def test_delegates_to_inner_filter(self):
+        shared = SharedCutoffFilter(k=10)
+        shared.insert(Bucket(0.5, 10))
+        assert shared.cutoff_key == 0.5
+        assert shared.eliminate(0.6)
+        assert not shared.eliminate(0.5)
+
+    def test_concurrent_inserts_preserve_invariants(self):
+        import threading
+
+        shared = SharedCutoffFilter(k=500)
+        rng = random.Random(1)
+        batches = [[(rng.random(), rng.randrange(1, 5))
+                    for _ in range(2_000)] for _ in range(4)]
+
+        def feed(batch):
+            for boundary, size in batch:
+                shared.insert(Bucket(boundary, size))
+
+        threads = [threading.Thread(target=feed, args=(batch,))
+                   for batch in batches]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert shared._filter.coverage >= 500
+        assert shared.cutoff_key is not None
+
+
+class TestParallelTopK:
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            ParallelTopK(KEY, k=0, memory_rows=100)
+        with pytest.raises(ConfigurationError):
+            ParallelTopK(KEY, k=10, memory_rows=100, workers=0)
+        with pytest.raises(ConfigurationError):
+            ParallelTopK(KEY, k=10, memory_rows=2, workers=4)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_correctness_threads(self, workers):
+        rows = uniform(20_000, seed=2)
+        operator = ParallelTopK(KEY, k=1_500, memory_rows=1_200,
+                                workers=workers)
+        assert list(operator.execute(iter(rows))) \
+            == sorted(rows)[:1_500]
+
+    def test_correctness_sequential_mode(self):
+        rows = uniform(20_000, seed=3)
+        operator = ParallelTopK(KEY, k=1_500, memory_rows=1_200,
+                                workers=3, use_threads=False)
+        assert list(operator.execute(iter(rows))) == sorted(rows)[:1_500]
+
+    def test_sequential_mode_deterministic(self):
+        rows = uniform(10_000, seed=4)
+        spills = []
+        for _ in range(2):
+            operator = ParallelTopK(KEY, k=800, memory_rows=900,
+                                    workers=3, use_threads=False)
+            list(operator.execute(iter(rows)))
+            spills.append(operator.total_rows_spilled)
+        assert spills[0] == spills[1]
+
+    def test_shared_filter_eliminates_rows(self):
+        rows = uniform(40_000, seed=5)
+        operator = ParallelTopK(KEY, k=1_000, memory_rows=1_000,
+                                workers=4, use_threads=False)
+        list(operator.execute(iter(rows)))
+        eliminated = sum(s.rows_eliminated_on_arrival
+                         for s in operator.worker_stats)
+        assert eliminated > 10_000
+
+    def test_shared_filter_spills_much_less_than_unfiltered(self):
+        rows = uniform(40_000, seed=6)
+        operator = ParallelTopK(KEY, k=1_000, memory_rows=1_000,
+                                workers=4, use_threads=False)
+        list(operator.execute(iter(rows)))
+        assert operator.total_rows_spilled < len(rows) // 2
+
+    def test_cutoff_exchange_mode_correct_but_weaker(self):
+        rows = uniform(40_000, seed=7)
+        shared = ParallelTopK(KEY, k=1_000, memory_rows=1_000,
+                              workers=4, use_threads=False)
+        out_shared = list(shared.execute(iter(rows)))
+        exchanged = ParallelTopK(KEY, k=1_000, memory_rows=1_000,
+                                 workers=4, use_threads=False,
+                                 exchange_interval_rows=2_000)
+        out_exchanged = list(exchanged.execute(iter(rows)))
+        assert out_shared == out_exchanged == sorted(rows)[:1_000]
+        # Stale local cutoffs retain more rows (the paper's prediction).
+        assert (exchanged.total_rows_spilled
+                >= shared.total_rows_spilled)
+
+    def test_worker_stats_cover_entire_input(self):
+        rows = uniform(9_999, seed=8)
+        operator = ParallelTopK(KEY, k=700, memory_rows=800, workers=3,
+                                use_threads=False)
+        list(operator.execute(iter(rows)))
+        consumed = sum(s.rows_consumed for s in operator.worker_stats)
+        assert consumed == 9_999

@@ -1,0 +1,92 @@
+"""Tests for segmented execution over partially sorted inputs."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extensions.segmented import SegmentedTopK
+
+SEG = lambda row: row[0]   # noqa: E731
+VAL = lambda row: row[1]   # noqa: E731
+
+
+def clustered_input(segments, rows_per_segment, seed=0):
+    """Rows clustered by segment id, unsorted within each segment."""
+    rng = random.Random(seed)
+    rows = []
+    for segment in range(segments):
+        rows.extend((segment, rng.random()) for _ in range(rows_per_segment))
+    return rows
+
+
+class TestSegmentedTopK:
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            SegmentedTopK(SEG, VAL, k=0, memory_rows=10)
+        with pytest.raises(ConfigurationError):
+            SegmentedTopK(SEG, VAL, k=10, memory_rows=0)
+
+    def test_output_matches_full_sort(self):
+        rows = clustered_input(10, 500)
+        operator = SegmentedTopK(SEG, VAL, k=1_200, memory_rows=200)
+        out = list(operator.execute(iter(rows)))
+        assert out == sorted(rows, key=lambda r: (r[0], r[1]))[:1_200]
+
+    def test_later_segments_skipped(self):
+        rows = clustered_input(20, 300)
+        operator = SegmentedTopK(SEG, VAL, k=700, memory_rows=100)
+        list(operator.execute(iter(rows)))
+        # 700 rows live in the first 3 segments: 17 segments skipped.
+        assert operator.segments_processed == 3
+        assert operator.segments_skipped == 17
+
+    def test_skipped_segments_never_spill(self):
+        rows = clustered_input(20, 300)
+        operator = SegmentedTopK(SEG, VAL, k=700, memory_rows=100)
+        list(operator.execute(iter(rows)))
+        baseline = SegmentedTopK(SEG, VAL, k=6_000, memory_rows=100)
+        list(baseline.execute(iter(rows)))
+        assert (operator.stats.io.rows_spilled
+                < baseline.stats.io.rows_spilled)
+
+    def test_k_within_first_segment(self):
+        rows = clustered_input(5, 1_000)
+        operator = SegmentedTopK(SEG, VAL, k=50, memory_rows=100)
+        out = list(operator.execute(iter(rows)))
+        first_segment = [r for r in rows if r[0] == 0]
+        assert out == sorted(first_segment, key=VAL)[:50]
+        assert operator.segments_processed == 1
+
+    def test_k_exceeds_input(self):
+        rows = clustered_input(3, 10)
+        operator = SegmentedTopK(SEG, VAL, k=1_000, memory_rows=8)
+        out = list(operator.execute(iter(rows)))
+        assert out == sorted(rows, key=lambda r: (r[0], r[1]))
+
+    def test_empty_input(self):
+        operator = SegmentedTopK(SEG, VAL, k=10, memory_rows=8)
+        assert list(operator.execute(iter([]))) == []
+
+    def test_uneven_segments(self):
+        rng = random.Random(5)
+        rows = []
+        for segment, size in enumerate([5, 800, 3, 450, 90]):
+            rows.extend((segment, rng.random()) for _ in range(size))
+        operator = SegmentedTopK(SEG, VAL, k=820, memory_rows=64)
+        out = list(operator.execute(iter(rows)))
+        assert out == sorted(rows, key=lambda r: (r[0], r[1]))[:820]
+
+    def test_exact_boundary_stops_processing(self):
+        rows = clustered_input(4, 100)
+        operator = SegmentedTopK(SEG, VAL, k=200, memory_rows=50)
+        out = list(operator.execute(iter(rows)))
+        assert len(out) == 200
+        assert operator.segments_processed == 2
+        assert operator.segments_skipped == 2
+
+    def test_all_rows_consumed_even_when_skipping(self):
+        rows = clustered_input(8, 100)
+        operator = SegmentedTopK(SEG, VAL, k=150, memory_rows=50)
+        list(operator.execute(iter(rows)))
+        assert operator.stats.rows_consumed == len(rows)

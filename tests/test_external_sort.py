@@ -1,0 +1,69 @@
+"""Tests for the full external merge sort operator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sorting.external_sort import ExternalSort
+
+KEY = lambda row: row[0]  # noqa: E731
+
+
+class TestExternalSort:
+    def test_unknown_run_generation_rejected(self, spill):
+        with pytest.raises(ConfigurationError):
+            ExternalSort(KEY, 10, spill, run_generation="bogosort")
+
+    @pytest.mark.parametrize("algorithm",
+                             ["replacement_selection", "quicksort"])
+    def test_full_sort_correct(self, spill, rng, algorithm):
+        rows = [(rng.random(),) for _ in range(3_000)]
+        sorter = ExternalSort(KEY, 128, spill, run_generation=algorithm)
+        assert list(sorter.sort(rows)) == sorted(rows)
+
+    def test_limit_and_offset(self, spill, rng):
+        rows = [(rng.random(),) for _ in range(1_000)]
+        sorter = ExternalSort(KEY, 64, spill)
+        out = list(sorter.sort(rows, limit=10, offset=5))
+        assert out == sorted(rows)[5:15]
+
+    def test_entire_input_is_spilled(self, spill, rng):
+        """The defining cost of the traditional approach."""
+        rows = [(rng.random(),) for _ in range(2_000)]
+        sorter = ExternalSort(KEY, 100, spill)
+        list(sorter.sort(rows, limit=5))
+        assert spill.stats.rows_spilled == 2_000
+
+    def test_stats_count_consumed_and_output(self, spill, rng):
+        rows = [(rng.random(),) for _ in range(500)]
+        sorter = ExternalSort(KEY, 50, spill)
+        list(sorter.sort(rows, limit=7))
+        assert sorter.stats.rows_consumed == 500
+        assert sorter.stats.rows_output == 7
+
+    def test_replacement_selection_produces_fewer_runs(self, rng):
+        from repro.storage.spill import SpillManager
+
+        rows = [(rng.random(),) for _ in range(5_000)]
+        with SpillManager() as spill_rs, SpillManager() as spill_qs:
+            rs = ExternalSort(KEY, 100, spill_rs,
+                              run_generation="replacement_selection")
+            list(rs.sort(list(rows)))
+            qs = ExternalSort(KEY, 100, spill_qs,
+                              run_generation="quicksort")
+            list(qs.sort(list(rows)))
+            assert len(rs.runs) < len(qs.runs)
+
+    def test_fan_in_limited_merge_still_correct(self, spill, rng):
+        rows = [(rng.random(),) for _ in range(2_000)]
+        sorter = ExternalSort(KEY, 50, spill, fan_in=4)
+        assert list(sorter.sort(rows)) == sorted(rows)
+
+    def test_run_size_limit_respected(self, spill, rng):
+        rows = [(rng.random(),) for _ in range(1_000)]
+        sorter = ExternalSort(KEY, 100, spill, run_size_limit=80)
+        list(sorter.sort(rows))
+        assert all(run.row_count <= 80 for run in sorter.runs)
+
+    def test_empty_input(self, spill):
+        sorter = ExternalSort(KEY, 10, spill)
+        assert list(sorter.sort([])) == []

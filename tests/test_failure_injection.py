@@ -1,0 +1,144 @@
+"""Failure-injection tests: storage faults must surface cleanly.
+
+A production operator's failure mode matters as much as its happy path:
+a spill fault mid-run must raise a :class:`SpillError` (not corrupt
+results), resources must stay reclaimable, and a fresh operator must
+succeed afterwards.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.topk import HistogramTopK
+from repro.errors import ReproError, SpillError
+from repro.storage.pages import Page
+from repro.storage.spill import MemorySpillBackend, SpillFile, SpillManager
+
+KEY = lambda row: row[0]  # noqa: E731
+
+
+class _FlakyFile(SpillFile):
+    """In-memory spill file that fails after a set number of writes."""
+
+    def __init__(self, file_id, stats, fail_after_pages, mode):
+        super().__init__(file_id, stats)
+        self._pages: list[Page] = []
+        self._fail_after = fail_after_pages
+        self._mode = mode
+
+    def _store_page(self, page: Page) -> None:
+        if self._mode == "write" and self._fail_after() :
+            raise SpillError("injected write fault")
+        self._pages.append(page)
+
+    def _load_pages(self, start_page: int = 0):
+        for page in self._pages[start_page:]:
+            if self._mode == "read" and self._fail_after():
+                raise SpillError("injected read fault")
+            yield page
+
+    def _discard(self) -> None:
+        self._pages = []
+
+
+class FlakyBackend(MemorySpillBackend):
+    """Backend injecting a fault on the N-th page operation."""
+
+    def __init__(self, fail_on_operation: int, mode: str = "write"):
+        self._countdown = itertools.count(1)
+        self._fail_on = fail_on_operation
+        self._mode = mode
+
+    def _should_fail(self) -> bool:
+        return next(self._countdown) == self._fail_on
+
+    def create_file(self, file_id, stats):
+        return _FlakyFile(file_id, stats, self._should_fail, self._mode)
+
+
+def rows(count, seed=0):
+    rng = random.Random(seed)
+    return [(rng.random(),) for _ in range(count)]
+
+
+class TestWriteFaults:
+    def test_fault_surfaces_as_spill_error(self):
+        manager = SpillManager(backend=FlakyBackend(fail_on_operation=3),
+                               page_bytes=256)
+        operator = HistogramTopK(KEY, 2_000, 200, spill_manager=manager)
+        with pytest.raises(SpillError, match="injected write fault"):
+            list(operator.execute(iter(rows(20_000))))
+
+    def test_fault_is_a_repro_error(self):
+        """Callers can catch everything from this library uniformly."""
+        manager = SpillManager(backend=FlakyBackend(fail_on_operation=1),
+                               page_bytes=256)
+        operator = HistogramTopK(KEY, 2_000, 200, spill_manager=manager)
+        with pytest.raises(ReproError):
+            list(operator.execute(iter(rows(5_000))))
+
+    def test_manager_still_closable_after_fault(self):
+        manager = SpillManager(backend=FlakyBackend(fail_on_operation=2),
+                               page_bytes=256)
+        operator = HistogramTopK(KEY, 2_000, 200, spill_manager=manager)
+        with pytest.raises(SpillError):
+            list(operator.execute(iter(rows(20_000))))
+        manager.close()  # must not raise
+
+    def test_fresh_operator_recovers(self):
+        data = rows(10_000, seed=1)
+        manager = SpillManager(backend=FlakyBackend(fail_on_operation=2),
+                               page_bytes=256)
+        operator = HistogramTopK(KEY, 1_000, 200, spill_manager=manager)
+        with pytest.raises(SpillError):
+            list(operator.execute(iter(data)))
+        retry = HistogramTopK(KEY, 1_000, 200)
+        assert list(retry.execute(iter(data))) == sorted(data)[:1_000]
+
+
+class TestReadFaults:
+    def test_merge_phase_fault_surfaces(self):
+        manager = SpillManager(
+            backend=FlakyBackend(fail_on_operation=2, mode="read"),
+            page_bytes=256)
+        operator = HistogramTopK(KEY, 2_000, 200, spill_manager=manager)
+        with pytest.raises(SpillError, match="injected read fault"):
+            list(operator.execute(iter(rows(20_000))))
+
+    def test_no_partial_output_before_fault_reaches_k(self):
+        """If the merge dies, the consumer sees the exception rather
+        than a silently truncated result set."""
+        manager = SpillManager(
+            backend=FlakyBackend(fail_on_operation=5, mode="read"),
+            page_bytes=256)
+        operator = HistogramTopK(KEY, 2_000, 200, spill_manager=manager)
+        produced = []
+        with pytest.raises(SpillError):
+            for row in operator.execute(iter(rows(20_000))):
+                produced.append(row)
+        assert len(produced) < 2_000
+
+
+class TestInputFaults:
+    def test_exception_from_input_iterator_propagates(self):
+        def poisoned():
+            yield from rows(5_000)
+            raise ValueError("upstream failure")
+
+        operator = HistogramTopK(KEY, 1_000, 200)
+        with pytest.raises(ValueError, match="upstream failure"):
+            list(operator.execute(poisoned()))
+
+    def test_operator_not_reusable_mid_stream_but_state_inspectable(self):
+        def poisoned():
+            yield from rows(5_000, seed=3)
+            raise ValueError("upstream failure")
+
+        operator = HistogramTopK(KEY, 1_000, 200)
+        with pytest.raises(ValueError):
+            list(operator.execute(poisoned()))
+        # Diagnostics survive the failure.
+        assert operator.stats.rows_consumed == 5_000
+        assert operator.stats.io.rows_spilled > 0

@@ -1,0 +1,108 @@
+"""Tests for the ``LIMIT k PER <column>`` SQL extension (Section 4.3)."""
+
+import collections
+import random
+
+import pytest
+
+from repro.engine import Database, parse
+from repro.engine.operators import GroupedTopKOperator
+from repro.errors import PlanError, SqlSyntaxError
+from repro.rows.schema import Column, ColumnType, Schema
+
+
+@pytest.fixture
+def db():
+    schema = Schema([
+        Column("country", ColumnType.STRING),
+        Column("customer", ColumnType.INT64),
+        Column("score", ColumnType.FLOAT64),
+    ])
+    rng = random.Random(5)
+    rows = [(rng.choice(["us", "de", "jp", "br"]), i, rng.random())
+            for i in range(12_000)]
+    database = Database(memory_rows=400)
+    database.register_table("CUSTOMERS", schema, rows)
+    return database, rows
+
+
+class TestParsing:
+    def test_per_clause_parsed(self):
+        query = parse("SELECT * FROM t ORDER BY s LIMIT 10 PER country")
+        assert query.per_column == "country"
+        assert query.is_grouped_topk
+
+    def test_per_requires_order_by(self):
+        with pytest.raises(SqlSyntaxError, match="ORDER BY"):
+            parse("SELECT * FROM t LIMIT 10 PER country")
+
+    def test_per_rejects_offset(self):
+        with pytest.raises(SqlSyntaxError, match="OFFSET"):
+            parse("SELECT * FROM t ORDER BY s LIMIT 10 PER c OFFSET 5")
+
+    def test_plain_limit_unaffected(self):
+        query = parse("SELECT * FROM t ORDER BY s LIMIT 10")
+        assert query.per_column is None
+        assert not query.is_grouped_topk
+
+
+class TestExecution:
+    def test_top_k_within_each_group(self, db):
+        database, rows = db
+        result = database.sql(
+            "SELECT * FROM CUSTOMERS ORDER BY score LIMIT 100 PER country")
+        got = collections.defaultdict(list)
+        for country, _customer, score in result.rows:
+            got[country].append(score)
+        expected = collections.defaultdict(list)
+        for country, _customer, score in rows:
+            expected[country].append(score)
+        for country in expected:
+            assert got[country] == sorted(expected[country])[:100]
+
+    def test_descending_order(self, db):
+        database, rows = db
+        result = database.sql(
+            "SELECT country, score FROM CUSTOMERS "
+            "ORDER BY score DESC LIMIT 3 PER country")
+        assert len(result) == 4 * 3
+        got = collections.defaultdict(list)
+        for country, score in result.rows:
+            got[country].append(score)
+        for country, scores in got.items():
+            assert scores == sorted(scores, reverse=True)
+
+    def test_where_applies_before_grouping(self, db):
+        database, rows = db
+        result = database.sql(
+            "SELECT country, score FROM CUSTOMERS WHERE score >= 0.5 "
+            "ORDER BY score LIMIT 10 PER country")
+        assert all(score >= 0.5 for _country, score in result.rows)
+        assert len(result) == 40
+
+    def test_plan_shape(self, db):
+        database, _rows = db
+        plan = database.plan(
+            "SELECT * FROM CUSTOMERS ORDER BY score LIMIT 5 PER country")
+        assert isinstance(plan, GroupedTopKOperator)
+        assert "GroupedTopK" in plan.explain()
+
+    def test_unknown_group_column(self, db):
+        database, _rows = db
+        with pytest.raises(PlanError):
+            database.sql(
+                "SELECT * FROM CUSTOMERS ORDER BY score LIMIT 5 PER nope")
+
+    def test_projection_after_grouping(self, db):
+        database, _rows = db
+        result = database.sql(
+            "SELECT score FROM CUSTOMERS ORDER BY score LIMIT 2 PER country")
+        assert result.schema.names == ("score",)
+        assert len(result) == 8
+
+    def test_stats_collected(self, db):
+        database, rows = db
+        result = database.sql(
+            "SELECT * FROM CUSTOMERS ORDER BY score LIMIT 500 PER country")
+        assert result.stats.rows_consumed == len(rows)
+        assert result.stats.io.rows_spilled > 0

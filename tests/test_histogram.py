@@ -1,0 +1,92 @@
+"""Tests for histogram buckets and the per-run builder."""
+
+from repro.core.histogram import Bucket, RunHistogramBuilder
+from repro.core.policies import (
+    FixedStridePolicy,
+    NoHistogramPolicy,
+    TargetBucketsPolicy,
+)
+
+
+def build(policy, expected_rows, keys):
+    buckets = []
+    builder = RunHistogramBuilder(policy, expected_rows, buckets.append)
+    for key in keys:
+        builder.add(key)
+    return builder, buckets
+
+
+class TestBucket:
+    def test_repr(self):
+        assert "0.5" in repr(Bucket(0.5, 100))
+        assert "100" in repr(Bucket(0.5, 100))
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            Bucket(0.5, 100).size = 7
+
+
+class TestBuilder:
+    def test_decile_boundaries(self):
+        """9 buckets from a 1,000-row run, boundaries every 100 rows."""
+        keys = [i / 1000 for i in range(1, 1001)]
+        _builder, buckets = build(TargetBucketsPolicy(9), 1_000, keys)
+        assert len(buckets) == 9
+        assert [b.boundary_key for b in buckets] == [
+            0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+        assert all(b.size == 100 for b in buckets)
+
+    def test_partial_tail_discarded(self):
+        keys = [float(i) for i in range(1, 251)]  # 250 rows, stride 100
+        _builder, buckets = build(FixedStridePolicy(100), 1_000, keys)
+        assert len(buckets) == 2  # rows 201-250 unrepresented
+
+    def test_cap_stops_emission(self):
+        keys = [float(i) for i in range(1, 2001)]
+        _builder, buckets = build(TargetBucketsPolicy(9), 1_000, keys)
+        assert len(buckets) == 9  # capped even though the run ran long
+
+    def test_uncapped_keeps_emitting(self):
+        keys = [float(i) for i in range(1, 2001)]
+        _builder, buckets = build(TargetBucketsPolicy(9, capped=False),
+                                  1_000, keys)
+        assert len(buckets) == 20
+
+    def test_no_histogram_policy_emits_nothing(self):
+        builder, buckets = build(NoHistogramPolicy(), 1_000,
+                                 [1.0, 2.0, 3.0])
+        assert buckets == []
+        assert not builder.enabled
+
+    def test_boundary_is_last_spilled_key(self):
+        keys = [10.0, 20.0, 30.0, 40.0]
+        _builder, buckets = build(FixedStridePolicy(2), 100, keys)
+        assert [b.boundary_key for b in buckets] == [20.0, 40.0]
+
+    def test_close_resets_for_next_run(self):
+        buckets = []
+        builder = RunHistogramBuilder(FixedStridePolicy(3), 100,
+                                      buckets.append)
+        for key in (1.0, 2.0):  # partial: no bucket yet
+            builder.add(key)
+        builder.close()
+        for key in (5.0, 6.0, 7.0):
+            builder.add(key)
+        assert [b.boundary_key for b in buckets] == [7.0]
+
+    def test_close_resets_cap_counter(self):
+        buckets = []
+        builder = RunHistogramBuilder(TargetBucketsPolicy(1), 2,
+                                      buckets.append)
+        builder.add(1.0)  # stride = 1, cap 1 -> emits
+        builder.add(2.0)  # cap reached
+        builder.close()
+        builder.add(3.0)  # new run: cap reset
+        assert [b.boundary_key for b in buckets] == [1.0, 3.0]
+
+    def test_bucket_sizes_equal_stride(self):
+        keys = [float(i) for i in range(1, 100)]
+        _builder, buckets = build(FixedStridePolicy(7), 1_000, keys)
+        assert all(b.size == 7 for b in buckets)

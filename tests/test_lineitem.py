@@ -1,0 +1,58 @@
+"""Tests for the TPC-H LINEITEM generator."""
+
+import datetime
+
+from repro.rows.lineitem import (
+    LINEITEM_SCHEMA,
+    average_lineitem_row_bytes,
+    generate_lineitem,
+    lineitem_with_keys,
+)
+
+
+class TestSchema:
+    def test_sixteen_columns(self):
+        assert len(LINEITEM_SCHEMA) == 16
+
+    def test_orderkey_first(self):
+        assert LINEITEM_SCHEMA.names[0] == "L_ORDERKEY"
+        assert LINEITEM_SCHEMA.names[-1] == "L_COMMENT"
+
+
+class TestGenerator:
+    def test_row_count(self):
+        assert sum(1 for _ in generate_lineitem(137)) == 137
+
+    def test_rows_validate_against_schema(self):
+        for row in generate_lineitem(50, seed=1):
+            LINEITEM_SCHEMA.validate_row(row)
+
+    def test_deterministic_for_seed(self):
+        first = list(generate_lineitem(25, seed=9))
+        second = list(generate_lineitem(25, seed=9))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert (list(generate_lineitem(25, seed=1))
+                != list(generate_lineitem(25, seed=2)))
+
+    def test_date_ordering_invariants(self):
+        for row in generate_lineitem(40, seed=3):
+            shipdate, commitdate, receiptdate = row[10], row[11], row[12]
+            assert isinstance(shipdate, datetime.date)
+            assert commitdate > shipdate
+            assert receiptdate > shipdate
+
+    def test_injected_keys_land_in_orderkey(self):
+        keys = [10.5, 3.25, 99.0]
+        rows = list(lineitem_with_keys(keys))
+        assert [row[0] for row in rows] == keys
+
+    def test_injected_keys_from_generator(self):
+        rows = list(lineitem_with_keys(iter(range(5))))
+        assert [row[0] for row in rows] == [0, 1, 2, 3, 4]
+
+    def test_average_row_bytes_plausible(self):
+        average = average_lineitem_row_bytes()
+        # Real TPC-H lineitem rows are ~120-180 bytes.
+        assert 80 < average < 400

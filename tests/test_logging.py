@@ -1,0 +1,64 @@
+"""Tests for the operator logging instrumentation."""
+
+import logging
+import random
+
+from repro.core.cutoff import CutoffFilter
+from repro.core.histogram import Bucket
+from repro.core.topk import HistogramTopK
+
+KEY = lambda row: row[0]  # noqa: E731
+
+
+def test_cutoff_establishment_logged(caplog):
+    with caplog.at_level(logging.DEBUG, logger="repro.core.cutoff"):
+        filt = CutoffFilter(k=10)
+        filt.insert(Bucket(0.5, 10))
+    assert any("cutoff established" in record.message
+               for record in caplog.records)
+
+
+def test_consolidation_logged(caplog):
+    with caplog.at_level(logging.DEBUG, logger="repro.core.cutoff"):
+        filt = CutoffFilter(k=100, bucket_capacity=2)
+        for boundary in (0.1, 0.2, 0.3):
+            filt.insert(Bucket(boundary, 5))
+    assert any("consolidated" in record.message
+               for record in caplog.records)
+
+
+def test_regime_choice_logged(caplog):
+    rng = random.Random(0)
+    rows = [(rng.random(),) for _ in range(500)]
+    with caplog.at_level(logging.DEBUG, logger="repro.core.topk"):
+        list(HistogramTopK(KEY, 10, 100).execute(iter(rows)))
+    assert any("priority-queue regime" in record.message
+               for record in caplog.records)
+    caplog.clear()
+    with caplog.at_level(logging.DEBUG, logger="repro.core.topk"):
+        list(HistogramTopK(KEY, 200, 100).execute(iter(rows)))
+    assert any("external regime" in record.message
+               for record in caplog.records)
+
+
+def test_adaptive_switch_logged(caplog):
+    rng = random.Random(1)
+    rows = [(rng.random(), "x" * 200) for _ in range(2_000)]
+    with caplog.at_level(logging.INFO, logger="repro.core.topk"):
+        operator = HistogramTopK(
+            KEY, 300, 1_000, memory_bytes=10_000,
+            row_size=lambda row: 24 + len(row[1]))
+        list(operator.execute(iter(rows)))
+    assert operator.switched_to_external
+    assert any("switching to the external regime" in record.message
+               for record in caplog.records)
+
+
+def test_no_logging_overhead_by_default(caplog):
+    """At WARNING level nothing is emitted from the hot paths."""
+    rng = random.Random(2)
+    rows = [(rng.random(),) for _ in range(2_000)]
+    with caplog.at_level(logging.WARNING):
+        operator = HistogramTopK(KEY, 300, 100)
+        list(operator.execute(iter(rows)))
+    assert not caplog.records

@@ -1,0 +1,155 @@
+"""Tests for multiway merging."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, MergeError
+from repro.sorting.merge import Merger, MergePolicy, merge_keyed
+from repro.sorting.runs import write_run
+
+KEY = lambda row: row[0]  # noqa: E731
+
+
+def make_runs(spill, lists):
+    runs = []
+    for index, values in enumerate(lists):
+        keyed = [(v, (v,)) for v in sorted(values)]
+        runs.append(write_run(spill, index, keyed))
+    return runs
+
+
+class TestMergeKeyed:
+    def test_merges_in_global_order(self, spill):
+        runs = make_runs(spill, [[1.0, 4.0], [2.0, 3.0], [0.5]])
+        merged = [key for key, _row in merge_keyed(runs, KEY)]
+        assert merged == [0.5, 1.0, 2.0, 3.0, 4.0]
+
+    def test_empty_runs_ignored(self, spill):
+        runs = make_runs(spill, [[], [1.0], []])
+        assert [k for k, _ in merge_keyed(runs, KEY)] == [1.0]
+
+    def test_no_runs(self, spill):
+        assert list(merge_keyed([], KEY)) == []
+
+    def test_duplicates_stable_by_run_order(self, spill):
+        first = write_run(spill, 0, [(1.0, (1.0, "run0"))])
+        second = write_run(spill, 1, [(1.0, (1.0, "run1"))])
+        rows = [row for _k, row in merge_keyed([second, first], KEY)]
+        # Order argument in the call is the tiebreak, not run_id.
+        assert rows == [(1.0, "run1"), (1.0, "run0")]
+
+    def test_large_random_merge(self, spill):
+        rng = random.Random(4)
+        lists = [[rng.random() for _ in range(500)] for _ in range(8)]
+        runs = make_runs(spill, lists)
+        merged = [key for key, _row in merge_keyed(runs, KEY)]
+        assert merged == sorted(v for chunk in lists for v in chunk)
+
+
+class TestMergerTopK:
+    def test_limit_stops_early(self, spill):
+        runs = make_runs(spill, [[1.0, 3.0], [2.0, 4.0]])
+        merger = Merger(KEY)
+        assert [r[0] for r in merger.merge_topk(runs, 3)] == [1.0, 2.0, 3.0]
+
+    def test_offset_skips(self, spill):
+        runs = make_runs(spill, [[1.0, 3.0], [2.0, 4.0]])
+        merger = Merger(KEY)
+        assert [r[0] for r in merger.merge_topk(runs, 2, offset=1)] \
+            == [2.0, 3.0]
+
+    def test_negative_offset_rejected(self, spill):
+        merger = Merger(KEY)
+        with pytest.raises(ConfigurationError):
+            list(merger.merge_topk([], 1, offset=-1))
+
+    def test_cutoff_terminates_merge(self, spill):
+        runs = make_runs(spill, [[1.0, 2.0, 9.0], [3.0, 8.0]])
+        merger = Merger(KEY)
+        out = [r[0] for r in merger.merge_topk(runs, 100, cutoff=3.0)]
+        assert out == [1.0, 2.0, 3.0]  # ties with the cutoff are kept
+
+    def test_k_none_yields_everything(self, spill):
+        runs = make_runs(spill, [[1.0], [2.0]])
+        merger = Merger(KEY)
+        assert len(list(merger.merge_topk(runs, None))) == 2
+
+    def test_early_stop_avoids_reading_tail(self, spill):
+        values = [float(i) for i in range(10_000)]
+        runs = make_runs(spill, [values])
+        before = spill.stats.snapshot()
+        merger = Merger(KEY)
+        list(merger.merge_topk(runs, 5))
+        delta = spill.stats - before
+        # One page is enough for five rows; the tail stays unread.
+        assert delta.rows_read < 10_000
+
+
+class TestFanInLimit:
+    def test_fan_in_below_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Merger(KEY, fan_in=1)
+
+    def test_intermediate_steps_respect_fan_in(self, spill):
+        rng = random.Random(1)
+        lists = [[rng.random() for _ in range(50)] for _ in range(9)]
+        runs = make_runs(spill, lists)
+        merger = Merger(KEY, spill_manager=spill, fan_in=3)
+        merged = [r[0] for r in merger.merge_topk(runs, None)]
+        assert merged == sorted(v for chunk in lists for v in chunk)
+
+    def test_intermediate_step_without_manager_raises(self, spill):
+        runs = make_runs(spill, [[1.0], [2.0], [3.0]])
+        merger = Merger(KEY, fan_in=2)  # no spill manager
+        with pytest.raises(MergeError):
+            list(merger.merge_topk(runs, None))
+
+    def test_intermediate_runs_capped_at_limit(self, spill):
+        rng = random.Random(2)
+        lists = [[rng.random() for _ in range(100)] for _ in range(4)]
+        runs = make_runs(spill, lists)
+        before = spill.stats.snapshot()
+        merger = Merger(KEY, spill_manager=spill, fan_in=2)
+        out = [r[0] for r in merger.merge_topk(runs, 10)]
+        assert out == sorted(v for chunk in lists for v in chunk)[:10]
+        delta = spill.stats - before
+        # Intermediate runs are truncated at offset+k rows, so extra
+        # writes stay bounded by the merge steps, not the input size.
+        assert delta.rows_spilled <= 3 * 10
+
+    def test_inputs_deleted_after_merge_step(self, spill):
+        runs = make_runs(spill, [[1.0], [2.0], [3.0]])
+        merger = Merger(KEY, spill_manager=spill, fan_in=2)
+        list(merger.merge_topk(runs, None))
+        assert spill.stats.runs_deleted >= 2
+
+
+class TestMergePolicies:
+    def test_lowest_keys_first_picks_recent_runs(self, spill):
+        high = write_run(spill, 0, [(9.0, (9.0,)), (10.0, (10.0,))])
+        low = write_run(spill, 1, [(1.0, (1.0,)), (2.0, (2.0,))])
+        mid = write_run(spill, 2, [(5.0, (5.0,))])
+        merger = Merger(KEY, spill_manager=spill, fan_in=2,
+                        policy=MergePolicy.LOWEST_KEYS_FIRST)
+        selected = merger._select_inputs([high, low, mid], 2)
+        assert [run.run_id for run in selected] == [1, 2]
+
+    def test_smallest_first_picks_short_runs(self, spill):
+        big = write_run(spill, 0, [(1.0, (1.0,)), (2.0, (2.0,)),
+                                   (3.0, (3.0,))])
+        tiny = write_run(spill, 1, [(9.0, (9.0,))])
+        small = write_run(spill, 2, [(5.0, (5.0,)), (6.0, (6.0,))])
+        merger = Merger(KEY, spill_manager=spill, fan_in=2,
+                        policy=MergePolicy.SMALLEST_FIRST)
+        selected = merger._select_inputs([big, tiny, small], 2)
+        assert [run.run_id for run in selected] == [1, 2]
+
+
+class TestMergeStep:
+    def test_merge_step_cutoff_truncates(self, spill):
+        runs = make_runs(spill, [[1.0, 5.0], [2.0, 6.0]])
+        merger = Merger(KEY, spill_manager=spill)
+        merged = merger.merge_step(runs, cutoff=2.0)
+        assert [row[0] for row in merged.rows()] == [1.0, 2.0]
+        assert merged.truncated

@@ -1,0 +1,97 @@
+"""Tests for NULLS LAST ordering on nullable sort columns."""
+
+import random
+
+import pytest
+
+from repro.core.topk import HistogramTopK
+from repro.engine.session import Database
+from repro.rows.schema import Column, ColumnType, Schema
+from repro.rows.sortspec import SortColumn, SortSpec
+
+
+@pytest.fixture
+def schema():
+    return Schema([
+        Column("v", ColumnType.FLOAT64, nullable=True),
+        Column("s", ColumnType.STRING, nullable=True),
+        Column("id", ColumnType.INT64),
+    ])
+
+
+def null_last_sort(rows, value_of, reverse=False):
+    present = [row for row in rows if value_of(row) is not None]
+    nulls = [row for row in rows if value_of(row) is None]
+    return sorted(present, key=value_of, reverse=reverse) + nulls
+
+
+class TestSortSpecNulls:
+    def test_ascending_nulls_last(self, schema):
+        spec = SortSpec(schema, ["v"])
+        rows = [(2.0, "a", 1), (None, "b", 2), (1.0, "c", 3)]
+        ordered = sorted(rows, key=spec.key)
+        assert [row[2] for row in ordered] == [3, 1, 2]
+
+    def test_descending_numeric_nulls_last(self, schema):
+        spec = SortSpec(schema, [SortColumn("v", ascending=False)])
+        rows = [(2.0, "a", 1), (None, "b", 2), (5.0, "c", 3)]
+        ordered = sorted(rows, key=spec.key)
+        assert [row[2] for row in ordered] == [3, 1, 2]
+
+    def test_descending_string_nulls_last(self, schema):
+        spec = SortSpec(schema, [SortColumn("s", ascending=False)])
+        rows = [(0.0, "m", 1), (0.0, None, 2), (0.0, "z", 3)]
+        ordered = sorted(rows, key=spec.key)
+        assert [row[2] for row in ordered] == [3, 1, 2]
+
+    def test_multiple_nulls_stable(self, schema):
+        spec = SortSpec(schema, ["v"])
+        rows = [(None, "a", 1), (None, "b", 2), (0.5, "c", 3)]
+        ordered = sorted(rows, key=spec.key)
+        assert [row[2] for row in ordered] == [3, 1, 2]
+
+    def test_multi_column_with_nulls(self, schema):
+        spec = SortSpec(schema, ["v", "s"])
+        rows = [(1.0, None, 1), (1.0, "a", 2), (None, "a", 3)]
+        ordered = sorted(rows, key=spec.key)
+        assert [row[2] for row in ordered] == [2, 1, 3]
+
+    def test_non_nullable_fast_path_unchanged(self):
+        schema = Schema([Column("k", ColumnType.FLOAT64)])
+        spec = SortSpec(schema, ["k"])
+        assert spec.key((2.5,)) == 2.5  # raw key, no wrapper
+
+
+class TestOperatorsWithNulls:
+    def test_topk_with_null_keys(self, schema):
+        rng = random.Random(3)
+        rows = []
+        for identifier in range(8_000):
+            value = None if rng.random() < 0.1 else rng.random()
+            rows.append((value, "s", identifier))
+        spec = SortSpec(schema, ["v"])
+        operator = HistogramTopK(spec, 1_500, 300)
+        out = list(operator.execute(iter(rows)))
+        expected = null_last_sort(rows, lambda row: row[0])[:1_500]
+        assert [row[2] for row in out] == [row[2] for row in expected]
+
+    def test_mostly_null_input(self, schema):
+        rng = random.Random(4)
+        rows = [(None if rng.random() < 0.9 else rng.random(), None, i)
+                for i in range(3_000)]
+        spec = SortSpec(schema, ["v"])
+        operator = HistogramTopK(spec, 600, 100)
+        out = list(operator.execute(iter(rows)))
+        present = [row for row in rows if row[0] is not None]
+        if len(present) >= 600:
+            assert all(row[0] is not None for row in out)
+
+    def test_sql_order_by_nullable(self, schema):
+        rng = random.Random(5)
+        rows = [(None if i % 7 == 0 else rng.random(), "x", i)
+                for i in range(2_000)]
+        database = Database(memory_rows=150)
+        database.register_table("T", schema, rows)
+        result = database.sql("SELECT id FROM T ORDER BY v LIMIT 400")
+        expected = null_last_sort(rows, lambda row: row[0])[:400]
+        assert [r[0] for r in result.rows] == [row[2] for row in expected]

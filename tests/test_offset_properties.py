@@ -1,0 +1,92 @@
+"""Property-based tests for OFFSET correctness under page skipping.
+
+The rank-index merge path skips whole run pages; the property that must
+survive any combination of page size, run layout, and offset depth is
+exact slice semantics: ``output == sorted(input)[offset:offset+k]``.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rank_index import RankIndex
+from repro.core.histogram import Bucket
+from repro.core.topk import HistogramTopK
+from repro.storage.spill import SpillManager
+
+KEY = lambda row: row[0]  # noqa: E731
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          width=32)
+
+
+@given(keys=st.lists(finite_floats, min_size=0, max_size=600),
+       k=st.integers(1, 30), offset=st.integers(0, 300),
+       memory=st.integers(4, 40),
+       page_bytes=st.sampled_from([64, 256, 1024]))
+@settings(max_examples=60, deadline=None)
+def test_offset_with_page_skipping_is_exact(keys, k, offset, memory,
+                                            page_bytes):
+    rows = [(key,) for key in keys]
+    manager = SpillManager(page_bytes=page_bytes)
+    operator = HistogramTopK(KEY, k, memory, offset=offset,
+                             spill_manager=manager)
+    assert list(operator.execute(iter(rows))) \
+        == sorted(rows)[offset:offset + k]
+
+
+@given(keys=st.lists(finite_floats, min_size=0, max_size=600),
+       k=st.integers(1, 30), offset=st.integers(0, 300),
+       memory=st.integers(4, 40), fan_in=st.integers(2, 4))
+@settings(max_examples=40, deadline=None)
+def test_offset_with_fan_in_and_skipping(keys, k, offset, memory,
+                                         fan_in):
+    rows = [(key,) for key in keys]
+    manager = SpillManager(page_bytes=128)
+    operator = HistogramTopK(KEY, k, memory, offset=offset,
+                             fan_in=fan_in, spill_manager=manager)
+    assert list(operator.execute(iter(rows))) \
+        == sorted(rows)[offset:offset + k]
+
+
+@given(run_sizes=st.lists(st.integers(1, 200), min_size=1, max_size=8),
+       stride=st.integers(1, 40), offset=st.integers(1, 500),
+       seed=st.integers(0, 10_000))
+@settings(max_examples=80, deadline=None)
+def test_rank_index_skip_key_always_sound(run_sizes, stride, offset,
+                                          seed):
+    """For any run layout: rows below the skip key never outnumber the
+    offset."""
+    rng = random.Random(seed)
+    index = RankIndex()
+    all_keys = []
+    for size in run_sizes:
+        run = sorted(rng.random() for _ in range(size))
+        all_keys.extend(run)
+        for position in range(stride - 1, size, stride):
+            index.add_bucket(Bucket(run[position], stride))
+        index.end_run(size)
+    skip_key = index.skip_key_for_offset(offset)
+    if skip_key is not None:
+        assert sum(1 for key in all_keys if key < skip_key) <= offset
+
+
+@given(keys=st.lists(finite_floats, min_size=50, max_size=600,
+                     unique=True),
+       offset=st.integers(20, 200))
+@settings(max_examples=30, deadline=None)
+def test_deep_offset_skips_reduce_reads(keys, offset):
+    """Page skipping must never *increase* read traffic."""
+    rows = [(key,) for key in keys]
+    k = 5
+
+    def reads(with_index: bool) -> int:
+        manager = SpillManager(page_bytes=96)
+        operator = HistogramTopK(KEY, k, 8, offset=offset,
+                                 spill_manager=manager,
+                                 build_rank_index=with_index)
+        result = list(operator.execute(iter(rows)))
+        assert result == sorted(rows)[offset:offset + k]
+        return manager.stats.rows_read
+
+    assert reads(True) <= reads(False) + 1

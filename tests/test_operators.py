@@ -1,0 +1,116 @@
+"""Tests for the physical operators."""
+
+import pytest
+
+from repro.engine.operators import (
+    Filter,
+    InMemorySort,
+    Limit,
+    Project,
+    Table,
+    TableScan,
+    TopK,
+)
+from repro.errors import ConfigurationError
+from repro.rows.schema import Column, ColumnType, Schema
+from repro.rows.sortspec import SortSpec
+
+
+@pytest.fixture
+def schema():
+    return Schema([Column("a", ColumnType.INT64),
+                   Column("b", ColumnType.FLOAT64)])
+
+
+@pytest.fixture
+def table(schema):
+    rows = [(3, 0.3), (1, 0.1), (2, 0.2), (5, 0.5), (4, 0.4)]
+    return Table("t", schema, rows)
+
+
+class TestTable:
+    def test_row_count_from_list(self, table):
+        assert table.row_count == 5
+
+    def test_callable_source_fresh_iterators(self, schema):
+        table = Table("t", schema, lambda: iter([(1, 0.1)]))
+        assert list(table.rows()) == [(1, 0.1)]
+        assert list(table.rows()) == [(1, 0.1)]  # second scan works
+
+    def test_callable_source_unknown_count(self, schema):
+        table = Table("t", schema, lambda: iter([]))
+        assert table.row_count is None
+
+
+class TestScanFilterProject:
+    def test_scan(self, table):
+        assert len(list(TableScan(table).rows())) == 5
+
+    def test_filter(self, table):
+        node = Filter(TableScan(table), lambda row: row[0] > 2, "a > 2")
+        assert sorted(list(node.rows())) == [(3, 0.3), (4, 0.4), (5, 0.5)]
+
+    def test_project(self, table):
+        node = Project(TableScan(table), ["b"])
+        assert node.schema.names == ("b",)
+        assert (1, ) not in list(node.rows())
+
+    def test_explain_tree(self, table):
+        node = Project(Filter(TableScan(table), lambda _row: True, "p"),
+                       ["a"])
+        text = node.explain()
+        assert "Project" in text
+        assert "Filter" in text
+        assert "TableScan t" in text
+
+
+class TestLimit:
+    def test_limit(self, table):
+        assert len(list(Limit(TableScan(table), 2).rows())) == 2
+
+    def test_offset(self, table):
+        rows = list(Limit(TableScan(table), 2, offset=1).rows())
+        assert rows == [(1, 0.1), (2, 0.2)]
+
+    def test_limit_none_offset_only(self, table):
+        assert len(list(Limit(TableScan(table), None, offset=3).rows())) == 2
+
+    def test_invalid(self, table):
+        with pytest.raises(ConfigurationError):
+            Limit(TableScan(table), -1)
+        with pytest.raises(ConfigurationError):
+            Limit(TableScan(table), 1, offset=-2)
+
+
+class TestSortAndTopK:
+    def test_in_memory_sort(self, table, schema):
+        spec = SortSpec(schema, ["a"])
+        rows = list(InMemorySort(TableScan(table), spec).rows())
+        assert [r[0] for r in rows] == [1, 2, 3, 4, 5]
+
+    @pytest.mark.parametrize("algorithm", ["histogram", "optimized",
+                                           "traditional", "priority_queue"])
+    def test_topk_algorithms(self, table, schema, algorithm):
+        spec = SortSpec(schema, ["a"])
+        node = TopK(TableScan(table), spec, k=3, algorithm=algorithm,
+                    memory_rows=100)
+        assert [r[0] for r in node.rows()] == [1, 2, 3]
+
+    def test_topk_rejects_unknown_algorithm(self, table, schema):
+        spec = SortSpec(schema, ["a"])
+        with pytest.raises(ConfigurationError):
+            TopK(TableScan(table), spec, k=3, algorithm="quantum")
+
+    def test_topk_stats_available_after_run(self, table, schema):
+        spec = SortSpec(schema, ["a"])
+        node = TopK(TableScan(table), spec, k=2, memory_rows=100)
+        list(node.rows())
+        assert node.stats.rows_consumed == 5
+        assert node.stats.rows_output == 2
+
+    def test_topk_rerunnable(self, table, schema):
+        spec = SortSpec(schema, ["a"])
+        node = TopK(TableScan(table), spec, k=2, memory_rows=100)
+        first = list(node.rows())
+        second = list(node.rows())
+        assert first == second

@@ -1,0 +1,68 @@
+"""Tests for page layout and the page builder."""
+
+import pytest
+
+from repro.errors import SpillError
+from repro.storage.pages import DEFAULT_PAGE_BYTES, Page, PageBuilder
+
+
+class TestPage:
+    def test_len(self):
+        assert len(Page(rows=[(1,), (2,)], byte_size=32)) == 2
+
+    def test_round_trip_through_bytes(self):
+        page = Page(rows=[(1, "a"), (2, "b")], byte_size=64)
+        restored = Page.from_bytes(page.to_bytes())
+        assert restored.rows == page.rows
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(SpillError):
+            Page.from_bytes(b"not a pickle")
+
+
+class TestPageBuilder:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(SpillError):
+            PageBuilder(page_bytes=0)
+
+    def test_buffers_until_capacity(self):
+        builder = PageBuilder(page_bytes=100,
+                              row_size=lambda _row: 30)
+        assert builder.add((1,)) is None
+        assert builder.add((2,)) is None
+        assert builder.add((3,)) is None
+        page = builder.add((4,))  # 120 bytes >= 100
+        assert page is not None
+        assert len(page) == 4
+        assert builder.pending_rows == 0
+
+    def test_flush_emits_partial(self):
+        builder = PageBuilder(page_bytes=1000, row_size=lambda _row: 10)
+        builder.add((1,))
+        page = builder.flush()
+        assert page is not None and len(page) == 1
+
+    def test_flush_empty_returns_none(self):
+        assert PageBuilder().flush() is None
+
+    def test_oversized_row_still_pages(self):
+        builder = PageBuilder(page_bytes=10, row_size=lambda _row: 1000)
+        page = builder.add(("huge",))
+        assert page is not None
+        assert page.byte_size == 1000
+
+    def test_default_row_size_counts_width(self):
+        builder = PageBuilder()
+        narrow = builder.row_size((1,))
+        wide = builder.row_size((1, 2, 3, 4, 5))
+        assert narrow < wide
+
+    def test_default_capacity(self):
+        assert PageBuilder().page_bytes == DEFAULT_PAGE_BYTES
+
+    def test_byte_size_accumulates(self):
+        builder = PageBuilder(page_bytes=25, row_size=lambda _row: 10)
+        builder.add((1,))
+        builder.add((2,))
+        page = builder.add((3,))
+        assert page.byte_size == 30

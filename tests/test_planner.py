@@ -1,0 +1,115 @@
+"""Direct tests for the query planner."""
+
+import pytest
+
+from repro.engine.operators import (
+    Filter,
+    InMemorySort,
+    Limit,
+    Project,
+    Table,
+    TableScan,
+    TopK,
+)
+from repro.engine.planner import Planner, _compile_predicates
+from repro.engine.sql import parse
+from repro.errors import PlanError
+from repro.rows.schema import Column, ColumnType, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema([
+        Column("A", ColumnType.INT64),
+        Column("B", ColumnType.FLOAT64),
+        Column("C", ColumnType.STRING),
+    ])
+
+
+@pytest.fixture
+def table(schema):
+    return Table("T", schema, [(1, 1.0, "x"), (2, 2.0, "y")])
+
+
+def plan(sql, table, **kwargs):
+    return Planner(**kwargs).plan(parse(sql), table)
+
+
+class TestPlanShapes:
+    def test_bare_scan(self, table):
+        node = plan("SELECT * FROM T", table)
+        assert isinstance(node, TableScan)
+
+    def test_projection_on_top(self, table):
+        node = plan("SELECT B FROM T", table)
+        assert isinstance(node, Project)
+        assert isinstance(node.child, TableScan)
+
+    def test_filter_below_topk(self, table):
+        node = plan("SELECT * FROM T WHERE A > 1 ORDER BY B LIMIT 5",
+                    table)
+        assert isinstance(node, TopK)
+        assert isinstance(node.child, Filter)
+
+    def test_order_without_limit_is_full_sort(self, table):
+        node = plan("SELECT * FROM T ORDER BY B", table)
+        assert isinstance(node, InMemorySort)
+
+    def test_order_offset_without_limit(self, table):
+        node = plan("SELECT * FROM T ORDER BY B LIMIT 1 OFFSET 1", table)
+        assert isinstance(node, TopK)
+        assert node.offset == 1
+
+    def test_limit_without_order_is_plain_limit(self, table):
+        node = plan("SELECT * FROM T LIMIT 1", table)
+        assert isinstance(node, Limit)
+
+    def test_algorithm_forwarded(self, table):
+        node = plan("SELECT * FROM T ORDER BY B LIMIT 1", table,
+                    algorithm="traditional")
+        assert node.algorithm == "traditional"
+
+    def test_memory_budget_forwarded(self, table):
+        node = plan("SELECT * FROM T ORDER BY B LIMIT 1", table,
+                    memory_rows=123)
+        assert node.memory_rows == 123
+
+    def test_algorithm_options_forwarded(self, table):
+        from repro.core.policies import TargetBucketsPolicy
+
+        policy = TargetBucketsPolicy(buckets_per_run=7)
+        node = plan("SELECT * FROM T ORDER BY B LIMIT 1", table,
+                    algorithm_options={"sizing_policy": policy})
+        assert node.algorithm_options["sizing_policy"] is policy
+
+    def test_case_insensitive_resolution(self, table):
+        node = plan("SELECT b FROM T ORDER BY a DESC LIMIT 1", table)
+        assert node.schema.names == ("B",)
+
+    def test_unknown_order_column(self, table):
+        with pytest.raises(PlanError):
+            plan("SELECT * FROM T ORDER BY nope LIMIT 1", table)
+
+
+class TestPredicateCompilation:
+    def test_conjunction_semantics(self, schema):
+        query = parse("SELECT * FROM T WHERE A >= 2 AND C = 'y'")
+        predicate, description = _compile_predicates(
+            schema, query.predicates)
+        assert predicate((2, 0.0, "y"))
+        assert not predicate((1, 0.0, "y"))
+        assert not predicate((2, 0.0, "x"))
+        assert "A >= 2" in description and "C = 'y'" in description
+
+    @pytest.mark.parametrize("op,value,row_value,expected", [
+        ("=", 5, 5, True),
+        ("!=", 5, 5, False),
+        ("<", 5, 4, True),
+        ("<=", 5, 5, True),
+        (">", 5, 5, False),
+        (">=", 5, 6, True),
+    ])
+    def test_each_operator(self, schema, op, value, row_value, expected):
+        query = parse(f"SELECT * FROM T WHERE A {op} {value}")
+        predicate, _ = _compile_predicates(schema, query.predicates)
+        assert predicate((row_value, 0.0, "")) is expected

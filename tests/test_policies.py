@@ -1,0 +1,76 @@
+"""Tests for histogram sizing policies."""
+
+import pytest
+
+from repro.core.policies import (
+    DEFAULT_BUCKETS_PER_RUN,
+    FixedStridePolicy,
+    NoHistogramPolicy,
+    TargetBucketsPolicy,
+    policy_for_bucket_count,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTargetBucketsPolicy:
+    def test_decile_example(self):
+        """Nine buckets on a 1,000-row run = the paper's deciles."""
+        policy = TargetBucketsPolicy(buckets_per_run=9)
+        assert policy.stride(1_000) == 100
+        assert policy.max_buckets(1_000) == 9
+
+    def test_median_minimal_histogram(self):
+        policy = TargetBucketsPolicy(buckets_per_run=1)
+        assert policy.stride(1_000) == 500
+
+    def test_stride_never_zero(self):
+        policy = TargetBucketsPolicy(buckets_per_run=100)
+        assert policy.stride(5) == 1
+
+    def test_zero_buckets_disables_histogram(self):
+        policy = TargetBucketsPolicy(buckets_per_run=0)
+        assert policy.stride(1_000) is None
+
+    def test_uncapped_mode(self):
+        policy = TargetBucketsPolicy(buckets_per_run=9, capped=False)
+        assert policy.max_buckets(1_000) is None
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TargetBucketsPolicy(buckets_per_run=-1)
+
+    def test_default_is_production_50(self):
+        assert TargetBucketsPolicy().buckets_per_run \
+            == DEFAULT_BUCKETS_PER_RUN == 50
+
+
+class TestFixedStridePolicy:
+    def test_stride_is_constant(self):
+        policy = FixedStridePolicy(rows_per_bucket=64)
+        assert policy.stride(100) == 64
+        assert policy.stride(1_000_000) == 64
+        assert policy.max_buckets(100) is None
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            FixedStridePolicy(rows_per_bucket=0)
+
+
+class TestNoHistogramPolicy:
+    def test_collects_nothing(self):
+        policy = NoHistogramPolicy()
+        assert policy.stride(1_000) is None
+        assert policy.max_buckets(1_000) == 0
+
+
+class TestFactory:
+    def test_zero_maps_to_no_histogram(self):
+        assert isinstance(policy_for_bucket_count(0), NoHistogramPolicy)
+
+    def test_positive_maps_to_target(self):
+        policy = policy_for_bucket_count(10)
+        assert isinstance(policy, TargetBucketsPolicy)
+        assert policy.buckets_per_run == 10
+
+    def test_capped_flag_forwarded(self):
+        assert policy_for_bucket_count(10, capped=False).capped is False

@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These are the invariants the paper's correctness argument rests on:
+
+* every top-k algorithm returns exactly ``sorted(input)[offset:offset+k]``;
+* the cutoff filter never eliminates a row that belongs to the output;
+* the cutoff key is monotonically non-increasing;
+* run generation loses no rows and produces sorted runs;
+* merging is a permutation-complete, order-correct combination of runs.
+"""
+
+import heapq
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cutoff import CutoffFilter
+from repro.core.histogram import Bucket
+from repro.core.topk import HistogramTopK
+from repro.sorting.merge import Merger, merge_keyed
+from repro.sorting.quicksort_runs import QuicksortRunGenerator
+from repro.sorting.replacement_selection import (
+    ReplacementSelectionRunGenerator,
+)
+from repro.sorting.runs import write_run
+from repro.storage.spill import SpillManager
+
+KEY = lambda row: row[0]  # noqa: E731
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          width=32)
+key_lists = st.lists(finite_floats, min_size=0, max_size=400)
+
+
+@given(keys=key_lists, k=st.integers(1, 50),
+       memory=st.integers(2, 64))
+@settings(max_examples=60, deadline=None)
+def test_histogram_topk_matches_sorted_prefix(keys, k, memory):
+    rows = [(key,) for key in keys]
+    with SpillManager() as spill:
+        operator = HistogramTopK(KEY, k, memory, spill_manager=spill)
+        assert list(operator.execute(iter(rows))) == sorted(rows)[:k]
+
+
+@given(keys=key_lists, k=st.integers(1, 30),
+       offset=st.integers(0, 40), memory=st.integers(2, 32))
+@settings(max_examples=40, deadline=None)
+def test_histogram_topk_offset_matches_slice(keys, k, offset, memory):
+    rows = [(key,) for key in keys]
+    with SpillManager() as spill:
+        operator = HistogramTopK(KEY, k, memory, offset=offset,
+                                 spill_manager=spill)
+        assert list(operator.execute(iter(rows))) \
+            == sorted(rows)[offset:offset + k]
+
+
+@given(keys=st.lists(finite_floats, min_size=1, max_size=600),
+       k=st.integers(1, 100))
+@settings(max_examples=60, deadline=None)
+def test_cutoff_filter_never_eliminates_output_rows(keys, k):
+    """Feed buckets from simulated runs; the k-th smallest key must
+    always survive the filter."""
+    filt = CutoffFilter(k=k)
+    run_size = max(1, len(keys) // 7)
+    for start in range(0, len(keys), run_size):
+        run = sorted(keys[start:start + run_size])
+        stride = max(1, len(run) // 3)
+        for position in range(stride - 1, len(run), stride):
+            filt.insert(Bucket(run[position], stride))
+    ordered = sorted(keys)
+    for key in ordered[:k]:
+        assert not filt.eliminate(key)
+
+
+@given(buckets=st.lists(
+    st.tuples(finite_floats, st.integers(1, 20)), min_size=1,
+    max_size=300), k=st.integers(1, 50))
+@settings(max_examples=60, deadline=None)
+def test_cutoff_monotone_and_coverage_invariant(buckets, k):
+    filt = CutoffFilter(k=k)
+    previous = None
+    for boundary, size in buckets:
+        filt.insert(Bucket(boundary, size))
+        if filt.is_established:
+            assert filt.coverage >= k
+            if previous is not None:
+                assert not filt.cutoff_key > previous
+            previous = filt.cutoff_key
+
+
+@given(buckets=st.lists(
+    st.tuples(finite_floats, st.integers(1, 20)), min_size=1,
+    max_size=200), k=st.integers(1, 40),
+    capacity=st.integers(1, 10))
+@settings(max_examples=40, deadline=None)
+def test_consolidation_preserves_total_coverage(buckets, k, capacity):
+    unlimited = CutoffFilter(k=k)
+    limited = CutoffFilter(k=k, bucket_capacity=capacity)
+    for boundary, size in buckets:
+        unlimited.insert(Bucket(boundary, size))
+        limited.insert(Bucket(boundary, size))
+        assert limited.bucket_count <= capacity
+        # A consolidated filter is never sharper than the unlimited one.
+        if limited.is_established:
+            assert unlimited.is_established
+            assert not limited.cutoff_key < unlimited.cutoff_key
+
+
+@given(keys=key_lists, memory=st.integers(1, 50))
+@settings(max_examples=50, deadline=None)
+def test_replacement_selection_partitions_input(keys, memory):
+    rows = [(key,) for key in keys]
+    with SpillManager() as spill:
+        generator = ReplacementSelectionRunGenerator(KEY, memory, spill)
+        runs = generator.generate(rows)
+        recovered = sorted(row for run in runs for row in run.rows())
+        assert recovered == sorted(rows)
+        for run in runs:
+            run_keys = [row[0] for row in run.rows()]
+            assert run_keys == sorted(run_keys)
+
+
+@given(keys=key_lists, memory=st.integers(1, 50),
+       limit=st.integers(1, 60))
+@settings(max_examples=50, deadline=None)
+def test_quicksort_runs_partition_input(keys, memory, limit):
+    rows = [(key,) for key in keys]
+    with SpillManager() as spill:
+        generator = QuicksortRunGenerator(KEY, memory, spill,
+                                          run_size_limit=limit)
+        runs = generator.generate(rows)
+        assert all(run.row_count <= limit for run in runs)
+        recovered = sorted(row for run in runs for row in run.rows())
+        assert recovered == sorted(rows)
+
+
+@given(lists=st.lists(key_lists, min_size=0, max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_merge_equals_heapq_merge(lists):
+    with SpillManager() as spill:
+        runs = [write_run(spill, index,
+                          [(value, (value,)) for value in sorted(values)])
+                for index, values in enumerate(lists)]
+        merged = [key for key, _row in merge_keyed(runs, KEY)]
+        expected = list(heapq.merge(*[sorted(v) for v in lists]))
+        assert merged == expected
+
+
+@given(lists=st.lists(st.lists(finite_floats, min_size=1, max_size=80),
+                      min_size=2, max_size=8),
+       k=st.integers(1, 40), fan_in=st.integers(2, 4))
+@settings(max_examples=40, deadline=None)
+def test_fan_in_limited_merge_topk(lists, k, fan_in):
+    with SpillManager() as spill:
+        runs = [write_run(spill, index,
+                          [(value, (value,)) for value in sorted(values)])
+                for index, values in enumerate(lists)]
+        merger = Merger(KEY, spill_manager=spill, fan_in=fan_in)
+        out = [row[0] for row in merger.merge_topk(runs, k)]
+        expected = sorted(v for chunk in lists for v in chunk)[:k]
+        assert out == expected
+
+
+@given(keys=st.lists(st.integers(-1000, 1000), min_size=0, max_size=300),
+       k=st.integers(1, 40), memory=st.integers(2, 32))
+@settings(max_examples=50, deadline=None)
+def test_integer_keys_and_heavy_duplicates(keys, k, memory):
+    rows = [(key,) for key in keys]
+    with SpillManager() as spill:
+        operator = HistogramTopK(KEY, k, memory, spill_manager=spill)
+        assert list(operator.execute(iter(rows))) == sorted(rows)[:k]

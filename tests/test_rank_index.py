@@ -1,0 +1,142 @@
+"""Tests for the rank index and histogram-guided OFFSET skipping (§4.1)."""
+
+import random
+
+import pytest
+
+from repro.core.histogram import Bucket
+from repro.core.rank_index import RankIndex
+from repro.core.topk import HistogramTopK
+from repro.sorting.runs import write_run
+from repro.storage.spill import SpillManager
+
+KEY = lambda row: row[0]  # noqa: E731
+
+
+def feed_run(index, keys, stride):
+    """Feed a sorted run's boundary buckets into the index."""
+    for position in range(stride - 1, len(keys), stride):
+        index.add_bucket(Bucket(keys[position], stride))
+    index.end_run(len(keys))
+
+
+class TestRankIndex:
+    def test_empty_index_has_no_skip_key(self):
+        index = RankIndex()
+        assert index.skip_key_for_offset(100) is None
+        assert index.upper_bound_rows_below(0.5) == 0
+
+    def test_zero_offset_no_skip(self):
+        index = RankIndex()
+        feed_run(index, [0.1, 0.2, 0.3, 0.4], 2)
+        assert index.skip_key_for_offset(0) is None
+
+    def test_single_run_bounds_exact_at_boundaries(self):
+        index = RankIndex()
+        feed_run(index, [0.1, 0.2, 0.3, 0.4, 0.5, 0.6], 2)
+        # Boundaries: 0.2 (cum 2), 0.4 (cum 4), 0.6 (cum 6).
+        assert index.upper_bound_rows_below(0.2) == 2
+        assert index.upper_bound_rows_below(0.4) == 4
+        assert index.upper_bound_rows_below(0.7) == 6  # beyond last
+
+    def test_bound_is_sound_across_random_runs(self):
+        rng = random.Random(3)
+        keys = [rng.random() for _ in range(5_000)]
+        index = RankIndex()
+        for start in range(0, len(keys), 500):
+            feed_run(index, sorted(keys[start:start + 500]), 50)
+        for probe in (0.1, 0.3, 0.7, 0.95):
+            true_below = sum(1 for key in keys if key < probe)
+            assert index.upper_bound_rows_below(probe) >= true_below
+
+    def test_skip_key_respects_offset(self):
+        rng = random.Random(4)
+        keys = [rng.random() for _ in range(5_000)]
+        index = RankIndex()
+        for start in range(0, len(keys), 500):
+            feed_run(index, sorted(keys[start:start + 500]), 25)
+        # Tiny offsets cannot be proven skippable: every candidate
+        # boundary's upper bound already counts one bucket per run.
+        assert index.skip_key_for_offset(100) is None
+        for offset in (500, 2_000):
+            skip_key = index.skip_key_for_offset(offset)
+            assert skip_key is not None
+            true_below = sum(1 for key in keys if key < skip_key)
+            assert true_below <= offset
+
+    def test_skip_key_monotone_in_offset(self):
+        rng = random.Random(5)
+        index = RankIndex()
+        for start in range(4):
+            feed_run(index, sorted(rng.random() for _ in range(400)), 20)
+        small = index.skip_key_for_offset(100)
+        large = index.skip_key_for_offset(1_000)
+        assert small <= large
+
+    def test_run_without_histogram_counts_fully(self):
+        index = RankIndex()
+        index.end_run(300)  # no buckets: 300 rows of unknown rank
+        feed_run(index, [float(i) for i in range(1, 101)], 10)
+        # 300 unknown-rank rows plus the second run's first bucket (its
+        # boundary 10.0 is the smallest boundary >= 0.5, cum 10).
+        assert index.upper_bound_rows_below(0.5) == 310
+
+    def test_run_count(self):
+        index = RankIndex()
+        feed_run(index, [1.0, 2.0], 1)
+        index.end_run(0)  # empty run: ignored
+        feed_run(index, [3.0, 4.0], 1)
+        assert index.run_count == 2
+
+
+class TestPageSkippingReads:
+    def test_rows_skipping_counts_and_order(self, spill):
+        keyed = [(float(i), (float(i),)) for i in range(1_000)]
+        manager = SpillManager(page_bytes=256)
+        run = write_run(manager, 0, keyed)
+        skipped, iterator = run.rows_skipping(500.0)
+        rest = list(iterator)
+        assert skipped + len(rest) == 1_000
+        # Nothing at or above the skip key was skipped.
+        assert rest[-1] == (999.0,)
+        assert all(row[0] >= rest[0][0] for row in rest)
+        assert rest[0][0] < 500.0 <= rest[-1][0]
+
+    def test_skipped_pages_not_read(self):
+        manager = SpillManager(page_bytes=256)
+        keyed = [(float(i), (float(i),)) for i in range(10_000)]
+        run = write_run(manager, 0, keyed)
+        before = manager.stats.snapshot()
+        skipped, iterator = run.rows_skipping(9_000.0)
+        list(iterator)
+        delta = manager.stats - before
+        assert skipped > 8_000
+        assert delta.rows_read < 2_000
+
+    def test_none_skip_key_reads_everything(self, spill):
+        run = write_run(spill, 0, [(1.0, (1.0,)), (2.0, (2.0,))])
+        skipped, iterator = run.rows_skipping(None)
+        assert skipped == 0
+        assert len(list(iterator)) == 2
+
+
+class TestOperatorDeepOffset:
+    @pytest.mark.parametrize("offset", [1_000, 5_000, 9_000])
+    def test_deep_offsets_exact_and_cheap(self, offset):
+        rng = random.Random(7)
+        rows = [(rng.random(),) for _ in range(50_000)]
+        manager = SpillManager(page_bytes=512)
+        operator = HistogramTopK(KEY, 300, 400, offset=offset,
+                                 spill_manager=manager)
+        out = list(operator.execute(iter(rows)))
+        assert out == sorted(rows)[offset:offset + 300]
+        # Most of the offset region was skipped without reads.
+        assert operator.offset_rows_skipped > offset * 0.5
+
+    def test_no_rank_index_without_offset(self):
+        rng = random.Random(8)
+        rows = [(rng.random(),) for _ in range(10_000)]
+        operator = HistogramTopK(KEY, 1_000, 300)
+        list(operator.execute(iter(rows)))
+        assert operator.rank_index is None
+        assert operator.offset_rows_skipped == 0

@@ -1,0 +1,166 @@
+"""Tests for replacement-selection run generation."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sorting.replacement_selection import (
+    ReplacementSelectionRunGenerator,
+)
+
+KEY = lambda row: row[0]  # noqa: E731 - shared key extractor
+
+
+def generate(spill, rows, **kwargs):
+    generator = ReplacementSelectionRunGenerator(
+        sort_key=KEY, spill_manager=spill, **kwargs)
+    return generator, generator.generate(rows)
+
+
+class TestBasics:
+    def test_rejects_bad_config(self, spill):
+        with pytest.raises(ConfigurationError):
+            ReplacementSelectionRunGenerator(KEY, 0, spill)
+        with pytest.raises(ConfigurationError):
+            ReplacementSelectionRunGenerator(KEY, 5, spill, run_size_limit=0)
+
+    def test_empty_input_no_runs(self, spill):
+        _gen, runs = generate(spill, [], memory_rows=4)
+        assert runs == []
+
+    def test_single_run_when_input_fits(self, spill):
+        rows = [(3.0,), (1.0,), (2.0,)]
+        _gen, runs = generate(spill, rows, memory_rows=10)
+        assert len(runs) == 1
+        assert list(runs[0].rows()) == [(1.0,), (2.0,), (3.0,)]
+
+    def test_runs_are_sorted(self, spill, rng):
+        rows = [(rng.random(),) for _ in range(5_000)]
+        _gen, runs = generate(spill, rows, memory_rows=100)
+        for run in runs:
+            keys = [row[0] for row in run.rows()]
+            assert keys == sorted(keys)
+
+    def test_union_of_runs_is_input(self, spill, rng):
+        rows = [(rng.random(),) for _ in range(3_000)]
+        _gen, runs = generate(spill, rows, memory_rows=64)
+        recovered = sorted(row for run in runs for row in run.rows())
+        assert recovered == sorted(rows)
+
+    def test_random_input_runs_near_twice_memory(self, spill, rng):
+        """Knuth: replacement selection runs average ~2x memory size."""
+        rows = [(rng.random(),) for _ in range(50_000)]
+        _gen, runs = generate(spill, rows, memory_rows=500)
+        # Exclude the final drain runs, which are shorter.
+        body = [run.row_count for run in runs[:-2]]
+        average = sum(body) / len(body)
+        assert 1.6 * 500 <= average <= 2.4 * 500
+
+    def test_sorted_input_single_run(self, spill):
+        rows = [(float(i),) for i in range(2_000)]
+        _gen, runs = generate(spill, rows, memory_rows=50)
+        assert len(runs) == 1
+        assert runs[0].row_count == 2_000
+
+    def test_reverse_sorted_input_many_runs(self, spill):
+        rows = [(float(-i),) for i in range(1_000)]
+        _gen, runs = generate(spill, rows, memory_rows=50)
+        # Worst case: every memory-load becomes its own run.
+        assert len(runs) >= 1_000 // 50 - 1
+        recovered = sorted(row for run in runs for row in run.rows())
+        assert recovered == sorted(rows)
+
+
+class TestRunSizeLimit:
+    def test_runs_capped(self, spill, rng):
+        rows = [(rng.random(),) for _ in range(5_000)]
+        _gen, runs = generate(spill, rows, memory_rows=200,
+                              run_size_limit=150)
+        assert all(run.row_count <= 150 for run in runs)
+
+    def test_split_runs_stay_sorted_and_complete(self, spill, rng):
+        rows = [(rng.random(),) for _ in range(2_000)]
+        _gen, runs = generate(spill, rows, memory_rows=100,
+                              run_size_limit=64)
+        for run in runs:
+            keys = [row[0] for row in run.rows()]
+            assert keys == sorted(keys)
+        recovered = sorted(row for run in runs for row in run.rows())
+        assert recovered == sorted(rows)
+
+
+class TestSpillFilter:
+    def test_filter_drops_rows(self, spill, rng):
+        rows = [(rng.random(),) for _ in range(2_000)]
+        generator = ReplacementSelectionRunGenerator(
+            KEY, 100, spill, spill_filter=lambda key: key > 0.5)
+        runs = generator.generate(rows)
+        kept = [row for run in runs for row in run.rows()]
+        assert all(row[0] <= 0.5 for row in kept)
+        expected = sorted(row for row in rows if row[0] <= 0.5)
+        assert sorted(kept) == expected
+
+    def test_filter_eliminations_counted(self, spill, rng):
+        rows = [(rng.random(),) for _ in range(2_000)]
+        generator = ReplacementSelectionRunGenerator(
+            KEY, 100, spill, spill_filter=lambda key: key > 0.5)
+        runs = generator.generate(rows)
+        spilled = sum(run.row_count for run in runs)
+        assert (generator._stats.rows_eliminated_at_spill
+                == 2_000 - spilled)
+
+    def test_live_filter_tightens_during_generation(self, spill):
+        # The filter threshold drops once some rows have spilled: rows
+        # admitted earlier must be re-checked at spill time.
+        state = {"spilled": 0}
+
+        def shrinking_filter(key):
+            return key > (1.0 if state["spilled"] < 50 else 0.2)
+
+        def on_spill(_key, _row):
+            state["spilled"] += 1
+
+        rows = [((i * 37 % 100) / 100.0,) for i in range(1_000)]
+        generator = ReplacementSelectionRunGenerator(
+            KEY, 64, spill, spill_filter=shrinking_filter,
+            on_spill=on_spill)
+        runs = generator.generate(rows)
+        tail_rows = [row for run in runs for row in run.rows()][50:]
+        assert all(row[0] <= 0.2 for row in tail_rows)
+
+
+class TestCallbacks:
+    def test_on_spill_sees_every_written_row(self, spill, rng):
+        rows = [(rng.random(),) for _ in range(1_000)]
+        seen = []
+        generator = ReplacementSelectionRunGenerator(
+            KEY, 50, spill, on_spill=lambda key, row: seen.append(key))
+        runs = generator.generate(rows)
+        assert len(seen) == sum(run.row_count for run in runs) == 1_000
+
+    def test_on_run_closed_ordering(self, spill, rng):
+        rows = [(rng.random(),) for _ in range(2_000)]
+        closed = []
+        generator = ReplacementSelectionRunGenerator(
+            KEY, 50, spill,
+            on_run_closed=lambda run: closed.append(run.run_id))
+        runs = generator.generate(rows)
+        assert closed == [run.run_id for run in runs]
+
+    def test_resident_rows_bounded_by_memory(self, spill, rng):
+        generator = ReplacementSelectionRunGenerator(KEY, 32, spill)
+        for i in range(500):
+            generator.consume([(rng.random(),)])
+            assert generator.resident_rows <= 32
+        generator.finish()
+        assert generator.resident_rows == 0
+
+    def test_consume_then_finish_equals_generate(self, spill, rng):
+        rows = [(rng.random(),) for _ in range(777)]
+        generator = ReplacementSelectionRunGenerator(KEY, 64, spill)
+        generator.consume(rows[:300])
+        generator.consume(rows[300:])
+        runs = generator.finish()
+        recovered = sorted(row for run in runs for row in run.rows())
+        assert recovered == sorted(rows)

@@ -1,0 +1,48 @@
+"""Tests for the full report path (figures, charts, appendix table)."""
+
+import pytest
+
+from repro.experiments.harness import Scale
+from repro.experiments.report import generate_report
+from repro.experiments.vectorized_validation import render, run_point
+
+TINY = Scale("tiny", 100_000)
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(scale=TINY, include_figures=True,
+                               include_vectorized=False)
+
+    def test_all_sections_present(self, report):
+        for section in ("Table 1", "Table 2", "Table 3", "Table 4",
+                        "Table 5", "Figure 2", "Figure 3", "Figure 4",
+                        "Figure 5", "Figure 6", "Section 5.5",
+                        "Section 5.2"):
+            assert section in report
+
+    def test_charts_embedded(self, report):
+        assert "```text" in report
+        assert "speedup (x)" in report
+
+    def test_paper_claims_quoted(self, report):
+        assert "Paper claim:" in report
+
+    def test_cliff_jump_summarized(self, report):
+        assert "cost jump across the memory boundary" in report
+
+
+class TestVectorizedValidationUnits:
+    def test_run_point_tiny(self):
+        point = run_point(200_000, 15_000, 3_500, seed=1)
+        assert point.ours_spilled < point.baseline_spilled
+        assert point.ours_spilled < point.optimized_spilled
+        assert point.spill_reduction > 1.0
+        assert point.speedup_vs_optimized > 0.5
+
+    def test_render(self):
+        point = run_point(100_000, 15_000, 3_500, seed=2)
+        text = render([point])
+        assert "vs full sort" in text
+        assert "100,000" in text

@@ -1,0 +1,94 @@
+"""Tests for sorted runs and the run writer."""
+
+import pytest
+
+from repro.errors import SpillError
+from repro.sorting.runs import RunWriter, write_run
+
+
+class TestRunWriter:
+    def test_write_and_close(self, spill):
+        writer = RunWriter(spill, run_id=0)
+        writer.write(1.0, (1.0,))
+        writer.write(2.0, (2.0,))
+        run = writer.close()
+        assert run.row_count == 2
+        assert run.first_key == 1.0
+        assert run.last_key == 2.0
+        assert list(run.rows()) == [(1.0,), (2.0,)]
+
+    def test_order_violation_detected(self, spill):
+        writer = RunWriter(spill, run_id=0)
+        writer.write(5.0, (5.0,))
+        with pytest.raises(SpillError, match="order violation"):
+            writer.write(4.0, (4.0,))
+
+    def test_equal_keys_allowed(self, spill):
+        writer = RunWriter(spill, run_id=0)
+        writer.write(1.0, (1.0,))
+        writer.write(1.0, (1.0,))
+        assert writer.close().row_count == 2
+
+    def test_order_check_can_be_disabled(self, spill):
+        writer = RunWriter(spill, run_id=0, check_order=False)
+        writer.write(5.0, (5.0,))
+        writer.write(4.0, (4.0,))  # caller's responsibility
+        assert writer.close().row_count == 2
+
+    def test_double_close_rejected(self, spill):
+        writer = RunWriter(spill, run_id=0)
+        writer.close()
+        with pytest.raises(SpillError):
+            writer.close()
+
+    def test_write_after_close_rejected(self, spill):
+        writer = RunWriter(spill, run_id=0)
+        writer.close()
+        with pytest.raises(SpillError):
+            writer.write(1.0, (1.0,))
+
+    def test_on_spill_fires_per_written_row(self, spill):
+        seen = []
+        writer = RunWriter(spill, run_id=0,
+                           on_spill=lambda key, row: seen.append(key))
+        writer.write(1.0, (1.0,))
+        writer.write(2.0, (2.0,))
+        assert seen == [1.0, 2.0]
+
+    def test_abandon_reclaims_storage(self, spill):
+        writer = RunWriter(spill, run_id=0)
+        writer.abandon()
+        assert spill.stats.runs_deleted == 1
+        assert spill.stats.runs_written == 0
+
+    def test_close_counts_run(self, spill):
+        writer = RunWriter(spill, run_id=3)
+        writer.write(1.0, (1.0,))
+        run = writer.close()
+        assert spill.stats.runs_written == 1
+        assert run.run_id == 3
+
+    def test_empty_run_metadata(self, spill):
+        run = RunWriter(spill, run_id=0).close()
+        assert run.row_count == 0
+        assert run.first_key is None
+        assert list(run.rows()) == []
+
+    def test_large_run_spans_pages(self, spill):
+        writer = RunWriter(spill, run_id=0)
+        for i in range(10_000):
+            writer.write(float(i), (float(i),))
+        run = writer.close()
+        assert run.file.page_count > 1
+        assert list(run.rows()) == [(float(i),) for i in range(10_000)]
+
+
+class TestWriteRunHelper:
+    def test_write_run(self, spill):
+        run = write_run(spill, 7, [(1.0, (1.0,)), (2.0, (2.0,))])
+        assert run.run_id == 7
+        assert len(run) == 2
+
+    def test_repr_mentions_bounds(self, spill):
+        run = write_run(spill, 1, [(1.0, (1.0,)), (9.0, (9.0,))])
+        assert "1.0" in repr(run) and "9.0" in repr(run)

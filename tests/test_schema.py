@@ -1,0 +1,120 @@
+"""Tests for repro.rows.schema."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.rows.schema import Column, ColumnType, Schema, single_key_schema
+
+
+@pytest.fixture
+def schema():
+    return Schema([
+        Column("id", ColumnType.INT64),
+        Column("price", ColumnType.DECIMAL),
+        Column("name", ColumnType.STRING, nullable=True),
+        Column("shipped", ColumnType.DATE),
+    ])
+
+
+class TestColumn:
+    def test_validate_accepts_matching_type(self):
+        Column("a", ColumnType.INT64).validate(42)
+
+    def test_validate_rejects_wrong_type(self):
+        with pytest.raises(SchemaError, match="expects int64"):
+            Column("a", ColumnType.INT64).validate("nope")
+
+    def test_validate_rejects_null_on_non_nullable(self):
+        with pytest.raises(SchemaError, match="not nullable"):
+            Column("a", ColumnType.INT64).validate(None)
+
+    def test_validate_accepts_null_on_nullable(self):
+        Column("a", ColumnType.STRING, nullable=True).validate(None)
+
+    def test_float_column_accepts_int(self):
+        Column("a", ColumnType.FLOAT64).validate(3)
+
+    def test_date_column(self):
+        Column("a", ColumnType.DATE).validate(datetime.date(2020, 6, 14))
+
+    def test_fixed_width_types(self):
+        assert ColumnType.INT64.fixed_width == 8
+        assert ColumnType.BOOL.fixed_width == 1
+        assert ColumnType.STRING.fixed_width is None
+
+    def test_estimate_bytes_fixed(self):
+        assert Column("a", ColumnType.INT64).estimate_bytes(7) == 8
+
+    def test_estimate_bytes_string_scales_with_length(self):
+        column = Column("a", ColumnType.STRING)
+        assert column.estimate_bytes("xy") < column.estimate_bytes("x" * 40)
+
+    def test_estimate_bytes_null_is_small(self):
+        assert Column("a", ColumnType.STRING,
+                      nullable=True).estimate_bytes(None) == 1
+
+
+class TestSchema:
+    def test_len_and_names(self, schema):
+        assert len(schema) == 4
+        assert schema.names == ("id", "price", "name", "shipped")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Column("a", ColumnType.INT64),
+                    Column("a", ColumnType.STRING)])
+
+    def test_index_of(self, schema):
+        assert schema.index_of("price") == 1
+
+    def test_index_of_unknown_raises(self, schema):
+        with pytest.raises(SchemaError, match="unknown column"):
+            schema.index_of("bogus")
+
+    def test_contains(self, schema):
+        assert "id" in schema
+        assert "bogus" not in schema
+
+    def test_column_lookup(self, schema):
+        assert schema.column("name").nullable
+
+    def test_validate_row_accepts_valid(self, schema):
+        schema.validate_row((1, 9.5, None, datetime.date(2020, 1, 1)))
+
+    def test_validate_row_arity_mismatch(self, schema):
+        with pytest.raises(SchemaError, match="arity"):
+            schema.validate_row((1, 9.5))
+
+    def test_validate_row_bad_value(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_row(("x", 9.5, None, datetime.date(2020, 1, 1)))
+
+    def test_estimate_row_bytes_positive_and_monotone(self, schema):
+        small = schema.estimate_row_bytes(
+            (1, 1.0, "a", datetime.date(2020, 1, 1)))
+        large = schema.estimate_row_bytes(
+            (1, 1.0, "a" * 100, datetime.date(2020, 1, 1)))
+        assert 0 < small < large
+
+    def test_project(self, schema):
+        projected = schema.project(["name", "id"])
+        assert projected.names == ("name", "id")
+
+    def test_projector_reorders(self, schema):
+        project = schema.projector(["price", "id"])
+        assert project((1, 9.5, "n", None)) == (9.5, 1)
+
+    def test_projector_identity_fast_path(self, schema):
+        project = schema.projector(list(schema.names))
+        row = (1, 9.5, "n", datetime.date(2020, 1, 1))
+        assert project(row) is row
+
+    def test_iteration_yields_columns(self, schema):
+        assert [c.name for c in schema] == list(schema.names)
+
+    def test_single_key_schema(self):
+        schema = single_key_schema()
+        assert schema.names == ("key",)
+        assert schema.columns[0].type is ColumnType.FLOAT64

@@ -1,0 +1,74 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.experiments.scorecard import (
+    CellCheck,
+    Scorecard,
+    ShapeCheck,
+    _close,
+    table_checks,
+)
+
+
+class TestTolerances:
+    def test_exact_match(self):
+        assert _close(100, 100, rel=0.0)
+
+    def test_relative_window(self):
+        assert _close(100.4, 100, rel=0.005)
+        assert not _close(101, 100, rel=0.005)
+
+    def test_absolute_floor(self):
+        assert _close(12, 10, rel=0.0, abs_tol=3)
+
+    def test_none_handling(self):
+        assert _close(None, None, rel=0.1)
+        assert not _close(None, 5, rel=0.1)
+        assert not _close(5, None, rel=0.1)
+
+
+class TestTableChecks:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return table_checks()
+
+    def test_all_cells_pass(self, cells):
+        failed = [cell for cell in cells if not cell.passed]
+        assert failed == [], "\n".join(c.describe() for c in failed)
+
+    def test_covers_every_published_row(self, cells):
+        experiments = {cell.experiment for cell in cells}
+        assert experiments == {"table1", "table2", "table3", "table4",
+                               "table5"}
+        # Tables 2-5 have 8 + 5 + 15 + 15 rows; each contributes runs,
+        # rows and (mostly) cutoff cells; table1 adds its headline.
+        assert len(cells) > 100
+
+    def test_cell_describe(self):
+        cell = CellCheck("table2", "B=10", "runs", 39, 39, True)
+        assert "ok" in cell.describe()
+        cell = CellCheck("table2", "B=10", "runs", 40, 39, False)
+        assert "FAIL" in cell.describe()
+
+
+class TestScorecard:
+    def test_verdict_requires_everything(self):
+        good = Scorecard(
+            cells=[CellCheck("t", "l", "m", 1, 1, True)],
+            shapes=[ShapeCheck("f", "c", True)])
+        assert good.passed
+        bad = Scorecard(
+            cells=[CellCheck("t", "l", "m", 1, 1, True)],
+            shapes=[ShapeCheck("f", "c", False)])
+        assert not bad.passed
+
+    def test_render_mentions_verdict(self):
+        card = Scorecard(cells=[CellCheck("t", "l", "m", 1, 1, True)])
+        assert "REPRODUCED" in card.render()
+        card = Scorecard(cells=[CellCheck("t", "l", "m", 2, 1, False)])
+        assert "DEVIATIONS" in card.render()
+
+    def test_render_lists_failures(self):
+        card = Scorecard(cells=[CellCheck("t", "lbl", "m", 2, 1, False)])
+        assert "lbl" in card.render()

@@ -1,0 +1,154 @@
+"""End-to-end tests for the database session (SQL execution)."""
+
+import random
+
+import pytest
+
+from repro.engine.session import Database
+from repro.errors import PlanError
+from repro.rows.lineitem import LINEITEM_SCHEMA, generate_lineitem
+from repro.rows.schema import Column, ColumnType, Schema
+
+
+@pytest.fixture
+def db():
+    database = Database(memory_rows=300)
+    rows = list(generate_lineitem(3_000, seed=42))
+    database.register_table("LINEITEM", LINEITEM_SCHEMA, rows)
+    return database, rows
+
+
+class TestRegistry:
+    def test_tables_listed(self, db):
+        database, _rows = db
+        assert database.tables == ["LINEITEM"]
+
+    def test_case_insensitive_lookup(self, db):
+        database, _rows = db
+        assert database.table("lineitem").name == "LINEITEM"
+
+    def test_unknown_table(self, db):
+        database, _rows = db
+        with pytest.raises(PlanError, match="unknown table"):
+            database.sql("SELECT * FROM nope")
+
+
+class TestTopKQueries:
+    def test_paper_query(self, db):
+        database, rows = db
+        result = database.sql(
+            "SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT 700")
+        expected = sorted(rows, key=lambda r: r[0])[:700]
+        assert [r[0] for r in result.rows] == [r[0] for r in expected]
+        # k=700 > memory 300: this went through the external path.
+        assert result.stats.io.rows_spilled > 0
+
+    def test_small_k_stays_in_memory(self, db):
+        database, rows = db
+        result = database.sql(
+            "SELECT L_ORDERKEY FROM LINEITEM ORDER BY L_ORDERKEY LIMIT 5")
+        assert result.stats.io.rows_spilled == 0
+        assert len(result) == 5
+
+    def test_descending_order(self, db):
+        database, rows = db
+        result = database.sql(
+            "SELECT L_ORDERKEY FROM LINEITEM "
+            "ORDER BY L_ORDERKEY DESC LIMIT 10")
+        expected = sorted((r[0] for r in rows), reverse=True)[:10]
+        assert [r[0] for r in result.rows] == expected
+
+    def test_where_filter_applies_before_topk(self, db):
+        database, rows = db
+        result = database.sql(
+            "SELECT L_ORDERKEY FROM LINEITEM WHERE L_QUANTITY >= 25 "
+            "ORDER BY L_ORDERKEY LIMIT 50")
+        expected = sorted(r[0] for r in rows if r[4] >= 25)[:50]
+        assert [r[0] for r in result.rows] == expected
+
+    def test_offset_pagination(self, db):
+        database, rows = db
+        ordered = sorted(r[0] for r in rows)
+        page2 = database.sql(
+            "SELECT L_ORDERKEY FROM LINEITEM ORDER BY L_ORDERKEY "
+            "LIMIT 100 OFFSET 100")
+        assert [r[0] for r in page2.rows] == ordered[100:200]
+
+    def test_projection_schema(self, db):
+        database, _rows = db
+        result = database.sql(
+            "SELECT L_COMMENT, L_ORDERKEY FROM LINEITEM "
+            "ORDER BY L_ORDERKEY LIMIT 3")
+        assert result.schema.names == ("L_COMMENT", "L_ORDERKEY")
+
+    def test_case_insensitive_columns(self, db):
+        database, _rows = db
+        result = database.sql(
+            "SELECT l_orderkey FROM LINEITEM ORDER BY l_orderkey LIMIT 3")
+        assert result.schema.names == ("L_ORDERKEY",)
+
+    def test_unknown_column(self, db):
+        database, _rows = db
+        with pytest.raises(PlanError, match="unknown column"):
+            database.sql("SELECT nope FROM LINEITEM")
+
+
+class TestNonTopKQueries:
+    def test_plain_scan(self, db):
+        database, rows = db
+        assert len(database.sql("SELECT * FROM LINEITEM")) == len(rows)
+
+    def test_order_without_limit(self, db):
+        database, rows = db
+        result = database.sql(
+            "SELECT L_ORDERKEY FROM LINEITEM ORDER BY L_ORDERKEY")
+        assert [r[0] for r in result.rows] == sorted(r[0] for r in rows)
+
+    def test_limit_without_order(self, db):
+        database, _rows = db
+        assert len(database.sql("SELECT * FROM LINEITEM LIMIT 7")) == 7
+
+
+class TestAlgorithmSelection:
+    @pytest.mark.parametrize("algorithm", ["histogram", "optimized",
+                                           "traditional"])
+    def test_algorithms_agree(self, algorithm):
+        rng = random.Random(1)
+        schema = Schema([Column("k", ColumnType.FLOAT64)])
+        rows = [(rng.random(),) for _ in range(2_000)]
+        database = Database(memory_rows=100, algorithm=algorithm)
+        database.register_table("T", schema, rows)
+        result = database.sql("SELECT * FROM T ORDER BY k LIMIT 400")
+        assert result.rows == sorted(rows)[:400]
+
+    def test_histogram_spills_less_than_traditional(self):
+        rng = random.Random(2)
+        schema = Schema([Column("k", ColumnType.FLOAT64)])
+        rows = [(rng.random(),) for _ in range(5_000)]
+        spills = {}
+        for algorithm in ("histogram", "traditional"):
+            database = Database(memory_rows=200, algorithm=algorithm)
+            database.register_table("T", schema, rows)
+            result = database.sql("SELECT * FROM T ORDER BY k LIMIT 800")
+            spills[algorithm] = result.stats.io.rows_spilled
+        assert spills["histogram"] < spills["traditional"]
+
+
+class TestResultObject:
+    def test_explain(self, db):
+        database, _rows = db
+        text = database.explain(
+            "SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT 10")
+        assert "TopK" in text and "TableScan" in text
+
+    def test_simulated_seconds_positive_when_spilling(self, db):
+        database, _rows = db
+        result = database.sql(
+            "SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT 700")
+        assert result.simulated_seconds() > 0
+
+    def test_iteration_and_len(self, db):
+        database, _rows = db
+        result = database.sql(
+            "SELECT L_ORDERKEY FROM LINEITEM ORDER BY L_ORDERKEY LIMIT 4")
+        assert len(list(iter(result))) == len(result) == 4

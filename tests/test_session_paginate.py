@@ -1,0 +1,84 @@
+"""Tests for Database.paginate (pause-and-resume through SQL)."""
+
+import random
+
+import pytest
+
+from repro.engine.session import Database
+from repro.errors import PlanError
+from repro.rows.schema import Column, ColumnType, Schema
+
+
+@pytest.fixture
+def db():
+    schema = Schema([Column("id", ColumnType.INT64),
+                     Column("score", ColumnType.FLOAT64)])
+    rng = random.Random(13)
+    rows = [(identifier, rng.random()) for identifier in range(8_000)]
+    database = Database(memory_rows=400)
+    database.register_table("T", schema, rows)
+    return database, rows
+
+
+class TestPaginate:
+    def test_pages_match_offset_queries(self, db):
+        database, _rows = db
+        paginator = database.paginate(
+            "SELECT * FROM T ORDER BY score LIMIT 100", page_size=100)
+        for page_number in (0, 1, 3):
+            via_sql = database.sql(
+                f"SELECT * FROM T ORDER BY score LIMIT 100 "
+                f"OFFSET {page_number * 100}")
+            assert paginator.page(page_number) == via_sql.rows
+
+    def test_single_execution_across_pages(self, db):
+        database, _rows = db
+        paginator = database.paginate(
+            "SELECT * FROM T ORDER BY score LIMIT 50", page_size=50,
+            prefetch_pages=8)
+        for page_number in range(6):
+            paginator.page(page_number)
+        assert paginator.executions == 1
+
+    def test_projection_applied(self, db):
+        database, rows = db
+        paginator = database.paginate(
+            "SELECT id FROM T ORDER BY score LIMIT 10", page_size=10)
+        first = paginator.page(0)
+        expected = [(row[0],) for row in
+                    sorted(rows, key=lambda r: r[1])[:10]]
+        assert first == expected
+
+    def test_where_clause_respected(self, db):
+        database, rows = db
+        paginator = database.paginate(
+            "SELECT id, score FROM T WHERE score >= 0.5 "
+            "ORDER BY score LIMIT 20", page_size=20)
+        qualifying = sorted((row for row in rows if row[1] >= 0.5),
+                            key=lambda r: r[1])
+        assert paginator.page(0) == qualifying[:20]
+
+    def test_descending_pages(self, db):
+        database, rows = db
+        paginator = database.paginate(
+            "SELECT id, score FROM T ORDER BY score DESC LIMIT 25",
+            page_size=25)
+        expected = sorted(rows, key=lambda r: -r[1])[25:50]
+        assert paginator.page(1) == expected
+
+    def test_pages_iterator_terminates(self, db):
+        database, rows = db
+        paginator = database.paginate(
+            "SELECT * FROM T ORDER BY score LIMIT 1000",
+            page_size=3_000)
+        pages = list(paginator.pages())
+        assert sum(len(page) for page in pages) == len(rows)
+
+    def test_rejects_non_topk(self, db):
+        database, _rows = db
+        with pytest.raises(PlanError):
+            database.paginate("SELECT * FROM T", page_size=10)
+        with pytest.raises(PlanError):
+            database.paginate(
+                "SELECT * FROM T ORDER BY score LIMIT 5 OFFSET 5",
+                page_size=10)

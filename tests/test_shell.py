@@ -1,0 +1,75 @@
+"""Tests for the interactive SQL shell plumbing."""
+
+import pytest
+
+from repro.engine.__main__ import build_parser, run_statement
+from repro.engine.session import Database
+from repro.errors import SqlSyntaxError
+from repro.rows.lineitem import LINEITEM_SCHEMA, generate_lineitem
+
+
+@pytest.fixture
+def db():
+    database = Database(memory_rows=200)
+    database.register_table("LINEITEM", LINEITEM_SCHEMA,
+                            list(generate_lineitem(500, seed=1)))
+    return database
+
+
+class TestArgumentParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.rows == 100_000
+        assert args.memory == 7_000
+        assert args.algorithm == "histogram"
+
+    def test_algorithm_choices(self):
+        args = build_parser().parse_args(["--algorithm", "traditional"])
+        assert args.algorithm == "traditional"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--algorithm", "bogus"])
+
+
+class TestRunStatement:
+    def test_select_prints_rows(self, db, capsys):
+        run_statement(
+            db, "SELECT L_ORDERKEY FROM LINEITEM "
+                "ORDER BY L_ORDERKEY LIMIT 3;")
+        out = capsys.readouterr().out
+        assert "L_ORDERKEY" in out
+        assert len(out.strip().splitlines()) == 4  # header + 3 rows
+
+    def test_large_result_truncated_with_total(self, db, capsys):
+        run_statement(
+            db, "SELECT L_ORDERKEY FROM LINEITEM ORDER BY L_ORDERKEY "
+                "LIMIT 100")
+        out = capsys.readouterr().out
+        assert "100 rows total" in out
+
+    def test_explain(self, db, capsys):
+        run_statement(
+            db, "EXPLAIN SELECT * FROM LINEITEM "
+                "ORDER BY L_ORDERKEY LIMIT 5")
+        out = capsys.readouterr().out
+        assert "TopK" in out and "TableScan" in out
+
+    def test_spill_summary_printed_for_external_queries(self, db, capsys):
+        run_statement(
+            db, "SELECT L_ORDERKEY FROM LINEITEM ORDER BY L_ORDERKEY "
+                "LIMIT 400")
+        out = capsys.readouterr().out
+        assert "spilled" in out
+
+    def test_quit_raises_eof(self, db):
+        with pytest.raises(EOFError):
+            run_statement(db, "quit")
+        with pytest.raises(EOFError):
+            run_statement(db, "EXIT;")
+
+    def test_blank_statement_is_noop(self, db, capsys):
+        run_statement(db, "   ")
+        assert capsys.readouterr().out == ""
+
+    def test_syntax_error_propagates_as_repro_error(self, db):
+        with pytest.raises(SqlSyntaxError):
+            run_statement(db, "SELEC oops")

@@ -1,0 +1,127 @@
+"""Tests for planner exploitation of physically sorted tables (§4.2)."""
+
+import random
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.operators import (
+    Limit,
+    SegmentedTopKOperator,
+    TopK,
+)
+from repro.errors import SchemaError
+from repro.rows.schema import Column, ColumnType, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema([
+        Column("day", ColumnType.INT64),
+        Column("score", ColumnType.FLOAT64),
+        Column("item", ColumnType.INT64),
+    ])
+
+
+@pytest.fixture
+def clustered_rows():
+    rng = random.Random(8)
+    rows = []
+    for day in range(30):
+        rows.extend((day, rng.random(), item)
+                    for item in range(400))
+    return rows  # sorted by day, unsorted within each day
+
+
+@pytest.fixture
+def db(schema, clustered_rows):
+    database = Database(memory_rows=300)
+    database.register_table("EVENTS", schema, clustered_rows,
+                            sorted_by=["day"])
+    return database, clustered_rows
+
+
+class TestDeclaration:
+    def test_invalid_sorted_by_column_rejected(self, schema):
+        database = Database()
+        with pytest.raises(SchemaError):
+            database.register_table("T", schema, [], sorted_by=["nope"])
+
+
+class TestFullyCoveredOrder:
+    def test_plan_is_plain_limit(self, db):
+        database, _rows = db
+        plan = database.plan("SELECT * FROM EVENTS ORDER BY day LIMIT 10")
+        assert isinstance(plan, Limit)
+
+    def test_results_correct_and_no_spill(self, db):
+        database, rows = db
+        result = database.sql(
+            "SELECT day FROM EVENTS ORDER BY day LIMIT 500")
+        assert [r[0] for r in result.rows] \
+            == sorted(r[0] for r in rows)[:500]
+        assert result.stats.io.rows_spilled == 0
+
+    def test_offset_supported(self, db):
+        database, rows = db
+        result = database.sql(
+            "SELECT day FROM EVENTS ORDER BY day LIMIT 5 OFFSET 398")
+        assert [r[0] for r in result.rows] \
+            == sorted(r[0] for r in rows)[398:403]
+
+
+class TestSharedPrefix:
+    def test_plan_is_segmented(self, db):
+        database, _rows = db
+        plan = database.plan(
+            "SELECT * FROM EVENTS ORDER BY day, score LIMIT 700")
+        assert isinstance(plan, SegmentedTopKOperator)
+        assert "SegmentedTopK" in plan.explain()
+
+    def test_results_match_full_sort(self, db):
+        database, rows = db
+        result = database.sql(
+            "SELECT day, score FROM EVENTS ORDER BY day, score LIMIT 700")
+        expected = sorted(((r[0], r[1]) for r in rows))[:700]
+        assert result.rows == expected
+
+    def test_later_segments_never_spill(self, db):
+        database, rows = db
+        segmented = database.sql(
+            "SELECT * FROM EVENTS ORDER BY day, score LIMIT 700")
+        database_flat = Database(memory_rows=300)
+        database_flat.register_table(
+            "EVENTS", database.table("EVENTS").schema, rows)
+        flat = database_flat.sql(
+            "SELECT * FROM EVENTS ORDER BY day, score LIMIT 700")
+        assert segmented.rows == flat.rows
+        assert (segmented.stats.io.rows_spilled
+                <= flat.stats.io.rows_spilled)
+
+    def test_offset_on_segmented_path(self, db):
+        database, rows = db
+        result = database.sql(
+            "SELECT day, score FROM EVENTS ORDER BY day, score "
+            "LIMIT 100 OFFSET 350")
+        expected = sorted(((r[0], r[1]) for r in rows))[350:450]
+        assert result.rows == expected
+
+
+class TestNoMatch:
+    def test_descending_prefix_not_exploited(self, db):
+        database, _rows = db
+        plan = database.plan(
+            "SELECT * FROM EVENTS ORDER BY day DESC LIMIT 10")
+        assert isinstance(plan, TopK)
+
+    def test_unrelated_order_not_exploited(self, db):
+        database, _rows = db
+        plan = database.plan(
+            "SELECT * FROM EVENTS ORDER BY score LIMIT 10")
+        assert isinstance(plan, TopK)
+
+    def test_descending_results_still_correct(self, db):
+        database, rows = db
+        result = database.sql(
+            "SELECT day FROM EVENTS ORDER BY day DESC LIMIT 5")
+        assert [r[0] for r in result.rows] == [29] * 5

@@ -1,0 +1,100 @@
+"""Tests for repro.rows.sortspec."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SchemaError
+from repro.rows.schema import Column, ColumnType, Schema
+from repro.rows.sortspec import Desc, SortColumn, SortSpec, sort_spec
+
+
+@pytest.fixture
+def schema():
+    return Schema([
+        Column("a", ColumnType.INT64),
+        Column("b", ColumnType.STRING),
+        Column("c", ColumnType.FLOAT64),
+    ])
+
+
+class TestDesc:
+    def test_inverts_order(self):
+        assert Desc("b") < Desc("a")
+        assert not Desc("a") < Desc("b")
+
+    def test_equality(self):
+        assert Desc(3) == Desc(3)
+        assert Desc(3) != Desc(4)
+
+    def test_total_ordering(self):
+        assert Desc(1) > Desc(2)
+        assert Desc(2) <= Desc(2)
+
+    def test_hashable(self):
+        assert len({Desc("x"), Desc("x"), Desc("y")}) == 2
+
+    def test_sorting_a_list(self):
+        values = [Desc(v) for v in ("pear", "apple", "fig")]
+        assert [d.value for d in sorted(values)] == ["pear", "fig", "apple"]
+
+
+class TestSortSpec:
+    def test_single_ascending_key(self, schema):
+        spec = SortSpec(schema, ["a"])
+        assert spec.key((5, "x", 1.0)) == 5
+        assert spec.is_single_ascending
+
+    def test_single_descending_numeric_negates(self, schema):
+        spec = SortSpec(schema, [SortColumn("a", ascending=False)])
+        assert spec.key((5, "x", 1.0)) == -5
+        assert not spec.is_single_ascending
+
+    def test_descending_string_uses_desc_wrapper(self, schema):
+        spec = SortSpec(schema, [SortColumn("b", ascending=False)])
+        key = spec.key((5, "hello", 1.0))
+        assert isinstance(key, Desc)
+
+    def test_multi_column_key_is_tuple(self, schema):
+        spec = SortSpec(schema, ["a", SortColumn("c", ascending=False)])
+        assert spec.key((5, "x", 2.0)) == (5, -2.0)
+
+    def test_multi_column_ordering_matches_sql_semantics(self, schema):
+        spec = SortSpec(schema, ["a", SortColumn("b", ascending=False)])
+        rows = [(1, "a", 0.0), (0, "z", 0.0), (1, "b", 0.0), (0, "a", 0.0)]
+        ordered = sorted(rows, key=spec.key)
+        assert ordered == [(0, "z", 0.0), (0, "a", 0.0),
+                           (1, "b", 0.0), (1, "a", 0.0)]
+
+    def test_empty_spec_rejected(self, schema):
+        with pytest.raises(ConfigurationError):
+            SortSpec(schema, [])
+
+    def test_unknown_column_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            SortSpec(schema, ["zzz"])
+
+    def test_comparator_three_way(self, schema):
+        compare = SortSpec(schema, ["a"]).comparator()
+        assert compare((1, "", 0.0), (2, "", 0.0)) == -1
+        assert compare((2, "", 0.0), (1, "", 0.0)) == 1
+        assert compare((1, "", 0.0), (1, "x", 9.9)) == 0
+
+    def test_sort_spec_helper(self, schema):
+        spec = sort_spec(schema, "a", SortColumn("c", False))
+        assert len(spec.columns) == 2
+
+    def test_repr_mentions_direction(self, schema):
+        spec = SortSpec(schema, [SortColumn("a", ascending=False)])
+        assert "DESC" in repr(spec)
+
+    def test_string_column_names_mean_ascending(self, schema):
+        spec = SortSpec(schema, ["b"])
+        assert spec.columns[0].ascending
+
+    def test_keys_order_full_shuffle(self, schema):
+        import random
+        rng = random.Random(5)
+        rows = [(rng.randrange(100), "s", rng.random()) for _ in range(500)]
+        spec = SortSpec(schema, [SortColumn("a", False), "c"])
+        by_key = sorted(rows, key=spec.key)
+        expected = sorted(rows, key=lambda r: (-r[0], r[2]))
+        assert by_key == expected

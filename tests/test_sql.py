@@ -1,0 +1,107 @@
+"""Tests for the SQL front end."""
+
+import pytest
+
+from repro.engine.sql import Comparison, OrderItem, parse, tokenize
+from repro.errors import SqlSyntaxError
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select * from t")
+        assert tokens[0].kind == "keyword"
+        assert tokens[0].text == "SELECT"
+
+    def test_identifiers_preserved(self):
+        tokens = tokenize("SELECT L_OrderKey FROM t")
+        assert tokens[1].text == "L_OrderKey"
+
+    def test_numbers_and_strings(self):
+        tokens = tokenize("WHERE a = 1.5 AND b = 'x''y'")
+        kinds = [t.kind for t in tokens]
+        assert "number" in kinds and "string" in kinds
+
+    def test_operators(self):
+        tokens = tokenize("a <= b >= c <> d != e")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<=", ">=", "<>", "!="]
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("SELECT @ FROM t")
+
+
+class TestParser:
+    def test_minimal_query(self):
+        query = parse("SELECT * FROM lineitem")
+        assert query.columns is None
+        assert query.table == "lineitem"
+        assert not query.is_topk
+
+    def test_column_list(self):
+        query = parse("SELECT a, b, c FROM t")
+        assert query.columns == ["a", "b", "c"]
+
+    def test_paper_evaluation_query(self):
+        query = parse(
+            "SELECT L_ORDERKEY, L_COMMENT FROM LINEITEM "
+            "ORDER BY L_ORDERKEY LIMIT 30000")
+        assert query.table == "LINEITEM"
+        assert query.order_by == [OrderItem("L_ORDERKEY", True)]
+        assert query.limit == 30_000
+        assert query.is_topk
+
+    def test_order_by_desc_and_multi(self):
+        query = parse("SELECT * FROM t ORDER BY a DESC, b ASC, c")
+        assert query.order_by == [
+            OrderItem("a", False), OrderItem("b", True),
+            OrderItem("c", True)]
+
+    def test_limit_offset(self):
+        query = parse("SELECT * FROM t ORDER BY a LIMIT 10 OFFSET 30")
+        assert query.limit == 10
+        assert query.offset == 30
+
+    def test_where_conjunction(self):
+        query = parse("SELECT * FROM t WHERE a > 5 AND b = 'x'")
+        assert query.predicates == [
+            Comparison("a", ">", 5), Comparison("b", "=", "x")]
+
+    def test_float_literal(self):
+        query = parse("SELECT * FROM t WHERE a < 0.25")
+        assert query.predicates[0].value == 0.25
+
+    def test_string_escape(self):
+        query = parse("SELECT * FROM t WHERE a = 'it''s'")
+        assert query.predicates[0].value == "it's"
+
+    def test_diamond_normalized(self):
+        query = parse("SELECT * FROM t WHERE a <> 3")
+        assert query.predicates[0].op == "!="
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError, match="integer"):
+            parse("SELECT * FROM t LIMIT 1.5")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="trailing"):
+            parse("SELECT * FROM t LIMIT 5 GARBAGE")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a, b LIMIT 5")
+
+    def test_truncated_query_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="end of query"):
+            parse("SELECT * FROM")
+
+    def test_where_requires_literal(self):
+        with pytest.raises(SqlSyntaxError, match="literal"):
+            parse("SELECT * FROM t WHERE a = b")
+
+    def test_order_by_requires_by(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM t ORDER a")
+
+    def test_limit_without_order_is_not_topk(self):
+        assert not parse("SELECT * FROM t LIMIT 5").is_topk

@@ -1,0 +1,64 @@
+"""Configuration-matrix stress tests.
+
+One end-to-end correctness sweep across the whole configuration space:
+run generation x histogram sizing x fan-in x consolidation x offset x
+distribution.  Catches interactions no single-feature test exercises.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.policies import policy_for_bucket_count
+from repro.core.topk import HistogramTopK
+from repro.datagen.distributions import (
+    ASCENDING,
+    DESCENDING,
+    LOGNORMAL,
+    UNIFORM,
+    fal,
+)
+
+KEY = lambda row: row[0]  # noqa: E731
+
+RUN_GENERATION = ("replacement_selection", "quicksort")
+BUCKETS = (0, 1, 9, 50)
+FAN_IN = (None, 3)
+CAPACITY = (None, 6)
+
+MATRIX = list(itertools.product(RUN_GENERATION, BUCKETS, FAN_IN, CAPACITY))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = random.Random(99)
+    return [(rng.random(),) for _ in range(6_000)]
+
+
+@pytest.mark.parametrize(
+    "run_generation,buckets,fan_in,capacity", MATRIX,
+    ids=[f"{g}-b{b}-f{f}-c{c}" for g, b, f, c in MATRIX])
+def test_configuration_matrix(dataset, run_generation, buckets, fan_in,
+                              capacity):
+    operator = HistogramTopK(
+        KEY, 700, 150,
+        run_generation=run_generation,
+        sizing_policy=policy_for_bucket_count(buckets, capped=False),
+        fan_in=fan_in,
+        histogram_bucket_capacity=capacity,
+    )
+    assert list(operator.execute(iter(dataset))) == sorted(dataset)[:700]
+
+
+@pytest.mark.parametrize("distribution",
+                         [UNIFORM, LOGNORMAL, fal(0.5), fal(1.5),
+                          ASCENDING, DESCENDING],
+                         ids=lambda d: d.label)
+@pytest.mark.parametrize("offset", [0, 37, 500])
+def test_distribution_offset_matrix(distribution, offset):
+    keys = distribution.sample(8_000, seed=5)
+    rows = [(float(key),) for key in keys]
+    operator = HistogramTopK(KEY, 400, 120, offset=offset)
+    expected = sorted(rows)[offset:offset + 400]
+    assert list(operator.execute(iter(rows))) == expected

@@ -1,0 +1,104 @@
+"""Tests for the public contract-checking utilities."""
+
+import pytest
+
+from repro.baselines.optimized_topk import OptimizedMergeSortTopK
+from repro.baselines.traditional_topk import TraditionalMergeSortTopK
+from repro.core.cutoff import CutoffFilter
+from repro.core.histogram import Bucket
+from repro.core.topk import HistogramTopK
+from repro.testing import (
+    TopKContractError,
+    check_filter_safety,
+    check_topk_contract,
+    contract_scenarios,
+    reference_topk,
+)
+
+KEY = lambda row: row[0]  # noqa: E731
+
+
+class TestReferenceOracle:
+    def test_slice_semantics(self):
+        rows = [(3.0,), (1.0,), (2.0,)]
+        assert reference_topk(rows, 2, KEY) == [(1.0,), (2.0,)]
+        assert reference_topk(rows, 2, KEY, offset=1) == [(2.0,), (3.0,)]
+
+    def test_stability(self):
+        rows = [(1.0, "a"), (1.0, "b")]
+        assert reference_topk(rows, 2, KEY) == rows
+
+
+class TestScenarios:
+    def test_scenarios_are_named_and_varied(self):
+        scenarios = contract_scenarios()
+        names = [name for name, _rows in scenarios]
+        assert len(names) == len(set(names)) >= 8
+        assert any("adversarial" in name for name in names)
+
+    def test_deterministic(self):
+        first = contract_scenarios(seed=1)
+        second = contract_scenarios(seed=1)
+        assert [rows for _n, rows in first] == [rows for _n, rows in second]
+
+
+class TestContractChecker:
+    @pytest.mark.parametrize("operator_cls", [
+        HistogramTopK, TraditionalMergeSortTopK, OptimizedMergeSortTopK])
+    def test_builtin_algorithms_satisfy_the_contract(self, operator_cls):
+        checked = check_topk_contract(
+            lambda k, memory: operator_cls(KEY, k, memory),
+            ks=(1, 17, 400), memory_rows=(8, 100))
+        assert checked >= 60
+
+    def test_detects_a_broken_operator(self):
+        class OffByOne:
+            def __init__(self, k, memory):
+                self.k = k
+
+            def execute(self, rows):
+                ordered = sorted(rows)
+                return iter(ordered[1:self.k + 1])  # drops the winner
+
+        with pytest.raises(TopKContractError, match="scenario"):
+            check_topk_contract(lambda k, memory: OffByOne(k, memory))
+
+    def test_detects_a_crashing_operator(self):
+        class Crasher:
+            def __init__(self, _k, _memory):
+                pass
+
+            def execute(self, _rows):
+                raise RuntimeError("boom")
+
+        with pytest.raises(TopKContractError, match="raised"):
+            check_topk_contract(lambda k, memory: Crasher(k, memory))
+
+
+class TestFilterSafety:
+    def test_real_filter_is_safe(self):
+        import random
+
+        rng = random.Random(2)
+        keys = [rng.random() for _ in range(3_000)]
+        filt = CutoffFilter(k=150)
+
+        def build(all_keys):
+            for start in range(0, len(all_keys), 300):
+                run = sorted(all_keys[start:start + 300])
+                for position in range(29, 300, 30):
+                    filt.insert(Bucket(run[position], 30))
+
+        check_filter_safety(build, filt.eliminate, keys, 150)
+
+    def test_detects_overeager_filter(self):
+        keys = [float(value) for value in range(100)]
+
+        def build(_keys):
+            pass
+
+        def bad_eliminate(key):
+            return key > 1.0  # kills true top-k members
+
+        with pytest.raises(TopKContractError, match="belongs to the"):
+            check_filter_safety(build, bad_eliminate, keys, 50)

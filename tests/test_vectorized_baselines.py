@@ -1,0 +1,72 @@
+"""Tests for the vectorized optimized baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vectorized import (
+    VectorizedHistogramTopK,
+    VectorizedOptimizedTopK,
+)
+
+
+def chunked(keys, chunk=8_192):
+    return [keys[start:start + chunk]
+            for start in range(0, len(keys), chunk)]
+
+
+@pytest.fixture
+def keys():
+    return np.random.default_rng(21).random(150_000)
+
+
+class TestCorrectness:
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            VectorizedOptimizedTopK(k=0, memory_rows=10)
+        with pytest.raises(ConfigurationError):
+            VectorizedOptimizedTopK(k=10, memory_rows=0)
+
+    def test_exact_output(self, keys):
+        operator = VectorizedOptimizedTopK(k=8_000, memory_rows=1_000)
+        out = operator.execute_keys(chunked(keys))
+        assert np.array_equal(out, np.sort(keys)[:8_000])
+
+    def test_small_input(self):
+        keys = np.random.default_rng(2).random(500)
+        operator = VectorizedOptimizedTopK(k=2_000, memory_rows=100)
+        out = operator.execute_keys(chunked(keys, 100))
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_empty_input(self):
+        operator = VectorizedOptimizedTopK(k=10, memory_rows=5)
+        assert operator.execute_keys(iter([])).size == 0
+
+
+class TestBaselineBehavior:
+    def test_early_merge_establishes_cutoff(self, keys):
+        operator = VectorizedOptimizedTopK(k=8_000, memory_rows=1_000)
+        operator.execute_keys(chunked(keys))
+        assert operator.early_merge_steps == 1
+        assert operator.cutoff is not None
+
+    def test_spills_more_than_histogram_less_than_everything(self, keys):
+        optimized = VectorizedOptimizedTopK(k=8_000, memory_rows=1_000)
+        optimized.execute_keys(chunked(keys))
+        histogram = VectorizedHistogramTopK(k=8_000, memory_rows=1_000)
+        histogram.execute_keys(chunked(keys))
+        assert (histogram.stats.io.rows_spilled
+                < optimized.stats.io.rows_spilled)
+        # The early merge cutoff filters roughly half of what follows,
+        # so the baseline stays well below a full sort's spill.
+        assert optimized.stats.io.rows_spilled < 1.2 * keys.size
+
+    def test_matches_row_engine_baseline_shape(self):
+        """Same mechanism as the row-engine optimized baseline: the
+        early-merge cutoff lands near the k-th key of the first 2k
+        spilled rows."""
+        keys = np.random.default_rng(5).random(200_000)
+        operator = VectorizedOptimizedTopK(k=5_000, memory_rows=1_000)
+        operator.execute_keys(chunked(keys))
+        # cutoff ~ k / trigger = 0.5 quantile of the early-merged rows.
+        assert 0.2 < operator.cutoff < 0.7
