@@ -62,6 +62,9 @@ class CutoffFilterStats:
     consolidations: int = 0
     refinements: int = 0
     rows_eliminated: int = 0
+    #: Rows eliminated while the active cutoff was a seeded bound (i.e.
+    #: before the filter's own buckets refined past the seed).
+    rows_eliminated_by_seed: int = 0
 
 
 @dataclass
@@ -93,6 +96,8 @@ class CutoffFilter:
         self._seq = 0
         self._coverage = 0
         self._cutoff: Any = None
+        self._seed_key: Any = None
+        self._cutoff_from_seed = False
 
     # -- observers ---------------------------------------------------------
 
@@ -116,7 +121,42 @@ class CutoffFilter:
         """Buckets currently resident in the priority queue."""
         return len(self._heap)
 
+    @property
+    def seed_key(self) -> Any:
+        """The seeded initial bound, or ``None`` if never seeded."""
+        return self._seed_key
+
+    @property
+    def cutoff_is_seed(self) -> bool:
+        """Whether the current cutoff is still the seeded bound (the
+        filter's own buckets have not refined past it)."""
+        return self._cutoff_from_seed
+
     # -- core operations -----------------------------------------------------
+
+    def seed(self, key: Any) -> None:
+        """Install ``key`` as an initial cutoff bound (cutoff reuse).
+
+        The seed asserts that at least ``k`` input rows sort at or below
+        ``key`` — e.g. a cutoff achieved by an earlier query over the same
+        (table version, predicates, sort spec).  Rows sorting strictly
+        above it are eliminated from the very first insertion-free row.
+
+        The filter itself cannot verify the assertion; the consuming
+        operator must (and :class:`~repro.core.topk.HistogramTopK` does)
+        detect underflow after the input is exhausted and raise
+        :class:`~repro.errors.StaleCutoffSeed` so callers re-execute
+        without the seed.  Seeding never loosens an established cutoff.
+        """
+        if key is None:
+            return
+        self._seed_key = key
+        if self._cutoff is None or key < self._cutoff:
+            self._cutoff = key
+            self._cutoff_from_seed = True
+            self.stats.refinements += 1
+            if self.on_refine is not None:
+                self.on_refine(key)
 
     def insert(self, bucket: Bucket) -> None:
         """Add one histogram bucket and re-derive the cutoff key.
@@ -150,6 +190,7 @@ class CutoffFilter:
                         self.stats.buckets_inserted, self._coverage,
                         self.k)
                 self._cutoff = new_cutoff
+                self._cutoff_from_seed = False
                 self.stats.refinements += 1
                 if self.on_refine is not None:
                     self.on_refine(new_cutoff)
@@ -185,13 +226,18 @@ class CutoffFilter:
             return False
         if key > self._cutoff:
             self.stats.rows_eliminated += 1
+            if self._cutoff_from_seed:
+                self.stats.rows_eliminated_by_seed += 1
             return True
         return False
 
     def describe(self) -> str:
         """Debug/report summary of the filter state."""
+        seeded = (f" seed={self._seed_key!r}"
+                  if self._seed_key is not None else "")
         return (
-            f"cutoff={self._cutoff!r} coverage={self._coverage}/{self.k} "
+            f"cutoff={self._cutoff!r}{seeded} "
+            f"coverage={self._coverage}/{self.k} "
             f"buckets={len(self._heap)} "
             f"(ins={self.stats.buckets_inserted} "
             f"pop={self.stats.buckets_popped} "

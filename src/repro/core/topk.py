@@ -30,7 +30,7 @@ from repro.core.cutoff import CutoffFilter, _ReverseKey
 from repro.core.histogram import RunHistogramBuilder
 from repro.core.rank_index import RankIndex
 from repro.core.policies import SizingPolicy, TargetBucketsPolicy
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StaleCutoffSeed
 from repro.rows.sortspec import SortSpec
 from repro.sorting.merge import Merger, MergePolicy
 from repro.sorting.quicksort_runs import QuicksortRunGenerator
@@ -78,6 +78,16 @@ class HistogramTopK:
             index automatically when an offset is requested; ``True``
             forces it (e.g. for a paginator that merges with offsets
             later); ``False`` disables it.
+        cutoff_seed: Optional initial cutoff bound (cutoff reuse).  The
+            caller asserts that at least ``k + offset`` input rows sort at
+            or below this key — typically the :attr:`final_cutoff` of an
+            earlier run over the same table version and predicates.  The
+            external regime then eliminates rows from the very first one
+            instead of waiting for histogram coverage.  If the assertion
+            turns out false (a stale or over-tight seed), the operator
+            detects the underflow once the input is exhausted and raises
+            :class:`~repro.errors.StaleCutoffSeed` rather than emit too
+            few rows; replay-capable callers re-execute without the seed.
         memory_bytes: Optional byte budget on top of ``memory_rows``.
             With variable-size rows the row-count prediction can be
             wrong in either direction — the exact robustness problem
@@ -110,6 +120,7 @@ class HistogramTopK:
         build_rank_index: bool | None = None,
         trace_cutoff: bool = False,
         stats: OperatorStats | None = None,
+        cutoff_seed: Any = None,
     ):
         if k <= 0:
             raise ConfigurationError("k must be positive")
@@ -161,6 +172,10 @@ class HistogramTopK:
         self.cutoff_filter = CutoffFilter(
             k=needed, bucket_capacity=histogram_bucket_capacity,
             on_refine=(self._record_refinement if trace_cutoff else None))
+        self.cutoff_seed = cutoff_seed
+        if cutoff_seed is not None:
+            self.cutoff_filter.seed(cutoff_seed)
+        self._last_output_row: tuple | None = None
         self.build_rank_index = build_rank_index
         self.rank_index: RankIndex | None = None
         self.offset_rows_skipped = 0
@@ -172,6 +187,22 @@ class HistogramTopK:
     def output_fits_in_memory(self) -> bool:
         """Whether the priority-queue regime applies."""
         return self.k + self.offset <= self.memory_rows
+
+    @property
+    def final_cutoff(self) -> Any:
+        """The exact cutoff this execution achieved, or ``None``.
+
+        When the full ``k`` output rows were produced (and consumed), the
+        last output row has overall rank ``k + offset``, so its key is a
+        bound known to cover ``k + offset`` input rows — the tightest seed
+        a repeat of this query (same table version and predicates) can be
+        given via ``cutoff_seed``.  ``None`` when the output fell short or
+        was not fully consumed.
+        """
+        if self._last_output_row is not None \
+                and self.stats.rows_output >= self.k:
+            return self.sort_key(self._last_output_row)
+        return None
 
     def execute(self, rows: Iterable[tuple]) -> Iterator[tuple]:
         """Consume ``rows`` and yield the top ``k`` rows (after ``offset``).
@@ -188,9 +219,11 @@ class HistogramTopK:
                          "histogram-filtered external regime",
                          self.k + self.offset, self.memory_rows)
             output = self._execute_external(iter(rows))
+        row = None
         for row in output:
             self.stats.rows_output += 1
             yield row
+        self._last_output_row = row
 
     # -- in-memory regime ----------------------------------------------------
 
@@ -348,6 +381,21 @@ class HistogramTopK:
 
         generator.consume(admitted(rows))
         self.runs = generator.finish()
+        if self.cutoff_seed is not None:
+            # A seeded bound is an *assertion* the filter cannot check up
+            # front.  Here it becomes checkable: if fewer rows survived
+            # than the output needs while the seed eliminated input, the
+            # seed was stale/over-tight and the output would be wrong.
+            # (Without a seed this cannot happen — an established cutoff
+            # always has >= k+offset spilled rows at or below it.)
+            survivors = sum(run.row_count for run in self.runs)
+            if (survivors < self.k + self.offset
+                    and self.stats.rows_eliminated > 0):
+                raise StaleCutoffSeed(
+                    f"seeded cutoff {self.cutoff_seed!r} left only "
+                    f"{survivors} rows for a top-{self.k}"
+                    f"{f'+{self.offset}' if self.offset else ''} output; "
+                    f"re-execute without the seed")
         merger = Merger(
             sort_key=sort_key,
             spill_manager=self.spill_manager,

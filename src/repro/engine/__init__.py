@@ -12,11 +12,13 @@ from repro.engine.operators import (
     TOPK_ALGORITHMS,
 )
 from repro.engine.planner import Planner
-from repro.engine.session import Database, QueryResult
+from repro.engine.session import Database, QueryResult, release_plan_storage
 from repro.engine.sql import (
     Comparison,
     OrderItem,
     ParsedQuery,
+    cutoff_scope,
+    normalize_query,
     parse,
     tokenize,
 )
@@ -27,6 +29,9 @@ __all__ = [
     "Planner",
     "parse",
     "tokenize",
+    "normalize_query",
+    "cutoff_scope",
+    "release_plan_storage",
     "ParsedQuery",
     "Comparison",
     "OrderItem",

@@ -9,7 +9,7 @@ output), its output ``schema``, and ``explain()`` for plan display.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.baselines.optimized_topk import OptimizedMergeSortTopK
 from repro.baselines.priority_queue_topk import PriorityQueueTopK
@@ -36,6 +36,9 @@ class Table:
             prefix with a query's ORDER BY clause (Section 4.2): a fully
             covered ORDER BY becomes a plain scan+limit; a shared prefix
             enables segmented execution.
+        version: Monotonic content version.  The session bumps it when a
+            table is re-registered under the same name; caches key on
+            ``(name, version)`` so entries for replaced data never serve.
     """
 
     def __init__(
@@ -45,10 +48,12 @@ class Table:
         source: Sequence[tuple] | Callable[[], Iterable[tuple]],
         row_count: int | None = None,
         sorted_by: Sequence[str] | None = None,
+        version: int = 0,
     ):
         self.name = name
         self.schema = schema
         self._source = source
+        self.version = version
         self.sorted_by = tuple(sorted_by) if sorted_by else ()
         for column in self.sorted_by:
             schema.index_of(column)  # validates the declaration
@@ -332,6 +337,7 @@ class TopK(Operator):
         memory_rows: int = 100_000,
         spill_manager: SpillManager | None = None,
         algorithm_options: dict | None = None,
+        cutoff_seed: Any = None,
     ):
         if algorithm not in TOPK_ALGORITHMS:
             raise ConfigurationError(
@@ -346,6 +352,13 @@ class TopK(Operator):
         self.memory_rows = memory_rows
         self.spill_manager = spill_manager
         self.algorithm_options = algorithm_options or {}
+        #: Only the histogram algorithm understands cutoff seeding; the
+        #: seed is silently ignored for the baselines.
+        self.cutoff_seed = cutoff_seed
+        #: The algorithm instance of the most recent ``rows()`` call —
+        #: lets callers read execution artifacts (``final_cutoff``,
+        #: ``cutoff_filter``, ``runs``) after materializing the output.
+        self.last_impl = None
         self.stats = OperatorStats()
 
     def _make_impl(self):
@@ -358,6 +371,8 @@ class TopK(Operator):
         common["memory_rows"] = self.memory_rows
         common["spill_manager"] = self.spill_manager or SpillManager()
         if self.algorithm == "histogram":
+            if self.cutoff_seed is not None:
+                options.setdefault("cutoff_seed", self.cutoff_seed)
             return HistogramTopK(self.sort_spec, **common, **options)
         if self.algorithm == "optimized":
             return OptimizedMergeSortTopK(self.sort_spec, **common, **options)
@@ -365,6 +380,7 @@ class TopK(Operator):
 
     def rows(self) -> Iterator[tuple]:
         impl = self._make_impl()
+        self.last_impl = impl
         return impl.execute(self.child.rows())
 
     def label(self) -> str:

@@ -112,8 +112,28 @@ class Planner:
             shared += 1
         return shared
 
-    def plan(self, query: ParsedQuery, table: Table) -> Operator:
-        """Produce the physical plan for ``query`` over ``table``."""
+    def plan(
+        self,
+        query: ParsedQuery,
+        table: Table,
+        *,
+        memory_rows: int | None = None,
+        cutoff_seed: Any = None,
+    ) -> Operator:
+        """Produce the physical plan for ``query`` over ``table``.
+
+        Args:
+            memory_rows: Per-query override of the planner's default
+                operator memory budget — the hook a memory governor uses
+                to shrink a query's lease under pressure (the operator
+                then spills earlier instead of failing).
+            cutoff_seed: Optional initial cutoff bound for a plain top-k
+                plan (cutoff reuse; see ``HistogramTopK``).  Ignored by
+                plans that never build a histogram filter (sorted-prefix
+                shortcuts, grouped/segmented operators, full sorts).
+        """
+        if memory_rows is None:
+            memory_rows = self.memory_rows
         node: Operator = TableScan(table)
 
         if query.predicates:
@@ -139,7 +159,7 @@ class Planner:
                     group_column=_resolve_column(table.schema,
                                                  query.per_column),
                     k=query.limit,
-                    memory_rows=self.memory_rows,
+                    memory_rows=memory_rows,
                     spill_manager=self.spill_manager_factory(),
                 )
             elif (query.limit is not None
@@ -154,7 +174,7 @@ class Planner:
                     remainder_spec=SortSpec(table.schema,
                                             sort_columns[shared:]),
                     k=query.limit + query.offset,
-                    memory_rows=self.memory_rows,
+                    memory_rows=memory_rows,
                     spill_manager=self.spill_manager_factory(),
                 )
                 node = (Limit(segmented, query.limit, query.offset)
@@ -166,9 +186,10 @@ class Planner:
                     k=query.limit,
                     offset=query.offset,
                     algorithm=self.algorithm,
-                    memory_rows=self.memory_rows,
+                    memory_rows=memory_rows,
                     spill_manager=self.spill_manager_factory(),
                     algorithm_options=dict(self.algorithm_options),
+                    cutoff_seed=cutoff_seed,
                 )
             else:
                 node = InMemorySort(node, spec)

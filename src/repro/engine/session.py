@@ -12,16 +12,19 @@ The user-facing entry point of the mini engine::
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.engine.operators import Operator, Table, TopK
 from repro.engine.planner import Planner
 from repro.engine.sql import ParsedQuery, parse
-from repro.errors import PlanError
+from repro.errors import PlanError, StaleCutoffSeed
 from repro.rows.schema import Schema
 from repro.storage.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.storage.stats import OperatorStats
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -33,6 +36,11 @@ class QueryResult:
     plan: Operator
     query: ParsedQuery
     stats: OperatorStats = field(default_factory=OperatorStats)
+    #: Key of the last produced top-k row (overall rank ``k + offset``)
+    #: when the plan was a plain top-k that produced its full output;
+    #: ``None`` otherwise.  This is the tightest valid ``cutoff_seed``
+    #: for a repeat of the query over the same table version.
+    final_cutoff: Any = None
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
@@ -87,9 +95,14 @@ class Database:
         ``sorted_by`` declares the physical (ascending) sort order of the
         stored rows; the planner exploits shared prefixes with ORDER BY
         clauses (Section 4.2).
+
+        Re-registering a name bumps the table's content version so that
+        caches keyed on ``(name, version)`` stop serving stale entries.
         """
+        previous = self._tables.get(name.upper())
+        version = previous.version + 1 if previous is not None else 0
         table = Table(name, schema, source, row_count=row_count,
-                      sorted_by=sorted_by)
+                      sorted_by=sorted_by, version=version)
         self._tables[name.upper()] = table
         return table
 
@@ -114,14 +127,51 @@ class Database:
         query = parse(sql_text)
         return self.planner.plan(query, self.table(query.table))
 
-    def sql(self, sql_text: str) -> QueryResult:
-        """Parse, plan and execute ``sql_text``; results are materialized."""
+    def sql(
+        self,
+        sql_text: str,
+        *,
+        memory_rows: int | None = None,
+        cutoff_seed: Any = None,
+    ) -> QueryResult:
+        """Parse, plan and execute ``sql_text``; results are materialized.
+
+        Args:
+            memory_rows: Per-query memory budget override (e.g. a shrunk
+                lease granted by a memory governor); ``None`` uses the
+                session default.
+            cutoff_seed: Optional initial cutoff bound for top-k plans
+                (cutoff reuse).  Safety: a stale or over-tight seed is
+                detected by the operator and the query is transparently
+                re-executed without it, so the result is always correct.
+        """
         query = parse(sql_text)
-        plan = self.planner.plan(query, self.table(query.table))
-        rows = list(plan.rows())
+        return self._execute(query, memory_rows=memory_rows,
+                             cutoff_seed=cutoff_seed)
+
+    def _execute(self, query: ParsedQuery, *, memory_rows: int | None,
+                 cutoff_seed: Any) -> QueryResult:
+        plan = self.planner.plan(query, self.table(query.table),
+                                 memory_rows=memory_rows,
+                                 cutoff_seed=cutoff_seed)
+        try:
+            rows = list(plan.rows())
+        except StaleCutoffSeed as exc:
+            # The seed asserted coverage the input did not have.  The
+            # session owns replayable sources, so correctness degrades to
+            # a plain (seedless) re-execution, never to a wrong answer.
+            release_plan_storage(plan)
+            logger.warning("discarding stale cutoff seed: %s", exc)
+            return self._execute(query, memory_rows=memory_rows,
+                                 cutoff_seed=None)
+        except BaseException:
+            # Failed queries must not leak spill files (or pages).
+            release_plan_storage(plan)
+            raise
         stats = _collect_stats(plan)
         return QueryResult(rows=rows, schema=plan.schema, plan=plan,
-                           query=query, stats=stats)
+                           query=query, stats=stats,
+                           final_cutoff=_final_cutoff(plan))
 
     def explain(self, sql_text: str) -> str:
         """The physical plan for ``sql_text`` as text."""
@@ -205,14 +255,40 @@ def _collect_stats(plan: Operator) -> OperatorStats:
     while stack:
         node = stack.pop()
         if isinstance(node.__dict__.get("stats"), OperatorStats):
-            stats = node.stats
-            total.rows_consumed += stats.rows_consumed
-            total.rows_eliminated_on_arrival += \
-                stats.rows_eliminated_on_arrival
-            total.rows_eliminated_at_spill += stats.rows_eliminated_at_spill
-            total.rows_output += stats.rows_output
-            total.cutoff_comparisons += stats.cutoff_comparisons
-            total.sort_comparisons += stats.sort_comparisons
-            total.io.merge(stats.io)
+            total.merge(node.stats)
         stack.extend(node.children())
     return total
+
+
+def _final_cutoff(plan: Operator) -> Any:
+    """The achieved cutoff of the plan's top-k node, if any.
+
+    Only plain (histogram) top-k nodes record one; the first non-``None``
+    value wins (a supported plan has at most one such node).
+    """
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, TopK) and node.last_impl is not None:
+            cutoff = getattr(node.last_impl, "final_cutoff", None)
+            if cutoff is not None:
+                return cutoff
+        stack.extend(node.children())
+    return None
+
+
+def release_plan_storage(plan: Operator) -> None:
+    """Close every spill manager attached to the plan tree.
+
+    Deletes all spill files a (possibly failed) execution left behind —
+    sealed, unsealed, or merely undeleted — and releases backend
+    resources.  Statistics counters survive (they are plain records).
+    After this, the plan must not be re-executed.
+    """
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        manager = node.__dict__.get("spill_manager")
+        if manager is not None:
+            manager.close()
+        stack.extend(node.children())

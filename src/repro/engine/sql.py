@@ -257,3 +257,66 @@ def parse(sql: str) -> ParsedQuery:
         SqlSyntaxError: on anything outside the supported subset.
     """
     return _Parser(tokenize(sql), sql).parse()
+
+
+# -- normalization (cache keying) ------------------------------------------
+#
+# Two queries that differ only in whitespace, keyword case, identifier
+# case, or WHERE-conjunct order produce identical results, so the result
+# cache keys on a canonical rendering instead of the raw SQL text.
+
+def _normalized_predicates(query: ParsedQuery) -> list[str]:
+    """Canonical, order-insensitive rendering of the WHERE conjuncts."""
+    rendered = [
+        f"{p.column.upper()}{p.op}{p.value!r}" for p in query.predicates
+    ]
+    return sorted(rendered)
+
+
+def _normalized_order(query: ParsedQuery) -> str:
+    return ",".join(
+        f"{item.column.upper()}:{'A' if item.ascending else 'D'}"
+        for item in query.order_by
+    )
+
+
+def normalize_query(query: ParsedQuery) -> str:
+    """A canonical string identifying the query's *result*.
+
+    Column order in the SELECT list is preserved (it shapes output rows);
+    predicate order is not (AND is commutative).  Used as the exact-hit
+    cache key together with the table version.
+    """
+    columns = ("*" if query.columns is None
+               else ",".join(name.upper() for name in query.columns))
+    parts = [f"SELECT {columns}", f"FROM {query.table.upper()}"]
+    if query.predicates:
+        parts.append("WHERE " + "&".join(_normalized_predicates(query)))
+    if query.order_by:
+        parts.append("ORDER " + _normalized_order(query))
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    if query.per_column is not None:
+        parts.append(f"PER {query.per_column.upper()}")
+    if query.offset:
+        parts.append(f"OFFSET {query.offset}")
+    return " ".join(parts)
+
+
+def cutoff_scope(query: ParsedQuery) -> str | None:
+    """The cutoff-reuse scope of a plain top-k query, or ``None``.
+
+    Queries sharing a scope — same table, same WHERE conjuncts, same
+    ORDER BY — rank the same underlying row set, so a cutoff achieved by
+    one (a key bounding its ``limit + offset`` smallest rows) is a valid
+    seed for another whose ``limit + offset`` is not larger.  The SELECT
+    list is deliberately excluded: projection changes the output columns,
+    not the ranking.  Grouped top-k (``LIMIT .. PER``) maintains one
+    cutoff per group and is out of scope.
+    """
+    if not query.is_topk or query.per_column is not None:
+        return None
+    parts = [query.table.upper()]
+    parts.append("&".join(_normalized_predicates(query)))
+    parts.append(_normalized_order(query))
+    return "|".join(parts)

@@ -39,3 +39,27 @@ class PlanError(ReproError):
 
 class SqlSyntaxError(PlanError):
     """The SQL text could not be parsed by the mini SQL front end."""
+
+
+class StaleCutoffSeed(ReproError):
+    """A seeded cutoff bound eliminated rows the output actually needed.
+
+    Raised by the top-k operator when it detects — after consuming its
+    input — that fewer than ``k + offset`` rows survived while a seeded
+    cutoff was filtering.  Callers that can replay the input (the session,
+    the query service) catch this and re-execute without the seed, so a
+    stale or over-tight seed degrades to a correct (just slower) result,
+    never to a wrong one.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for query-service failures."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's admission queue is full; the query was rejected."""
+
+
+class QueryTimeoutError(ServiceError):
+    """A query missed its deadline (in the queue or during execution)."""

@@ -1,0 +1,205 @@
+"""Result cache with cutoff reuse.
+
+Two cooperating caches keyed on *table content versions* so replaced
+tables can never serve stale data:
+
+* **Exact results** — the materialized rows of a normalized query (see
+  :func:`repro.engine.sql.normalize_query`).  A hit skips execution
+  entirely.  LRU-bounded.
+* **Cutoff hints** — the crucial one for dashboard traffic.  Every
+  completed top-k execution proves a fact about its input: "at least
+  ``limit + offset`` rows sort at or below key ``C``" (``C`` is the last
+  output row's key).  That fact outlives the materialized result and is
+  *shared* across every query in the same cutoff scope (same table
+  version, WHERE conjuncts and ORDER BY — see
+  :func:`repro.engine.sql.cutoff_scope`) regardless of projection.  A
+  later query needing at most as many rows is seeded with ``C`` and
+  eliminates input eagerly from the very first row, instead of waiting
+  for its own histogram coverage to build up.
+
+Thread-safe; all operations take the cache lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.operators import Table
+from repro.engine.sql import ParsedQuery, cutoff_scope, normalize_query
+from repro.errors import ConfigurationError
+from repro.rows.schema import Schema
+from repro.storage.stats import OperatorStats
+
+
+@dataclass(frozen=True)
+class CutoffHint:
+    """A cached cutoff fact: ``covered`` rows sort at or below ``key``."""
+
+    key: Any
+    #: The ``limit + offset`` of the execution that proved the fact.
+    covered: int
+
+
+@dataclass
+class CachedResult:
+    """A materialized exact-hit entry.
+
+    ``rows`` is shared, not copied — rows are immutable tuples.  The
+    stored ``stats`` snapshot describes the execution that *produced*
+    the entry; serving a hit does no engine work.
+    """
+
+    rows: list[tuple]
+    schema: Schema
+    stats: OperatorStats = field(default_factory=OperatorStats)
+
+
+class ResultCache:
+    """LRU result cache plus cutoff-hint index for a query service.
+
+    Args:
+        max_results: Materialized results retained (LRU).  ``0`` disables
+            exact-result serving entirely while keeping cutoff reuse —
+            useful when results are large or freshness rules forbid
+            serving materialized data.
+        max_scopes: Cutoff scopes retained (LRU); each scope keeps at
+            most ``hints_per_scope`` (covered → key) facts.
+    """
+
+    def __init__(self, max_results: int = 128, max_scopes: int = 512,
+                 hints_per_scope: int = 8):
+        if max_results < 0:
+            raise ConfigurationError("max_results must be >= 0")
+        if max_scopes < 0:
+            raise ConfigurationError("max_scopes must be >= 0")
+        if hints_per_scope < 1:
+            raise ConfigurationError("hints_per_scope must be >= 1")
+        self.max_results = max_results
+        self.max_scopes = max_scopes
+        self.hints_per_scope = hints_per_scope
+        self._lock = threading.Lock()
+        self._results: OrderedDict[tuple, CachedResult] = OrderedDict()
+        self._scopes: OrderedDict[tuple, dict[int, Any]] = OrderedDict()
+        #: Observability counters.
+        self.exact_hits = 0
+        self.cutoff_hits = 0
+        self.misses = 0
+
+    # -- keys ------------------------------------------------------------
+
+    @staticmethod
+    def result_key(query: ParsedQuery, table: Table) -> tuple:
+        """Exact-hit key: normalized query text + table content version."""
+        return (table.name.upper(), table.version, normalize_query(query))
+
+    @staticmethod
+    def scope_key(query: ParsedQuery, table: Table) -> tuple | None:
+        """Cutoff-reuse key, or ``None`` for non-top-k query shapes."""
+        scope = cutoff_scope(query)
+        if scope is None:
+            return None
+        return (table.name.upper(), table.version, scope)
+
+    # -- exact results ---------------------------------------------------
+
+    def get_result(self, key: tuple) -> CachedResult | None:
+        """The cached result for ``key``, refreshing its LRU position."""
+        with self._lock:
+            entry = self._results.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._results.move_to_end(key)
+            self.exact_hits += 1
+            return entry
+
+    def store_result(self, key: tuple, entry: CachedResult) -> None:
+        """Insert/replace a materialized result (evicts LRU overflow)."""
+        if self.max_results == 0:
+            return
+        with self._lock:
+            self._results[key] = entry
+            self._results.move_to_end(key)
+            while len(self._results) > self.max_results:
+                self._results.popitem(last=False)
+
+    # -- cutoff hints ----------------------------------------------------
+
+    def get_cutoff(self, scope: tuple | None, needed: int) -> CutoffHint | None:
+        """The best seed for a query needing ``needed`` rows, if any.
+
+        Only hints whose proven coverage is at least ``needed`` are
+        eligible (a smaller-coverage cutoff might be over-tight and
+        would just trigger the engine's stale-seed re-execution); among
+        eligible hints the smallest coverage wins — it has the tightest
+        key and eliminates the most input.
+        """
+        if scope is None:
+            return None
+        with self._lock:
+            hints = self._scopes.get(scope)
+            if not hints:
+                return None
+            eligible = [c for c in hints if c >= needed]
+            if not eligible:
+                return None
+            covered = min(eligible)
+            self._scopes.move_to_end(scope)
+            self.cutoff_hits += 1
+            return CutoffHint(key=hints[covered], covered=covered)
+
+    def store_cutoff(self, scope: tuple | None, needed: int,
+                     key: Any) -> None:
+        """Record the fact "``needed`` rows sort at or below ``key``"."""
+        if scope is None or key is None or self.max_scopes == 0:
+            return
+        with self._lock:
+            hints = self._scopes.get(scope)
+            if hints is None:
+                hints = self._scopes[scope] = {}
+            existing = hints.get(needed)
+            # Keep the tightest key proven for this coverage.
+            if existing is None or key < existing:
+                hints[needed] = key
+            if len(hints) > self.hints_per_scope:
+                # Drop the largest coverage: it has the loosest key and
+                # serves the fewest future queries tightly.
+                del hints[max(hints)]
+            self._scopes.move_to_end(scope)
+            while len(self._scopes) > self.max_scopes:
+                self._scopes.popitem(last=False)
+
+    # -- maintenance -----------------------------------------------------
+
+    def invalidate_table(self, name: str) -> int:
+        """Drop every entry (results and hints) for ``name``.
+
+        Version-keyed entries already miss after a re-registration; this
+        reclaims their memory eagerly.  Returns entries dropped.
+        """
+        upper = name.upper()
+        with self._lock:
+            result_keys = [k for k in self._results if k[0] == upper]
+            scope_keys = [k for k in self._scopes if k[0] == upper]
+            for k in result_keys:
+                del self._results[k]
+            for k in scope_keys:
+                del self._scopes[k]
+            return len(result_keys) + len(scope_keys)
+
+    def clear(self) -> None:
+        """Drop everything (counters survive)."""
+        with self._lock:
+            self._results.clear()
+            self._scopes.clear()
+
+    def describe(self) -> str:
+        """Human-readable cache summary."""
+        with self._lock:
+            return (f"results={len(self._results)}/{self.max_results} "
+                    f"scopes={len(self._scopes)}/{self.max_scopes} "
+                    f"(exact={self.exact_hits} cutoff={self.cutoff_hits} "
+                    f"miss={self.misses})")

@@ -1,0 +1,143 @@
+"""Global memory arbitration across concurrent queries.
+
+The paper's setting (Section 2.1) is a busy server where every sort
+operator gets a small, *fixed* slice of RAM.  With one query at a time
+that slice is a constructor argument; with a concurrent service it must
+be arbitrated.  The :class:`MemoryGovernor` owns the global row budget
+and hands out :class:`MemoryLease` grants: under light load a query gets
+its full request, under pressure the grant shrinks — the top-k operator
+then simply switches to (or stays in) the external regime and spills
+earlier, which the histogram filter keeps cheap, instead of the query
+failing with an out-of-memory error.  This mirrors the degradation the
+external-sorting literature recommends: admission keeps working, each
+admitted query just runs with less memory.
+
+Leases are context managers; release is idempotent.
+"""
+
+from __future__ import annotations
+
+import threading
+from repro.errors import ConfigurationError
+
+
+class MemoryLease:
+    """A granted slice of the global memory budget, in rows.
+
+    Attributes:
+        rows: Rows actually granted (pass as the query's memory budget).
+        requested_rows: Rows originally asked for.
+        shrunk: Whether pressure shrank the grant below the request.
+    """
+
+    __slots__ = ("rows", "requested_rows", "shrunk", "_governor",
+                 "_released")
+
+    def __init__(self, governor: "MemoryGovernor", rows: int,
+                 requested_rows: int):
+        self._governor = governor
+        self.rows = rows
+        self.requested_rows = requested_rows
+        self.shrunk = rows < requested_rows
+        self._released = False
+
+    def release(self) -> None:
+        """Return the granted rows to the governor (idempotent)."""
+        if not self._released:
+            self._released = True
+            self._governor._release(self.rows)
+
+    def __enter__(self) -> "MemoryLease":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return (f"MemoryLease(rows={self.rows}, "
+                f"requested={self.requested_rows}, shrunk={self.shrunk})")
+
+
+class MemoryGovernor:
+    """Arbitrates a global row budget across in-flight queries.
+
+    Grant policy, evaluated under the governor's lock:
+
+    * a request is granted in full while it fits in the unleased
+      remainder of ``total_rows``;
+    * otherwise the grant shrinks to the remainder (a *lease shrink* —
+      the query will spill earlier, not fail);
+    * the grant never goes below ``min_lease_rows`` — when even that
+      does not fit, the governor overcommits by the floor amount rather
+      than deadlock admission.  The floor keeps run generation sensible
+      (a 1-row sort heap degenerates).
+
+    Args:
+        total_rows: Global memory budget shared by all queries, in rows.
+        min_lease_rows: Smallest grant ever issued (overcommit floor).
+    """
+
+    def __init__(self, total_rows: int, min_lease_rows: int = 64):
+        if total_rows <= 0:
+            raise ConfigurationError("total_rows must be positive")
+        if min_lease_rows <= 0:
+            raise ConfigurationError("min_lease_rows must be positive")
+        self.total_rows = total_rows
+        self.min_lease_rows = min(min_lease_rows, total_rows)
+        self._lock = threading.Lock()
+        self._leased = 0
+        self._active = 0
+        #: Observability counters (read under the lock via snapshot()).
+        self.peak_leased_rows = 0
+        self.peak_active_leases = 0
+        self.shrinks = 0
+        self.overcommits = 0
+
+    def lease(self, requested_rows: int) -> MemoryLease:
+        """Grant a lease of at most ``requested_rows`` rows.
+
+        Never blocks and never fails: under pressure the grant shrinks
+        (possibly down to the ``min_lease_rows`` floor).
+        """
+        if requested_rows <= 0:
+            raise ConfigurationError("requested_rows must be positive")
+        with self._lock:
+            available = self.total_rows - self._leased
+            granted = min(requested_rows, max(available,
+                                              self.min_lease_rows))
+            if granted < requested_rows:
+                self.shrinks += 1
+            if granted > available:
+                self.overcommits += 1
+            self._leased += granted
+            self._active += 1
+            self.peak_leased_rows = max(self.peak_leased_rows, self._leased)
+            self.peak_active_leases = max(self.peak_active_leases,
+                                          self._active)
+            return MemoryLease(self, granted, requested_rows)
+
+    def _release(self, rows: int) -> None:
+        with self._lock:
+            self._leased -= rows
+            self._active -= 1
+
+    @property
+    def leased_rows(self) -> int:
+        """Rows currently out on lease."""
+        with self._lock:
+            return self._leased
+
+    @property
+    def active_leases(self) -> int:
+        """Leases currently outstanding."""
+        with self._lock:
+            return self._active
+
+    def describe(self) -> str:
+        """Human-readable budget summary."""
+        with self._lock:
+            return (f"leased {self._leased}/{self.total_rows} rows across "
+                    f"{self._active} leases (peak {self.peak_leased_rows} "
+                    f"rows/{self.peak_active_leases} leases, "
+                    f"shrinks={self.shrinks}, "
+                    f"overcommits={self.overcommits})")

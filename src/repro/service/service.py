@@ -1,0 +1,332 @@
+"""The concurrent top-k query service front end.
+
+Ties the subsystem together: SQL arrives at :meth:`QueryService.submit`
+(or the blocking :meth:`QueryService.execute`), passes a bounded
+admission gate, waits for a worker thread, and executes on a pooled
+session with
+
+* a memory lease from the :class:`~repro.service.governor.MemoryGovernor`
+  (shrunk under pressure → earlier, histogram-filtered spilling instead
+  of failure),
+* a cutoff seed from the :class:`~repro.service.cache.ResultCache` when
+  an earlier query already proved a bound for the same scope (exact hits
+  skip execution entirely), and
+* a per-query :class:`~repro.service.stats.ServiceStats` record folded
+  into the service-level snapshot.
+
+Saturation is explicit: when ``workers + queue_depth`` queries are in
+flight, :meth:`submit` raises
+:class:`~repro.errors.ServiceOverloadedError` instead of queueing
+unboundedly.  Deadlines are cooperative: a query that exhausts its
+deadline while still queued is abandoned before execution; one that
+exceeds it mid-execution runs to completion (threads cannot be killed)
+but the waiting caller gets :class:`~repro.errors.QueryTimeoutError`
+immediately and the overrun is recorded.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from concurrent.futures import (
+    Future,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.engine.session import Database
+from repro.engine.sql import ParsedQuery, parse
+from repro.errors import (
+    ConfigurationError,
+    QueryTimeoutError,
+    ReproError,
+    ServiceOverloadedError,
+)
+from repro.rows.schema import Schema
+from repro.service.cache import CachedResult, ResultCache
+from repro.service.governor import MemoryGovernor
+from repro.service.pool import SessionPool
+from repro.service.stats import (
+    ServiceSnapshot,
+    ServiceStats,
+    ServiceStatsAggregator,
+)
+from repro.storage.stats import OperatorStats
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ServiceResult:
+    """What the service returns for one query."""
+
+    rows: list[tuple]
+    schema: Schema
+    query: ParsedQuery
+    #: Service-plane record (admission, cache, lease, filtering).
+    stats: ServiceStats
+    #: Engine-side work of *this* request — zeroed for exact cache hits
+    #: (serving a hit does no engine work).
+    operator_stats: OperatorStats = field(default_factory=OperatorStats)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def from_cache(self) -> bool:
+        """Whether the rows were served without executing."""
+        return self.stats.cache == "exact"
+
+
+class QueryTicket:
+    """Handle for an admitted query (a thin wrapper over a future)."""
+
+    def __init__(self, service: "QueryService", future: Future,
+                 deadline: float | None, submitted_at: float):
+        self._service = service
+        self._future = future
+        self._deadline = deadline
+        self._submitted_at = submitted_at
+
+    def result(self, timeout: float | None = None) -> ServiceResult:
+        """Wait for the query; raises what the execution raised.
+
+        With a deadline, waiting is capped at whatever remains of it and
+        an overrun surfaces as :class:`QueryTimeoutError` (the worker
+        keeps running but its eventual result is discarded).
+        """
+        if self._deadline is not None:
+            remaining = self._deadline - (time.monotonic()
+                                          - self._submitted_at)
+            timeout = (remaining if timeout is None
+                       else min(timeout, remaining))
+        try:
+            return self._future.result(timeout=timeout)
+        except FutureTimeoutError:
+            self._service._note_deadline_overrun(self)
+            raise QueryTimeoutError(
+                f"query missed its deadline of {self._deadline}s"
+            ) from None
+
+    def done(self) -> bool:
+        return self._future.done()
+
+
+class QueryService:
+    """Concurrent SQL front end over one :class:`Database`.
+
+    Args:
+        database: The shared database (tables must be registered there).
+        workers: Worker threads / pooled sessions executing queries.
+        queue_depth: Admitted-but-not-yet-running queries tolerated on
+            top of the running ones; beyond that :meth:`submit` rejects
+            with ``ServiceOverloadedError``.
+        total_memory_rows: Global sort-memory budget arbitrated by the
+            governor.  Defaults to ``workers *`` the database's
+            per-operator budget (i.e. no pressure until queries pile up
+            beyond the worker count — shrink behavior appears when you
+            configure less).
+        memory_rows_per_query: What each query *requests* from the
+            governor; defaults to the database's per-operator budget.
+        governor: Inject a pre-built governor (overrides
+            ``total_memory_rows``).
+        cache: Inject a pre-built cache; ``None`` builds a default
+            :class:`ResultCache`.  Pass ``ResultCache(max_results=0)``
+            to keep cutoff reuse but never serve materialized results.
+        default_deadline: Deadline (seconds) applied when a query does
+            not bring its own.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        workers: int = 4,
+        queue_depth: int = 16,
+        total_memory_rows: int | None = None,
+        memory_rows_per_query: int | None = None,
+        governor: MemoryGovernor | None = None,
+        cache: ResultCache | None = None,
+        default_deadline: float | None = None,
+    ):
+        if workers <= 0:
+            raise ConfigurationError("workers must be positive")
+        if queue_depth < 0:
+            raise ConfigurationError("queue_depth must be >= 0")
+        self.database = database
+        self.workers = workers
+        self.queue_depth = queue_depth
+        per_query = (memory_rows_per_query
+                     or database.planner.memory_rows)
+        self.memory_rows_per_query = per_query
+        self.governor = governor or MemoryGovernor(
+            total_memory_rows or workers * per_query)
+        self.cache = cache if cache is not None else ResultCache()
+        self.default_deadline = default_deadline
+        self.pool = SessionPool(database, workers)
+        self.stats = ServiceStatsAggregator()
+        self._slots = threading.Semaphore(workers + queue_depth)
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-query")
+        self._closed = False
+
+    # -- public API ------------------------------------------------------
+
+    def submit(self, sql_text: str, *,
+               deadline: float | None = None) -> QueryTicket:
+        """Admit ``sql_text`` and return a ticket, or reject.
+
+        Raises:
+            ServiceOverloadedError: when ``workers + queue_depth``
+                queries are already in flight.
+        """
+        if self._closed:
+            raise ServiceOverloadedError("service is shut down")
+        if deadline is None:
+            deadline = self.default_deadline
+        self.stats.note_submitted()
+        if not self._slots.acquire(blocking=False):
+            self.stats.record(ServiceStats(query=sql_text,
+                                           outcome="rejected"))
+            raise ServiceOverloadedError(
+                f"admission queue full ({self.workers} workers + "
+                f"{self.queue_depth} queued); retry later")
+        submitted_at = time.monotonic()
+        try:
+            future = self._executor.submit(
+                self._run, sql_text, deadline, submitted_at)
+        except BaseException:
+            self._slots.release()
+            raise
+        return QueryTicket(self, future, deadline, submitted_at)
+
+    def execute(self, sql_text: str, *,
+                deadline: float | None = None) -> ServiceResult:
+        """Submit and wait: the blocking convenience entry point."""
+        return self.submit(sql_text, deadline=deadline).result()
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Aggregated service statistics (detached copy)."""
+        return self.stats.snapshot()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop admitting queries and (optionally) drain the workers."""
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+    # -- worker path -----------------------------------------------------
+
+    def _run(self, sql_text: str, deadline: float | None,
+             submitted_at: float) -> ServiceResult:
+        try:
+            started = time.monotonic()
+            record = ServiceStats(
+                query=sql_text,
+                queue_wait_seconds=started - submitted_at)
+            if deadline is not None \
+                    and record.queue_wait_seconds >= deadline:
+                record.outcome = "timeout"
+                self.stats.record(record)
+                raise QueryTimeoutError(
+                    f"query spent {record.queue_wait_seconds:.3f}s "
+                    f"queued, past its {deadline}s deadline")
+            try:
+                return self._execute_admitted(sql_text, record)
+            except ReproError as exc:
+                if record.outcome == "ok":
+                    record.outcome = "error"
+                    record.error = f"{type(exc).__name__}: {exc}"
+                    self.stats.record(record)
+                raise
+        finally:
+            self._slots.release()
+
+    def _execute_admitted(self, sql_text: str,
+                          record: ServiceStats) -> ServiceResult:
+        query = parse(sql_text)
+        table = self.database.table(query.table)
+
+        result_key = ResultCache.result_key(query, table)
+        scope = ResultCache.scope_key(query, table)
+        if scope is None:
+            record.cache = "bypass"
+
+        cached = (self.cache.get_result(result_key)
+                  if self.cache.max_results else None)
+        if cached is not None:
+            record.cache = "exact"
+            self.stats.record(record, OperatorStats())
+            return ServiceResult(rows=cached.rows, schema=cached.schema,
+                                 query=query, stats=record)
+
+        seed = None
+        if scope is not None and query.limit is not None:
+            needed = query.limit + query.offset
+            hint = self.cache.get_cutoff(scope, needed)
+            if hint is not None:
+                seed = hint.key
+                record.cache = "cutoff"
+                record.seeded_cutoff = seed
+
+        record.requested_rows = self.memory_rows_per_query
+        with self.pool.checkout() as session:
+            record.session_id = session.session_id
+            with self.governor.lease(self.memory_rows_per_query) as lease:
+                record.granted_rows = lease.rows
+                record.lease_shrunk = lease.shrunk
+                started = time.monotonic()
+                result = session.execute(sql_text,
+                                         memory_rows=lease.rows,
+                                         cutoff_seed=seed)
+                record.execution_seconds = time.monotonic() - started
+
+        record.rows_spilled = result.stats.io.rows_spilled
+        record.rows_filtered = result.stats.rows_eliminated
+        record.rows_filtered_by_seed = self._seed_eliminations(result)
+
+        if scope is not None and result.final_cutoff is not None:
+            self.cache.store_cutoff(
+                scope, query.limit + query.offset, result.final_cutoff)
+        if self.cache.max_results:
+            self.cache.store_result(result_key, CachedResult(
+                rows=result.rows, schema=result.schema,
+                stats=result.stats.snapshot()))
+
+        self.stats.record(record, result.stats)
+        return ServiceResult(rows=result.rows, schema=result.schema,
+                             query=query, stats=record,
+                             operator_stats=result.stats)
+
+    @staticmethod
+    def _seed_eliminations(result) -> int:
+        """Rows the seeded cutoff eliminated, read off the plan's top-k
+        node (0 when the plan had none or the seed never engaged)."""
+        from repro.engine.operators import TopK
+
+        stack = [result.plan]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, TopK) and node.last_impl is not None:
+                cutoff_filter = getattr(node.last_impl, "cutoff_filter",
+                                        None)
+                if cutoff_filter is not None:
+                    return cutoff_filter.stats.rows_eliminated_by_seed
+            stack.extend(node.children())
+        return 0
+
+    def _note_deadline_overrun(self, _ticket: QueryTicket) -> None:
+        """A caller abandoned a still-running query past its deadline."""
+        self.stats.record(ServiceStats(query="<abandoned>",
+                                       outcome="timeout"))

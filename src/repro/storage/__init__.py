@@ -14,7 +14,7 @@ from repro.storage.spill import (
     SpillFile,
     SpillManager,
 )
-from repro.storage.stats import IOStats, OperatorStats
+from repro.storage.stats import IOStats, OperatorStats, ThreadSafeIOStats
 
 __all__ = [
     "CostModel",
@@ -31,4 +31,5 @@ __all__ = [
     "DiskSpillBackend",
     "IOStats",
     "OperatorStats",
+    "ThreadSafeIOStats",
 ]

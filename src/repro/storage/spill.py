@@ -176,21 +176,47 @@ class MemorySpillBackend:
 
 
 class DiskSpillBackend:
-    """Creates real temporary spill files under one directory."""
+    """Creates real temporary spill files under one directory.
+
+    The backend tracks every file it creates so that :meth:`close` can
+    remove them all — including files that were never sealed (a query
+    failed mid-write) or never deleted (a query failed before its merge
+    consumed them).  ``close()`` is idempotent and the backend is a
+    context manager, so error paths can simply ``with`` it.
+    """
 
     def __init__(self, directory: str | None = None):
         self._own_directory = directory is None
         self._directory = directory or tempfile.mkdtemp(prefix="repro_spill_")
+        self._files: list[_DiskSpillFile] = []
+        self._closed = False
 
     def create_file(self, file_id: int, stats: IOStats) -> SpillFile:
-        return _DiskSpillFile(file_id, stats, self._directory)
+        if self._closed:
+            raise SpillError("spill backend is closed")
+        spill_file = _DiskSpillFile(file_id, stats, self._directory)
+        self._files.append(spill_file)
+        return spill_file
 
     def close(self) -> None:
-        """Remove the spill directory if this backend created it."""
+        """Delete every created file (sealed or not), then the directory
+        if this backend created it.  Safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
+        for spill_file in self._files:
+            spill_file.delete()
+        self._files.clear()
         if self._own_directory and os.path.isdir(self._directory):
             for name in os.listdir(self._directory):
                 os.unlink(os.path.join(self._directory, name))
             os.rmdir(self._directory)
+
+    def __enter__(self) -> "DiskSpillBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
 
 class SpillManager:

@@ -10,6 +10,7 @@ feeds them to the cost model for simulated execution times.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, fields
 
 
@@ -19,6 +20,14 @@ class IOStats:
 
     All counters are cumulative; use :meth:`snapshot` and subtraction to
     scope a measurement to a region of execution.
+
+    **Threading contract:** a plain ``IOStats`` is *not* thread-safe.  The
+    supported pattern for concurrent execution is per-query records — each
+    query's operators write into their own ``IOStats``, single-threaded —
+    which are then merged into a shared aggregate *after* the query
+    finishes.  That shared aggregate must be a :class:`ThreadSafeIOStats`
+    (or the caller must hold its own lock around :meth:`merge`), otherwise
+    concurrent merges lose counts.
     """
 
     #: Rows written to sorted runs on secondary storage.
@@ -72,6 +81,30 @@ class IOStats:
         )
 
 
+class ThreadSafeIOStats(IOStats):
+    """An :class:`IOStats` aggregate safe to merge into from many threads.
+
+    Used as the service-level accumulator: each query runs with its own
+    plain ``IOStats`` (single-threaded, zero overhead on the hot path) and
+    the finished record is folded in here under a lock.  ``snapshot``
+    also locks, so readers always observe a consistent copy.
+    """
+
+    def __init__(self, **counters: int):
+        super().__init__(**counters)
+        self._lock = threading.Lock()
+
+    def merge(self, other: IOStats) -> None:
+        """Accumulate ``other`` atomically."""
+        with self._lock:
+            super().merge(other)
+
+    def snapshot(self) -> IOStats:
+        """A consistent, detached (plain ``IOStats``) copy."""
+        with self._lock:
+            return super().snapshot()
+
+
 @dataclass
 class OperatorStats:
     """Work counters for a top-k operator, beyond raw storage traffic.
@@ -93,6 +126,35 @@ class OperatorStats:
     #: Sort comparisons (heap sift / quicksort) — proxy for CPU effort.
     sort_comparisons: int = 0
     io: IOStats = field(default_factory=IOStats)
+
+    def merge(self, other: "OperatorStats") -> None:
+        """Accumulate ``other`` into this record in place.
+
+        Same threading contract as :meth:`IOStats.merge`: per-query
+        records are single-threaded; cross-thread aggregation must be
+        serialized by the caller (the query service does this under its
+        stats lock).
+        """
+        self.rows_consumed += other.rows_consumed
+        self.rows_eliminated_on_arrival += other.rows_eliminated_on_arrival
+        self.rows_eliminated_at_spill += other.rows_eliminated_at_spill
+        self.rows_output += other.rows_output
+        self.cutoff_comparisons += other.cutoff_comparisons
+        self.sort_comparisons += other.sort_comparisons
+        self.io.merge(other.io)
+
+    def snapshot(self) -> "OperatorStats":
+        """An independent copy (counters and the nested ``io`` record)."""
+        copy = OperatorStats(
+            rows_consumed=self.rows_consumed,
+            rows_eliminated_on_arrival=self.rows_eliminated_on_arrival,
+            rows_eliminated_at_spill=self.rows_eliminated_at_spill,
+            rows_output=self.rows_output,
+            cutoff_comparisons=self.cutoff_comparisons,
+            sort_comparisons=self.sort_comparisons,
+        )
+        copy.io = self.io.snapshot()
+        return copy
 
     @property
     def rows_eliminated(self) -> int:

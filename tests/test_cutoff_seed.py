@@ -1,0 +1,158 @@
+"""Cutoff seeding (cutoff reuse): filter semantics, underflow detection,
+and the session-level retry that makes stale seeds harmless."""
+
+import random
+
+import pytest
+
+from repro.core.cutoff import CutoffFilter
+from repro.core.histogram import Bucket
+from repro.core.topk import HistogramTopK
+from repro.engine.session import Database
+from repro.errors import StaleCutoffSeed
+from repro.rows.schema import Column, ColumnType, Schema
+
+KEY = lambda row: row[0]  # noqa: E731
+
+
+def uniform(count, seed=0):
+    rng = random.Random(seed)
+    return [(rng.random(),) for _ in range(count)]
+
+
+class TestFilterSeed:
+    def test_seed_establishes_cutoff_immediately(self):
+        filt = CutoffFilter(k=100)
+        assert not filt.is_established
+        filt.seed(0.25)
+        assert filt.is_established
+        assert filt.cutoff_key == 0.25
+        assert filt.cutoff_is_seed
+        assert filt.seed_key == 0.25
+        assert filt.eliminate(0.3)
+        assert not filt.eliminate(0.25)  # ties survive, as always
+
+    def test_seed_none_is_a_no_op(self):
+        filt = CutoffFilter(k=10)
+        filt.seed(None)
+        assert not filt.is_established
+        assert filt.seed_key is None
+
+    def test_seed_never_loosens_established_cutoff(self):
+        filt = CutoffFilter(k=4)
+        filt.insert(Bucket(0.2, 4))
+        assert filt.cutoff_key == 0.2
+        filt.seed(0.9)
+        assert filt.cutoff_key == 0.2
+        assert not filt.cutoff_is_seed
+
+    def test_tighter_seed_wins_over_established_cutoff(self):
+        filt = CutoffFilter(k=4)
+        filt.insert(Bucket(0.8, 4))
+        filt.seed(0.3)
+        assert filt.cutoff_key == 0.3
+        assert filt.cutoff_is_seed
+
+    def test_bucket_refinement_takes_over_from_seed(self):
+        filt = CutoffFilter(k=2)
+        filt.seed(0.9)
+        filt.insert(Bucket(0.4, 2))
+        assert filt.cutoff_key == 0.4
+        assert not filt.cutoff_is_seed
+
+    def test_seed_eliminations_counted_separately(self):
+        filt = CutoffFilter(k=10)
+        filt.seed(0.5)
+        filt.eliminate(0.7)
+        filt.eliminate(0.8)
+        assert filt.stats.rows_eliminated == 2
+        assert filt.stats.rows_eliminated_by_seed == 2
+        # After the filter's own buckets refine, further eliminations are
+        # no longer attributed to the seed.
+        filt.insert(Bucket(0.4, 10))
+        filt.eliminate(0.45)
+        assert filt.stats.rows_eliminated == 3
+        assert filt.stats.rows_eliminated_by_seed == 2
+
+    def test_seed_appears_in_describe(self):
+        filt = CutoffFilter(k=10)
+        filt.seed(0.5)
+        assert "seed" in filt.describe()
+
+
+class TestOperatorSeed:
+    def test_valid_seed_reduces_spilling_with_identical_output(self):
+        rows = uniform(20_000, seed=7)
+        base = HistogramTopK(KEY, 1000, 256)
+        expected = list(base.execute(iter(rows)))
+        cutoff = base.final_cutoff
+        assert cutoff == expected[-1][0]
+
+        seeded = HistogramTopK(KEY, 1000, 256, cutoff_seed=cutoff)
+        assert list(seeded.execute(iter(rows))) == expected
+        assert seeded.stats.io.rows_spilled < base.stats.io.rows_spilled
+        assert seeded.cutoff_filter.stats.rows_eliminated_by_seed > 0
+
+    def test_final_cutoff_none_when_output_short_of_k(self):
+        operator = HistogramTopK(KEY, 100, 256)
+        assert len(list(operator.execute(iter(uniform(40))))) == 40
+        assert operator.final_cutoff is None
+
+    def test_overtight_seed_raises_stale(self):
+        rows = uniform(20_000, seed=7)
+        # A seed below the true k-th key eliminates needed rows; the
+        # operator must detect the underflow rather than return fewer
+        # (or wrong) rows.
+        operator = HistogramTopK(KEY, 1000, 256, cutoff_seed=1e-6)
+        with pytest.raises(StaleCutoffSeed):
+            list(operator.execute(iter(rows)))
+
+    def test_loose_seed_is_harmless(self):
+        rows = uniform(20_000, seed=7)
+        base = HistogramTopK(KEY, 1000, 256)
+        expected = list(base.execute(iter(rows)))
+        seeded = HistogramTopK(KEY, 1000, 256, cutoff_seed=0.99)
+        assert list(seeded.execute(iter(rows))) == expected
+
+    def test_short_input_with_seed_does_not_raise(self):
+        # Fewer input rows than k is a legitimate outcome, not a stale
+        # seed, as long as the seed eliminated nothing.
+        rows = sorted(uniform(50, seed=3))
+        operator = HistogramTopK(KEY, 100, 16, cutoff_seed=2.0)
+        assert list(operator.execute(iter(rows))) == rows
+
+
+class TestSessionRetry:
+    @staticmethod
+    def _database(rows):
+        schema = Schema([Column("id", ColumnType.INT64),
+                         Column("score", ColumnType.FLOAT64)])
+        db = Database(memory_rows=256)
+        db.register_table("events", schema, rows)
+        return db
+
+    def test_sql_accepts_seed_and_reports_final_cutoff(self):
+        rng = random.Random(11)
+        rows = [(i, rng.random()) for i in range(20_000)]
+        db = self._database(rows)
+        sql = "SELECT id, score FROM events ORDER BY score LIMIT 1000"
+
+        first = db.sql(sql)
+        assert first.final_cutoff == first.rows[-1][1]
+
+        second = db.sql(sql, cutoff_seed=first.final_cutoff)
+        assert second.rows == first.rows
+        assert second.stats.io.rows_spilled < first.stats.io.rows_spilled
+
+    def test_stale_seed_transparently_retried(self):
+        rng = random.Random(11)
+        rows = [(i, rng.random()) for i in range(20_000)]
+        db = self._database(rows)
+        sql = "SELECT id, score FROM events ORDER BY score LIMIT 1000"
+
+        expected = db.sql(sql).rows
+        # An absurdly tight seed must degrade to a seedless re-execution,
+        # never to missing or wrong rows.
+        retried = db.sql(sql, cutoff_seed=1e-9)
+        assert retried.rows == expected
+        assert len(retried.rows) == 1000

@@ -13,7 +13,8 @@ import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
-FAST_EXAMPLES = ("strategy_bakeoff.py", "adaptive_memory_pressure.py")
+FAST_EXAMPLES = ("strategy_bakeoff.py", "adaptive_memory_pressure.py",
+                 "service_dashboard.py")
 
 
 def test_examples_exist():

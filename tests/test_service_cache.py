@@ -1,0 +1,153 @@
+"""Unit tests for the result cache and its cutoff-hint index."""
+
+import pytest
+
+from repro.engine.operators import Table
+from repro.engine.sql import parse
+from repro.errors import ConfigurationError
+from repro.rows.schema import Column, ColumnType, Schema
+from repro.service import CachedResult, ResultCache
+
+SCHEMA = Schema([Column("id", ColumnType.INT64),
+                 Column("score", ColumnType.FLOAT64)])
+
+
+def table(version=0):
+    return Table("events", SCHEMA, [], version=version)
+
+
+def query(sql="SELECT id FROM events ORDER BY score LIMIT 100"):
+    return parse(sql)
+
+
+class TestConfiguration:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(max_results=-1)
+        with pytest.raises(ConfigurationError):
+            ResultCache(max_scopes=-1)
+        with pytest.raises(ConfigurationError):
+            ResultCache(hints_per_scope=0)
+
+
+class TestKeys:
+    def test_result_key_includes_version(self):
+        q = query()
+        assert (ResultCache.result_key(q, table(0))
+                != ResultCache.result_key(q, table(1)))
+
+    def test_result_key_normalizes_text(self):
+        a = query("SELECT id FROM events ORDER BY score LIMIT 100")
+        b = query("select  id from EVENTS order by score asc limit 100")
+        assert (ResultCache.result_key(a, table())
+                == ResultCache.result_key(b, table()))
+
+    def test_scope_ignores_projection(self):
+        a = query("SELECT id FROM events ORDER BY score LIMIT 100")
+        b = query("SELECT id, score FROM events ORDER BY score LIMIT 7")
+        assert (ResultCache.scope_key(a, table())
+                == ResultCache.scope_key(b, table()))
+
+    def test_scope_none_without_limit(self):
+        q = query("SELECT id FROM events ORDER BY score")
+        assert ResultCache.scope_key(q, table()) is None
+
+
+class TestExactResults:
+    def test_round_trip_and_counters(self):
+        cache = ResultCache()
+        key = ResultCache.result_key(query(), table())
+        assert cache.get_result(key) is None
+        cache.store_result(key, CachedResult(rows=[(1,)], schema=SCHEMA))
+        hit = cache.get_result(key)
+        assert hit.rows == [(1,)]
+        assert cache.exact_hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_results=2)
+        keys = [("T", 0, f"q{i}") for i in range(3)]
+        for k in keys:
+            cache.store_result(k, CachedResult(rows=[], schema=SCHEMA))
+        cache.get_result(keys[1])  # refresh
+        cache.store_result(("T", 0, "q3"),
+                           CachedResult(rows=[], schema=SCHEMA))
+        assert cache.get_result(keys[0]) is None
+        assert cache.get_result(keys[1]) is not None
+
+    def test_zero_capacity_disables_storage(self):
+        cache = ResultCache(max_results=0)
+        key = ("T", 0, "q")
+        cache.store_result(key, CachedResult(rows=[], schema=SCHEMA))
+        assert cache.get_result(key) is None
+
+
+class TestCutoffHints:
+    SCOPE = ("EVENTS", 0, "EVENTS||SCORE:A")
+
+    def test_store_and_serve(self):
+        cache = ResultCache()
+        cache.store_cutoff(self.SCOPE, 100, 0.25)
+        hint = cache.get_cutoff(self.SCOPE, 100)
+        assert hint.key == 0.25
+        assert hint.covered == 100
+        assert cache.cutoff_hits == 1
+
+    def test_smaller_need_served_by_larger_coverage(self):
+        cache = ResultCache()
+        cache.store_cutoff(self.SCOPE, 100, 0.25)
+        assert cache.get_cutoff(self.SCOPE, 10).key == 0.25
+
+    def test_larger_need_never_served_by_smaller_coverage(self):
+        cache = ResultCache()
+        cache.store_cutoff(self.SCOPE, 100, 0.25)
+        assert cache.get_cutoff(self.SCOPE, 1000) is None
+
+    def test_smallest_eligible_coverage_wins(self):
+        """Smaller proven coverage means a tighter key — prefer it."""
+        cache = ResultCache()
+        cache.store_cutoff(self.SCOPE, 100, 0.25)
+        cache.store_cutoff(self.SCOPE, 1000, 0.8)
+        assert cache.get_cutoff(self.SCOPE, 50).key == 0.25
+        assert cache.get_cutoff(self.SCOPE, 500).key == 0.8
+
+    def test_tightest_key_kept_per_coverage(self):
+        cache = ResultCache()
+        cache.store_cutoff(self.SCOPE, 100, 0.25)
+        cache.store_cutoff(self.SCOPE, 100, 0.5)   # looser: ignored
+        cache.store_cutoff(self.SCOPE, 100, 0.1)   # tighter: kept
+        assert cache.get_cutoff(self.SCOPE, 100).key == 0.1
+
+    def test_hints_per_scope_bound(self):
+        cache = ResultCache(hints_per_scope=2)
+        for covered in (10, 20, 30, 40):
+            cache.store_cutoff(self.SCOPE, covered, covered / 100)
+        # The largest coverages were dropped as each overflow occurred.
+        assert cache.get_cutoff(self.SCOPE, 25) is None
+        assert cache.get_cutoff(self.SCOPE, 15).covered == 20
+
+    def test_none_scope_and_none_key_ignored(self):
+        cache = ResultCache()
+        cache.store_cutoff(None, 10, 0.5)
+        cache.store_cutoff(self.SCOPE, 10, None)
+        assert cache.get_cutoff(None, 10) is None
+        assert cache.get_cutoff(self.SCOPE, 10) is None
+
+
+class TestMaintenance:
+    def test_invalidate_table(self):
+        cache = ResultCache()
+        key = ResultCache.result_key(query(), table())
+        scope = ResultCache.scope_key(query(), table())
+        cache.store_result(key, CachedResult(rows=[], schema=SCHEMA))
+        cache.store_cutoff(scope, 100, 0.5)
+        assert cache.invalidate_table("events") == 2
+        assert cache.get_result(key) is None
+        assert cache.get_cutoff(scope, 100) is None
+
+    def test_clear_and_describe(self):
+        cache = ResultCache()
+        cache.store_result(("T", 0, "q"),
+                           CachedResult(rows=[], schema=SCHEMA))
+        cache.clear()
+        assert "results=0" in cache.describe()

@@ -1,0 +1,92 @@
+"""Unit tests for the memory governor's lease arithmetic."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import MemoryGovernor
+
+
+class TestConfiguration:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MemoryGovernor(0)
+        with pytest.raises(ConfigurationError):
+            MemoryGovernor(100, min_lease_rows=0)
+
+    def test_floor_clamped_to_total(self):
+        governor = MemoryGovernor(32, min_lease_rows=64)
+        assert governor.min_lease_rows == 32
+
+
+class TestLeasing:
+    def test_full_grant_under_light_load(self):
+        governor = MemoryGovernor(1000)
+        with governor.lease(400) as lease:
+            assert lease.rows == 400
+            assert not lease.shrunk
+            assert governor.leased_rows == 400
+        assert governor.leased_rows == 0
+
+    def test_grant_shrinks_to_remainder(self):
+        governor = MemoryGovernor(1000)
+        first = governor.lease(800)
+        second = governor.lease(800)
+        assert second.rows == 200
+        assert second.shrunk
+        assert governor.shrinks == 1
+        first.release()
+        second.release()
+
+    def test_floor_overcommits_rather_than_starving(self):
+        governor = MemoryGovernor(1000, min_lease_rows=64)
+        first = governor.lease(1000)
+        second = governor.lease(500)
+        assert second.rows == 64
+        assert governor.overcommits == 1
+        assert governor.leased_rows == 1064
+        first.release()
+        second.release()
+        assert governor.leased_rows == 0
+
+    def test_release_is_idempotent(self):
+        governor = MemoryGovernor(100)
+        lease = governor.lease(50)
+        lease.release()
+        lease.release()
+        assert governor.leased_rows == 0
+        assert governor.active_leases == 0
+
+    def test_invalid_request(self):
+        with pytest.raises(ConfigurationError):
+            MemoryGovernor(100).lease(0)
+
+    def test_peaks_and_describe(self):
+        governor = MemoryGovernor(1000)
+        a = governor.lease(300)
+        b = governor.lease(300)
+        a.release()
+        b.release()
+        assert governor.peak_leased_rows == 600
+        assert governor.peak_active_leases == 2
+        assert "600" in governor.describe()
+
+
+class TestThreadSafety:
+    def test_concurrent_lease_release_balances(self):
+        governor = MemoryGovernor(10_000, min_lease_rows=10)
+
+        def worker():
+            for _ in range(200):
+                with governor.lease(137):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert governor.leased_rows == 0
+        assert governor.active_leases == 0
+        assert governor.peak_active_leases <= 8

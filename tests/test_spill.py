@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import SpillError
 from repro.storage.pages import Page
+from repro.storage.stats import IOStats
 from repro.storage.spill import (
     DiskSpillBackend,
     MemorySpillBackend,
@@ -128,3 +129,37 @@ class TestDiskBackendIntegrity:
         spill_file.seal()
         manager.close()
         assert not os.path.isdir(directory)
+
+
+class TestDiskBackendCleanup:
+    def test_close_removes_unsealed_and_undeleted_files(self, tmp_path):
+        """Error-path hygiene: files abandoned mid-write (never sealed) or
+        never consumed (sealed but not deleted) all go on close."""
+        backend = DiskSpillBackend(str(tmp_path))
+        manager = SpillManager(backend=backend)
+        unsealed = manager.create_file()
+        unsealed.append_page(_page([(1,)]))
+        sealed = manager.create_file()
+        sealed.append_page(_page([(2,)]))
+        sealed.seal()
+        assert [p for p in tmp_path.rglob("*") if p.is_file()]
+        manager.close()
+        assert [p for p in tmp_path.rglob("*") if p.is_file()] == []
+
+    def test_close_is_idempotent(self, tmp_path):
+        backend = DiskSpillBackend(str(tmp_path))
+        manager = SpillManager(backend=backend)
+        manager.create_file().seal()
+        manager.close()
+        manager.close()
+
+    def test_create_after_close_rejected(self, tmp_path):
+        backend = DiskSpillBackend(str(tmp_path))
+        backend.close()
+        with pytest.raises(SpillError):
+            backend.create_file(0, IOStats())
+
+    def test_backend_context_manager(self, tmp_path):
+        with DiskSpillBackend(str(tmp_path)) as backend:
+            backend.create_file(0, IOStats())
+        assert [p for p in tmp_path.rglob("*") if p.is_file()] == []

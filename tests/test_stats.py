@@ -59,3 +59,50 @@ class TestOperatorStats:
         first, second = OperatorStats(), OperatorStats()
         first.io.rows_spilled = 5
         assert second.io.rows_spilled == 0
+
+
+class TestThreadSafeIOStats:
+    def test_concurrent_merges_are_exact(self):
+        """The documented contract: per-query counters accumulate
+        single-threaded, then merge into a shared total under the lock.
+        Every counted unit must survive an 8-way concurrent merge."""
+        import threading
+
+        from repro.storage.stats import ThreadSafeIOStats
+
+        total = ThreadSafeIOStats()
+        per_thread = 500
+
+        def worker():
+            for _ in range(per_thread):
+                local = IOStats(rows_spilled=3, bytes_written=16,
+                                write_requests=1)
+                total.merge(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert total.rows_spilled == 8 * per_thread * 3
+        assert total.bytes_written == 8 * per_thread * 16
+        assert total.write_requests == 8 * per_thread
+
+    def test_snapshot_returns_plain_stats(self):
+        from repro.storage.stats import IOStats, ThreadSafeIOStats
+
+        total = ThreadSafeIOStats(rows_spilled=4)
+        snap = total.snapshot()
+        assert type(snap) is IOStats
+        assert snap.rows_spilled == 4
+        total.merge(IOStats(rows_spilled=1))
+        assert snap.rows_spilled == 4
+
+    def test_operator_stats_merge_includes_io(self):
+        total = OperatorStats()
+        local = OperatorStats(rows_consumed=10, rows_output=5)
+        local.io.rows_spilled = 7
+        total.merge(local)
+        total.merge(local)
+        assert total.rows_consumed == 20
+        assert total.io.rows_spilled == 14
