@@ -27,6 +27,7 @@ from typing import Any, Callable, Iterable, Iterator
 
 from repro.baselines.priority_queue_topk import PriorityQueueTopK
 from repro.errors import ConfigurationError
+from repro.rows.batch import flatten
 from repro.rows.sortspec import SortSpec
 from repro.sorting.merge import Merger, MergePolicy
 from repro.sorting.replacement_selection import (
@@ -141,6 +142,10 @@ class OptimizedMergeSortTopK:
     def output_fits_in_memory(self) -> bool:
         """Whether the fast in-memory path applies."""
         return self.k + self.offset <= self.memory_rows
+
+    def execute_batches(self, batches) -> Iterator[tuple]:
+        """Batch-pipeline adapter: flattens and runs row-at-a-time."""
+        return self.execute(flatten(batches))
 
     def execute(self, rows: Iterable[tuple]) -> Iterator[tuple]:
         """Consume ``rows`` and yield the top k rows in sort order."""

@@ -17,6 +17,7 @@ from typing import Any, Callable, Iterable, Iterator
 
 from repro.core.cutoff import _ReverseKey
 from repro.errors import ConfigurationError, MemoryBudgetExceeded
+from repro.rows.batch import flatten
 from repro.rows.sortspec import SortSpec
 from repro.storage.stats import OperatorStats
 
@@ -57,6 +58,10 @@ class PriorityQueueTopK:
             )
         self.memory_rows = memory_rows if memory_rows is not None else needed
         self.stats = stats or OperatorStats()
+
+    def execute_batches(self, batches) -> Iterator[tuple]:
+        """Batch-pipeline adapter: flattens and runs row-at-a-time."""
+        return self.execute(flatten(batches))
 
     def execute(self, rows: Iterable[tuple]) -> Iterator[tuple]:
         """Consume ``rows`` and yield the top k rows in sort order."""

@@ -14,6 +14,7 @@ from typing import Any, Callable, Iterable, Iterator
 
 from repro.baselines.priority_queue_topk import PriorityQueueTopK
 from repro.errors import ConfigurationError
+from repro.rows.batch import flatten
 from repro.rows.sortspec import SortSpec
 from repro.sorting.external_sort import ExternalSort
 from repro.sorting.merge import MergePolicy
@@ -61,6 +62,10 @@ class TraditionalMergeSortTopK:
     def output_fits_in_memory(self) -> bool:
         """Whether the fast in-memory path applies."""
         return self.k + self.offset <= self.memory_rows
+
+    def execute_batches(self, batches) -> Iterator[tuple]:
+        """Batch-pipeline adapter: flattens and runs row-at-a-time."""
+        return self.execute(flatten(batches))
 
     def execute(self, rows: Iterable[tuple]) -> Iterator[tuple]:
         """Consume ``rows`` and yield the top k rows in sort order."""

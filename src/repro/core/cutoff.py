@@ -215,6 +215,29 @@ class CutoffFilter:
             "consolidated %d buckets into one (boundary %r, size %d)",
             dropped + 1, top_key.key, total)
 
+    def admit_batch(self, keys) -> Any:
+        """Vectorized :meth:`eliminate` over a whole batch of keys.
+
+        ``keys`` is a numpy array of normalized sort keys (for descending
+        numeric orders the caller passes the negated values, exactly as
+        :class:`~repro.rows.sortspec.SortSpec` normalizes row keys).
+
+        Returns ``None`` when no cutoff is established (every row is
+        admitted, nothing to mask) or a boolean mask that is ``True`` for
+        admitted rows.  Elimination statistics are updated in bulk; the
+        semantics match the scalar path: only keys sorting *strictly
+        above* the cutoff are eliminated, ties are retained.
+        """
+        if self._cutoff is None:
+            return None
+        mask = keys <= self._cutoff
+        dropped = int(keys.size) - int(mask.sum())
+        if dropped:
+            self.stats.rows_eliminated += dropped
+            if self._cutoff_from_seed:
+                self.stats.rows_eliminated_by_seed += dropped
+        return mask
+
     def eliminate(self, key: Any) -> bool:
         """Return True when a row with ``key`` cannot be in the output.
 

@@ -26,11 +26,17 @@ import itertools
 import logging
 from typing import Any, Callable, Iterable, Iterator
 
+try:  # numpy powers the vectorized batch admission; optional.
+    import numpy as np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    np = None
+
 from repro.core.cutoff import CutoffFilter, _ReverseKey
 from repro.core.histogram import RunHistogramBuilder
 from repro.core.rank_index import RankIndex
 from repro.core.policies import SizingPolicy, TargetBucketsPolicy
 from repro.errors import ConfigurationError, StaleCutoffSeed
+from repro.rows.batch import RowBatch, flatten, numeric_key_column
 from repro.rows.sortspec import SortSpec
 from repro.sorting.merge import Merger, MergePolicy
 from repro.sorting.quicksort_runs import QuicksortRunGenerator
@@ -133,6 +139,11 @@ class HistogramTopK:
                 f"unknown run generation {run_generation!r}")
         self.sort_key = (sort_key.key if isinstance(sort_key, SortSpec)
                          else sort_key)
+        #: The originating spec, when one was given — the batch path uses
+        #: it to vectorize key extraction (single numeric column only).
+        self.sort_spec = sort_key if isinstance(sort_key, SortSpec) else None
+        self._batch_key = (numeric_key_column(self.sort_spec)
+                           if self.sort_spec is not None else None)
         self.k = k
         self.offset = offset
         self.memory_rows = memory_rows
@@ -219,11 +230,44 @@ class HistogramTopK:
                          "histogram-filtered external regime",
                          self.k + self.offset, self.memory_rows)
             output = self._execute_external(iter(rows))
+        return self._emit(output)
+
+    def execute_batches(self, batches: Iterable[RowBatch]) -> Iterator[tuple]:
+        """Batch-at-a-time :meth:`execute`: same algorithm, same output.
+
+        The arrival-side cutoff test (Algorithm 1 line 4) is applied to a
+        whole :class:`~repro.rows.batch.RowBatch` at once — one vectorized
+        comparison when the sort key is a single numeric column — instead
+        of one Python-level call per surviving row.  Any batch whose key
+        column cannot be vectorized falls back to the row-at-a-time test;
+        a configured byte budget (per-row size accounting) routes the
+        whole execution through the row path.
+        """
+        if self.memory_bytes is not None:
+            return self.execute(flatten(batches))
+        if self.output_fits_in_memory:
+            output = self._execute_in_memory_batches(iter(batches))
+        else:
+            output = self._execute_external_batches(iter(batches))
+        return self._emit(output)
+
+    def _emit(self, output: Iterator[tuple]) -> Iterator[tuple]:
+        """Count output rows and remember the last one (cutoff reuse)."""
         row = None
         for row in output:
             self.stats.rows_output += 1
             yield row
         self._last_output_row = row
+
+    def _batch_key_array(self, batch: RowBatch):
+        """Normalized key column of ``batch``, or ``None`` → row path."""
+        if self._batch_key is None:
+            return None
+        index, negate = self._batch_key
+        array = batch.key_array(index)
+        if array is None:
+            return None
+        return -array if negate else array
 
     # -- in-memory regime ----------------------------------------------------
 
@@ -282,7 +326,65 @@ class HistogramTopK:
         for _key, _seq, row in survivors[self.offset:]:
             yield row
 
-    # -- external regime -------------------------------------------------------
+    def _execute_in_memory_batches(
+            self, batches: Iterator[RowBatch]) -> Iterator[tuple]:
+        """Priority-queue regime over batches.
+
+        Identical to :meth:`_execute_in_memory` (including its counter
+        accounting: every arrival after the heap is full registers one
+        comparison and one elimination — a replaced row eliminates its
+        victim), but once the heap is full each batch is reduced to its
+        replacement candidates with a single vectorized comparison
+        against the heap's current cutoff.
+        """
+        needed = self.k + self.offset
+        sort_key = self.sort_key
+        stats = self.stats
+        heap: list[tuple[_ReverseKey, int, tuple]] = []
+        seq = 0
+        for batch in batches:
+            rows = batch.rows
+            stats.rows_consumed += len(rows)
+            index = 0
+            if len(heap) < needed:
+                while index < len(rows) and len(heap) < needed:
+                    row = rows[index]
+                    index += 1
+                    seq += 1
+                    heapq.heappush(heap,
+                                   (_ReverseKey(sort_key(row)), seq, row))
+                if index >= len(rows):
+                    continue
+            remaining = len(rows) - index
+            stats.cutoff_comparisons += remaining
+            stats.rows_eliminated_on_arrival += remaining
+            keys = self._batch_key_array(batch)
+            if keys is not None:
+                # Rows at or above the batch-start cutoff can never enter
+                # the heap (the cutoff only tightens); survivors re-check
+                # against the live cutoff exactly like the row path.
+                top_key = heap[0][0].key
+                for i in np.flatnonzero(keys[index:] < top_key):
+                    row = rows[index + int(i)]
+                    key = sort_key(row)
+                    if key < heap[0][0].key:
+                        seq += 1
+                        heapq.heapreplace(heap,
+                                          (_ReverseKey(key), seq, row))
+            else:
+                for row in rows[index:] if index else rows:
+                    key = sort_key(row)
+                    if key < heap[0][0].key:
+                        seq += 1
+                        heapq.heapreplace(heap,
+                                          (_ReverseKey(key), seq, row))
+        survivors = sorted(((entry[0].key, entry[1], entry[2])
+                            for entry in heap),
+                           key=lambda item: (item[0], item[1]))
+        for _key, _seq, row in survivors[self.offset:]:
+            yield row
+
+    # -- external regime -----------------------------------------------------
 
     def _make_run_generator(self, on_spill, on_run_closed):
         cls = (QuicksortRunGenerator if self.run_generation == "quicksort"
@@ -308,6 +410,75 @@ class HistogramTopK:
 
     def _record_refinement(self, new_cutoff: Any) -> None:
         self.cutoff_trace.append((self.stats.rows_consumed, new_cutoff))
+
+    def _external_machinery(self):
+        """Run generator wired to per-run histograms → the cutoff filter.
+
+        Shared by the row and batch external paths: both feed the same
+        generator, whose spill callbacks grow the histogram model that
+        sharpens the cutoff while runs are still being written.
+        """
+        want_index = (self.build_rank_index
+                      if self.build_rank_index is not None
+                      else bool(self.offset))
+        if want_index and self.rank_index is None:
+            # Deep offsets benefit from rank bounds (Section 4.1): keep
+            # every bucket in a side index so the merge can skip pages.
+            self.rank_index = RankIndex()
+
+        def sink(bucket) -> None:
+            self.cutoff_filter.insert(bucket)
+            if self.rank_index is not None:
+                self.rank_index.add_bucket(bucket)
+
+        histogram_builder = RunHistogramBuilder(
+            policy=self.sizing_policy,
+            expected_run_rows=self.expected_run_rows,
+            sink=sink,
+        )
+
+        def on_spill(key: Any, _row: tuple) -> None:
+            histogram_builder.add(key)
+
+        def on_run_closed(run: SortedRun) -> None:
+            histogram_builder.close()
+            if self.rank_index is not None:
+                self.rank_index.end_run(run.row_count)
+
+        return self._make_run_generator(on_spill, on_run_closed)
+
+    def _external_finish(self, generator) -> Iterator[tuple]:
+        """Close run generation, validate any seed, and merge the runs."""
+        self.runs = generator.finish()
+        if self.cutoff_seed is not None:
+            # A seeded bound is an *assertion* the filter cannot check up
+            # front.  Here it becomes checkable: if fewer rows survived
+            # than the output needs while the seed eliminated input, the
+            # seed was stale/over-tight and the output would be wrong.
+            # (Without a seed this cannot happen — an established cutoff
+            # always has >= k+offset spilled rows at or below it.)
+            survivors = sum(run.row_count for run in self.runs)
+            if (survivors < self.k + self.offset
+                    and self.stats.rows_eliminated > 0):
+                raise StaleCutoffSeed(
+                    f"seeded cutoff {self.cutoff_seed!r} left only "
+                    f"{survivors} rows for a top-{self.k}"
+                    f"{f'+{self.offset}' if self.offset else ''} output; "
+                    f"re-execute without the seed")
+        merger = Merger(
+            sort_key=self.sort_key,
+            spill_manager=self.spill_manager,
+            fan_in=self.fan_in,
+            policy=self.merge_policy,
+        )
+        yield from merger.merge_topk(
+            self.runs,
+            self.k,
+            offset=self.offset,
+            cutoff=self.cutoff_filter.cutoff_key,
+            rank_index=self.rank_index,
+        )
+        self.offset_rows_skipped = merger.offset_rows_skipped
 
     def _execute_external(self, rows: Iterator[tuple]) -> Iterator[tuple]:
         """Histogram-filtered external merge sort (Algorithm 1)."""
@@ -336,34 +507,7 @@ class HistogramTopK:
             yield from buffered[self.offset:self.offset + self.k]
             return
 
-        want_index = (self.build_rank_index
-                      if self.build_rank_index is not None
-                      else bool(self.offset))
-        if want_index and self.rank_index is None:
-            # Deep offsets benefit from rank bounds (Section 4.1): keep
-            # every bucket in a side index so the merge can skip pages.
-            self.rank_index = RankIndex()
-
-        def sink(bucket) -> None:
-            self.cutoff_filter.insert(bucket)
-            if self.rank_index is not None:
-                self.rank_index.add_bucket(bucket)
-
-        histogram_builder = RunHistogramBuilder(
-            policy=self.sizing_policy,
-            expected_run_rows=self.expected_run_rows,
-            sink=sink,
-        )
-
-        def on_spill(key: Any, _row: tuple) -> None:
-            histogram_builder.add(key)
-
-        def on_run_closed(run: SortedRun) -> None:
-            histogram_builder.close()
-            if self.rank_index is not None:
-                self.rank_index.end_run(run.row_count)
-
-        generator = self._make_run_generator(on_spill, on_run_closed)
+        generator = self._external_machinery()
         generator.consume(buffered)
         del buffered
 
@@ -380,36 +524,88 @@ class HistogramTopK:
                 yield row
 
         generator.consume(admitted(rows))
-        self.runs = generator.finish()
-        if self.cutoff_seed is not None:
-            # A seeded bound is an *assertion* the filter cannot check up
-            # front.  Here it becomes checkable: if fewer rows survived
-            # than the output needs while the seed eliminated input, the
-            # seed was stale/over-tight and the output would be wrong.
-            # (Without a seed this cannot happen — an established cutoff
-            # always has >= k+offset spilled rows at or below it.)
-            survivors = sum(run.row_count for run in self.runs)
-            if (survivors < self.k + self.offset
-                    and self.stats.rows_eliminated > 0):
-                raise StaleCutoffSeed(
-                    f"seeded cutoff {self.cutoff_seed!r} left only "
-                    f"{survivors} rows for a top-{self.k}"
-                    f"{f'+{self.offset}' if self.offset else ''} output; "
-                    f"re-execute without the seed")
-        merger = Merger(
-            sort_key=sort_key,
-            spill_manager=self.spill_manager,
-            fan_in=self.fan_in,
-            policy=self.merge_policy,
-        )
-        yield from merger.merge_topk(
-            self.runs,
-            self.k,
-            offset=self.offset,
-            cutoff=cutoff_filter.cutoff_key,
-            rank_index=self.rank_index,
-        )
-        self.offset_rows_skipped = merger.offset_rows_skipped
+        yield from self._external_finish(generator)
+
+    def _execute_external_batches(
+            self, batches: Iterator[RowBatch]) -> Iterator[tuple]:
+        """Histogram-filtered external merge sort over batches.
+
+        The arrival-side check (Algorithm 1 line 4) runs once per batch
+        against the cutoff current at the batch boundary, as a single
+        vectorized comparison.  Rows the cutoff sharpens past *within* a
+        batch are still caught by the spill-time re-check (line 11), so
+        the output is identical to the row path; only the site where
+        such rows are counted as eliminated can shift (arrival → spill).
+        """
+        stats = self.stats
+        sort_key = self.sort_key
+
+        # Buffer exactly one memory-load of rows before starting any
+        # spill machinery, mirroring the row path.
+        buffered: list[tuple] = []
+        leftover: RowBatch | None = None
+        leftover_start = 0
+        exhausted = False
+        while len(buffered) < self.memory_rows:
+            batch = next(batches, None)
+            if batch is None:
+                exhausted = True
+                break
+            take = min(len(batch.rows), self.memory_rows - len(buffered))
+            stats.rows_consumed += take
+            if take < len(batch.rows):
+                buffered.extend(batch.rows[:take])
+                leftover = batch
+                leftover_start = take
+                break
+            buffered.extend(batch.rows)
+        if exhausted:
+            buffered.sort(key=sort_key)
+            yield from buffered[self.offset:self.offset + self.k]
+            return
+
+        generator = self._external_machinery()
+        generator.consume_batch(buffered)
+        del buffered
+
+        cutoff_filter = self.cutoff_filter
+        pending = (((leftover, leftover_start),)
+                   if leftover is not None else ())
+        stream = itertools.chain(
+            pending, ((batch, 0) for batch in batches))
+        for batch, start in stream:
+            rows = batch.rows
+            count = len(rows) - start
+            stats.rows_consumed += count
+            stats.cutoff_comparisons += count
+            keys = self._batch_key_array(batch)
+            if keys is None:
+                # Non-vectorizable key: per-row arrival check.
+                admitted = []
+                for row in rows[start:] if start else rows:
+                    if cutoff_filter.eliminate(sort_key(row)):
+                        stats.rows_eliminated_on_arrival += 1
+                    else:
+                        admitted.append(row)
+                if admitted:
+                    generator.consume_batch(admitted)
+                continue
+            if start:
+                rows = rows[start:]
+                keys = keys[start:]
+            mask = cutoff_filter.admit_batch(keys)
+            if mask is None:
+                generator.consume_batch(rows)
+                continue
+            survivors = int(mask.sum())
+            stats.rows_eliminated_on_arrival += len(rows) - survivors
+            if survivors == len(rows):
+                # Whole batch admitted: hand the list over uncopied.
+                generator.consume_batch(rows)
+            elif survivors:
+                generator.consume_batch(
+                    [rows[int(i)] for i in np.flatnonzero(mask)])
+        yield from self._external_finish(generator)
 
 
 def topk(

@@ -1,10 +1,23 @@
-"""Volcano-style physical operators.
+"""Physical operators: a batch-at-a-time pipeline with a row-level shim.
 
-A deliberately small iterator-model engine — just enough to run the paper's
-evaluation query (``SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT k``)
-and realistic variations end to end: scan → filter → top-k/sort → project →
-limit.  Every operator exposes ``rows()`` (a fresh iterator over its
-output), its output ``schema``, and ``explain()`` for plan display.
+A deliberately small engine — just enough to run the paper's evaluation
+query (``SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT k``) and
+realistic variations end to end: scan → filter → top-k/sort → project →
+limit.
+
+Execution is batch-at-a-time (MonetDB/X100 style): operators exchange
+:class:`~repro.rows.batch.RowBatch` chunks via ``batches()``, so
+per-element Python overhead is paid once per batch instead of once per
+row, and batch consumers (the histogram top-k's vectorized admission
+filter, :class:`VectorizedTopK`) can test a whole key column at once.
+The historical Volcano surface survives unchanged: every operator also
+exposes ``rows()``, which for batch-native operators is a thin
+flattening adapter over ``batches()``, and for row-native operators is
+the implementation that the default ``batches()`` chunks.  Either API
+can be called on any operator; both yield identical row sequences.
+
+Every operator also exposes its output ``schema`` and ``explain()`` for
+plan display.
 """
 
 from __future__ import annotations
@@ -16,10 +29,22 @@ from repro.baselines.priority_queue_topk import PriorityQueueTopK
 from repro.baselines.traditional_topk import TraditionalMergeSortTopK
 from repro.core.topk import HistogramTopK
 from repro.errors import ConfigurationError
+from repro.rows.batch import (
+    DEFAULT_BATCH_ROWS,
+    RowBatch,
+    batches_from_rows,
+    flatten,
+    numeric_key_column,
+)
 from repro.rows.schema import Schema
 from repro.rows.sortspec import SortSpec
 from repro.storage.spill import SpillManager
 from repro.storage.stats import OperatorStats
+
+try:  # numpy backs the vectorized lowering; the engine runs without it.
+    import numpy as np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    np = None
 
 
 class Table:
@@ -65,20 +90,66 @@ class Table:
             self.row_count = None
 
     def rows(self) -> Iterator[tuple]:
-        """A fresh iterator over the table's rows."""
+        """A fresh iterator over the table's rows.
+
+        Callable (streaming) sources start with ``row_count = None``;
+        the count is learned the first time it becomes observable —
+        immediately when the callable returns a sized container, or on
+        the first full scan otherwise — so the planner and admission
+        control stop flying blind after one pass.
+        """
         if callable(self._source):
-            return iter(self._source())
+            produced = self._source()
+            if self.row_count is None and hasattr(produced, "__len__"):
+                self.row_count = len(produced)
+            if self.row_count is None:
+                return self._counting(iter(produced))
+            return iter(produced)
         return iter(self._source)
+
+    def _counting(self, iterator: Iterator[tuple]) -> Iterator[tuple]:
+        count = 0
+        for row in iterator:
+            count += 1
+            yield row
+        self.row_count = count
+
+    def batches(self,
+                batch_rows: int = DEFAULT_BATCH_ROWS) -> Iterator[RowBatch]:
+        """A fresh batch iterator over the table's rows.
+
+        Sequence sources are chunked by slicing (no per-row Python
+        work); callable sources stream through :meth:`rows`, so they get
+        the same row-count learning.
+        """
+        if callable(self._source):
+            return batches_from_rows(self.rows(), self.schema, batch_rows)
+        return batches_from_rows(self._source, self.schema, batch_rows)
 
 
 class Operator:
-    """Base class for physical operators."""
+    """Base class for physical operators.
+
+    Subclasses implement whichever of ``rows()`` / ``batches()`` is
+    natural for them and inherit the other: the base ``batches()``
+    chunks ``rows()``, and batch-native operators define ``rows()`` as
+    ``flatten(self.batches())``.
+    """
 
     schema: Schema
+    #: Rows per exchanged batch (uniform across the pipeline).
+    batch_rows: int = DEFAULT_BATCH_ROWS
 
     def rows(self) -> Iterator[tuple]:
         """Return a fresh iterator over the operator's output."""
         raise NotImplementedError
+
+    def batches(self) -> Iterator[RowBatch]:
+        """Return a fresh batch iterator over the operator's output.
+
+        Flattened, the batch stream equals ``rows()`` row for row.
+        """
+        return batches_from_rows(self.rows(), self.schema, self.batch_rows)
 
     def label(self) -> str:
         """One-line description for EXPLAIN output."""
@@ -106,6 +177,9 @@ class TableScan(Operator):
     def rows(self) -> Iterator[tuple]:
         return self.table.rows()
 
+    def batches(self) -> Iterator[RowBatch]:
+        return self.table.batches(self.batch_rows)
+
     def label(self) -> str:
         count = (f" (~{self.table.row_count} rows)"
                  if self.table.row_count is not None else "")
@@ -124,8 +198,14 @@ class Filter(Operator):
         self.description = description
 
     def rows(self) -> Iterator[tuple]:
+        return flatten(self.batches())
+
+    def batches(self) -> Iterator[RowBatch]:
         predicate = self.predicate
-        return (row for row in self.child.rows() if predicate(row))
+        for batch in self.child.batches():
+            filtered = batch.filter(predicate)
+            if len(filtered):
+                yield filtered
 
     def label(self) -> str:
         return f"Filter [{self.description}]"
@@ -144,8 +224,13 @@ class Project(Operator):
         self._projector = child.schema.projector(self.columns)
 
     def rows(self) -> Iterator[tuple]:
+        return flatten(self.batches())
+
+    def batches(self) -> Iterator[RowBatch]:
         projector = self._projector
-        return (projector(row) for row in self.child.rows())
+        schema = self.schema
+        for batch in self.child.batches():
+            yield batch.map(projector, schema)
 
     def label(self) -> str:
         return f"Project [{', '.join(self.columns)}]"
@@ -168,16 +253,29 @@ class Limit(Operator):
         self.offset = offset
 
     def rows(self) -> Iterator[tuple]:
+        return flatten(self.batches())
+
+    def batches(self) -> Iterator[RowBatch]:
         produced = 0
         skipped = 0
-        for row in self.child.rows():
+        for batch in self.child.batches():
+            rows = batch.rows
+            start = 0
             if skipped < self.offset:
-                skipped += 1
-                continue
+                start = min(self.offset - skipped, len(rows))
+                skipped += start
+                if start >= len(rows):
+                    continue
+            end = len(rows)
+            if self.limit is not None:
+                end = min(end, start + self.limit - produced)
+            produced += end - start
+            if start == 0 and end == len(rows):
+                yield batch  # untouched: pass the child's batch through
+            elif end > start:
+                yield RowBatch(self.schema, rows[start:end])
             if self.limit is not None and produced >= self.limit:
                 return
-            yield row
-            produced += 1
 
     def label(self) -> str:
         return f"Limit {self.limit} offset {self.offset}"
@@ -381,7 +479,7 @@ class TopK(Operator):
     def rows(self) -> Iterator[tuple]:
         impl = self._make_impl()
         self.last_impl = impl
-        return impl.execute(self.child.rows())
+        return impl.execute_batches(self.child.batches())
 
     def label(self) -> str:
         return (f"TopK k={self.k} offset={self.offset} "
@@ -389,3 +487,107 @@ class TopK(Operator):
 
     def children(self) -> list[Operator]:
         return [self.child]
+
+
+class VectorizedTopK(TopK):
+    """Top-k lowered onto the vectorized numpy kernels.
+
+    The planner substitutes this operator for a plain histogram
+    :class:`TopK` when the ORDER BY key is a single non-nullable numeric
+    column: each input batch's key column is extracted once as a float64
+    array and fed to
+    :class:`~repro.vectorized.topk.VectorizedHistogramTopK` together with
+    late-binding row ids into a payload store.  Batches are pre-filtered
+    against the kernel's live cutoff before their rows are stored, so the
+    payload store holds only rows that were still candidates on arrival
+    (late materialization), and the kernel itself only ever moves numpy
+    arrays.
+
+    The lowering is exact: output rows and spill accounting match the row
+    engine (see ``tests/test_batch_lowering.py``).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        sort_spec: SortSpec,
+        k: int,
+        offset: int = 0,
+        memory_rows: int = 100_000,
+        buckets_per_run: int = 50,
+    ):
+        super().__init__(child, sort_spec, k, offset=offset,
+                         algorithm="histogram", memory_rows=memory_rows,
+                         spill_manager=None)
+        key = numeric_key_column(sort_spec)
+        if key is None:
+            raise ConfigurationError(
+                "VectorizedTopK requires numpy and a single non-nullable "
+                "numeric ORDER BY column")
+        self.key_index, self.negate = key
+        self.buckets_per_run = buckets_per_run
+
+    def _batch_keys(self, batch: RowBatch):
+        keys = batch.key_array(self.key_index)
+        if keys is None:
+            index = self.key_index
+            keys = np.fromiter((float(row[index]) for row in batch.rows),
+                               dtype=np.float64, count=len(batch.rows))
+        return -keys if self.negate else keys
+
+    def rows(self) -> Iterator[tuple]:
+        from repro.vectorized.topk import VectorizedHistogramTopK
+
+        self.stats = OperatorStats()
+        impl = VectorizedHistogramTopK(
+            k=self.k,
+            memory_rows=self.memory_rows,
+            buckets_per_run=self.buckets_per_run,
+            offset=self.offset,
+            stats=self.stats,
+        )
+        self.last_impl = impl
+        store: list[tuple] = []
+        stats = self.stats
+
+        def chunks():
+            for batch in self.child.batches():
+                keys = self._batch_keys(batch)
+                rows = batch.rows
+                # Arrival-side pre-filter (Algorithm 1 line 4) against
+                # the kernel's live cutoff: rows that are already out of
+                # contention are never stored.  The kernel would drop
+                # their keys anyway; doing it here keeps the payload
+                # store proportional to surviving rows.  Eliminations are
+                # charged at this site so counters match an unfiltered
+                # feed.
+                cutoff = impl.live_cutoff
+                if cutoff is not None:
+                    mask = keys <= cutoff
+                    kept = int(mask.sum())
+                    dropped = len(rows) - kept
+                    if dropped:
+                        stats.rows_consumed += dropped
+                        stats.cutoff_comparisons += dropped
+                        stats.rows_eliminated_on_arrival += dropped
+                        keys = keys[mask]
+                        rows = [rows[i] for i in np.flatnonzero(mask)]
+                if not rows:
+                    continue
+                ids = np.arange(len(store), len(store) + len(rows),
+                                dtype=np.int64)
+                store.extend(rows)
+                yield keys, ids
+
+        _keys, out_ids = impl.execute(chunks())
+        # ``out_ids`` is None only when the input was empty (the kernel
+        # never saw a chunk, so it cannot know ids were intended).
+        output = ([store[int(i)] for i in out_ids]
+                  if out_ids is not None else [])
+        del store
+        return iter(output)
+
+    def label(self) -> str:
+        return (f"VectorizedTopK k={self.k} offset={self.offset} "
+                f"[{self.sort_spec!r}] key_column="
+                f"{self.schema.names[self.key_index]}")

@@ -25,9 +25,11 @@ from repro.engine.operators import (
     Table,
     TableScan,
     TopK,
+    VectorizedTopK,
 )
 from repro.engine.sql import Comparison, ParsedQuery
 from repro.errors import PlanError
+from repro.rows.batch import numeric_key_column
 from repro.rows.schema import Schema
 from repro.rows.sortspec import SortColumn, SortSpec
 from repro.storage.spill import SpillManager
@@ -86,6 +88,10 @@ class Planner:
             substrate (lets a session share I/O accounting).
         algorithm_options: Extra keyword arguments for the top-k operator's
             algorithm (e.g. ``sizing_policy=...``).
+        vectorize: Allow lowering plain histogram top-k plans onto the
+            vectorized numpy kernels when the ORDER BY key is a single
+            non-nullable numeric column (see :meth:`_lower_topk`).
+            ``False`` pins every plan to the row-engine operator.
     """
 
     def __init__(
@@ -94,11 +100,44 @@ class Planner:
         algorithm: str = "histogram",
         spill_manager_factory: Callable[[], SpillManager] | None = None,
         algorithm_options: dict | None = None,
+        vectorize: bool = True,
     ):
         self.memory_rows = memory_rows
         self.algorithm = algorithm
         self.spill_manager_factory = spill_manager_factory or SpillManager
         self.algorithm_options = algorithm_options or {}
+        self.vectorize = vectorize
+
+    def _lower_topk(self, node: Operator, spec: SortSpec, query: ParsedQuery,
+                    memory_rows: int, cutoff_seed: Any) -> Operator | None:
+        """The plain-top-k lowering decision (``None`` → keep the row op).
+
+        Lowering onto :class:`VectorizedTopK` requires every condition
+        the numpy kernels assume:
+
+        * the session's algorithm is the paper's histogram operator with
+          no custom algorithm options (ablation knobs stay on the row
+          engine, whose behavior they configure);
+        * no ``cutoff_seed`` (the vectorized kernel has no stale-seed
+          detection; seeded repeats run on the row engine);
+        * the ORDER BY key is a single non-nullable numeric column, so
+          batch key columns extract as float64 arrays (numpy present).
+        """
+        if not self.vectorize:
+            return None
+        if self.algorithm != "histogram" or self.algorithm_options:
+            return None
+        if cutoff_seed is not None:
+            return None
+        if numeric_key_column(spec) is None:
+            return None
+        return VectorizedTopK(
+            node,
+            sort_spec=spec,
+            k=query.limit,
+            offset=query.offset,
+            memory_rows=memory_rows,
+        )
 
     @staticmethod
     def _shared_sorted_prefix(table: Table,
@@ -180,7 +219,9 @@ class Planner:
                 node = (Limit(segmented, query.limit, query.offset)
                         if query.offset else segmented)
             elif query.limit is not None:
-                node = TopK(
+                lowered = self._lower_topk(node, spec, query, memory_rows,
+                                           cutoff_seed)
+                node = lowered if lowered is not None else TopK(
                     node,
                     sort_spec=spec,
                     k=query.limit,

@@ -7,6 +7,13 @@ table used throughout the paper's evaluation lives in
 :mod:`repro.rows.lineitem`.
 """
 
+from repro.rows.batch import (
+    DEFAULT_BATCH_ROWS,
+    RowBatch,
+    batches_from_rows,
+    flatten,
+    numeric_key_column,
+)
 from repro.rows.schema import Column, ColumnType, Schema, single_key_schema
 from repro.rows.sortspec import Desc, SortColumn, SortSpec, sort_spec
 from repro.rows.lineitem import (
@@ -17,6 +24,11 @@ from repro.rows.lineitem import (
 )
 
 __all__ = [
+    "DEFAULT_BATCH_ROWS",
+    "RowBatch",
+    "batches_from_rows",
+    "flatten",
+    "numeric_key_column",
     "Column",
     "ColumnType",
     "Schema",

@@ -100,6 +100,8 @@ class Schema:
 
     columns: tuple[Column, ...]
     _index: dict[str, int] = field(init=False, repr=False, compare=False)
+    _fixed_row_bytes: int = field(init=False, repr=False, compare=False)
+    _variable_columns: tuple = field(init=False, repr=False, compare=False)
 
     def __init__(self, columns: Iterable[Column]):
         cols = tuple(columns)
@@ -108,6 +110,19 @@ class Schema:
             raise SchemaError(f"duplicate column names in schema: {names}")
         object.__setattr__(self, "columns", cols)
         object.__setattr__(self, "_index", {c.name: i for i, c in enumerate(cols)})
+        # Row-size estimation is on the hot spill path (called once per
+        # admitted row), so the fixed-width portion is summed once here:
+        # only variable-width or nullable columns need a per-value look.
+        fixed = 16  # per-row overhead constant
+        variable: list[tuple[int, Column]] = []
+        for position, column in enumerate(cols):
+            width = column.type.fixed_width
+            if width is not None and not column.nullable:
+                fixed += width
+            else:
+                variable.append((position, column))
+        object.__setattr__(self, "_fixed_row_bytes", fixed)
+        object.__setattr__(self, "_variable_columns", tuple(variable))
 
     def __len__(self) -> int:
         return len(self.columns)
@@ -158,13 +173,14 @@ class Schema:
         """Approximate in-memory footprint of one row under this schema.
 
         Includes a per-row overhead constant so that accounting on very
-        narrow rows is not wildly optimistic.
+        narrow rows is not wildly optimistic.  The fixed-width column
+        total is precomputed per schema; only variable-width or nullable
+        columns are inspected per row.
         """
-        overhead = 16
-        return overhead + sum(
-            column.estimate_bytes(value)
-            for column, value in zip(self.columns, row)
-        )
+        total = self._fixed_row_bytes
+        for position, column in self._variable_columns:
+            total += column.estimate_bytes(row[position])
+        return total
 
     def project(self, names: Sequence[str]) -> "Schema":
         """Return a new schema containing only ``names`` (in that order)."""

@@ -84,6 +84,11 @@ class QuicksortRunGenerator:
         writer = RunWriter(self._spill_manager, self._next_run_id,
                            on_spill=self._on_spill)
         self._next_run_id += 1
+        if self._spill_filter is None:
+            # No per-row re-check can truncate the run, so the sorted
+            # load goes out in whole-run (or run-size-limit) batches.
+            self._flush_buffer_batched(writer)
+            return
         for index, row in enumerate(self._buffer):
             row_key = key(row)
             if self._spill_filter is not None:
@@ -115,6 +120,36 @@ class QuicksortRunGenerator:
         if self._on_run_closed is not None:
             self._on_run_closed(run)
 
+    def _flush_buffer_batched(self, writer: RunWriter) -> None:
+        """Write the sorted load via batch writes (no spill filter).
+
+        Run boundaries match the per-row path exactly: each run takes
+        ``run_size_limit`` rows (the last takes the remainder).
+        """
+        keys = list(map(self._sort_key, self._buffer))
+        total = len(self._buffer)
+        start = 0
+        while True:
+            end = (total if self._run_size_limit is None
+                   else min(total, start + self._run_size_limit))
+            writer.write_batch(keys[start:end], self._buffer[start:end])
+            start = end
+            if start >= total:
+                break
+            run = writer.close()
+            self.runs.append(run)
+            if self._on_run_closed is not None:
+                self._on_run_closed(run)
+            writer = RunWriter(self._spill_manager, self._next_run_id,
+                               on_spill=self._on_spill)
+            self._next_run_id += 1
+        self._buffer = []
+        self._buffer_bytes = 0
+        run = writer.close()
+        self.runs.append(run)
+        if self._on_run_closed is not None:
+            self._on_run_closed(run)
+
     def consume(self, rows: Iterable[tuple]) -> None:
         """Feed rows; a run is emitted every time memory fills."""
         track_bytes = self._memory_bytes is not None
@@ -128,6 +163,32 @@ class QuicksortRunGenerator:
             if (self._memory_rows is not None
                     and len(self._buffer) >= self._memory_rows):
                 self._flush_buffer()
+
+    def consume_batch(self, rows: list[tuple]) -> None:
+        """Feed a batch of rows via bulk buffer extension.
+
+        Equivalent to :meth:`consume` (identical flush points for
+        row-counted memory: loads fill to exactly ``memory_rows``), but
+        the buffer grows by list slices instead of one append per row.
+        Byte-budgeted memory still needs per-row size accounting and
+        falls back to the row loop.
+        """
+        if self._memory_bytes is not None:
+            self.consume(rows)
+            return
+        buffer = self._buffer
+        total = len(rows)
+        start = 0
+        while start < total:
+            take = min(self._memory_rows - len(buffer), total - start)
+            if start == 0 and take == total and not buffer:
+                buffer.extend(rows)
+            else:
+                buffer.extend(rows[start:start + take])
+            start += take
+            if len(buffer) >= self._memory_rows:
+                self._flush_buffer()
+                buffer = self._buffer
 
     def finish(self) -> list[SortedRun]:
         """Flush the final partial load and return all runs."""

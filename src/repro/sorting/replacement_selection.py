@@ -186,6 +186,12 @@ class ReplacementSelectionRunGenerator:
                 self._spill_smallest()
             self._admit(row, size)
 
+    def consume_batch(self, rows: list[tuple]) -> None:
+        """Batch-feeding surface; replacement selection is inherently
+        row-at-a-time (each admission can evict), so this delegates to
+        :meth:`consume`."""
+        self.consume(rows)
+
     def finish(self) -> list[SortedRun]:
         """Drain memory, seal the final run(s) and return all runs."""
         while self._heap:

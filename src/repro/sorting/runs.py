@@ -126,6 +126,47 @@ class RunWriter:
         if self._on_spill is not None:
             self._on_spill(key, row)
 
+    def write_batch(self, keys: list, rows: list[tuple]) -> None:
+        """Append one sorted batch of rows (the batch form of :meth:`write`).
+
+        ``keys`` parallels ``rows`` and must be non-decreasing — callers
+        hand over slices of an already-sorted memory load, so only the
+        batch's first key is checked against the run's order invariant,
+        and run metadata is updated once per batch instead of once per
+        row.  Page boundaries, the page-first-key index, and ``on_spill``
+        firing order are identical to per-row writes.
+        """
+        count = len(rows)
+        if count == 0:
+            return
+        if self._closed:
+            raise SpillError("run writer is already closed")
+        first = keys[0]
+        if self._check_order and self.row_count and first < self.last_key:
+            raise SpillError(
+                f"run #{self.run_id} order violation: {first!r} after "
+                f"{self.last_key!r}"
+            )
+        # ``boundary`` walks the page-opening positions in batch-local
+        # coordinates; a carried partial page opened before this batch
+        # (negative start) was already indexed.
+        boundary = -self._builder.pending_rows
+        pages = self._builder.extend(rows)
+        for page in pages:
+            if boundary >= 0:
+                self.page_first_keys.append(keys[boundary])
+            boundary += len(page)
+            self._file.append_page(page)
+        if self._builder.pending_rows and 0 <= boundary < count:
+            self.page_first_keys.append(keys[boundary])
+        if self.row_count == 0:
+            self.first_key = first
+        self.last_key = keys[count - 1]
+        self.row_count += count
+        if self._on_spill is not None:
+            for key, row in zip(keys, rows):
+                self._on_spill(key, row)
+
     def close(self) -> SortedRun:
         """Flush, seal and return the finished :class:`SortedRun`."""
         if self._closed:

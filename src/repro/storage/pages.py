@@ -88,6 +88,22 @@ class PageBuilder:
             return self.flush()
         return None
 
+    def extend(self, rows: Sequence[tuple]) -> list[Page]:
+        """Buffer a batch of rows; return every page completed on the way.
+
+        The batch equivalent of repeated :meth:`add` calls (identical
+        page boundaries), amortizing the per-call overhead over a whole
+        spill batch.  A trailing partial page stays buffered as usual.
+        """
+        pages: list[Page] = []
+        row_size = self.row_size
+        for row in rows:
+            self._rows.append(row)
+            self._bytes += row_size(row)
+            if self._bytes >= self.page_bytes:
+                pages.append(self.flush())
+        return pages
+
     def flush(self) -> Page | None:
         """Emit whatever is buffered as a page, or ``None`` if empty."""
         if not self._rows:

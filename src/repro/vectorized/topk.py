@@ -26,6 +26,24 @@ from repro.storage.stats import OperatorStats
 from repro.vectorized.runs import VectorRunStore
 
 
+def _stable_smallest(keys: np.ndarray, count: int) -> np.ndarray:
+    """Positions of the ``count`` smallest keys, ties resolved toward the
+    earliest positions, returned in ascending position order.
+
+    ``np.argpartition`` alone picks arbitrary members of the tie group at
+    the selection boundary; resolving ties by position keeps this engine's
+    output byte-identical to the row engine, whose priority queue and
+    merge both retain the earliest-arriving row among equal keys.
+    """
+    if keys.size <= count:
+        return np.arange(keys.size)
+    rough = np.argpartition(keys, count - 1)[:count]
+    boundary = keys[rough].max()
+    below = np.flatnonzero(keys < boundary)
+    ties = np.flatnonzero(keys == boundary)[:count - below.size]
+    return np.sort(np.concatenate([below, ties]))
+
+
 class VectorizedHistogramTopK:
     """Histogram-filtered top-k over chunked numpy keys.
 
@@ -64,6 +82,14 @@ class VectorizedHistogramTopK:
         self.stats = stats or OperatorStats()
         self.stats.io = self.store.stats
         self.cutoff_filter = CutoffFilter(k=k + offset)
+        #: In-memory-regime admission bound (the external regime's bound
+        #: lives in the cutoff filter); see :attr:`live_cutoff`.
+        self._live_cutoff: float | None = None
+        #: Key of the last output row when the full ``k`` rows were
+        #: produced (rank ``k + offset``) — the tightest valid
+        #: ``cutoff_seed`` for a repeat of the same query; ``None`` when
+        #: the output fell short.  Mirrors the row engine's attribute.
+        self.final_cutoff: float | None = None
         if buckets_per_run > 0:
             stride = max(1, memory_rows // (buckets_per_run + 1))
             self._positions = list(range(stride, memory_rows + 1, stride))
@@ -77,6 +103,19 @@ class VectorizedHistogramTopK:
     def output_fits_in_memory(self) -> bool:
         """Whether the vectorized priority-queue-equivalent regime applies."""
         return self.k + self.offset <= self.memory_rows
+
+    @property
+    def live_cutoff(self) -> float | None:
+        """The current admission bound, in either regime, or ``None``.
+
+        Producers that feed chunks incrementally (the engine's batch
+        pipeline) use this to pre-filter payload rows before storing
+        them — the late-materialization trick that keeps the row store
+        proportional to surviving rows, not input rows.
+        """
+        if self.output_fits_in_memory:
+            return self._live_cutoff
+        return self.cutoff_filter.cutoff_key
 
     # -- public API -----------------------------------------------------------
 
@@ -96,6 +135,8 @@ class VectorizedHistogramTopK:
         else:
             keys, ids = self._execute_external(normalized)
         self.stats.rows_output += int(keys.size)
+        self.final_cutoff = (float(keys[-1]) if int(keys.size) == self.k
+                             else None)
         return keys, ids
 
     def execute_keys(self, chunks: Iterable[np.ndarray]) -> np.ndarray:
@@ -139,11 +180,13 @@ class VectorizedHistogramTopK:
                 else np.empty(0)
             ids = np.concatenate(buffer_ids) if has_ids else None
             if keys.size > needed:
-                order = np.argsort(keys, kind="stable")[:needed] \
-                    if final else np.argpartition(keys, needed - 1)[:needed]
-                keys, ids = self._take(keys, ids, order)
+                # Keep the selection in position (arrival) order so that
+                # later compactions and the final sort stay tie-stable.
+                keep = _stable_smallest(keys, needed)
+                keys, ids = self._take(keys, ids, keep)
                 cutoff = float(np.max(keys))
-            elif final and keys.size:
+                self._live_cutoff = cutoff
+            if final and keys.size:
                 order = np.argsort(keys, kind="stable")
                 keys, ids = self._take(keys, ids, order)
             buffer_keys = [keys]
@@ -319,8 +362,8 @@ class VectorizedHistogramTopK:
         keys = np.concatenate(all_keys)
         ids = np.concatenate(all_ids) if has_ids else None
         if keys.size > needed:
-            order = np.argpartition(keys, needed - 1)[:needed]
-            keys, ids = self._take(keys, ids, order)
+            keep = _stable_smallest(keys, needed)
+            keys, ids = self._take(keys, ids, keep)
         order = np.argsort(keys, kind="stable")
         keys, ids = self._take(keys, ids, order)
         return self._take(keys, ids, slice(self.offset,

@@ -1,0 +1,208 @@
+"""Planner lowering of plain top-k onto the vectorized numpy kernels.
+
+The load-bearing claims:
+
+* the planner lowers exactly when it is safe (single non-nullable
+  numeric ORDER BY column, histogram algorithm, no ablation options, no
+  cutoff seed, ``vectorize`` enabled);
+* the lowered operator is **exact**: byte-identical output rows *and*
+  equal ``rows_spilled`` against the row engine configured as the same
+  algorithm (quicksort load-sort-store, unlimited runs, the vectorized
+  kernel's 50-buckets-per-run histogram sizing), ascending and
+  descending;
+* the lowering is reachable from ``Database.sql`` and interoperates
+  with the session features built on top-k plans (``final_cutoff`` for
+  cutoff reuse, stats aggregation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import TargetBucketsPolicy
+from repro.core.topk import HistogramTopK
+from repro.engine.operators import (
+    Table,
+    TableScan,
+    TopK,
+    VectorizedTopK,
+)
+from repro.engine.session import Database
+from repro.errors import ConfigurationError
+from repro.rows.lineitem import LINEITEM_SCHEMA, generate_lineitem
+from repro.rows.sortspec import SortColumn, SortSpec
+
+ROWS = list(generate_lineitem(30_000, seed=23))
+K = 10_000
+MEMORY_ROWS = 2_500
+
+
+def make_database(**kwargs) -> Database:
+    db = Database(memory_rows=MEMORY_ROWS, **kwargs)
+    db.register_table("LINEITEM", LINEITEM_SCHEMA, ROWS)
+    return db
+
+
+def row_engine_reference(spec: SortSpec, k: int = K,
+                         offset: int = 0) -> HistogramTopK:
+    """The row engine configured identically to the vectorized kernel:
+    load-sort-store runs of one full memory load, histograms on the 50
+    ``j/(B+1)`` load quantiles."""
+    return HistogramTopK(
+        spec, k, MEMORY_ROWS, offset=offset,
+        run_generation="quicksort", run_size_limit=None,
+        sizing_policy=TargetBucketsPolicy(buckets_per_run=50, capped=True))
+
+
+# -- planner decision --------------------------------------------------------
+
+
+class TestLoweringDecision:
+    def test_lowers_single_numeric_key(self):
+        plan = make_database().plan(
+            "SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT 100")
+        assert isinstance(plan, VectorizedTopK)
+
+    def test_lowers_descending_numeric_key(self):
+        plan = make_database().plan(
+            "SELECT * FROM LINEITEM ORDER BY L_EXTENDEDPRICE DESC LIMIT 5")
+        assert isinstance(plan, VectorizedTopK)
+
+    def test_keeps_row_operator_for_multi_column_key(self):
+        plan = make_database().plan(
+            "SELECT * FROM LINEITEM "
+            "ORDER BY L_ORDERKEY, L_LINENUMBER LIMIT 100")
+        assert isinstance(plan, TopK)
+        assert not isinstance(plan, VectorizedTopK)
+
+    def test_keeps_row_operator_for_string_key(self):
+        plan = make_database().plan(
+            "SELECT * FROM LINEITEM ORDER BY L_SHIPMODE LIMIT 100")
+        assert isinstance(plan, TopK)
+        assert not isinstance(plan, VectorizedTopK)
+
+    def test_keeps_row_operator_for_baseline_algorithms(self):
+        db = make_database(algorithm="traditional")
+        plan = db.plan(
+            "SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT 100")
+        assert not isinstance(plan, VectorizedTopK)
+
+    def test_keeps_row_operator_with_algorithm_options(self):
+        db = make_database(algorithm_options={"double_filter": False})
+        plan = db.plan(
+            "SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT 100")
+        assert not isinstance(plan, VectorizedTopK)
+
+    def test_keeps_row_operator_with_cutoff_seed(self):
+        db = make_database()
+        query_text = "SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT 100"
+        from repro.engine.sql import parse
+        plan = db.planner.plan(parse(query_text), db.table("LINEITEM"),
+                               cutoff_seed=123.0)
+        assert not isinstance(plan, VectorizedTopK)
+        assert plan.cutoff_seed == 123.0
+
+    def test_vectorize_false_pins_row_engine(self):
+        db = make_database()
+        db.planner.vectorize = False
+        plan = db.plan(
+            "SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT 100")
+        assert not isinstance(plan, VectorizedTopK)
+
+    def test_constructor_rejects_non_numeric_key(self):
+        table = Table("LINEITEM", LINEITEM_SCHEMA, ROWS)
+        spec = SortSpec(LINEITEM_SCHEMA, ["L_SHIPMODE"])
+        with pytest.raises(ConfigurationError):
+            VectorizedTopK(TableScan(table), spec, k=10)
+
+
+# -- exactness against the row engine ----------------------------------------
+
+
+class TestCrossEngineExactness:
+    @pytest.mark.parametrize("ascending", [True, False])
+    def test_results_and_spill_match_row_engine(self, ascending):
+        """Byte-identical rows and equal rows_spilled, asc and desc."""
+        spec = SortSpec(LINEITEM_SCHEMA,
+                        [SortColumn("L_ORDERKEY", ascending=ascending)])
+        table = Table("LINEITEM", LINEITEM_SCHEMA, ROWS)
+        lowered = VectorizedTopK(TableScan(table), spec, k=K,
+                                 memory_rows=MEMORY_ROWS)
+        vec_rows = list(lowered.rows())
+
+        reference = row_engine_reference(spec)
+        ref_rows = list(reference.execute(iter(ROWS)))
+
+        assert vec_rows == ref_rows
+        assert lowered.stats.io.rows_spilled == \
+            reference.stats.io.rows_spilled
+        assert lowered.stats.rows_consumed == len(ROWS)
+        # Both engines agree on the achieved cutoff (cutoff-reuse seed).
+        assert lowered.last_impl.final_cutoff == \
+            pytest.approx(reference.final_cutoff)
+
+    def test_offset_matches_row_engine(self):
+        spec = SortSpec(LINEITEM_SCHEMA, ["L_ORDERKEY"])
+        table = Table("LINEITEM", LINEITEM_SCHEMA, ROWS)
+        lowered = VectorizedTopK(TableScan(table), spec, k=2_000,
+                                 offset=5_000, memory_rows=MEMORY_ROWS)
+        reference = row_engine_reference(spec, k=2_000, offset=5_000)
+        assert list(lowered.rows()) == list(reference.execute(iter(ROWS)))
+
+    def test_in_memory_regime_matches_sorted_prefix(self):
+        spec = SortSpec(LINEITEM_SCHEMA, ["L_ORDERKEY"])
+        table = Table("LINEITEM", LINEITEM_SCHEMA, ROWS)
+        lowered = VectorizedTopK(TableScan(table), spec, k=500,
+                                 memory_rows=MEMORY_ROWS)
+        got = list(lowered.rows())
+        assert got == sorted(ROWS, key=spec.key)[:500]
+        assert lowered.stats.io.rows_spilled == 0
+
+    def test_empty_input(self):
+        spec = SortSpec(LINEITEM_SCHEMA, ["L_ORDERKEY"])
+        table = Table("LINEITEM", LINEITEM_SCHEMA, [])
+        lowered = VectorizedTopK(TableScan(table), spec, k=10,
+                                 memory_rows=100)
+        assert list(lowered.rows()) == []
+
+
+# -- end-to-end through the session ------------------------------------------
+
+
+class TestSessionIntegration:
+    def test_sql_executes_through_lowering(self):
+        db = make_database()
+        result = db.sql(
+            f"SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT {K}")
+        assert isinstance(result.plan, VectorizedTopK)
+        assert len(result) == K
+        assert result.stats.io.rows_spilled > 0
+
+    def test_sql_results_equal_row_engine(self):
+        sql = (f"SELECT L_ORDERKEY, L_EXTENDEDPRICE FROM LINEITEM "
+               f"WHERE L_QUANTITY >= 10 "
+               f"ORDER BY L_EXTENDEDPRICE DESC LIMIT {K}")
+        lowered = make_database().sql(sql)
+        pinned = make_database()
+        pinned.planner.vectorize = False
+        reference = pinned.sql(sql)
+        assert lowered.rows == reference.rows
+
+    def test_final_cutoff_flows_to_query_result(self):
+        db = make_database()
+        sql = f"SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT {K}"
+        lowered = db.sql(sql)
+        pinned = make_database()
+        pinned.planner.vectorize = False
+        reference = pinned.sql(sql)
+        assert lowered.final_cutoff is not None
+        assert lowered.final_cutoff == pytest.approx(reference.final_cutoff)
+
+    def test_seeded_repeat_stays_correct(self):
+        """A cutoff_seed pins the repeat to the row engine; same rows."""
+        db = make_database()
+        sql = f"SELECT * FROM LINEITEM ORDER BY L_ORDERKEY LIMIT {K}"
+        first = db.sql(sql)
+        repeat = db.sql(sql, cutoff_seed=first.final_cutoff)
+        assert not isinstance(repeat.plan, VectorizedTopK)
+        assert repeat.rows == first.rows

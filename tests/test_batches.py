@@ -1,0 +1,301 @@
+"""The RowBatch substrate and the ``batches()`` / ``rows()`` equivalence.
+
+Two families of guarantees:
+
+* :class:`~repro.rows.batch.RowBatch` mechanics — key-column extraction
+  and caching, masked/filtered/mapped derivations, chunking and
+  flattening round trips;
+* the pipeline contract: for **every** physical operator, flattening
+  ``batches()`` yields exactly the rows of ``rows()`` (the two surfaces
+  are interchangeable), and batch execution of the top-k algorithms
+  equals row execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.topk import HistogramTopK
+from repro.engine.operators import (
+    Filter,
+    GroupedTopKOperator,
+    InMemorySort,
+    Limit,
+    Project,
+    SegmentedTopKOperator,
+    Table,
+    TableScan,
+    TopK,
+    TOPK_ALGORITHMS,
+)
+from repro.rows.batch import (
+    DEFAULT_BATCH_ROWS,
+    RowBatch,
+    batches_from_rows,
+    flatten,
+    numeric_key_column,
+)
+from repro.rows.lineitem import LINEITEM_SCHEMA, generate_lineitem
+from repro.rows.schema import Column, ColumnType, Schema, single_key_schema
+from repro.rows.sortspec import SortColumn, SortSpec
+from repro.storage.spill import SpillManager
+
+KEY_SCHEMA = single_key_schema()
+
+
+def key_rows(values) -> list[tuple]:
+    return [(float(value),) for value in values]
+
+
+# -- RowBatch mechanics ------------------------------------------------------
+
+
+class TestRowBatch:
+    def test_len_iter_repr(self):
+        batch = RowBatch(KEY_SCHEMA, key_rows([3, 1, 2]))
+        assert len(batch) == 3
+        assert list(batch) == key_rows([3, 1, 2])
+        assert "3 rows" in repr(batch)
+
+    def test_key_array_extracts_and_caches(self):
+        batch = RowBatch(KEY_SCHEMA, key_rows([3, 1, 2]))
+        array = batch.key_array(0)
+        assert array.dtype == np.float64
+        assert list(array) == [3.0, 1.0, 2.0]
+        assert batch.key_array(0) is array  # cached
+
+    def test_key_array_refuses_non_numeric(self):
+        schema = Schema([Column("s", ColumnType.STRING)])
+        batch = RowBatch(schema, [("a",), ("b",)])
+        assert batch.key_array(0) is None
+
+    def test_key_array_refuses_nullable(self):
+        schema = Schema([Column("k", ColumnType.FLOAT64, nullable=True)])
+        batch = RowBatch(schema, [(1.0,), (None,)])
+        assert batch.key_array(0) is None
+
+    def test_filter_and_map(self):
+        batch = RowBatch(KEY_SCHEMA, key_rows([5, 1, 4, 2]))
+        kept = batch.filter(lambda row: row[0] > 2)
+        assert kept.rows == key_rows([5, 4])
+        doubled = batch.map(lambda row: (row[0] * 2,), KEY_SCHEMA)
+        assert doubled.rows == key_rows([10, 2, 8, 4])
+
+    def test_take_mask_numpy_and_sequence(self):
+        batch = RowBatch(KEY_SCHEMA, key_rows([5, 1, 4]))
+        masked = batch.take_mask(np.array([True, False, True]))
+        assert masked.rows == key_rows([5, 4])
+        masked = batch.take_mask([False, True, True])
+        assert masked.rows == key_rows([1, 4])
+
+    def test_keys_bulk_map(self):
+        spec = SortSpec(KEY_SCHEMA, ["key"])
+        batch = RowBatch(KEY_SCHEMA, key_rows([2, 9]))
+        assert batch.keys(spec.key) == [2.0, 9.0]
+
+
+class TestNumericKeyColumn:
+    def test_ascending_numeric(self):
+        spec = SortSpec(LINEITEM_SCHEMA, ["L_ORDERKEY"])
+        index, negate = numeric_key_column(spec)
+        assert index == LINEITEM_SCHEMA.index_of("L_ORDERKEY")
+        assert negate is False
+
+    def test_descending_numeric_negates(self):
+        spec = SortSpec(LINEITEM_SCHEMA,
+                        [SortColumn("L_EXTENDEDPRICE", ascending=False)])
+        _index, negate = numeric_key_column(spec)
+        assert negate is True
+
+    def test_multi_column_rejected(self):
+        spec = SortSpec(LINEITEM_SCHEMA, ["L_ORDERKEY", "L_LINENUMBER"])
+        assert numeric_key_column(spec) is None
+
+    def test_string_column_rejected(self):
+        spec = SortSpec(LINEITEM_SCHEMA, ["L_SHIPMODE"])
+        assert numeric_key_column(spec) is None
+
+
+class TestChunking:
+    @given(count=st.integers(0, 300), batch_rows=st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_flatten_round_trip(self, count, batch_rows):
+        rows = key_rows(range(count))
+        batches = list(batches_from_rows(rows, KEY_SCHEMA, batch_rows))
+        assert list(flatten(batches)) == rows
+        assert all(len(batch) <= batch_rows for batch in batches)
+        # every batch except the last is full
+        assert all(len(batch) == batch_rows for batch in batches[:-1])
+
+    def test_iterator_source_matches_sequence_source(self):
+        rows = key_rows(range(100))
+        from_list = [b.rows for b in batches_from_rows(rows, KEY_SCHEMA, 7)]
+        from_iter = [b.rows
+                     for b in batches_from_rows(iter(rows), KEY_SCHEMA, 7)]
+        assert from_list == from_iter
+
+
+# -- Table row-count learning (streaming sources) ----------------------------
+
+
+class TestTableRowCount:
+    def test_sequence_source_counts_immediately(self):
+        table = Table("T", KEY_SCHEMA, key_rows([1, 2, 3]))
+        assert table.row_count == 3
+
+    def test_callable_sized_source_learns_on_first_scan(self):
+        table = Table("T", KEY_SCHEMA, lambda: key_rows([1, 2, 3]))
+        assert table.row_count is None
+        list(table.rows())
+        assert table.row_count == 3
+
+    def test_callable_generator_source_learns_on_exhaustion(self):
+        def source():
+            yield from key_rows([1, 2, 3, 4])
+
+        table = Table("T", KEY_SCHEMA, source)
+        assert table.row_count is None
+        iterator = table.rows()
+        next(iterator)
+        assert table.row_count is None  # not yet exhausted
+        list(iterator)
+        assert table.row_count == 4
+
+    def test_explicit_row_count_wins(self):
+        table = Table("T", KEY_SCHEMA, lambda: key_rows([1, 2]),
+                      row_count=2_000_000)
+        assert table.row_count == 2_000_000
+
+    def test_batches_learn_too(self):
+        def source():
+            yield from key_rows(range(10))
+
+        table = Table("T", KEY_SCHEMA, source)
+        list(table.batches(batch_rows=3))
+        assert table.row_count == 10
+
+
+# -- batches() == rows() for every operator ----------------------------------
+
+
+def lineitem_table(count: int = 2_000) -> Table:
+    return Table("LINEITEM", LINEITEM_SCHEMA,
+                 list(generate_lineitem(count, seed=11)))
+
+
+def assert_surfaces_agree(operator) -> None:
+    from_batches = list(flatten(operator.batches()))
+    from_rows = list(operator.rows())
+    assert from_batches == from_rows
+
+
+class TestOperatorSurfaceEquivalence:
+    def test_table_scan(self):
+        assert_surfaces_agree(TableScan(lineitem_table()))
+
+    def test_filter(self):
+        scan = TableScan(lineitem_table())
+        assert_surfaces_agree(Filter(scan, lambda row: row[0] % 3 == 0))
+
+    def test_project(self):
+        scan = TableScan(lineitem_table())
+        assert_surfaces_agree(
+            Project(scan, ["L_ORDERKEY", "L_EXTENDEDPRICE"]))
+
+    @pytest.mark.parametrize("limit,offset", [(10, 0), (None, 25),
+                                              (0, 0), (5_000, 100)])
+    def test_limit(self, limit, offset):
+        scan = TableScan(lineitem_table())
+        assert_surfaces_agree(Limit(scan, limit, offset))
+
+    def test_in_memory_sort(self):
+        scan = TableScan(lineitem_table())
+        spec = SortSpec(LINEITEM_SCHEMA, ["L_EXTENDEDPRICE"])
+        assert_surfaces_agree(InMemorySort(scan, spec))
+
+    @pytest.mark.parametrize("algorithm", TOPK_ALGORITHMS)
+    def test_topk_every_algorithm(self, algorithm):
+        scan = TableScan(lineitem_table())
+        spec = SortSpec(LINEITEM_SCHEMA, ["L_ORDERKEY"])
+        operator = TopK(scan, spec, k=50, algorithm=algorithm,
+                        memory_rows=200)
+        assert_surfaces_agree(operator)
+
+    def test_segmented(self):
+        table = lineitem_table()
+        rows = sorted(table._source, key=lambda row: row[0])
+        sorted_table = Table("LINEITEM", LINEITEM_SCHEMA, rows,
+                             sorted_by=["L_ORDERKEY"])
+        operator = SegmentedTopKOperator(
+            TableScan(sorted_table), ["L_ORDERKEY"],
+            SortSpec(LINEITEM_SCHEMA, ["L_EXTENDEDPRICE"]),
+            k=40, memory_rows=100)
+        assert_surfaces_agree(operator)
+
+    def test_grouped(self):
+        scan = TableScan(lineitem_table())
+        operator = GroupedTopKOperator(
+            scan, SortSpec(LINEITEM_SCHEMA, ["L_EXTENDEDPRICE"]),
+            group_column="L_RETURNFLAG", k=5, memory_rows=100)
+        assert_surfaces_agree(operator)
+
+    def test_pipeline_composition(self):
+        scan = TableScan(lineitem_table())
+        filtered = Filter(scan, lambda row: row[5] > 10_000)
+        spec = SortSpec(LINEITEM_SCHEMA,
+                        [SortColumn("L_EXTENDEDPRICE", ascending=False)])
+        top = TopK(filtered, spec, k=30, memory_rows=64)
+        plan = Limit(Project(top, ["L_ORDERKEY", "L_EXTENDEDPRICE"]), 20, 5)
+        assert_surfaces_agree(plan)
+
+
+# -- batch execution of the histogram operator -------------------------------
+
+
+@given(keys=st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                               width=32), min_size=0, max_size=500),
+       k=st.integers(1, 40), memory=st.integers(2, 64),
+       batch_rows=st.integers(1, 96))
+@settings(max_examples=60, deadline=None)
+def test_execute_batches_matches_execute(keys, k, memory, batch_rows):
+    """Both regimes, arbitrary chunkings: batch output == row output."""
+    rows = key_rows(keys)
+    spec = SortSpec(KEY_SCHEMA, ["key"])
+    with SpillManager() as spill_a, SpillManager() as spill_b:
+        row_op = HistogramTopK(spec, k, memory, spill_manager=spill_a)
+        expected = list(row_op.execute(iter(rows)))
+        batch_op = HistogramTopK(spec, k, memory, spill_manager=spill_b)
+        got = list(batch_op.execute_batches(
+            batches_from_rows(rows, KEY_SCHEMA, batch_rows)))
+    assert got == expected
+    assert got == sorted(rows)[:k]
+
+
+def test_execute_batches_counts_consumed_rows():
+    rows = key_rows(range(1_000))
+    spec = SortSpec(KEY_SCHEMA, ["key"])
+    operator = HistogramTopK(spec, 10, 100)
+    list(operator.execute_batches(batches_from_rows(rows, KEY_SCHEMA, 128)))
+    assert operator.stats.rows_consumed == 1_000
+    assert operator.stats.rows_output == 10
+
+
+def test_execute_batches_in_memory_stats_match_row_path():
+    """The priority-queue regime's counters are identical batch vs row."""
+    rows = key_rows([float(hash(str(i)) % 10_000) for i in range(2_000)])
+    spec = SortSpec(KEY_SCHEMA, ["key"])
+    row_op = HistogramTopK(spec, 25, 1_000)
+    list(row_op.execute(iter(rows)))
+    batch_op = HistogramTopK(spec, 25, 1_000)
+    list(batch_op.execute_batches(batches_from_rows(rows, KEY_SCHEMA, 64)))
+    assert batch_op.stats.rows_consumed == row_op.stats.rows_consumed
+    assert batch_op.stats.cutoff_comparisons == \
+        row_op.stats.cutoff_comparisons
+    assert batch_op.stats.rows_eliminated_on_arrival == \
+        row_op.stats.rows_eliminated_on_arrival
+
+
+def test_default_batch_rows_sane():
+    assert 256 <= DEFAULT_BATCH_ROWS <= 65_536
