@@ -41,6 +41,13 @@ from repro.datagen import (
     lineitem_workload,
 )
 from repro.memory import MemoryBudget, byte_budget, row_budget
+from repro.obs import (
+    AnalyzedPlan,
+    CutoffTimeline,
+    MetricsRegistry,
+    NULL_TRACER,
+    Tracer,
+)
 from repro.rows import (
     LINEITEM_SCHEMA,
     Column,
@@ -108,4 +115,10 @@ __all__ = [
     "ExternalSort",
     "Merger",
     "MergePolicy",
+    # observability
+    "Tracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "CutoffTimeline",
+    "AnalyzedPlan",
 ]

@@ -36,6 +36,8 @@ from repro.core.histogram import RunHistogramBuilder
 from repro.core.rank_index import RankIndex
 from repro.core.policies import SizingPolicy, TargetBucketsPolicy
 from repro.errors import ConfigurationError, StaleCutoffSeed
+from repro.obs.timeline import CutoffTimeline
+from repro.obs.trace import NULL_TRACER
 from repro.rows.batch import RowBatch, flatten, numeric_key_column
 from repro.rows.sortspec import SortSpec
 from repro.sorting.merge import Merger, MergePolicy
@@ -102,6 +104,12 @@ class HistogramTopK:
             priority-queue regime and switches to histogram-filtered run
             generation the moment resident bytes exceed the budget.
         row_size: Byte estimator used with ``memory_bytes``.
+        tracer: Optional :class:`repro.obs.trace.Tracer`.  When enabled,
+            execution phases open spans, run lifecycle and cutoff
+            refinements become trace events, and the sharpening
+            trajectory is recorded into :attr:`timeline`.  ``None`` (the
+            default) uses the no-op tracer: untraced executions pay a
+            single attribute-load-and-branch per *phase*, never per row.
     """
 
     _AUTO = object()
@@ -127,6 +135,7 @@ class HistogramTopK:
         trace_cutoff: bool = False,
         stats: OperatorStats | None = None,
         cutoff_seed: Any = None,
+        tracer=None,
     ):
         if k <= 0:
             raise ConfigurationError("k must be positive")
@@ -180,9 +189,17 @@ class HistogramTopK:
         #: ``(rows_consumed_so_far, new_cutoff_key)`` — the live version
         #: of the paper's Table 1 trajectory.
         self.cutoff_trace: list[tuple[int, Any]] = []
+        self._trace_cutoff = trace_cutoff
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: The ``rows_seen → cutoff key`` event stream; built only when a
+        #: live tracer is attached (``None`` on untraced executions).
+        self.timeline: CutoffTimeline | None = (
+            CutoffTimeline() if self.tracer.enabled else None)
         self.cutoff_filter = CutoffFilter(
             k=needed, bucket_capacity=histogram_bucket_capacity,
-            on_refine=(self._record_refinement if trace_cutoff else None))
+            on_refine=(self._record_refinement
+                       if trace_cutoff or self.timeline is not None
+                       else None))
         self.cutoff_seed = cutoff_seed
         if cutoff_seed is not None:
             self.cutoff_filter.seed(cutoff_seed)
@@ -409,7 +426,13 @@ class HistogramTopK:
         return self.cutoff_filter.eliminate(key)
 
     def _record_refinement(self, new_cutoff: Any) -> None:
-        self.cutoff_trace.append((self.stats.rows_consumed, new_cutoff))
+        if self._trace_cutoff:
+            self.cutoff_trace.append((self.stats.rows_consumed, new_cutoff))
+        if self.timeline is not None:
+            self.timeline.record(self.stats.rows_consumed, new_cutoff)
+            self.tracer.event("cutoff.refine",
+                              rows_seen=self.stats.rows_consumed,
+                              cutoff_key=new_cutoff)
 
     def _external_machinery(self):
         """Run generator wired to per-run histograms → the cutoff filter.
@@ -444,6 +467,9 @@ class HistogramTopK:
             histogram_builder.close()
             if self.rank_index is not None:
                 self.rank_index.end_run(run.row_count)
+            if self.tracer.enabled:
+                self.tracer.event("run.closed", run_id=run.run_id,
+                                  rows=run.row_count)
 
         return self._make_run_generator(on_spill, on_run_closed)
 
@@ -470,14 +496,18 @@ class HistogramTopK:
             spill_manager=self.spill_manager,
             fan_in=self.fan_in,
             policy=self.merge_policy,
+            tracer=self.tracer,
         )
-        yield from merger.merge_topk(
-            self.runs,
-            self.k,
-            offset=self.offset,
-            cutoff=self.cutoff_filter.cutoff_key,
-            rank_index=self.rank_index,
-        )
+        with self.tracer.span("topk.merge", runs=len(self.runs)) as span:
+            yield from merger.merge_topk(
+                self.runs,
+                self.k,
+                offset=self.offset,
+                cutoff=self.cutoff_filter.cutoff_key,
+                rank_index=self.rank_index,
+            )
+            if self.tracer.enabled:
+                span.set_attribute("rows_output", self.stats.rows_output)
         self.offset_rows_skipped = merger.offset_rows_skipped
 
     def _execute_external(self, rows: Iterator[tuple]) -> Iterator[tuple]:
@@ -508,22 +538,28 @@ class HistogramTopK:
             return
 
         generator = self._external_machinery()
-        generator.consume(buffered)
-        del buffered
+        with self.tracer.span("topk.run_generation",
+                              algorithm=self.run_generation) as span:
+            generator.consume(buffered)
+            del buffered
 
-        cutoff_filter = self.cutoff_filter
+            cutoff_filter = self.cutoff_filter
 
-        def admitted(stream: Iterator[tuple]) -> Iterator[tuple]:
-            """Algorithm 1 line 4: eager elimination on arrival."""
-            for row in stream:
-                stats.rows_consumed += 1
-                stats.cutoff_comparisons += 1
-                if cutoff_filter.eliminate(sort_key(row)):
-                    stats.rows_eliminated_on_arrival += 1
-                    continue
-                yield row
+            def admitted(stream: Iterator[tuple]) -> Iterator[tuple]:
+                """Algorithm 1 line 4: eager elimination on arrival."""
+                for row in stream:
+                    stats.rows_consumed += 1
+                    stats.cutoff_comparisons += 1
+                    if cutoff_filter.eliminate(sort_key(row)):
+                        stats.rows_eliminated_on_arrival += 1
+                        continue
+                    yield row
 
-        generator.consume(admitted(rows))
+            generator.consume(admitted(rows))
+            if self.tracer.enabled:
+                span.set_attribute("rows_consumed", stats.rows_consumed)
+                span.set_attribute("rows_eliminated_on_arrival",
+                                   stats.rows_eliminated_on_arrival)
         yield from self._external_finish(generator)
 
     def _execute_external_batches(
@@ -565,46 +601,52 @@ class HistogramTopK:
             return
 
         generator = self._external_machinery()
-        generator.consume_batch(buffered)
-        del buffered
+        with self.tracer.span("topk.run_generation",
+                              algorithm=self.run_generation) as span:
+            generator.consume_batch(buffered)
+            del buffered
 
-        cutoff_filter = self.cutoff_filter
-        pending = (((leftover, leftover_start),)
-                   if leftover is not None else ())
-        stream = itertools.chain(
-            pending, ((batch, 0) for batch in batches))
-        for batch, start in stream:
-            rows = batch.rows
-            count = len(rows) - start
-            stats.rows_consumed += count
-            stats.cutoff_comparisons += count
-            keys = self._batch_key_array(batch)
-            if keys is None:
-                # Non-vectorizable key: per-row arrival check.
-                admitted = []
-                for row in rows[start:] if start else rows:
-                    if cutoff_filter.eliminate(sort_key(row)):
-                        stats.rows_eliminated_on_arrival += 1
-                    else:
-                        admitted.append(row)
-                if admitted:
-                    generator.consume_batch(admitted)
-                continue
-            if start:
-                rows = rows[start:]
-                keys = keys[start:]
-            mask = cutoff_filter.admit_batch(keys)
-            if mask is None:
-                generator.consume_batch(rows)
-                continue
-            survivors = int(mask.sum())
-            stats.rows_eliminated_on_arrival += len(rows) - survivors
-            if survivors == len(rows):
-                # Whole batch admitted: hand the list over uncopied.
-                generator.consume_batch(rows)
-            elif survivors:
-                generator.consume_batch(
-                    [rows[int(i)] for i in np.flatnonzero(mask)])
+            cutoff_filter = self.cutoff_filter
+            pending = (((leftover, leftover_start),)
+                       if leftover is not None else ())
+            stream = itertools.chain(
+                pending, ((batch, 0) for batch in batches))
+            for batch, start in stream:
+                rows = batch.rows
+                count = len(rows) - start
+                stats.rows_consumed += count
+                stats.cutoff_comparisons += count
+                keys = self._batch_key_array(batch)
+                if keys is None:
+                    # Non-vectorizable key: per-row arrival check.
+                    admitted = []
+                    for row in rows[start:] if start else rows:
+                        if cutoff_filter.eliminate(sort_key(row)):
+                            stats.rows_eliminated_on_arrival += 1
+                        else:
+                            admitted.append(row)
+                    if admitted:
+                        generator.consume_batch(admitted)
+                    continue
+                if start:
+                    rows = rows[start:]
+                    keys = keys[start:]
+                mask = cutoff_filter.admit_batch(keys)
+                if mask is None:
+                    generator.consume_batch(rows)
+                    continue
+                survivors = int(mask.sum())
+                stats.rows_eliminated_on_arrival += len(rows) - survivors
+                if survivors == len(rows):
+                    # Whole batch admitted: hand the list over uncopied.
+                    generator.consume_batch(rows)
+                elif survivors:
+                    generator.consume_batch(
+                        [rows[int(i)] for i in np.flatnonzero(mask)])
+            if self.tracer.enabled:
+                span.set_attribute("rows_consumed", stats.rows_consumed)
+                span.set_attribute("rows_eliminated_on_arrival",
+                                   stats.rows_eliminated_on_arrival)
         yield from self._external_finish(generator)
 
 

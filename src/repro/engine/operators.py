@@ -29,6 +29,7 @@ from repro.baselines.priority_queue_topk import PriorityQueueTopK
 from repro.baselines.traditional_topk import TraditionalMergeSortTopK
 from repro.core.topk import HistogramTopK
 from repro.errors import ConfigurationError
+from repro.obs.trace import NULL_TRACER
 from repro.rows.batch import (
     DEFAULT_BATCH_ROWS,
     RowBatch,
@@ -436,6 +437,7 @@ class TopK(Operator):
         spill_manager: SpillManager | None = None,
         algorithm_options: dict | None = None,
         cutoff_seed: Any = None,
+        tracer=None,
     ):
         if algorithm not in TOPK_ALGORITHMS:
             raise ConfigurationError(
@@ -450,6 +452,7 @@ class TopK(Operator):
         self.memory_rows = memory_rows
         self.spill_manager = spill_manager
         self.algorithm_options = algorithm_options or {}
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Only the histogram algorithm understands cutoff seeding; the
         #: seed is silently ignored for the baselines.
         self.cutoff_seed = cutoff_seed
@@ -466,12 +469,16 @@ class TopK(Operator):
         if self.algorithm == "priority_queue":
             return PriorityQueueTopK(
                 self.sort_spec, memory_rows=None, **common, **options)
+        manager = self.spill_manager or SpillManager()
+        if self.tracer.enabled:
+            manager.tracer = self.tracer
         common["memory_rows"] = self.memory_rows
-        common["spill_manager"] = self.spill_manager or SpillManager()
+        common["spill_manager"] = manager
         if self.algorithm == "histogram":
             if self.cutoff_seed is not None:
                 options.setdefault("cutoff_seed", self.cutoff_seed)
-            return HistogramTopK(self.sort_spec, **common, **options)
+            return HistogramTopK(self.sort_spec, tracer=self.tracer,
+                                 **common, **options)
         if self.algorithm == "optimized":
             return OptimizedMergeSortTopK(self.sort_spec, **common, **options)
         return TraditionalMergeSortTopK(self.sort_spec, **common, **options)
@@ -515,10 +522,11 @@ class VectorizedTopK(TopK):
         offset: int = 0,
         memory_rows: int = 100_000,
         buckets_per_run: int = 50,
+        tracer=None,
     ):
         super().__init__(child, sort_spec, k, offset=offset,
                          algorithm="histogram", memory_rows=memory_rows,
-                         spill_manager=None)
+                         spill_manager=None, tracer=tracer)
         key = numeric_key_column(sort_spec)
         if key is None:
             raise ConfigurationError(
@@ -545,6 +553,7 @@ class VectorizedTopK(TopK):
             buckets_per_run=self.buckets_per_run,
             offset=self.offset,
             stats=self.stats,
+            tracer=self.tracer,
         )
         self.last_impl = impl
         store: list[tuple] = []

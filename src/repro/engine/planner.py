@@ -109,7 +109,8 @@ class Planner:
         self.vectorize = vectorize
 
     def _lower_topk(self, node: Operator, spec: SortSpec, query: ParsedQuery,
-                    memory_rows: int, cutoff_seed: Any) -> Operator | None:
+                    memory_rows: int, cutoff_seed: Any,
+                    tracer=None) -> Operator | None:
         """The plain-top-k lowering decision (``None`` → keep the row op).
 
         Lowering onto :class:`VectorizedTopK` requires every condition
@@ -137,6 +138,7 @@ class Planner:
             k=query.limit,
             offset=query.offset,
             memory_rows=memory_rows,
+            tracer=tracer,
         )
 
     @staticmethod
@@ -158,6 +160,7 @@ class Planner:
         *,
         memory_rows: int | None = None,
         cutoff_seed: Any = None,
+        tracer=None,
     ) -> Operator:
         """Produce the physical plan for ``query`` over ``table``.
 
@@ -170,6 +173,8 @@ class Planner:
                 plan (cutoff reuse; see ``HistogramTopK``).  Ignored by
                 plans that never build a histogram filter (sorted-prefix
                 shortcuts, grouped/segmented operators, full sorts).
+            tracer: Optional :class:`repro.obs.trace.Tracer` attached to
+                the plan's top-k operator (and its spill substrate).
         """
         if memory_rows is None:
             memory_rows = self.memory_rows
@@ -220,7 +225,7 @@ class Planner:
                         if query.offset else segmented)
             elif query.limit is not None:
                 lowered = self._lower_topk(node, spec, query, memory_rows,
-                                           cutoff_seed)
+                                           cutoff_seed, tracer=tracer)
                 node = lowered if lowered is not None else TopK(
                     node,
                     sort_spec=spec,
@@ -231,6 +236,7 @@ class Planner:
                     spill_manager=self.spill_manager_factory(),
                     algorithm_options=dict(self.algorithm_options),
                     cutoff_seed=cutoff_seed,
+                    tracer=tracer,
                 )
             else:
                 node = InMemorySort(node, spec)

@@ -20,6 +20,8 @@ from repro.engine.operators import Operator, Table, TopK
 from repro.engine.planner import Planner
 from repro.engine.sql import ParsedQuery, parse
 from repro.errors import PlanError, StaleCutoffSeed
+from repro.obs.explain import AnalyzedPlan, PlanProbe
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.rows.schema import Schema
 from repro.storage.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.storage.stats import OperatorStats
@@ -41,6 +43,13 @@ class QueryResult:
     #: ``None`` otherwise.  This is the tightest valid ``cutoff_seed``
     #: for a repeat of the query over the same table version.
     final_cutoff: Any = None
+    #: Per-operator measurements (``EXPLAIN ANALYZE``); populated only
+    #: when the query ran with ``explain_analyze=True``.
+    analysis: AnalyzedPlan | None = None
+    #: The tracer that observed this execution, when one was attached.
+    tracer: Any = None
+    #: The top-k operator's cutoff sharpening timeline (traced runs only).
+    cutoff_timeline: Any = None
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
@@ -51,6 +60,18 @@ class QueryResult:
     def explain(self) -> str:
         """The physical plan as indented text."""
         return self.plan.explain()
+
+    def explain_analyze(self) -> str:
+        """The measured plan tree (``EXPLAIN ANALYZE`` text).
+
+        Only available when the query was executed with
+        ``explain_analyze=True``.
+        """
+        if self.analysis is None:
+            raise PlanError(
+                "no analysis recorded; execute the query with "
+                "sql(..., explain_analyze=True)")
+        return self.analysis.render()
 
     def simulated_seconds(self,
                           cost_model: CostModel = DEFAULT_COST_MODEL) -> float:
@@ -133,6 +154,8 @@ class Database:
         *,
         memory_rows: int | None = None,
         cutoff_seed: Any = None,
+        explain_analyze: bool = False,
+        tracer: Tracer | None = None,
     ) -> QueryResult:
         """Parse, plan and execute ``sql_text``; results are materialized.
 
@@ -144,18 +167,34 @@ class Database:
                 (cutoff reuse).  Safety: a stale or over-tight seed is
                 detected by the operator and the query is transparently
                 re-executed without it, so the result is always correct.
+            explain_analyze: Measure the execution: the result carries an
+                :class:`~repro.obs.explain.AnalyzedPlan` (per-operator
+                wall time, rows in/out, elimination sites, final cutoff)
+                plus the cutoff timeline, and ``explain_analyze()``
+                renders the classic text tree.  Implies a tracer.
+            tracer: Optional :class:`~repro.obs.trace.Tracer` observing
+                the execution (phase spans, cutoff refinement events).
         """
         query = parse(sql_text)
         return self._execute(query, memory_rows=memory_rows,
-                             cutoff_seed=cutoff_seed)
+                             cutoff_seed=cutoff_seed,
+                             explain_analyze=explain_analyze,
+                             tracer=tracer)
 
     def _execute(self, query: ParsedQuery, *, memory_rows: int | None,
-                 cutoff_seed: Any) -> QueryResult:
+                 cutoff_seed: Any, explain_analyze: bool = False,
+                 tracer: Tracer | None = None) -> QueryResult:
+        if explain_analyze and tracer is None:
+            tracer = Tracer()
         plan = self.planner.plan(query, self.table(query.table),
                                  memory_rows=memory_rows,
-                                 cutoff_seed=cutoff_seed)
+                                 cutoff_seed=cutoff_seed,
+                                 tracer=tracer)
+        probe = PlanProbe(plan) if explain_analyze else None
+        active = tracer if tracer is not None else NULL_TRACER
         try:
-            rows = list(plan.rows())
+            with active.span("query", table=query.table):
+                rows = list(plan.rows())
         except StaleCutoffSeed as exc:
             # The seed asserted coverage the input did not have.  The
             # session owns replayable sources, so correctness degrades to
@@ -163,7 +202,9 @@ class Database:
             release_plan_storage(plan)
             logger.warning("discarding stale cutoff seed: %s", exc)
             return self._execute(query, memory_rows=memory_rows,
-                                 cutoff_seed=None)
+                                 cutoff_seed=None,
+                                 explain_analyze=explain_analyze,
+                                 tracer=tracer)
         except BaseException:
             # Failed queries must not leak spill files (or pages).
             release_plan_storage(plan)
@@ -171,7 +212,11 @@ class Database:
         stats = _collect_stats(plan)
         return QueryResult(rows=rows, schema=plan.schema, plan=plan,
                            query=query, stats=stats,
-                           final_cutoff=_final_cutoff(plan))
+                           final_cutoff=_final_cutoff(plan),
+                           analysis=(probe.analyze() if probe is not None
+                                     else None),
+                           tracer=tracer,
+                           cutoff_timeline=_cutoff_timeline(plan))
 
     def explain(self, sql_text: str) -> str:
         """The physical plan for ``sql_text`` as text."""
@@ -273,6 +318,20 @@ def _final_cutoff(plan: Operator) -> Any:
             cutoff = getattr(node.last_impl, "final_cutoff", None)
             if cutoff is not None:
                 return cutoff
+        stack.extend(node.children())
+    return None
+
+
+def _cutoff_timeline(plan: Operator) -> Any:
+    """The top-k node's cutoff timeline, when one was recorded."""
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        impl = node.__dict__.get("last_impl")
+        if impl is not None:
+            timeline = getattr(impl, "timeline", None)
+            if timeline is not None:
+                return timeline
         stack.extend(node.children())
     return None
 

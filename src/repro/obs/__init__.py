@@ -1,0 +1,54 @@
+"""Query observability: tracing spans, metrics, cutoff timelines, EXPLAIN ANALYZE.
+
+The paper's whole argument is quantitative — rows eliminated before the
+sort vs. at spill time, cutoff sharpening over the input stream, merge
+fan-in — so this subsystem makes every phase of a query observable from
+the outside:
+
+* :mod:`repro.obs.trace` — a zero-dependency tracing core.  A
+  :class:`Tracer` produces nested, monotonic-clock-timed
+  :class:`Span` s; the :data:`NULL_TRACER` default makes untraced
+  execution pay only a predictable no-op call per *phase* (never per
+  row).  Finished traces export to the ``chrome://tracing`` JSON format.
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  counters, gauges, and fixed-boundary histograms with a JSON-exportable
+  ``snapshot()``; the query service aggregates per-query and fleet-wide
+  metrics through it.
+* :mod:`repro.obs.timeline` — the :class:`CutoffTimeline`: the live
+  event stream of ``(rows_seen, cutoff_key)`` refinements that
+  reproduces the paper's convergence plots from a real query.
+* :mod:`repro.obs.explain` — ``EXPLAIN ANALYZE``: per-operator wall
+  time, rows in/out, elimination sites, and the final cutoff, rendered
+  as an indented plan tree.
+"""
+
+from repro.obs.explain import AnalyzedNode, AnalyzedPlan, PlanProbe
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.timeline import CutoffEvent, CutoffTimeline
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "AnalyzedNode",
+    "AnalyzedPlan",
+    "Counter",
+    "CutoffEvent",
+    "CutoffTimeline",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PlanProbe",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,223 @@
+"""A small, thread-safe metrics registry: counters, gauges, histograms.
+
+The service plane aggregates per-query observations into fleet-wide
+metrics through one :class:`MetricsRegistry`.  The threading contract
+mirrors :mod:`repro.storage.stats`: instruments are safe to update from
+any thread (each holds its own lock), and :meth:`MetricsRegistry.snapshot`
+returns an internally consistent, JSON-serializable dict — every
+instrument is copied under its lock, so a snapshot taken mid-update never
+observes a half-applied observation.
+
+Histograms use **fixed bucket boundaries** chosen at creation: bucket
+``i`` counts observations ``<= boundaries[i]``, with one implicit
+overflow bucket above the last boundary (the Prometheus convention,
+minus the cumulative encoding).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Boundaries suiting sub-second to multi-second query latencies.
+LATENCY_BOUNDARIES = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Boundaries suiting row-count magnitudes (spills, outputs).
+ROWS_BOUNDARIES = (
+    0, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+)
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down (e.g. in-flight queries)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> int | float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """A fixed-boundary histogram with count/sum/min/max.
+
+    Bucket ``i`` counts observations ``value <= boundaries[i]``; one
+    overflow bucket counts the rest.  Boundaries are fixed at creation
+    so concurrent observers only ever increment — no rebinning, no
+    coordination beyond the per-instrument lock.
+    """
+
+    __slots__ = ("name", "boundaries", "_lock", "_bucket_counts",
+                 "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, boundaries: Sequence[float]):
+        if not boundaries:
+            raise ConfigurationError(
+                f"histogram {self.__class__.__name__} {name!r} needs at "
+                f"least one bucket boundary")
+        ordered = list(boundaries)
+        if ordered != sorted(ordered):
+            raise ConfigurationError(
+                f"histogram {name!r} boundaries must be sorted ascending")
+        self.name = name
+        self.boundaries = tuple(ordered)
+        self._lock = threading.Lock()
+        self._bucket_counts = [0] * (len(ordered) + 1)  # + overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    def observe(self, value: int | float) -> None:
+        """Record one observation."""
+        index = bisect.bisect_left(self.boundaries, value)
+        with self._lock:
+            self._bucket_counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "boundaries": list(self.boundaries),
+                "bucket_counts": list(self._bucket_counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted as a dict.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: repeated calls
+    with the same name return the same instrument, so call sites never
+    coordinate registration.  Asking for an existing name as a different
+    instrument kind (or a histogram with different boundaries) raises —
+    silent aliasing would corrupt both series.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind, factory):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ConfigurationError(
+                        f"metric {name!r} is a "
+                        f"{type(existing).__name__.lower()}, not a "
+                        f"{kind.__name__.lower()}")
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  boundaries: Sequence[float] = LATENCY_BOUNDARIES
+                  ) -> Histogram:
+        histogram = self._get_or_create(
+            name, Histogram, lambda: Histogram(name, boundaries))
+        if histogram.boundaries != tuple(boundaries):
+            raise ConfigurationError(
+                f"histogram {name!r} already exists with boundaries "
+                f"{histogram.boundaries}")
+        return histogram
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A consistent, JSON-serializable copy of every instrument.
+
+        The registry lock pins the instrument set; each instrument's own
+        lock makes its copy atomic with respect to concurrent updates —
+        a snapshot racing an ``observe``/``inc`` sees the observation
+        either fully applied or not at all, never half (count bumped but
+        sum not, etc.).
+        """
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {name: instrument.snapshot()
+                for name, instrument in sorted(instruments.items())}

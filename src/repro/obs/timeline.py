@@ -1,0 +1,96 @@
+"""The cutoff timeline: live ``rows_seen → cutoff key`` convergence data.
+
+The paper's Table 1 tabulates how the cutoff key sharpens as input
+streams through the operator — the single plot that explains *why*
+histogram filtering wins.  A :class:`CutoffTimeline` records exactly
+that trajectory from a real execution (row, batch, or vectorized
+engine): every establishment/refinement of the cutoff becomes one
+:class:`CutoffEvent` carrying the rows consumed so far, the new
+*normalized* cutoff key, and the elapsed monotonic time.
+
+Keys are normalized sort keys (descending numeric orders arrive
+negated, per :class:`~repro.rows.sortspec.SortSpec`), so "sharpening"
+always means *non-increasing* regardless of query direction — which is
+what :meth:`CutoffTimeline.is_monotone` checks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class CutoffEvent:
+    """One establishment or refinement of the cutoff key."""
+
+    #: Input rows the operator had consumed when the cutoff moved.
+    rows_seen: int
+    #: The new cutoff, as a normalized sort key (tightens downward).
+    cutoff_key: Any
+    #: Monotonic seconds since the timeline started.
+    elapsed_seconds: float
+
+
+class CutoffTimeline:
+    """An append-only record of cutoff refinements for one execution."""
+
+    def __init__(self):
+        self._epoch = time.perf_counter()
+        self.events: list[CutoffEvent] = []
+
+    def record(self, rows_seen: int, cutoff_key: Any) -> None:
+        """Append one refinement event."""
+        self.events.append(CutoffEvent(
+            rows_seen=rows_seen,
+            cutoff_key=cutoff_key,
+            elapsed_seconds=time.perf_counter() - self._epoch,
+        ))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def final_cutoff(self) -> Any:
+        """The last recorded cutoff key, or ``None``."""
+        return self.events[-1].cutoff_key if self.events else None
+
+    def is_monotone(self) -> bool:
+        """Whether the trajectory only ever tightened.
+
+        Sound cutoff management never loosens: normalized keys must be
+        non-increasing and ``rows_seen`` non-decreasing.  A ``False``
+        here is always a bug in the filter.
+        """
+        for before, after in zip(self.events, self.events[1:]):
+            if after.cutoff_key > before.cutoff_key:
+                return False
+            if after.rows_seen < before.rows_seen:
+                return False
+        return True
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """JSON-friendly export (e.g. to feed a convergence plot)."""
+        return [
+            {
+                "rows_seen": event.rows_seen,
+                "cutoff_key": event.cutoff_key,
+                "elapsed_seconds": event.elapsed_seconds,
+            }
+            for event in self.events
+        ]
+
+    def describe(self) -> str:
+        """One-line summary for logs and EXPLAIN ANALYZE footers."""
+        if not self.events:
+            return "cutoff never established"
+        first, last = self.events[0], self.events[-1]
+        return (
+            f"cutoff established at {first.cutoff_key!r} after "
+            f"{first.rows_seen} rows, refined {len(self.events) - 1} "
+            f"times to {last.cutoff_key!r} by row {last.rows_seen}"
+        )

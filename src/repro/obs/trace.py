@@ -1,0 +1,282 @@
+"""A zero-dependency tracing core: nested, monotonic-clock-timed spans.
+
+Design constraints, in order:
+
+1. **Untraced queries pay (almost) nothing.**  The default tracer is the
+   :data:`NULL_TRACER` singleton whose ``span()`` returns one shared
+   inert object; instrumentation sites in hot code guard on the
+   ``enabled`` flag — a single attribute load and branch — and spans are
+   only ever opened per *phase* (run generation, a spill run, a merge
+   step), never per row.
+2. **Thread safety.**  A query service traces queries running on many
+   worker threads against per-query tracers, but nothing stops a caller
+   from sharing one tracer: the active-span stack is thread-local and
+   all tree mutation happens under a lock.
+3. **Monotonic clocks.**  Span timing uses ``time.perf_counter`` so
+   durations are immune to wall-clock adjustment; an epoch offset
+   captured at tracer construction makes timestamps comparable across
+   spans of one tracer (which is all Chrome's trace viewer needs).
+
+The export format is the Chrome trace-event JSON (``chrome://tracing``
+or https://ui.perfetto.dev): complete ``"X"`` events for spans, instant
+``"i"`` events for point events.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Iterator
+
+
+class Span:
+    """One timed phase of execution, possibly nested inside another.
+
+    Spans are context managers::
+
+        with tracer.span("topk.merge", runs=4) as span:
+            ...
+            span.set_attribute("rows_output", produced)
+
+    Attributes carry small, JSON-friendly values (numbers, strings).
+    ``events`` holds point-in-time observations attached to the span —
+    the cutoff timeline rides on these.
+    """
+
+    __slots__ = ("name", "attributes", "events", "children", "tracer",
+                 "parent", "thread_id", "start", "end")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: dict[str, Any] | None = None):
+        self.tracer = tracer
+        self.name = name
+        self.attributes: dict[str, Any] = attributes or {}
+        self.events: list[tuple[float, str, dict[str, Any]]] = []
+        self.children: list[Span] = []
+        self.parent: Span | None = None
+        self.thread_id = threading.get_ident()
+        self.start: float | None = None
+        self.end: float | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self.tracer._pop(self)
+
+    # -- observations ----------------------------------------------------
+
+    def set_attribute(self, name: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attributes[name] = value
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record a point-in-time event on this span."""
+        self.events.append((time.perf_counter(), name, attributes))
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def duration_seconds(self) -> float | None:
+        """Wall time between enter and exit, or ``None`` while open."""
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        timing = (f"{self.duration_seconds * 1e3:.2f}ms"
+                  if self.duration_seconds is not None else "open")
+        return f"Span({self.name!r}, {timing}, {len(self.children)} children)"
+
+
+class Tracer:
+    """Produces and collects :class:`Span` s for one traced execution.
+
+    The tracer owns the span tree: ``span()`` creates a child of the
+    calling thread's innermost open span (or a new root), ``roots``
+    holds every top-level span after execution.  ``enabled`` is the
+    single-branch guard instrumented code checks before doing any
+    per-phase work.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span construction ----------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """A new span; nests under the thread's current span on enter."""
+        return Span(self, name, attributes)
+
+    def current(self) -> Span | None:
+        """The calling thread's innermost open span, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record a point event on the current span (or a root event)."""
+        span = self.current()
+        if span is not None:
+            span.event(name, **attributes)
+        else:
+            with self._lock:
+                orphan = Span(self, name, attributes)
+                orphan.start = orphan.end = time.perf_counter()
+                self.roots.append(orphan)
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        span.parent = stack[-1] if stack else None
+        with self._lock:
+            if span.parent is not None:
+                span.parent.children.append(span)
+            else:
+                self.roots.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # tolerate out-of-order exits
+            stack.remove(span)
+
+    # -- queries over the finished trace ---------------------------------
+
+    def spans(self) -> Iterator[Span]:
+        """Every recorded span, depth-first across roots."""
+        for root in list(self.roots):
+            yield from root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with ``name``."""
+        return [span for span in self.spans() if span.name == name]
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.spans())
+
+    # -- export ----------------------------------------------------------
+
+    def to_chrome_trace(self) -> list[dict[str, Any]]:
+        """The trace as Chrome trace-event JSON objects.
+
+        Spans become complete (``"X"``) events, span events become
+        instant (``"i"``) events; timestamps are microseconds relative
+        to the earliest span start, which is what the viewers expect.
+        """
+        starts = [span.start for span in self.spans()
+                  if span.start is not None]
+        epoch = min(starts) if starts else 0.0
+        out: list[dict[str, Any]] = []
+        for span in self.spans():
+            if span.start is None:
+                continue
+            end = span.end if span.end is not None else span.start
+            out.append({
+                "name": span.name,
+                "ph": "X",
+                "ts": (span.start - epoch) * 1e6,
+                "dur": (end - span.start) * 1e6,
+                "pid": 1,
+                "tid": span.thread_id,
+                "args": dict(span.attributes),
+            })
+            for when, name, attributes in span.events:
+                out.append({
+                    "name": name,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": (when - epoch) * 1e6,
+                    "pid": 1,
+                    "tid": span.thread_id,
+                    "args": dict(attributes),
+                })
+        return out
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"traceEvents": self.to_chrome_trace()}, handle)
+
+
+class _NullSpan:
+    """Shared inert span: every operation is a no-op returning fast."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        return None
+
+    def set_attribute(self, _name: str, _value: Any) -> None:
+        return None
+
+    def event(self, _name: str, **_attributes: Any) -> None:
+        return None
+
+    @property
+    def duration_seconds(self) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: one shared instance, zero allocation per use.
+
+    ``enabled`` is ``False`` so instrumentation sites can skip attribute
+    assembly entirely; calling ``span()``/``event()`` anyway is safe and
+    allocation-free.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def span(self, _name: str, **_attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def event(self, _name: str, **_attributes: Any) -> None:
+        return None
+
+    def spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def find(self, _name: str) -> list[Span]:
+        return []
+
+    def span_count(self) -> int:
+        return 0
+
+    def to_chrome_trace(self) -> list[dict[str, Any]]:
+        return []
+
+
+#: The process-wide disabled tracer (the default everywhere).
+NULL_TRACER = NullTracer()

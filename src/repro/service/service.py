@@ -45,6 +45,11 @@ from repro.errors import (
     ReproError,
     ServiceOverloadedError,
 )
+from repro.obs.metrics import (
+    LATENCY_BOUNDARIES,
+    MetricsRegistry,
+    ROWS_BOUNDARIES,
+)
 from repro.rows.schema import Schema
 from repro.service.cache import CachedResult, ResultCache
 from repro.service.governor import MemoryGovernor
@@ -141,6 +146,9 @@ class QueryService:
             to keep cutoff reuse but never serve materialized results.
         default_deadline: Deadline (seconds) applied when a query does
             not bring its own.
+        metrics: Inject a shared :class:`MetricsRegistry` (e.g. one
+            registry scraped across several services); ``None`` builds
+            a private one.  Snapshot via :meth:`metrics_snapshot`.
     """
 
     def __init__(
@@ -154,6 +162,7 @@ class QueryService:
         governor: MemoryGovernor | None = None,
         cache: ResultCache | None = None,
         default_deadline: float | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if workers <= 0:
             raise ConfigurationError("workers must be positive")
@@ -171,6 +180,29 @@ class QueryService:
         self.default_deadline = default_deadline
         self.pool = SessionPool(database, workers)
         self.stats = ServiceStatsAggregator()
+        #: Fleet-wide metrics: per-query observations aggregate here and
+        #: export as one JSON-ready dict via :meth:`metrics_snapshot`.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        m = self.metrics
+        self._m_outcomes = {
+            outcome: m.counter(f"service.queries.{outcome}")
+            for outcome in ("submitted", "ok", "rejected", "timeout",
+                            "error")}
+        self._m_cache = {
+            kind: m.counter(f"service.cache.{kind}")
+            for kind in ("miss", "exact", "cutoff", "bypass")}
+        self._m_rows = {
+            kind: m.counter(f"service.rows.{kind}")
+            for kind in ("spilled", "filtered", "filtered_by_seed")}
+        self._m_inflight = m.gauge("service.queries.inflight")
+        self._m_queue_wait = m.histogram(
+            "service.query.queue_wait_seconds", LATENCY_BOUNDARIES)
+        self._m_execution = m.histogram(
+            "service.query.execution_seconds", LATENCY_BOUNDARIES)
+        self._m_rows_spilled = m.histogram(
+            "service.query.rows_spilled", ROWS_BOUNDARIES)
+        self._m_rows_output = m.histogram(
+            "service.query.rows_output", ROWS_BOUNDARIES)
         self._slots = threading.Semaphore(workers + queue_depth)
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-query")
@@ -191,9 +223,11 @@ class QueryService:
         if deadline is None:
             deadline = self.default_deadline
         self.stats.note_submitted()
+        self._m_outcomes["submitted"].inc()
         if not self._slots.acquire(blocking=False):
             self.stats.record(ServiceStats(query=sql_text,
                                            outcome="rejected"))
+            self._m_outcomes["rejected"].inc()
             raise ServiceOverloadedError(
                 f"admission queue full ({self.workers} workers + "
                 f"{self.queue_depth} queued); retry later")
@@ -215,6 +249,15 @@ class QueryService:
         """Aggregated service statistics (detached copy)."""
         return self.stats.snapshot()
 
+    def metrics_snapshot(self) -> dict:
+        """Fleet-wide metrics as one JSON-ready dict.
+
+        Counters (``service.queries.*``, ``service.cache.*``,
+        ``service.rows.*``), the in-flight gauge, and the latency /
+        cardinality histograms, each snapshotted under its own lock.
+        """
+        return self.metrics.snapshot()
+
     def shutdown(self, wait: bool = True) -> None:
         """Stop admitting queries and (optionally) drain the workers."""
         self._closed = True
@@ -235,10 +278,12 @@ class QueryService:
             record = ServiceStats(
                 query=sql_text,
                 queue_wait_seconds=started - submitted_at)
+            self._m_queue_wait.observe(record.queue_wait_seconds)
             if deadline is not None \
                     and record.queue_wait_seconds >= deadline:
                 record.outcome = "timeout"
                 self.stats.record(record)
+                self._m_outcomes["timeout"].inc()
                 raise QueryTimeoutError(
                     f"query spent {record.queue_wait_seconds:.3f}s "
                     f"queued, past its {deadline}s deadline")
@@ -249,6 +294,7 @@ class QueryService:
                     record.outcome = "error"
                     record.error = f"{type(exc).__name__}: {exc}"
                     self.stats.record(record)
+                    self._m_outcomes["error"].inc()
                 raise
         finally:
             self._slots.release()
@@ -268,6 +314,9 @@ class QueryService:
         if cached is not None:
             record.cache = "exact"
             self.stats.record(record, OperatorStats())
+            self._m_cache["exact"].inc()
+            self._m_outcomes["ok"].inc()
+            self._m_rows_output.observe(len(cached.rows))
             return ServiceResult(rows=cached.rows, schema=cached.schema,
                                  query=query, stats=record)
 
@@ -287,9 +336,13 @@ class QueryService:
                 record.granted_rows = lease.rows
                 record.lease_shrunk = lease.shrunk
                 started = time.monotonic()
-                result = session.execute(sql_text,
-                                         memory_rows=lease.rows,
-                                         cutoff_seed=seed)
+                self._m_inflight.inc()
+                try:
+                    result = session.execute(sql_text,
+                                             memory_rows=lease.rows,
+                                             cutoff_seed=seed)
+                finally:
+                    self._m_inflight.dec()
                 record.execution_seconds = time.monotonic() - started
 
         record.rows_spilled = result.stats.io.rows_spilled
@@ -305,6 +358,14 @@ class QueryService:
                 stats=result.stats.snapshot()))
 
         self.stats.record(record, result.stats)
+        self._m_cache[record.cache].inc()
+        self._m_outcomes["ok"].inc()
+        self._m_execution.observe(record.execution_seconds)
+        self._m_rows_spilled.observe(record.rows_spilled)
+        self._m_rows_output.observe(len(result.rows))
+        self._m_rows["spilled"].inc(record.rows_spilled)
+        self._m_rows["filtered"].inc(record.rows_filtered)
+        self._m_rows["filtered_by_seed"].inc(record.rows_filtered_by_seed)
         return ServiceResult(rows=result.rows, schema=result.schema,
                              query=query, stats=record,
                              operator_stats=result.stats)
@@ -330,3 +391,4 @@ class QueryService:
         """A caller abandoned a still-running query past its deadline."""
         self.stats.record(ServiceStats(query="<abandoned>",
                                        outcome="timeout"))
+        self._m_outcomes["timeout"].inc()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import ConfigurationError
+from repro.obs.trace import NULL_TRACER
 from repro.sorting.merge import Merger, MergePolicy
 from repro.sorting.quicksort_runs import QuicksortRunGenerator
 from repro.sorting.replacement_selection import (
@@ -40,6 +41,8 @@ class ExternalSort:
         fan_in: Optional merge fan-in limit.
         merge_policy: Run-selection policy for intermediate merges.
         stats: Shared operator counters.
+        tracer: Optional :class:`repro.obs.trace.Tracer`; when enabled,
+            run generation and the merge phase open spans.
     """
 
     def __init__(
@@ -52,6 +55,7 @@ class ExternalSort:
         fan_in: int | None = None,
         merge_policy: MergePolicy = MergePolicy.LOWEST_KEYS_FIRST,
         stats: OperatorStats | None = None,
+        tracer=None,
     ):
         try:
             generator_cls = RUN_GENERATORS[run_generation]
@@ -63,6 +67,7 @@ class ExternalSort:
         self.stats = stats or OperatorStats()
         self._sort_key = sort_key
         self._spill_manager = spill_manager
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._generator = generator_cls(
             sort_key=sort_key,
             memory_rows=memory_rows,
@@ -75,6 +80,7 @@ class ExternalSort:
             spill_manager=spill_manager,
             fan_in=fan_in,
             policy=merge_policy,
+            tracer=self.tracer,
         )
         self.runs: list[SortedRun] = []
 
@@ -96,7 +102,12 @@ class ExternalSort:
                 self.stats.rows_consumed += 1
                 yield row
 
-        self.runs = self._generator.generate(counted(rows))
+        with self.tracer.span("external_sort.run_generation") as span:
+            self.runs = self._generator.generate(counted(rows))
+            if self.tracer.enabled:
+                span.set_attribute("runs", len(self.runs))
+                span.set_attribute("rows_consumed",
+                                   self.stats.rows_consumed)
         for row in self._merger.merge_topk(self.runs, limit, offset=offset):
             self.stats.rows_output += 1
             yield row

@@ -23,6 +23,7 @@ from enum import Enum
 from typing import Any, Callable, Iterator
 
 from repro.errors import ConfigurationError, MergeError
+from repro.obs.trace import NULL_TRACER
 from repro.sorting.runs import RunWriter, SortedRun
 from repro.storage.spill import SpillManager
 
@@ -76,6 +77,8 @@ class Merger:
             new runs (fan-in smaller than the number of runs).
         fan_in: Maximum runs merged at once (``None`` = unlimited).
         policy: Run-selection policy for intermediate steps.
+        tracer: Optional :class:`repro.obs.trace.Tracer`; when enabled,
+            every intermediate merge step and the final merge open spans.
     """
 
     def __init__(
@@ -84,6 +87,7 @@ class Merger:
         spill_manager: SpillManager | None = None,
         fan_in: int | None = None,
         policy: MergePolicy = MergePolicy.LOWEST_KEYS_FIRST,
+        tracer=None,
     ):
         if fan_in is not None and fan_in < 2:
             raise ConfigurationError("merge fan-in must be at least 2")
@@ -91,6 +95,7 @@ class Merger:
         self._spill_manager = spill_manager
         self._fan_in = fan_in
         self._policy = policy
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._next_intermediate_id = 1_000_000  # distinct from run-gen ids
         #: Rows skipped unread by the last offset-optimized merge.
         self.offset_rows_skipped = 0
@@ -140,21 +145,26 @@ class Merger:
         """
         if self._spill_manager is None:
             raise MergeError("intermediate merge steps need a spill manager")
-        writer = RunWriter(self._spill_manager, self._next_intermediate_id,
-                           on_spill=on_spill)
-        self._next_intermediate_id += 1
-        for key, row in merge_keyed(runs, self._sort_key):
-            if cutoff is not None and key > cutoff:
-                writer.truncated = True
-                break
-            if row_limit is not None and writer.row_count >= row_limit:
-                writer.truncated = True
-                break
-            writer.write(key, row)
-        merged = writer.close()
-        for run in runs:
-            self._spill_manager.delete_file(run.file)
-        return merged
+        with self._tracer.span("merge.step", fan_in=len(runs)) as span:
+            writer = RunWriter(self._spill_manager,
+                               self._next_intermediate_id,
+                               on_spill=on_spill)
+            self._next_intermediate_id += 1
+            for key, row in merge_keyed(runs, self._sort_key):
+                if cutoff is not None and key > cutoff:
+                    writer.truncated = True
+                    break
+                if row_limit is not None and writer.row_count >= row_limit:
+                    writer.truncated = True
+                    break
+                writer.write(key, row)
+            merged = writer.close()
+            for run in runs:
+                self._spill_manager.delete_file(run.file)
+            if self._tracer.enabled:
+                span.set_attribute("rows_written", merged.row_count)
+                span.set_attribute("truncated", writer.truncated)
+            return merged
 
     # -- final merge ---------------------------------------------------------
 
@@ -230,14 +240,19 @@ class Merger:
 
         produced = 0
         skipped = 0
-        for key, row in merge_keyed(runs, self._sort_key,
-                                    sources=sources):
-            if cutoff is not None and key > cutoff:
-                return
-            if skipped < remaining_offset:
-                skipped += 1
-                continue
-            yield row
-            produced += 1
-            if budget is not None and produced >= k:
-                return
+        with self._tracer.span("merge.final", runs=len(runs)) as span:
+            for key, row in merge_keyed(runs, self._sort_key,
+                                        sources=sources):
+                if cutoff is not None and key > cutoff:
+                    break
+                if skipped < remaining_offset:
+                    skipped += 1
+                    continue
+                yield row
+                produced += 1
+                if budget is not None and produced >= k:
+                    break
+            if self._tracer.enabled:
+                span.set_attribute("rows_output", produced)
+                span.set_attribute("offset_rows_skipped",
+                                   self.offset_rows_skipped)

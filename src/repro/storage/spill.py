@@ -22,6 +22,7 @@ import tempfile
 from typing import Callable, Iterator, Sequence
 
 from repro.errors import SpillError
+from repro.obs.trace import NULL_TRACER
 from repro.storage.pages import DEFAULT_PAGE_BYTES, Page, PageBuilder
 from repro.storage.stats import IOStats
 
@@ -227,6 +228,9 @@ class SpillManager:
         stats: Shared counters; a fresh record is created when omitted.
         page_bytes: Page capacity handed to writers.
         row_size: Row byte estimator handed to writers.
+        tracer: Optional :class:`repro.obs.trace.Tracer`; when enabled,
+            spill-file lifecycle (create/delete) is emitted as trace
+            events — one per *file*, never per page or row.
     """
 
     def __init__(
@@ -235,11 +239,13 @@ class SpillManager:
         stats: IOStats | None = None,
         page_bytes: int = DEFAULT_PAGE_BYTES,
         row_size: Callable[[Sequence], int] | None = None,
+        tracer=None,
     ):
         self.backend = backend or MemorySpillBackend()
         self.stats = stats if stats is not None else IOStats()
         self.page_bytes = page_bytes
         self.row_size = row_size or (lambda row: 16 + 8 * len(row))
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._next_file_id = 0
         self._open_files: list[SpillFile] = []
 
@@ -248,6 +254,9 @@ class SpillManager:
         spill_file = self.backend.create_file(self._next_file_id, self.stats)
         self._next_file_id += 1
         self._open_files.append(spill_file)
+        if self.tracer.enabled:
+            self.tracer.event("spill.file_created",
+                              file_id=spill_file.file_id)
         return spill_file
 
     def new_page_builder(self) -> PageBuilder:
@@ -260,6 +269,10 @@ class SpillManager:
         if spill_file in self._open_files:
             self._open_files.remove(spill_file)
         self.stats.runs_deleted += 1
+        if self.tracer.enabled:
+            self.tracer.event("spill.file_deleted",
+                              file_id=spill_file.file_id,
+                              rows=spill_file.row_count)
 
     def close(self) -> None:
         """Delete all files and release backend resources."""

@@ -104,6 +104,20 @@ class ThreadSafeIOStats(IOStats):
         with self._lock:
             return super().snapshot()
 
+    # Arithmetic reads every field: without the lock a concurrent merge
+    # could be half-applied between two field reads (a torn read), making
+    # the result internally inconsistent.  Snapshot first, then compute.
+
+    def __sub__(self, other: IOStats) -> IOStats:
+        if isinstance(other, ThreadSafeIOStats):
+            other = other.snapshot()
+        return self.snapshot() - other
+
+    def __add__(self, other: IOStats) -> IOStats:
+        if isinstance(other, ThreadSafeIOStats):
+            other = other.snapshot()
+        return self.snapshot() + other
+
 
 @dataclass
 class OperatorStats:

@@ -22,6 +22,8 @@ import numpy as np
 from repro.core.cutoff import CutoffFilter
 from repro.core.histogram import Bucket
 from repro.errors import ConfigurationError
+from repro.obs.timeline import CutoffTimeline
+from repro.obs.trace import NULL_TRACER
 from repro.storage.stats import OperatorStats
 from repro.vectorized.runs import VectorRunStore
 
@@ -55,6 +57,9 @@ class VectorizedHistogramTopK:
             filtering).
         offset: Rows to skip before the output (pagination).
         store: Vector run store (fresh one if omitted).
+        tracer: Optional :class:`repro.obs.trace.Tracer`; when enabled,
+            run flushes and the merge phase open spans and cutoff
+            refinements are recorded into :attr:`timeline`.
     """
 
     def __init__(
@@ -65,6 +70,7 @@ class VectorizedHistogramTopK:
         offset: int = 0,
         store: VectorRunStore | None = None,
         stats: OperatorStats | None = None,
+        tracer=None,
     ):
         if k <= 0:
             raise ConfigurationError("k must be positive")
@@ -81,7 +87,15 @@ class VectorizedHistogramTopK:
         self.store = store or VectorRunStore()
         self.stats = stats or OperatorStats()
         self.stats.io = self.store.stats
-        self.cutoff_filter = CutoffFilter(k=k + offset)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Cutoff refinement stream, mirroring the row engine's
+        #: attribute; built only when a live tracer is attached.
+        self.timeline: CutoffTimeline | None = (
+            CutoffTimeline() if self.tracer.enabled else None)
+        self.cutoff_filter = CutoffFilter(
+            k=k + offset,
+            on_refine=(self._record_refinement if self.timeline is not None
+                       else None))
         #: In-memory-regime admission bound (the external regime's bound
         #: lives in the cutoff filter); see :attr:`live_cutoff`.
         self._live_cutoff: float | None = None
@@ -96,6 +110,14 @@ class VectorizedHistogramTopK:
             self._positions = self._positions[:buckets_per_run]
         else:
             self._positions = []
+
+    def _record_refinement(self, new_cutoff) -> None:
+        if self.timeline is not None:
+            self.timeline.record(self.stats.rows_consumed,
+                                 float(new_cutoff))
+            self.tracer.event("cutoff.refine",
+                              rows_seen=self.stats.rows_consumed,
+                              cutoff_key=float(new_cutoff))
 
     # -- regime selection ---------------------------------------------------
 
@@ -185,6 +207,9 @@ class VectorizedHistogramTopK:
                 keep = _stable_smallest(keys, needed)
                 keys, ids = self._take(keys, ids, keep)
                 cutoff = float(np.max(keys))
+                if (self.timeline is not None
+                        and cutoff != self._live_cutoff):
+                    self._record_refinement(cutoff)
                 self._live_cutoff = cutoff
             if final and keys.size:
                 order = np.argsort(keys, kind="stable")
@@ -221,6 +246,15 @@ class VectorizedHistogramTopK:
 
     def _flush_run(self, keys: np.ndarray, ids: np.ndarray | None) -> None:
         """Sort one memory load and write it, sharpening as we go."""
+        if self.tracer.enabled:
+            with self.tracer.span("vectorized.flush_run",
+                                  rows=int(keys.size)) as span:
+                self._flush_run_inner(keys, ids, span)
+        else:
+            self._flush_run_inner(keys, ids, None)
+
+    def _flush_run_inner(self, keys: np.ndarray, ids: np.ndarray | None,
+                         span) -> None:
         order = np.argsort(keys, kind="stable")
         keys, ids = self._take(keys, ids, order)
         written = 0
@@ -256,6 +290,9 @@ class VectorizedHistogramTopK:
             self.stats.rows_eliminated_at_spill += dropped
         self.store.write_run(keys[:written],
                              ids[:written] if ids is not None else None)
+        if span is not None:
+            span.set_attribute("rows_written", written)
+            span.set_attribute("rows_eliminated_at_spill", dropped)
 
     def _execute_external(self, chunks) -> tuple[np.ndarray,
                                                  np.ndarray | None]:
@@ -337,6 +374,12 @@ class VectorizedHistogramTopK:
     def _select(self, has_ids: bool) -> tuple[np.ndarray,
                                               np.ndarray | None]:
         """Merge phase: read the filtered survivors and take the top k."""
+        with self.tracer.span("vectorized.select",
+                              runs=len(self.store.runs)):
+            return self._select_inner(has_ids)
+
+    def _select_inner(self, has_ids: bool) -> tuple[np.ndarray,
+                                                    np.ndarray | None]:
         needed = self.k + self.offset
         all_keys: list[np.ndarray] = []
         all_ids: list[np.ndarray] = []

@@ -30,6 +30,7 @@ from repro.engine.operators import (
 from repro.engine.session import Database
 from repro.errors import ConfigurationError
 from repro.rows.lineitem import LINEITEM_SCHEMA, generate_lineitem
+from repro.rows.schema import Column, ColumnType, Schema
 from repro.rows.sortspec import SortColumn, SortSpec
 
 ROWS = list(generate_lineitem(30_000, seed=23))
@@ -206,3 +207,89 @@ class TestSessionIntegration:
         repeat = db.sql(sql, cutoff_seed=first.final_cutoff)
         assert not isinstance(repeat.plan, VectorizedTopK)
         assert repeat.rows == first.rows
+
+
+# -- NULL / NaN keys ---------------------------------------------------------
+
+
+class TestNullAndNanKeys:
+    """The float64 cast in the vectorized kernel cannot represent SQL
+    NULL and gives NaN unordered-comparison semantics.  The contract:
+    nullable key columns *refuse to lower* (NULL ordering stays with the
+    row engine's NULLS LAST), and NaN — which is outside the engine's
+    data model, NULL being the supported missing value — never produces
+    wrongly ordered output."""
+
+    NULLABLE_SCHEMA = Schema([
+        Column("V", ColumnType.FLOAT64, nullable=True),
+        Column("ID", ColumnType.INT64),
+    ])
+
+    @staticmethod
+    def _null_rows(n=6_000, null_every=9, seed=31):
+        import random
+
+        rng = random.Random(seed)
+        return [(None if i % null_every == 0 else rng.uniform(-100, 100), i)
+                for i in range(n)]
+
+    @staticmethod
+    def _null_last(rows, descending=False):
+        present = [r for r in rows if r[0] is not None]
+        nulls = [r for r in rows if r[0] is None]
+        return sorted(present, key=lambda r: r[0],
+                      reverse=descending) + nulls
+
+    @pytest.mark.parametrize("descending", [False, True])
+    def test_nullable_key_refuses_lowering_and_orders_nulls_last(
+            self, descending):
+        rows = self._null_rows()
+        db = Database(memory_rows=400)
+        db.register_table("N", self.NULLABLE_SCHEMA, rows)
+        order = " DESC" if descending else ""
+        plan = db.plan(f"SELECT * FROM N ORDER BY V{order} LIMIT 1500")
+        assert isinstance(plan, TopK)
+        assert not isinstance(plan, VectorizedTopK)
+        result = db.sql(f"SELECT * FROM N ORDER BY V{order} LIMIT 1500")
+        expected = self._null_last(rows, descending)[:1500]
+        assert [r[1] for r in result.rows] == [r[1] for r in expected]
+
+    def test_numeric_key_column_rejects_nullable(self):
+        from repro.rows.batch import numeric_key_column
+
+        spec = SortSpec(self.NULLABLE_SCHEMA, ["V"])
+        assert numeric_key_column(spec) is None
+
+    def test_constructor_rejects_nullable_key(self):
+        rows = self._null_rows(100)
+        table = Table("N", self.NULLABLE_SCHEMA, rows)
+        spec = SortSpec(self.NULLABLE_SCHEMA, ["V"])
+        with pytest.raises(ConfigurationError):
+            VectorizedTopK(TableScan(table), spec, k=10)
+
+    def test_nan_keys_never_yield_misordered_output(self):
+        """NaN contamination of a non-nullable column: the cutoff filter
+        eliminates NaN rows (every NaN comparison is false), which can
+        underfill the limit but must never misorder what is returned —
+        the finite output is exactly a prefix of the sorted finite
+        keys."""
+        import math
+        import random
+
+        rng = random.Random(37)
+        rows = [(float(i), i) for i in range(4_000)]
+        rows += [(float("nan"), 10_000 + i) for i in range(40)]
+        rng.shuffle(rows)
+
+        schema = Schema([Column("V", ColumnType.FLOAT64),
+                         Column("ID", ColumnType.INT64)])
+        db = Database(memory_rows=300)
+        db.register_table("N", schema, rows)
+        result = db.sql("SELECT * FROM N ORDER BY V LIMIT 1200")
+        assert isinstance(result.plan, VectorizedTopK)
+
+        finite = [r for r in result.rows if not math.isnan(r[0])]
+        expected = sorted((r for r in rows if not math.isnan(r[0])),
+                          key=lambda r: r[0])
+        assert finite == expected[:len(finite)]
+        assert len(result.rows) <= 1200
