@@ -136,6 +136,7 @@ class HistogramTopK:
         stats: OperatorStats | None = None,
         cutoff_seed: Any = None,
         tracer=None,
+        merge_read_ahead: int = 2,
     ):
         if k <= 0:
             raise ConfigurationError("k must be positive")
@@ -161,6 +162,9 @@ class HistogramTopK:
         self.run_generation = run_generation
         self.fan_in = fan_in
         self.merge_policy = merge_policy
+        #: Pages of background prefetch per run during merging
+        #: (real-I/O spill backends only; ``0`` disables it).
+        self.merge_read_ahead = merge_read_ahead
         self.double_filter = double_filter
         if memory_bytes is not None and memory_bytes <= 0:
             raise ConfigurationError("memory_bytes must be positive")
@@ -497,6 +501,7 @@ class HistogramTopK:
             fan_in=self.fan_in,
             policy=self.merge_policy,
             tracer=self.tracer,
+            read_ahead=self.merge_read_ahead,
         )
         with self.tracer.span("topk.merge", runs=len(self.runs)) as span:
             yield from merger.merge_topk(

@@ -523,6 +523,7 @@ class VectorizedTopK(TopK):
         memory_rows: int = 100_000,
         buckets_per_run: int = 50,
         tracer=None,
+        store=None,
     ):
         super().__init__(child, sort_spec, k, offset=offset,
                          algorithm="histogram", memory_rows=memory_rows,
@@ -534,6 +535,11 @@ class VectorizedTopK(TopK):
                 "numeric ORDER BY column")
         self.key_index, self.negate = key
         self.buckets_per_run = buckets_per_run
+        #: Optional :class:`~repro.vectorized.runs.VectorRunStore` — lets
+        #: callers route spilled runs to real storage
+        #: (:class:`~repro.vectorized.runs.VectorRunDisk`); lifecycle
+        #: (``close``) stays with the caller.
+        self.run_store = store
 
     def _batch_keys(self, batch: RowBatch):
         keys = batch.key_array(self.key_index)
@@ -552,6 +558,7 @@ class VectorizedTopK(TopK):
             memory_rows=self.memory_rows,
             buckets_per_run=self.buckets_per_run,
             offset=self.offset,
+            store=self.run_store,
             stats=self.stats,
             tracer=self.tracer,
         )

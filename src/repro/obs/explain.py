@@ -203,6 +203,23 @@ class PlanProbe:
             details["eliminated_at_spill"] = stats.rows_eliminated_at_spill
             details["rows_spilled"] = stats.io.rows_spilled
             details["runs_written"] = stats.io.runs_written
+            # Spill-path timing (disk backends only): how long the query
+            # spent encoding/decoding pages, how long the writer thread
+            # spent in write(), and how long anyone stalled on a full
+            # writer queue or an empty read-ahead queue.
+            io = stats.io
+            if io.bytes_encoded or io.bytes_decoded:
+                details["spill_encode_ms"] = round(
+                    io.encode_seconds * 1e3, 3)
+                details["spill_decode_ms"] = round(
+                    io.decode_seconds * 1e3, 3)
+                details["spill_write_ms"] = round(
+                    io.write_seconds * 1e3, 3)
+                details["spill_stall_ms"] = round(
+                    io.stall_seconds * 1e3, 3)
+                if io.writer_stalls or io.read_stalls:
+                    details["spill_stalls"] = (f"writer={io.writer_stalls} "
+                                               f"read={io.read_stalls}")
         impl = node.__dict__.get("last_impl")
         if impl is not None:
             cutoff = getattr(impl, "final_cutoff", None)

@@ -194,6 +194,12 @@ class QueryService:
         self._m_rows = {
             kind: m.counter(f"service.rows.{kind}")
             for kind in ("spilled", "filtered", "filtered_by_seed")}
+        # Spill fast-path counters: physical codec traffic and queue
+        # stalls (all zero on the in-memory spill backend).
+        self._m_spill = {
+            kind: m.counter(f"service.spill.{kind}")
+            for kind in ("bytes_encoded", "bytes_decoded",
+                         "writer_stalls", "read_stalls")}
         self._m_inflight = m.gauge("service.queries.inflight")
         self._m_queue_wait = m.histogram(
             "service.query.queue_wait_seconds", LATENCY_BOUNDARIES)
@@ -366,6 +372,11 @@ class QueryService:
         self._m_rows["spilled"].inc(record.rows_spilled)
         self._m_rows["filtered"].inc(record.rows_filtered)
         self._m_rows["filtered_by_seed"].inc(record.rows_filtered_by_seed)
+        io = result.stats.io
+        self._m_spill["bytes_encoded"].inc(io.bytes_encoded)
+        self._m_spill["bytes_decoded"].inc(io.bytes_decoded)
+        self._m_spill["writer_stalls"].inc(io.writer_stalls)
+        self._m_spill["read_stalls"].inc(io.read_stalls)
         return ServiceResult(rows=result.rows, schema=result.schema,
                              query=query, stats=record,
                              operator_stats=result.stats)

@@ -43,6 +43,8 @@ class ExternalSort:
         stats: Shared operator counters.
         tracer: Optional :class:`repro.obs.trace.Tracer`; when enabled,
             run generation and the merge phase open spans.
+        merge_read_ahead: Pages of background prefetch per run during
+            merging (real-I/O backends only); ``0`` disables it.
     """
 
     def __init__(
@@ -56,6 +58,7 @@ class ExternalSort:
         merge_policy: MergePolicy = MergePolicy.LOWEST_KEYS_FIRST,
         stats: OperatorStats | None = None,
         tracer=None,
+        merge_read_ahead: int = 2,
     ):
         try:
             generator_cls = RUN_GENERATORS[run_generation]
@@ -81,6 +84,7 @@ class ExternalSort:
             fan_in=fan_in,
             policy=merge_policy,
             tracer=self.tracer,
+            read_ahead=merge_read_ahead,
         )
         self.runs: list[SortedRun] = []
 

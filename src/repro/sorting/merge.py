@@ -40,32 +40,49 @@ class MergePolicy(Enum):
 def merge_keyed(
     runs: list[SortedRun],
     sort_key: Callable[[tuple], Any],
-    sources: list[Iterator[tuple]] | None = None,
+    sources: list[Iterator[tuple[Any, tuple]]] | None = None,
+    read_ahead: int = 0,
 ) -> Iterator[tuple[Any, tuple]]:
     """Yield ``(key, row)`` pairs from ``runs`` in global sort order.
 
-    Uses a heap of per-run cursors; run order within equal keys follows run
-    id, making the merge stable with respect to run creation order.
-    ``sources`` substitutes a custom row iterator per run (used by offset
-    skipping, which starts each run mid-file).
+    Uses a heap of per-run cursors over *keyed* scans
+    (:meth:`~repro.sorting.runs.SortedRun.keyed_rows`): keys cached at
+    write time — or recomputed page-at-a-time — are compared directly, so
+    the heap never invokes the comparator per row.  Run order within
+    equal keys follows run position, making the merge stable with respect
+    to run creation order.  ``sources`` substitutes a custom ``(key,
+    row)`` iterator per run (used by offset skipping, which starts each
+    run mid-file); ``read_ahead > 0`` enables background page prefetch on
+    backends with real I/O.  Per-run iterators are closed on exit, so an
+    early-terminated merge releases any read-ahead threads immediately.
     """
     heap: list[tuple] = []
     iterators = []
-    for order, run in enumerate(runs):
-        iterator = sources[order] if sources is not None else run.rows()
-        iterators.append(iterator)
-        first = next(iterator, None)
-        if first is not None:
-            heap.append((sort_key(first), order, first))
-    heapq.heapify(heap)
-    while heap:
-        key, order, row = heap[0]
-        yield key, row
-        following = next(iterators[order], None)
-        if following is None:
-            heapq.heappop(heap)
-        else:
-            heapq.heapreplace(heap, (sort_key(following), order, following))
+    try:
+        for order, run in enumerate(runs):
+            if sources is not None:
+                iterator = iter(sources[order])
+            else:
+                iterator = run.keyed_rows(sort_key, prefetch=read_ahead)
+            iterators.append(iterator)
+            first = next(iterator, None)
+            if first is not None:
+                heap.append((first[0], order, first[1]))
+        heapq.heapify(heap)
+        while heap:
+            key, order, row = heap[0]
+            yield key, row
+            following = next(iterators[order], None)
+            if following is None:
+                heapq.heappop(heap)
+            else:
+                heapq.heapreplace(
+                    heap, (following[0], order, following[1]))
+    finally:
+        for iterator in iterators:
+            close = getattr(iterator, "close", None)
+            if close is not None:
+                close()
 
 
 class Merger:
@@ -79,6 +96,9 @@ class Merger:
         policy: Run-selection policy for intermediate steps.
         tracer: Optional :class:`repro.obs.trace.Tracer`; when enabled,
             every intermediate merge step and the final merge open spans.
+        read_ahead: Pages of background prefetch per run scan (effective
+            only on backends with real I/O, e.g. the disk backend); ``0``
+            disables the read-ahead thread entirely.
     """
 
     def __init__(
@@ -88,14 +108,18 @@ class Merger:
         fan_in: int | None = None,
         policy: MergePolicy = MergePolicy.LOWEST_KEYS_FIRST,
         tracer=None,
+        read_ahead: int = 2,
     ):
         if fan_in is not None and fan_in < 2:
             raise ConfigurationError("merge fan-in must be at least 2")
+        if read_ahead < 0:
+            raise ConfigurationError("merge read-ahead must be >= 0")
         self._sort_key = sort_key
         self._spill_manager = spill_manager
         self._fan_in = fan_in
         self._policy = policy
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._read_ahead = read_ahead
         self._next_intermediate_id = 1_000_000  # distinct from run-gen ids
         #: Rows skipped unread by the last offset-optimized merge.
         self.offset_rows_skipped = 0
@@ -150,7 +174,8 @@ class Merger:
                                self._next_intermediate_id,
                                on_spill=on_spill)
             self._next_intermediate_id += 1
-            for key, row in merge_keyed(runs, self._sort_key):
+            for key, row in merge_keyed(runs, self._sort_key,
+                                        read_ahead=self._read_ahead):
                 if cutoff is not None and key > cutoff:
                     writer.truncated = True
                     break
@@ -233,7 +258,9 @@ class Merger:
             if skip_key is not None:
                 sources = []
                 for run in runs:
-                    skipped_rows, iterator = run.rows_skipping(skip_key)
+                    skipped_rows, iterator = run.keyed_rows_skipping(
+                        self._sort_key, skip_key,
+                        prefetch=self._read_ahead)
                     self.offset_rows_skipped += skipped_rows
                     sources.append(iterator)
         remaining_offset = offset - self.offset_rows_skipped
@@ -242,7 +269,8 @@ class Merger:
         skipped = 0
         with self._tracer.span("merge.final", runs=len(runs)) as span:
             for key, row in merge_keyed(runs, self._sort_key,
-                                        sources=sources):
+                                        sources=sources,
+                                        read_ahead=self._read_ahead):
                 if cutoff is not None and key > cutoff:
                     break
                 if skipped < remaining_offset:

@@ -23,8 +23,24 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from repro.errors import SpillError
-from repro.storage.pages import PageBuilder
+from repro.storage.pages import Page, PageBuilder
 from repro.storage.spill import SpillFile, SpillManager
+
+
+def _ensure_keys(sort_key: Callable[[tuple], Any]
+                 ) -> Callable[[Page], Page]:
+    """Page transform that populates the key cache when absent.
+
+    Pages written through :class:`RunWriter` already carry their keys on
+    the in-memory backend; disk pages come back without them, and this
+    transform recomputes them page-at-a-time — on the read-ahead thread
+    when prefetching, so key computation overlaps with merge heap work.
+    """
+    def transform(page: Page) -> Page:
+        if page.keys is None:
+            page.keys = [sort_key(row) for row in page.rows]
+        return page
+    return transform
 
 
 @dataclass
@@ -43,6 +59,35 @@ class SortedRun:
     def rows(self) -> Iterator[tuple]:
         """Sequentially scan the run's rows in sort order."""
         return self.file.rows()
+
+    def keyed_rows(self, sort_key: Callable[[tuple], Any],
+                   prefetch: int = 0,
+                   start_page: int = 0) -> Iterator[tuple[Any, tuple]]:
+        """Scan ``(key, row)`` pairs using the page-level key cache.
+
+        Keys cached at write time are reused; otherwise they are computed
+        one page at a time.  ``prefetch`` enables background read-ahead
+        on backends with real I/O, in which case both page decode and key
+        computation happen on the read-ahead thread.
+        """
+        transform = _ensure_keys(sort_key)
+        for page in self.file.pages(start_page=start_page,
+                                    prefetch=prefetch,
+                                    transform=transform):
+            yield from zip(page.keys, page.rows)
+
+    def keyed_rows_skipping(
+        self, sort_key: Callable[[tuple], Any], skip_key: Any,
+        prefetch: int = 0,
+    ) -> tuple[int, Iterator[tuple[Any, tuple]]]:
+        """Keyed variant of :meth:`rows_skipping` (same skip rule)."""
+        if not self.page_first_keys or skip_key is None:
+            return 0, self.keyed_rows(sort_key, prefetch=prefetch)
+        start = bisect.bisect_left(self.page_first_keys, skip_key)
+        start = max(0, start - 1)
+        skipped = sum(self.file.page_row_counts[:start])
+        return skipped, self.keyed_rows(sort_key, prefetch=prefetch,
+                                        start_page=start)
 
     def rows_skipping(self, skip_key: Any
                       ) -> tuple[int, Iterator[tuple]]:
@@ -116,7 +161,7 @@ class RunWriter:
         if self._builder.pending_rows == 0:
             # This row opens a new page: index its key.
             self.page_first_keys.append(key)
-        page = self._builder.add(row)
+        page = self._builder.add(row, key)
         if page is not None:
             self._file.append_page(page)
         if self.row_count == 0:
@@ -151,7 +196,7 @@ class RunWriter:
         # coordinates; a carried partial page opened before this batch
         # (negative start) was already indexed.
         boundary = -self._builder.pending_rows
-        pages = self._builder.extend(rows)
+        pages = self._builder.extend(rows, keys)
         for page in pages:
             if boundary >= 0:
                 self.page_first_keys.append(keys[boundary])

@@ -39,6 +39,12 @@ class CostModel:
         random_read_s: Full cost of one random read (seek + RTT).
         cpu_row_s: CPU time charged per row consumed by an operator.
         cpu_comparison_s: CPU time charged per key comparison.
+        codec_bandwidth_bytes_per_s: CPU throughput of the page codec,
+            charged over the *physical* payload bytes
+            (``bytes_encoded + bytes_decoded``).  The default of
+            infinity keeps the codec free — byte-identical to the model
+            before codecs existed — since on the default in-memory
+            backend no encoding happens at all.
     """
 
     request_overhead_s: float = 0.0007
@@ -47,6 +53,7 @@ class CostModel:
     random_read_s: float = 0.010
     cpu_row_s: float = 2.0e-8
     cpu_comparison_s: float = 6.0e-9
+    codec_bandwidth_bytes_per_s: float = float("inf")
 
     def io_seconds(self, io: IOStats) -> float:
         """Simulated seconds spent on storage traffic alone."""
@@ -55,7 +62,10 @@ class CostModel:
         write_time = io.bytes_written / self.write_bandwidth_bytes_per_s
         read_time = io.bytes_read / self.read_bandwidth_bytes_per_s
         random_time = io.random_reads * self.random_read_s
-        return request_time + write_time + read_time + random_time
+        codec_time = (io.bytes_encoded + io.bytes_decoded) \
+            / self.codec_bandwidth_bytes_per_s
+        return request_time + write_time + read_time + random_time \
+            + codec_time
 
     def cpu_seconds(self, stats: OperatorStats) -> float:
         """Simulated seconds of operator CPU work."""

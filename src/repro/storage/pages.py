@@ -6,14 +6,19 @@ is proportional to bytes, not rows.  A :class:`Page` holds a batch of rows
 plus its estimated byte size; :class:`PageBuilder` packs consecutive rows
 until the byte capacity is reached.
 
-Pages can round-trip through ``bytes`` via :meth:`Page.to_bytes` /
-:meth:`Page.from_bytes` (used by the on-disk spill backend); the in-memory
-backend keeps the row lists directly and only uses the byte accounting.
+Serialization lives in :mod:`repro.storage.codec` (typed columnar format
+with a pickle fallback); the in-memory backend keeps the row lists
+directly and only uses the byte accounting.
+
+A page can also carry the *normalized sort keys* of its rows (populated
+by :class:`~repro.sorting.runs.RunWriter` at write time, or recomputed
+page-at-a-time on the merge read path).  Cached keys are never
+serialized — they are derivable — but they let the merge heap compare
+precomputed keys instead of invoking the comparator once per row.
 """
 
 from __future__ import annotations
 
-import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -25,26 +30,18 @@ DEFAULT_PAGE_BYTES = 64 * 1024
 
 @dataclass
 class Page:
-    """A batch of rows with byte-size accounting."""
+    """A batch of rows with byte-size accounting.
+
+    ``keys``, when present, parallels ``rows`` with each row's normalized
+    sort key (a merge-side cache; excluded from serialization).
+    """
 
     rows: list[tuple]
     byte_size: int
+    keys: list | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
-
-    def to_bytes(self) -> bytes:
-        """Serialize the page payload (rows only; sizes are re-derived)."""
-        return pickle.dumps(self.rows, protocol=pickle.HIGHEST_PROTOCOL)
-
-    @classmethod
-    def from_bytes(cls, payload: bytes) -> "Page":
-        """Reconstruct a page from :meth:`to_bytes` output."""
-        try:
-            rows = pickle.loads(payload)
-        except Exception as exc:  # corrupted spill file
-            raise SpillError(f"cannot deserialize page: {exc}") from exc
-        return cls(rows=rows, byte_size=len(payload))
 
 
 @dataclass
@@ -66,6 +63,7 @@ class PageBuilder:
         if self.page_bytes <= 0:
             raise SpillError("page capacity must be positive")
         self._rows: list[tuple] = []
+        self._keys: list = []
         self._bytes = 0
 
     @property
@@ -73,30 +71,45 @@ class PageBuilder:
         """Rows buffered but not yet emitted as a page."""
         return len(self._rows)
 
-    def add(self, row: tuple) -> Page | None:
+    def add(self, row: tuple, key: Any = None) -> Page | None:
         """Buffer ``row``; return a completed page when capacity is reached.
 
         A single row larger than the page capacity still gets its own page —
         oversized variable-length rows must remain spillable (this is one of
         the robustness problems of the pure priority-queue algorithm that
         Section 2.3 calls out).
+
+        ``key``, when given, is the row's normalized sort key; a page whose
+        every row carried one is emitted with its key cache populated.
         """
         size = self.row_size(row)
         self._rows.append(row)
+        if key is not None:
+            self._keys.append(key)
         self._bytes += size
         if self._bytes >= self.page_bytes:
             return self.flush()
         return None
 
-    def extend(self, rows: Sequence[tuple]) -> list[Page]:
+    def extend(self, rows: Sequence[tuple],
+               keys: Sequence | None = None) -> list[Page]:
         """Buffer a batch of rows; return every page completed on the way.
 
         The batch equivalent of repeated :meth:`add` calls (identical
         page boundaries), amortizing the per-call overhead over a whole
         spill batch.  A trailing partial page stays buffered as usual.
+        ``keys``, when given, parallels ``rows``.
         """
         pages: list[Page] = []
         row_size = self.row_size
+        if keys is not None:
+            for row, key in zip(rows, keys):
+                self._rows.append(row)
+                self._keys.append(key)
+                self._bytes += row_size(row)
+                if self._bytes >= self.page_bytes:
+                    pages.append(self.flush())
+            return pages
         for row in rows:
             self._rows.append(row)
             self._bytes += row_size(row)
@@ -108,7 +121,9 @@ class PageBuilder:
         """Emit whatever is buffered as a page, or ``None`` if empty."""
         if not self._rows:
             return None
-        page = Page(rows=self._rows, byte_size=self._bytes)
+        keys = self._keys if len(self._keys) == len(self._rows) else None
+        page = Page(rows=self._rows, byte_size=self._bytes, keys=keys)
         self._rows = []
+        self._keys = []
         self._bytes = 0
         return page

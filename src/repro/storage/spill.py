@@ -6,27 +6,204 @@ Two interchangeable backends implement the same small interface:
   accounting bytes and requests.  This is the default for experiments: it
   makes multi-million-row simulations fast and deterministic while the cost
   model still charges for every byte "written".
-* :class:`DiskSpillBackend` — writes length-prefixed pickled pages to real
-  temporary files.  Used to validate that the abstraction is honest and for
-  workloads that genuinely exceed process memory.
+* :class:`DiskSpillBackend` — writes length-prefixed encoded pages to real
+  temporary files through a pluggable page codec (see
+  :mod:`repro.storage.codec`).  Used to validate that the abstraction is
+  honest and for workloads that genuinely exceed process memory.
 
-All traffic is recorded into a shared :class:`~repro.storage.stats.IOStats`
-via the owning :class:`SpillManager`.
+The disk backend's fast path is asynchronous on both sides:
+
+* **Writes** go through a per-file background writer thread fed by a
+  bounded two-slot queue (double buffering): run generation encodes the
+  next page while the previous chunk is on disk.  Encoded pages are
+  coalesced into ~128 KiB chunks before crossing the queue, so the
+  per-handoff cost stays negligible even for small pages.  ``write()``
+  releases the GIL, so the overlap is real.  ``seal()`` flushes the
+  coalescing buffer, drains the queue, and re-raises any deferred I/O
+  error on the producing thread.
+* **Reads** (:meth:`SpillFile.pages` with ``prefetch > 0``) decode pages
+  on a bounded read-ahead thread so the merge overlaps page decode with
+  heap work.
+
+Accounting stays deterministic: the *accounting* counters
+(``bytes_written``/``bytes_read``/requests/rows) are charged on the
+calling thread from the page's stated byte size, identically across
+backends and codecs; the physical codec traffic lands in the separate
+``bytes_encoded``/``bytes_decoded`` counters.  All traffic is recorded
+into a shared :class:`~repro.storage.stats.IOStats` via the owning
+:class:`SpillManager`.
 """
 
 from __future__ import annotations
 
 import os
+import queue
 import struct
 import tempfile
+import threading
+import time
 from typing import Callable, Iterator, Sequence
 
 from repro.errors import SpillError
 from repro.obs.trace import NULL_TRACER
+from repro.storage.codec import PickleCodec, decode_page
 from repro.storage.pages import DEFAULT_PAGE_BYTES, Page, PageBuilder
 from repro.storage.stats import IOStats
 
 _LENGTH_HEADER = struct.Struct("<Q")
+
+#: Queue slots for the background writer: one chunk on disk, one encoded
+#: and waiting — classic double buffering.
+WRITER_QUEUE_DEPTH = 2
+
+#: Encoded pages are batched into chunks of roughly this size before
+#: being handed to the writer thread, so the per-handoff cost (queue and
+#: scheduler) is amortized over many small pages.
+WRITE_COALESCE_BYTES = 128 * 1024
+
+#: Seconds a lifecycle operation (seal/delete/close) waits for an I/O
+#: thread to finish before declaring it wedged.
+_JOIN_TIMEOUT = 30.0
+
+
+class _BackgroundPageWriter:
+    """A bounded queue feeding one I/O thread (double-buffered writes).
+
+    ``submit`` blocks only when the queue is full (the disk is behind) —
+    that wait is counted as a writer stall.  I/O errors are captured on
+    the writer thread and re-raised on the producing thread at the next
+    ``submit`` or at :meth:`close` (the ``seal()`` drain).
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, handle, stats: IOStats,
+                 depth: int = WRITER_QUEUE_DEPTH):
+        self._handle = handle
+        self._stats = stats
+        self._queue: queue.Queue = queue.Queue(maxsize=depth)
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._drain,
+                                        name="spill-writer", daemon=True)
+        self._thread.start()
+
+    def submit(self, blob: bytes) -> None:
+        if self._error is not None:
+            self._raise_deferred()
+        try:
+            self._queue.put_nowait(blob)
+        except queue.Full:
+            stats = self._stats
+            stats.writer_stalls += 1
+            started = time.perf_counter()
+            self._queue.put(blob)
+            stats.stall_seconds += time.perf_counter() - started
+
+    def _drain(self) -> None:
+        handle = self._handle
+        stats = self._stats
+        while True:
+            blob = self._queue.get()
+            if blob is self._SENTINEL:
+                return
+            if self._error is not None:
+                continue  # keep draining so producers never deadlock
+            try:
+                started = time.perf_counter()
+                handle.write(blob)
+                stats.write_seconds += time.perf_counter() - started
+            except BaseException as exc:
+                self._error = exc
+
+    def close(self, timeout: float = _JOIN_TIMEOUT,
+              reraise: bool = True) -> None:
+        """Drain outstanding pages, stop the thread, surface any error."""
+        if self._thread.is_alive():
+            self._queue.put(self._SENTINEL)
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise SpillError("spill writer thread failed to drain "
+                                 f"within {timeout}s")
+        if reraise and self._error is not None:
+            self._raise_deferred()
+
+    def _raise_deferred(self) -> None:
+        error = self._error
+        raise SpillError(
+            f"background spill write failed: {error}") from error
+
+
+class _ReadAhead:
+    """Bounded background producer for sequential page scans.
+
+    The source iterator runs on a private thread, keeping up to ``depth``
+    decoded pages ready; the consumer pulls them off a queue.  Closing
+    (early merge termination) stops the producer and joins it — no
+    thread or file handle outlives the scan.
+    """
+
+    _DONE = object()
+
+    def __init__(self, source: Iterator, depth: int, stats: IOStats):
+        self._queue: queue.Queue = queue.Queue(maxsize=depth)
+        self._stop = threading.Event()
+        self._stats = stats
+        self._first = True
+        self._thread = threading.Thread(target=self._produce,
+                                        args=(source,),
+                                        name="spill-reader", daemon=True)
+        self._thread.start()
+
+    def _produce(self, source: Iterator) -> None:
+        try:
+            for item in source:
+                if self._stop.is_set():
+                    return
+                if not self._put((None, item)):
+                    return
+        except BaseException as exc:
+            self._put((exc, None))
+            return
+        self._put((None, self._DONE))
+
+    def _put(self, entry) -> bool:
+        while not self._stop.is_set():
+            try:
+                self._queue.put(entry, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def __iter__(self) -> "_ReadAhead":
+        return self
+
+    def __next__(self):
+        try:
+            error, item = self._queue.get_nowait()
+        except queue.Empty:
+            stats = self._stats
+            if not self._first:
+                stats.read_stalls += 1
+            started = time.perf_counter()
+            error, item = self._queue.get()
+            stats.stall_seconds += time.perf_counter() - started
+        self._first = False
+        if error is not None:
+            self.close()
+            raise error
+        if item is self._DONE:
+            raise StopIteration
+        return item
+
+    def close(self) -> None:
+        self._stop.set()
+        while True:  # unblock a producer waiting on a full queue
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+        self._thread.join(_JOIN_TIMEOUT)
 
 
 class SpillFile:
@@ -35,6 +212,10 @@ class SpillFile:
     Lifecycle: ``append_page`` while writing, then ``seal``, then any number
     of sequential ``pages()`` scans, then ``delete``.
     """
+
+    #: Whether ``pages(prefetch=...)`` may spawn a read-ahead thread —
+    #: only worthwhile on backends with real I/O.
+    supports_prefetch = False
 
     def __init__(self, file_id: int, stats: IOStats):
         self.file_id = file_id
@@ -64,21 +245,46 @@ class SpillFile:
         self._stats.rows_spilled += len(page)
 
     def seal(self) -> None:
-        """Finish writing; the file becomes readable."""
+        """Finish writing; the file becomes readable.
+
+        On the disk backend this drains the background writer queue and
+        re-raises any I/O error deferred from the writer thread.
+        """
         self._sealed = True
 
     # -- read side -------------------------------------------------------
 
-    def pages(self, start_page: int = 0) -> Iterator[Page]:
+    def pages(self, start_page: int = 0, prefetch: int = 0,
+              transform: Callable[[Page], Page] | None = None
+              ) -> Iterator[Page]:
         """Sequentially scan pages from ``start_page``; charges read
-        requests and bytes only for the pages actually delivered."""
+        requests and bytes only for the pages actually delivered.
+
+        ``prefetch > 0`` overlaps page load/decode with consumer work on
+        backends with real I/O (a bounded read-ahead thread; ignored
+        elsewhere).  ``transform`` is applied to each page before
+        delivery — on the read-ahead thread when one is active, so
+        per-page work such as building the merge key cache overlaps with
+        downstream heap work as well.
+        """
         if not self._sealed:
             raise SpillError("spill file must be sealed before reading")
-        for page in self._load_pages(start_page):
-            self._stats.read_requests += 1
-            self._stats.bytes_read += page.byte_size
-            self._stats.rows_read += len(page)
-            yield page
+        source: Iterator[Page] = self._load_pages(start_page)
+        if transform is not None:
+            source = map(transform, source)
+        reader = None
+        if prefetch > 0 and self.supports_prefetch:
+            reader = _ReadAhead(source, prefetch, self._stats)
+            source = reader
+        try:
+            for page in source:
+                self._stats.read_requests += 1
+                self._stats.bytes_read += page.byte_size
+                self._stats.rows_read += len(page)
+                yield page
+        finally:
+            if reader is not None:
+                reader.close()
 
     def rows(self, start_page: int = 0) -> Iterator[tuple]:
         """Sequentially scan rows, optionally starting at a later page."""
@@ -86,7 +292,7 @@ class SpillFile:
             yield from page.rows
 
     def delete(self) -> None:
-        """Release the file's storage."""
+        """Release the file's storage (idempotent)."""
         self._discard()
 
     # -- backend hooks ---------------------------------------------------
@@ -119,29 +325,65 @@ class _MemorySpillFile(SpillFile):
 
 
 class _DiskSpillFile(SpillFile):
-    """Spill file backed by a real temporary file of pickled pages."""
+    """Spill file backed by a real temporary file of codec-encoded pages."""
 
-    def __init__(self, file_id: int, stats: IOStats, directory: str):
+    supports_prefetch = True
+
+    def __init__(self, file_id: int, stats: IOStats, directory: str,
+                 codec=None, background: bool = True):
         super().__init__(file_id, stats)
+        self._codec = codec if codec is not None else PickleCodec()
         fd, self._path = tempfile.mkstemp(
             prefix=f"run{file_id:06d}_", suffix=".spill", dir=directory)
         self._handle = os.fdopen(fd, "wb")
         self._page_offsets: list[int] = []
         self._bytes_on_disk = 0
+        self._writer = (_BackgroundPageWriter(self._handle, stats)
+                        if background else None)
+        self._pending: list[bytes] = []
+        self._pending_bytes = 0
+        self._deleted = False
 
     def _store_page(self, page: Page) -> None:
-        payload = page.to_bytes()
+        stats = self._stats
+        started = time.perf_counter()
+        payload = self._codec.encode(page)
+        stats.encode_seconds += time.perf_counter() - started
+        stats.bytes_encoded += len(payload)
+        blob = _LENGTH_HEADER.pack(len(payload)) + payload
         self._page_offsets.append(self._bytes_on_disk)
-        self._handle.write(_LENGTH_HEADER.pack(len(payload)))
-        self._handle.write(payload)
-        self._bytes_on_disk += _LENGTH_HEADER.size + len(payload)
+        self._bytes_on_disk += len(blob)
+        if self._writer is not None:
+            self._pending.append(blob)
+            self._pending_bytes += len(blob)
+            if self._pending_bytes >= WRITE_COALESCE_BYTES:
+                self._flush_pending()
+        else:
+            started = time.perf_counter()
+            self._handle.write(blob)
+            stats.write_seconds += time.perf_counter() - started
+
+    def _flush_pending(self) -> None:
+        if not self._pending:
+            return
+        chunk = (self._pending[0] if len(self._pending) == 1
+                 else b"".join(self._pending))
+        self._pending.clear()
+        self._pending_bytes = 0
+        self._writer.submit(chunk)
 
     def seal(self) -> None:
         if not self._sealed:
-            self._handle.close()
+            try:
+                if self._writer is not None:
+                    self._flush_pending()
+                    self._writer.close()
+            finally:
+                self._handle.close()
         super().seal()
 
     def _load_pages(self, start_page: int = 0) -> Iterator[Page]:
+        stats = self._stats
         with open(self._path, "rb") as handle:
             if start_page:
                 if start_page >= len(self._page_offsets):
@@ -157,9 +399,18 @@ class _DiskSpillFile(SpillFile):
                 payload = handle.read(length)
                 if len(payload) != length:
                     raise SpillError(f"truncated page body in {self._path}")
-                yield Page.from_bytes(payload)
+                started = time.perf_counter()
+                page = decode_page(payload)
+                stats.decode_seconds += time.perf_counter() - started
+                stats.bytes_decoded += length
+                yield page
 
     def _discard(self) -> None:
+        if self._deleted:
+            return
+        self._deleted = True
+        if self._writer is not None:
+            self._writer.close(timeout=_JOIN_TIMEOUT, reraise=False)
         if not self._handle.closed:
             self._handle.close()
         if os.path.exists(self._path):
@@ -179,23 +430,39 @@ class MemorySpillBackend:
 class DiskSpillBackend:
     """Creates real temporary spill files under one directory.
 
+    Args:
+        directory: Spill directory; a private temporary one is created
+            (and later removed) when omitted.
+        codec: Page codec (:class:`~repro.storage.codec.TypedPageCodec`
+            for schema-typed fast encoding, or the default
+            :class:`~repro.storage.codec.PickleCodec`).
+        background_writes: Write pages on a per-file background thread
+            fed by a bounded double-buffer queue (the default); ``False``
+            restores fully synchronous writes (the ablation baseline).
+
     The backend tracks every file it creates so that :meth:`close` can
     remove them all — including files that were never sealed (a query
     failed mid-write) or never deleted (a query failed before its merge
-    consumed them).  ``close()`` is idempotent and the backend is a
-    context manager, so error paths can simply ``with`` it.
+    consumed them).  ``close()`` is idempotent, joins any writer threads,
+    and the backend is a context manager, so error paths can simply
+    ``with`` it.
     """
 
-    def __init__(self, directory: str | None = None):
+    def __init__(self, directory: str | None = None, codec=None,
+                 background_writes: bool = True):
         self._own_directory = directory is None
         self._directory = directory or tempfile.mkdtemp(prefix="repro_spill_")
+        self._codec = codec
+        self._background = background_writes
         self._files: list[_DiskSpillFile] = []
         self._closed = False
 
     def create_file(self, file_id: int, stats: IOStats) -> SpillFile:
         if self._closed:
             raise SpillError("spill backend is closed")
-        spill_file = _DiskSpillFile(file_id, stats, self._directory)
+        spill_file = _DiskSpillFile(file_id, stats, self._directory,
+                                    codec=self._codec,
+                                    background=self._background)
         self._files.append(spill_file)
         return spill_file
 
@@ -248,6 +515,7 @@ class SpillManager:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._next_file_id = 0
         self._open_files: list[SpillFile] = []
+        self._closed = False
 
     def create_file(self) -> SpillFile:
         """Create a new spill file registered with this manager."""
@@ -275,7 +543,10 @@ class SpillManager:
                               rows=spill_file.row_count)
 
     def close(self) -> None:
-        """Delete all files and release backend resources."""
+        """Delete all files and release backend resources (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
         for spill_file in list(self._open_files):
             spill_file.delete()
         self._open_files.clear()

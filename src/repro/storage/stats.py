@@ -48,6 +48,28 @@ class IOStats:
     runs_written: int = 0
     #: Runs deleted after being merged/consumed.
     runs_deleted: int = 0
+    #: Physical payload bytes produced by the page codec (disk backend).
+    #: ``bytes_written`` stays the backend-independent *accounting* size;
+    #: this is what actually hit the wire.
+    bytes_encoded: int = 0
+    #: Physical payload bytes consumed by the page codec (disk backend).
+    bytes_decoded: int = 0
+    #: Times a spill writer blocked because its background queue was full
+    #: (run generation outran the disk).
+    writer_stalls: int = 0
+    #: Times a merge reader blocked because its read-ahead queue was
+    #: empty (the disk outran heap work) — counted only for prefetched
+    #: scans, and only after the first page.
+    read_stalls: int = 0
+    #: Wall seconds spent encoding pages (caller thread, disk backend).
+    encode_seconds: float = 0.0
+    #: Wall seconds spent decoding pages (reader thread when prefetching).
+    decode_seconds: float = 0.0
+    #: Wall seconds spent in ``write()`` (writer thread when backgrounded).
+    write_seconds: float = 0.0
+    #: Wall seconds the producing thread spent stalled on a full writer
+    #: queue or an empty read-ahead queue.
+    stall_seconds: float = 0.0
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""

@@ -173,7 +173,8 @@ class VectorizedHistogramTopK:
         for chunk in chunks:
             if isinstance(chunk, tuple):
                 keys, ids = chunk
-                yield (np.asarray(keys), np.asarray(ids))
+                yield (np.asarray(keys),
+                       np.asarray(ids) if ids is not None else None)
             else:
                 yield (np.asarray(chunk), None)
 

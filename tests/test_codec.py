@@ -1,0 +1,236 @@
+"""Property and unit tests for the typed page codec.
+
+The codec is the spill wire format: every disk page round-trips through
+it, so the round trip must be *exact* — every value comes back with the
+same type and bit pattern (NaN and signed zeros included), NULLs stay
+NULL, and pages whose values defeat the declared schema fall back to
+pickle without losing anything.
+"""
+
+import datetime
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SpillError
+from repro.rows.schema import Column, ColumnType, Schema
+from repro.storage.codec import (
+    FORMAT_PICKLE,
+    FORMAT_TYPED,
+    PickleCodec,
+    TypedPageCodec,
+    decode_page,
+)
+from repro.storage.pages import Page
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def _bits(value):
+    """Comparison key that is bit-exact for floats (NaN == NaN, -0.0 != 0.0)."""
+    if type(value) is float:
+        return ("f", struct.pack("<d", value))
+    return (type(value).__name__, value)
+
+
+def _assert_exact(received, expected):
+    assert len(received) == len(expected)
+    for got_row, want_row in zip(received, expected):
+        assert type(got_row) is tuple
+        assert len(got_row) == len(want_row)
+        for got, want in zip(got_row, want_row):
+            assert type(got) is type(want), (got, want)
+            assert _bits(got) == _bits(want), (got, want)
+
+
+# -- hypothesis strategies ------------------------------------------------
+
+_VALUES = {
+    ColumnType.INT64: st.integers(min_value=_INT64_MIN,
+                                  max_value=_INT64_MAX),
+    ColumnType.FLOAT64: st.floats(allow_nan=True, allow_infinity=True,
+                                  width=64),
+    ColumnType.DECIMAL: st.floats(allow_nan=True, allow_infinity=True,
+                                  width=64),
+    # Full Unicode incl. astral plane and the empty string; surrogates are
+    # excluded here (tested separately: they need the surrogatepass path).
+    ColumnType.STRING: st.text(max_size=40),
+    ColumnType.DATE: st.dates(),
+    ColumnType.BOOL: st.booleans(),
+}
+
+_COLUMN = st.sampled_from(list(_VALUES)).flatmap(
+    lambda ct: st.tuples(st.just(ct), st.booleans()))
+
+
+@st.composite
+def _schema_and_rows(draw):
+    layout = draw(st.lists(_COLUMN, min_size=1, max_size=5))
+    schema = Schema([
+        Column(f"c{i}", ct, nullable=nullable)
+        for i, (ct, nullable) in enumerate(layout)
+    ])
+    row = st.tuples(*[
+        (st.none() | _VALUES[ct]) if nullable else _VALUES[ct]
+        for ct, nullable in layout
+    ])
+    rows = draw(st.lists(row, min_size=0, max_size=30))
+    return schema, rows
+
+
+class TestTypedRoundTripProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(_schema_and_rows())
+    def test_round_trip_is_exact(self, case):
+        schema, rows = case
+        codec = TypedPageCodec(schema)
+        page = Page(rows=rows, byte_size=12345)
+        restored = decode_page(codec.encode(page))
+        _assert_exact(restored.rows, rows)
+        assert restored.byte_size == 12345  # stated size survives
+
+    @settings(max_examples=100, deadline=None)
+    @given(_schema_and_rows())
+    def test_pickle_round_trip_is_exact(self, case):
+        _schema, rows = case
+        page = Page(rows=rows, byte_size=777)
+        restored = decode_page(PickleCodec().encode(page))
+        _assert_exact(restored.rows, rows)
+        assert restored.byte_size == 777
+
+    @settings(max_examples=100, deadline=None)
+    @given(_schema_and_rows())
+    def test_well_typed_pages_never_pickle(self, case):
+        schema, rows = case
+        codec = TypedPageCodec(schema)
+        payload = codec.encode(Page(rows=rows, byte_size=1))
+        assert payload[0] == FORMAT_TYPED
+        assert codec.typed_pages == 1
+        assert codec.fallback_pages == 0
+
+
+class TestTypedRoundTripEdges:
+    SCHEMA = Schema([
+        Column("i", ColumnType.INT64),
+        Column("f", ColumnType.FLOAT64, nullable=True),
+        Column("s", ColumnType.STRING),
+        Column("d", ColumnType.DATE),
+        Column("b", ColumnType.BOOL, nullable=True),
+    ])
+
+    def _round_trip(self, rows):
+        codec = TypedPageCodec(self.SCHEMA)
+        restored = decode_page(codec.encode(Page(rows=rows, byte_size=9)))
+        _assert_exact(restored.rows, rows)
+        return codec
+
+    def test_empty_page(self):
+        codec = self._round_trip([])
+        assert codec.typed_pages == 1
+
+    def test_single_row(self):
+        self._round_trip([(1, 2.0, "x", datetime.date(2020, 1, 2), True)])
+
+    def test_float_specials(self):
+        day = datetime.date(1, 1, 1)
+        rows = [(0, v, "", day, None)
+                for v in (float("nan"), float("inf"), float("-inf"),
+                          -0.0, 0.0, 5e-324)]
+        restored = decode_page(
+            TypedPageCodec(self.SCHEMA).encode(Page(rows=rows, byte_size=1)))
+        assert math.isnan(restored.rows[0][1])
+        assert struct.pack("<d", restored.rows[3][1]) == \
+            struct.pack("<d", -0.0)
+
+    def test_strings_empty_and_non_ascii(self):
+        day = datetime.date(9999, 12, 31)
+        rows = [(i, None, s, day, False) for i, s in enumerate(
+            ["", "ascii", "naïve", "日本語", "emoji 🎉", "", "mixé"])]
+        self._round_trip(rows)
+
+    def test_lone_surrogates_survive(self):
+        rows = [(0, None, "bad \udcff tail", datetime.date.min, None)]
+        self._round_trip(rows)
+
+    def test_int64_boundaries(self):
+        rows = [(v, None, "", datetime.date.min, True)
+                for v in (_INT64_MIN, -1, 0, 1, _INT64_MAX)]
+        codec = self._round_trip(rows)
+        assert codec.fallback_pages == 0
+
+    def test_all_null_column(self):
+        rows = [(i, None, "", datetime.date.min, None) for i in range(17)]
+        self._round_trip(rows)
+
+
+class TestFallback:
+    """Values that defeat the declared types must pickle, exactly."""
+
+    def _expect_fallback(self, schema, rows):
+        codec = TypedPageCodec(schema)
+        payload = codec.encode(Page(rows=rows, byte_size=3))
+        assert payload[0] == FORMAT_PICKLE
+        assert codec.fallback_pages == 1
+        _assert_exact(decode_page(payload).rows, rows)
+
+    def test_int_in_float_column(self):
+        schema = Schema([Column("f", ColumnType.FLOAT64)])
+        self._expect_fallback(schema, [(1.5,), (2,)])
+
+    def test_bool_in_int_column(self):
+        schema = Schema([Column("i", ColumnType.INT64)])
+        self._expect_fallback(schema, [(1,), (True,)])
+
+    def test_datetime_in_date_column(self):
+        # datetime is a date subclass; the ordinal would drop the time.
+        schema = Schema([Column("d", ColumnType.DATE)])
+        self._expect_fallback(
+            schema, [(datetime.datetime(2020, 1, 1, 12, 30),)])
+
+    def test_out_of_range_int(self):
+        schema = Schema([Column("i", ColumnType.INT64)])
+        self._expect_fallback(schema, [(_INT64_MAX + 1,)])
+
+    def test_unexpected_none_in_non_nullable(self):
+        schema = Schema([Column("i", ColumnType.INT64)])
+        self._expect_fallback(schema, [(None,)])
+
+    def test_arity_drift(self):
+        schema = Schema([Column("i", ColumnType.INT64)])
+        self._expect_fallback(schema, [(1, 2)])
+
+
+class TestCorruption:
+    def test_unknown_version_byte(self):
+        with pytest.raises(SpillError, match="unknown spill page format"):
+            decode_page(bytes([250]) + b"\x00" * 16)
+
+    def test_truncated_prefix(self):
+        with pytest.raises(SpillError, match="too short"):
+            decode_page(b"\x01\x00")
+
+    def test_corrupted_pickle_body(self):
+        good = PickleCodec().encode(Page(rows=[(1,)], byte_size=8))
+        with pytest.raises(SpillError, match="cannot deserialize"):
+            decode_page(good[:-2])
+
+    def test_corrupted_typed_body(self):
+        schema = Schema([Column("s", ColumnType.STRING)])
+        good = TypedPageCodec(schema).encode(
+            Page(rows=[("hello world",)], byte_size=8))
+        with pytest.raises(SpillError, match="corrupted typed"):
+            decode_page(good[:len(good) // 2])
+
+    def test_unknown_column_type_code(self):
+        schema = Schema([Column("i", ColumnType.INT64)])
+        good = bytearray(TypedPageCodec(schema).encode(
+            Page(rows=[(7,)], byte_size=8)))
+        # Column descriptors sit right after prefix + row count + column
+        # count; poison the type code.
+        position = struct.calcsize("<BI") + 4 + 2
+        good[position] = 99
+        with pytest.raises(SpillError, match="unknown column type code"):
+            decode_page(bytes(good))

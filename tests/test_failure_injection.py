@@ -7,14 +7,21 @@ succeed afterwards.
 """
 
 import itertools
+import os
 import random
+import threading
 
 import pytest
 
 from repro.core.topk import HistogramTopK
 from repro.errors import ReproError, SpillError
 from repro.storage.pages import Page
-from repro.storage.spill import MemorySpillBackend, SpillFile, SpillManager
+from repro.storage.spill import (
+    DiskSpillBackend,
+    MemorySpillBackend,
+    SpillFile,
+    SpillManager,
+)
 
 KEY = lambda row: row[0]  # noqa: E731
 
@@ -119,6 +126,121 @@ class TestReadFaults:
             for row in operator.execute(iter(rows(20_000))):
                 produced.append(row)
         assert len(produced) < 2_000
+
+
+class TestDiskSpillLifecycle:
+    """The disk backend's writer threads and temp files must never leak —
+    not after clean use, not after faults, not after double delete."""
+
+    def test_writer_fault_surfaces_as_spill_error(self, tmp_path):
+        backend = DiskSpillBackend(directory=str(tmp_path))
+        manager = SpillManager(backend=backend, page_bytes=64)
+        spill_file = manager.create_file()
+        # Injected fault: the handle dies under the writer thread.
+        spill_file._handle.close()
+        with pytest.raises(SpillError, match="background spill write"):
+            spill_file.append_page(Page(rows=[(1.0,)], byte_size=32))
+            spill_file.seal()
+        manager.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_writer_thread_joined_after_seal(self, tmp_path):
+        backend = DiskSpillBackend(directory=str(tmp_path))
+        manager = SpillManager(backend=backend, page_bytes=64)
+        spill_file = manager.create_file()
+        for i in range(10):
+            spill_file.append_page(Page(rows=[(float(i),)], byte_size=32))
+        spill_file.seal()
+        assert not spill_file._writer._thread.is_alive()
+        read_back = [row for page in spill_file.pages()
+                     for row in page.rows]
+        assert read_back == [(float(i),) for i in range(10)]
+        manager.close()
+
+    def test_delete_and_close_are_idempotent(self, tmp_path):
+        backend = DiskSpillBackend(directory=str(tmp_path))
+        manager = SpillManager(backend=backend, page_bytes=64)
+        spill_file = manager.create_file()
+        spill_file.append_page(Page(rows=[(1.0,)], byte_size=32))
+        spill_file.seal()
+        spill_file.delete()
+        spill_file.delete()  # second delete is a no-op
+        manager.close()
+        manager.close()  # and so is a second close
+        backend.close()  # already closed through the manager
+        assert list(tmp_path.iterdir()) == []
+
+    def test_no_thread_or_file_leak_after_mid_spill_exception(
+            self, tmp_path):
+        before = set(threading.enumerate())
+
+        def poisoned():
+            yield from rows(5_000)
+            raise ValueError("upstream failure")
+
+        backend = DiskSpillBackend(directory=str(tmp_path))
+        manager = SpillManager(backend=backend, page_bytes=256)
+        operator = HistogramTopK(KEY, 500, 100, spill_manager=manager)
+        with pytest.raises(ValueError, match="upstream failure"):
+            list(operator.execute(poisoned()))
+        manager.close()
+        leaked = [thread for thread in set(threading.enumerate()) - before
+                  if thread.is_alive() and thread.name.startswith(
+                      ("spill-writer", "spill-reader"))]
+        assert leaked == []
+        assert list(tmp_path.iterdir()) == []
+
+    def test_early_merge_abandon_releases_read_ahead(self, tmp_path):
+        backend = DiskSpillBackend(directory=str(tmp_path))
+        manager = SpillManager(backend=backend, page_bytes=64)
+        spill_file = manager.create_file()
+        for i in range(50):
+            spill_file.append_page(Page(rows=[(float(i),)], byte_size=32))
+        spill_file.seal()
+        scan = spill_file.pages(prefetch=2)
+        next(scan)
+        scan.close()  # abandon mid-scan: the generator's finally runs
+        alive = [thread for thread in threading.enumerate()
+                 if thread.is_alive()
+                 and thread.name.startswith("spill-reader")]
+        assert alive == []
+        manager.close()
+
+    def test_unsealed_file_cleaned_up_by_backend_close(self, tmp_path):
+        backend = DiskSpillBackend(directory=str(tmp_path))
+        manager = SpillManager(backend=backend, page_bytes=64)
+        spill_file = manager.create_file()
+        spill_file.append_page(Page(rows=[(1.0,)], byte_size=32))
+        # Never sealed — a query died mid-spill.
+        manager.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_vector_run_write_fault_defers_to_caller(self, tmp_path):
+        import numpy as np
+
+        from repro.vectorized.runs import VectorRunDisk, VectorRunStore
+
+        storage = VectorRunDisk(directory=str(tmp_path / "missing"))
+        store = VectorRunStore(storage=storage)
+        run = store.write_run(np.array([1.0, 2.0]))
+        with pytest.raises(SpillError, match="background vector run"):
+            store.read_run(run)
+        store.close()
+
+    def test_vector_run_store_close_removes_files(self, tmp_path):
+        import numpy as np
+
+        from repro.vectorized.runs import VectorRunDisk, VectorRunStore
+
+        storage = VectorRunDisk(directory=str(tmp_path))
+        store = VectorRunStore(storage=storage)
+        run = store.write_run(np.array([1.0, 2.0, 3.0]))
+        keys, ids = store.read_run(run)
+        assert keys.tolist() == [1.0, 2.0, 3.0] and ids is None
+        store.close()
+        store.close()  # idempotent
+        assert not any(name.endswith(".spill")
+                       for name in os.listdir(tmp_path))
 
 
 class TestInputFaults:

@@ -10,14 +10,24 @@ class TestPage:
     def test_len(self):
         assert len(Page(rows=[(1,), (2,)], byte_size=32)) == 2
 
-    def test_round_trip_through_bytes(self):
-        page = Page(rows=[(1, "a"), (2, "b")], byte_size=64)
-        restored = Page.from_bytes(page.to_bytes())
-        assert restored.rows == page.rows
+    def test_keys_default_to_none(self):
+        assert Page(rows=[(1,)], byte_size=16).keys is None
 
-    def test_from_bytes_rejects_garbage(self):
+    def test_round_trip_through_codec(self):
+        # Serialization lives in repro.storage.codec; the default
+        # (pickle) codec must round-trip any page exactly.
+        from repro.storage.codec import PickleCodec, decode_page
+
+        page = Page(rows=[(1, "a"), (2, "b")], byte_size=64)
+        restored = decode_page(PickleCodec().encode(page))
+        assert restored.rows == page.rows
+        assert restored.byte_size == page.byte_size
+
+    def test_decode_rejects_garbage(self):
+        from repro.storage.codec import decode_page
+
         with pytest.raises(SpillError):
-            Page.from_bytes(b"not a pickle")
+            decode_page(b"not a pickle")
 
 
 class TestPageBuilder:
@@ -66,3 +76,36 @@ class TestPageBuilder:
         builder.add((2,))
         page = builder.add((3,))
         assert page.byte_size == 30
+
+
+class TestPageKeyCache:
+    def test_add_with_keys_populates_cache(self):
+        builder = PageBuilder(page_bytes=20, row_size=lambda _row: 10)
+        builder.add((10,), key=1.0)
+        page = builder.add((20,), key=2.0)
+        assert page.keys == [1.0, 2.0]
+
+    def test_add_without_keys_leaves_cache_empty(self):
+        builder = PageBuilder(page_bytes=20, row_size=lambda _row: 10)
+        builder.add((10,))
+        page = builder.add((20,))
+        assert page.keys is None
+
+    def test_mixed_keys_disable_cache(self):
+        # A partially keyed page cannot claim a parallel key list.
+        builder = PageBuilder(page_bytes=20, row_size=lambda _row: 10)
+        builder.add((10,), key=1.0)
+        page = builder.add((20,))
+        assert page.keys is None
+
+    def test_extend_with_keys_matches_add_boundaries(self):
+        rows = [(i,) for i in range(7)]
+        keys = [float(i) for i in range(7)]
+        one = PageBuilder(page_bytes=30, row_size=lambda _row: 10)
+        two = PageBuilder(page_bytes=30, row_size=lambda _row: 10)
+        pages_one = [p for r, k in zip(rows, keys)
+                     if (p := one.add(r, k)) is not None]
+        pages_two = two.extend(rows, keys)
+        assert [p.rows for p in pages_one] == [p.rows for p in pages_two]
+        assert [p.keys for p in pages_one] == [p.keys for p in pages_two]
+        assert all(p.keys is not None for p in pages_two)
