@@ -71,6 +71,14 @@ class CutoffFilterStats:
 class CutoffFilter:
     """Histogram-priority-queue cutoff filter for a top-k operation.
 
+    The filter is agnostic to the key representation: keys are only ever
+    compared with ``<`` / ``>`` and counted, never inspected.  Operators
+    running on the binary key codec (:mod:`repro.sorting.keycodec`) feed
+    it order-preserving byte strings and everything — buckets, cutoff
+    keys, seeds — lives in that byte key space; tuple-key operators feed
+    it normalized tuples.  The two spaces must never mix within one
+    filter instance.
+
     Args:
         k: Requested output size (including any OFFSET rows: the filter
             must preserve ``offset + limit`` rows).

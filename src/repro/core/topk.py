@@ -40,6 +40,7 @@ from repro.obs.timeline import CutoffTimeline
 from repro.obs.trace import NULL_TRACER
 from repro.rows.batch import RowBatch, flatten, numeric_key_column
 from repro.rows.sortspec import SortSpec
+from repro.sorting.keycodec import compile_keycodec
 from repro.sorting.merge import Merger, MergePolicy
 from repro.sorting.quicksort_runs import QuicksortRunGenerator
 from repro.sorting.replacement_selection import (
@@ -110,6 +111,19 @@ class HistogramTopK:
             trajectory is recorded into :attr:`timeline`.  ``None`` (the
             default) uses the no-op tracer: untraced executions pay a
             single attribute-load-and-branch per *phase*, never per row.
+        key_encoding: ``"auto"`` (default), ``"ovc"`` or ``"tuple"``.
+            Controls the comparison substrate: ``"ovc"`` forces
+            order-preserving binary keys plus offset-value coded merging
+            (:mod:`repro.sorting.keycodec`, :mod:`repro.sorting.ovc`) and
+            raises :class:`~repro.errors.ConfigurationError` when the
+            sort spec cannot be encoded; ``"tuple"`` forces the classic
+            tuple keys; ``"auto"`` picks the binary encoding exactly when
+            the spec's tuple keys would be composite Python objects.
+            Output rows and ``rows_spilled`` are identical either way —
+            the encoding is order- and equality-preserving — only the
+            comparison costs differ.  Note that ``cutoff_seed`` and
+            :attr:`final_cutoff` live in whichever key space is active,
+            so seeds must come from an execution with the same encoding.
     """
 
     _AUTO = object()
@@ -137,6 +151,7 @@ class HistogramTopK:
         cutoff_seed: Any = None,
         tracer=None,
         merge_read_ahead: int = 2,
+        key_encoding: str = "auto",
     ):
         if k <= 0:
             raise ConfigurationError("k must be positive")
@@ -154,6 +169,35 @@ class HistogramTopK:
         self.sort_spec = sort_key if isinstance(sort_key, SortSpec) else None
         self._batch_key = (numeric_key_column(self.sort_spec)
                            if self.sort_spec is not None else None)
+        if key_encoding not in ("auto", "ovc", "tuple"):
+            raise ConfigurationError(
+                f"unknown key encoding {key_encoding!r} "
+                "(expected 'auto', 'ovc' or 'tuple')")
+        #: The compiled binary key codec, or ``None`` when the operator
+        #: runs on tuple keys.  ``"auto"`` engages the codec exactly when
+        #: the spec's tuple keys are composite Python objects (multiple
+        #: columns, nullable, or a wrapped descending column) — the cases
+        #: where byte-string comparison beats tuple comparison; a bare
+        #: numeric key stays a tuple key so the vectorized batch admission
+        #: keeps working.  With a codec, ``sort_key`` *is* the encoder:
+        #: every key in the operator (runs, histograms, cutoff, seeds) is
+        #: an order-preserving byte string, and ``cutoff_seed`` /
+        #: :attr:`final_cutoff` live in that byte key space.
+        self.key_codec = None
+        if key_encoding != "tuple":
+            codec = (compile_keycodec(self.sort_spec)
+                     if self.sort_spec is not None else None)
+            if key_encoding == "ovc":
+                if codec is None:
+                    raise ConfigurationError(
+                        "key_encoding='ovc' requires a SortSpec whose "
+                        "column types all have binary key encoders")
+                self.key_codec = codec
+            elif codec is not None and codec.preferred:
+                self.key_codec = codec
+        if self.key_codec is not None:
+            self.sort_key = self.key_codec.encode
+            self._batch_key = None
         self.k = k
         self.offset = offset
         self.memory_rows = memory_rows
@@ -423,6 +467,7 @@ class HistogramTopK:
             row_size=self.row_size if self.memory_bytes is not None
             else None,
             stats=self.stats,
+            compute_codes=self.key_codec is not None,
         )
 
     def _spill_eliminate(self, key: Any) -> bool:
@@ -502,6 +547,8 @@ class HistogramTopK:
             policy=self.merge_policy,
             tracer=self.tracer,
             read_ahead=self.merge_read_ahead,
+            ovc=self.key_codec is not None,
+            stats=self.stats,
         )
         with self.tracer.span("topk.merge", runs=len(self.runs)) as span:
             yield from merger.merge_topk(
@@ -551,16 +598,22 @@ class HistogramTopK:
             cutoff_filter = self.cutoff_filter
 
             def admitted(stream: Iterator[tuple]) -> Iterator[tuple]:
-                """Algorithm 1 line 4: eager elimination on arrival."""
+                """Algorithm 1 line 4: eager elimination on arrival.
+
+                Yields ``(key, row)`` pairs: the key computed for the
+                cutoff check is handed to the run generator, which never
+                computes another.
+                """
                 for row in stream:
                     stats.rows_consumed += 1
                     stats.cutoff_comparisons += 1
-                    if cutoff_filter.eliminate(sort_key(row)):
+                    key = sort_key(row)
+                    if cutoff_filter.eliminate(key):
                         stats.rows_eliminated_on_arrival += 1
                         continue
-                    yield row
+                    yield key, row
 
-            generator.consume(admitted(rows))
+            generator.consume_keyed(admitted(rows))
             if self.tracer.enabled:
                 span.set_attribute("rows_consumed", stats.rows_consumed)
                 span.set_attribute("rows_eliminated_on_arrival",
@@ -623,15 +676,19 @@ class HistogramTopK:
                 stats.cutoff_comparisons += count
                 keys = self._batch_key_array(batch)
                 if keys is None:
-                    # Non-vectorizable key: per-row arrival check.
+                    # Non-vectorizable key: per-row arrival check.  The
+                    # keys computed here ride along to the generator.
                     admitted = []
+                    admitted_keys = []
                     for row in rows[start:] if start else rows:
-                        if cutoff_filter.eliminate(sort_key(row)):
+                        key = sort_key(row)
+                        if cutoff_filter.eliminate(key):
                             stats.rows_eliminated_on_arrival += 1
                         else:
                             admitted.append(row)
+                            admitted_keys.append(key)
                     if admitted:
-                        generator.consume_batch(admitted)
+                        generator.consume_batch(admitted, admitted_keys)
                     continue
                 if start:
                     rows = rows[start:]

@@ -118,7 +118,11 @@ class Planner:
 
         * the session's algorithm is the paper's histogram operator with
           no custom algorithm options (ablation knobs stay on the row
-          engine, whose behavior they configure);
+          engine, whose behavior they configure) — except
+          ``key_encoding="auto"``, the row engine's default, under which
+          the binary key codec declines single-numeric-column specs
+          anyway, i.e. exactly the specs that lower.  A forced
+          ``"ovc"``/``"tuple"`` pins the query to the row engine;
         * no ``cutoff_seed`` (the vectorized kernel has no stale-seed
           detection; seeded repeats run on the row engine);
         * the ORDER BY key is a single non-nullable numeric column, so
@@ -126,7 +130,10 @@ class Planner:
         """
         if not self.vectorize:
             return None
-        if self.algorithm != "histogram" or self.algorithm_options:
+        options = {key: value
+                   for key, value in self.algorithm_options.items()
+                   if not (key == "key_encoding" and value == "auto")}
+        if self.algorithm != "histogram" or options:
             return None
         if cutoff_seed is not None:
             return None

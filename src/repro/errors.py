@@ -33,6 +33,17 @@ class MergeError(ReproError):
     """The merge logic was driven into an invalid state."""
 
 
+class KeyEncodingError(ReproError):
+    """A value defeated the order-preserving binary key encoding.
+
+    Raised by :mod:`repro.sorting.keycodec` encoders when a row value is
+    incompatible with its column's declared type in a way that would make
+    the encoded byte order disagree with tuple-key order (e.g. a
+    ``datetime`` in a DATE column, or an integer with no exact float64
+    representation in a FLOAT64 column).
+    """
+
+
 class PlanError(ReproError):
     """The planner could not produce an executable plan for a query."""
 

@@ -203,6 +203,13 @@ class PlanProbe:
             details["eliminated_at_spill"] = stats.rows_eliminated_at_spill
             details["rows_spilled"] = stats.io.rows_spilled
             details["runs_written"] = stats.io.runs_written
+            # Merge comparison substrate: full key comparisons vs.
+            # tournaments decided by offset-value codes alone.
+            if stats.full_key_comparisons or stats.code_comparisons:
+                details["merge_comparisons_full"] = \
+                    stats.full_key_comparisons
+                details["merge_comparisons_code_only"] = \
+                    stats.code_comparisons
             # Spill-path timing (disk backends only): how long the query
             # spent encoding/decoding pages, how long the writer thread
             # spent in write(), and how long anyone stalled on a full

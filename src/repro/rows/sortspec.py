@@ -90,50 +90,17 @@ class SortSpec:
                 raise SchemaError(f"unknown sort column {column.name!r}")
         self.schema = schema
         self.columns = tuple(normalized)
-        self.key = self._compile()
+        # Key compilation is memoized across instances: specs are
+        # routinely re-built per query from the same (schema, columns),
+        # e.g. by the planner and the query service, and both inputs are
+        # hashable, so equal specs share one compiled closure.
+        self.key = _compile_key(schema, self.columns)
+        self._comparator: Callable[
+            [Sequence[Any], Sequence[Any]], int] | None = None
 
     def _compile(self) -> Callable[[Sequence[Any]], Any]:
-        """Build the key-extraction callable.
-
-        Nullable columns get null-safe keys with SQL-style NULLS LAST
-        semantics: a ``(is_null, value)`` pair whose flag decides the
-        comparison whenever a NULL is involved, so NULLs sort after all
-        values in either direction.
-        """
-        parts: list[Callable[[Sequence[Any]], Any]] = []
-        for column in self.columns:
-            index = self.schema.index_of(column.name)
-            schema_column = self.schema.columns[index]
-            ctype = schema_column.type
-            numeric = ctype in (ColumnType.INT64, ColumnType.FLOAT64,
-                                ColumnType.DECIMAL)
-            nullable = schema_column.nullable
-            if column.ascending:
-                if nullable:
-                    parts.append(lambda row, i=index:
-                                 (True, 0) if row[i] is None
-                                 else (False, row[i]))
-                else:
-                    parts.append(lambda row, i=index: row[i])
-            elif numeric:
-                if nullable:
-                    parts.append(lambda row, i=index:
-                                 (True, 0) if row[i] is None
-                                 else (False, -row[i]))
-                else:
-                    parts.append(lambda row, i=index: -row[i])
-            else:
-                if nullable:
-                    parts.append(lambda row, i=index:
-                                 (True, Desc(None)) if row[i] is None
-                                 else (False, Desc(row[i])))
-                else:
-                    parts.append(lambda row, i=index: Desc(row[i]))
-
-        if len(parts) == 1:
-            return parts[0]
-        compiled = tuple(parts)
-        return lambda row: tuple(part(row) for part in compiled)
+        """Build the key-extraction callable (see :func:`_compile_key`)."""
+        return _compile_key(self.schema, self.columns)
 
     @property
     def is_single_ascending(self) -> bool:
@@ -141,22 +108,76 @@ class SortSpec:
         return len(self.columns) == 1 and self.columns[0].ascending
 
     def comparator(self) -> Callable[[Sequence[Any], Sequence[Any]], int]:
-        """Return a three-way comparator over rows (for tests and tools)."""
-        key = self.key
+        """Return a three-way comparator over rows (for tests and tools).
 
-        def compare(left: Sequence[Any], right: Sequence[Any]) -> int:
-            lk, rk = key(left), key(right)
-            if lk < rk:
-                return -1
-            if rk < lk:
-                return 1
-            return 0
+        The comparator closes over the already-compiled :attr:`key` and
+        is itself built once per spec — repeated calls return the same
+        callable instead of allocating a fresh closure each time.
+        """
+        if self._comparator is None:
+            key = self.key
 
-        return compare
+            def compare(left: Sequence[Any],
+                        right: Sequence[Any]) -> int:
+                lk, rk = key(left), key(right)
+                if lk < rk:
+                    return -1
+                if rk < lk:
+                    return 1
+                return 0
+
+            self._comparator = compare
+        return self._comparator
 
     def __repr__(self) -> str:
         clause = ", ".join(str(c) for c in self.columns)
         return f"SortSpec({clause})"
+
+
+@functools.lru_cache(maxsize=256)
+def _compile_key(schema: Schema, columns: tuple[SortColumn, ...]
+                 ) -> Callable[[Sequence[Any]], Any]:
+    """Build (and memoize) the key-extraction callable for a clause.
+
+    Nullable columns get null-safe keys with SQL-style NULLS LAST
+    semantics: a ``(is_null, value)`` pair whose flag decides the
+    comparison whenever a NULL is involved, so NULLs sort after all
+    values in either direction.
+    """
+    parts: list[Callable[[Sequence[Any]], Any]] = []
+    for column in columns:
+        index = schema.index_of(column.name)
+        schema_column = schema.columns[index]
+        ctype = schema_column.type
+        numeric = ctype in (ColumnType.INT64, ColumnType.FLOAT64,
+                            ColumnType.DECIMAL)
+        nullable = schema_column.nullable
+        if column.ascending:
+            if nullable:
+                parts.append(lambda row, i=index:
+                             (True, 0) if row[i] is None
+                             else (False, row[i]))
+            else:
+                parts.append(lambda row, i=index: row[i])
+        elif numeric:
+            if nullable:
+                parts.append(lambda row, i=index:
+                             (True, 0) if row[i] is None
+                             else (False, -row[i]))
+            else:
+                parts.append(lambda row, i=index: -row[i])
+        else:
+            if nullable:
+                parts.append(lambda row, i=index:
+                             (True, Desc(None)) if row[i] is None
+                             else (False, Desc(row[i])))
+            else:
+                parts.append(lambda row, i=index: Desc(row[i]))
+
+    if len(parts) == 1:
+        return parts[0]
+    compiled = tuple(parts)
+    return lambda row: tuple(part(row) for part in compiled)
 
 
 def sort_spec(schema: Schema, *columns: SortColumn | str) -> SortSpec:

@@ -200,6 +200,11 @@ class QueryService:
             kind: m.counter(f"service.spill.{kind}")
             for kind in ("bytes_encoded", "bytes_decoded",
                          "writer_stalls", "read_stalls")}
+        # Merge comparison substrate: full-key comparisons vs tournaments
+        # decided by offset-value codes alone (see repro.sorting.ovc).
+        self._m_comparisons = {
+            kind: m.counter(f"sort.comparisons.{kind}")
+            for kind in ("full", "code_only")}
         self._m_inflight = m.gauge("service.queries.inflight")
         self._m_queue_wait = m.histogram(
             "service.query.queue_wait_seconds", LATENCY_BOUNDARIES)
@@ -377,6 +382,8 @@ class QueryService:
         self._m_spill["bytes_decoded"].inc(io.bytes_decoded)
         self._m_spill["writer_stalls"].inc(io.writer_stalls)
         self._m_spill["read_stalls"].inc(io.read_stalls)
+        self._m_comparisons["full"].inc(result.stats.full_key_comparisons)
+        self._m_comparisons["code_only"].inc(result.stats.code_comparisons)
         return ServiceResult(rows=result.rows, schema=result.schema,
                              query=query, stats=record,
                              operator_stats=result.stats)

@@ -1,7 +1,16 @@
-"""Sorting substrate: runs, run generation, merging, external sort."""
+"""Sorting substrate: runs, run generation, merging, external sort,
+order-preserving binary keys and offset-value coded merging."""
 
 from repro.sorting.external_sort import RUN_GENERATORS, ExternalSort
+from repro.sorting.keycodec import KeyCodec, compile_keycodec
 from repro.sorting.merge import Merger, MergePolicy, merge_keyed
+from repro.sorting.ovc import (
+    INITIAL_CODE,
+    SENTINEL_CODE,
+    code_between,
+    first_diff,
+    merge_coded,
+)
 from repro.sorting.quicksort_runs import QuicksortRunGenerator
 from repro.sorting.replacement_selection import (
     ReplacementSelectionRunGenerator,
@@ -17,6 +26,13 @@ __all__ = [
     "Merger",
     "MergePolicy",
     "merge_keyed",
+    "merge_coded",
+    "code_between",
+    "first_diff",
+    "INITIAL_CODE",
+    "SENTINEL_CODE",
+    "KeyCodec",
+    "compile_keycodec",
     "ExternalSort",
     "RUN_GENERATORS",
 ]

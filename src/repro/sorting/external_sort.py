@@ -13,6 +13,8 @@ from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import ConfigurationError
 from repro.obs.trace import NULL_TRACER
+from repro.rows.sortspec import SortSpec
+from repro.sorting.keycodec import compile_keycodec
 from repro.sorting.merge import Merger, MergePolicy
 from repro.sorting.quicksort_runs import QuicksortRunGenerator
 from repro.sorting.replacement_selection import (
@@ -33,7 +35,8 @@ class ExternalSort:
     """External merge sort over an arbitrary row stream.
 
     Args:
-        sort_key: Normalized sort-key extractor.
+        sort_key: A :class:`~repro.rows.sortspec.SortSpec` or a
+            normalized sort-key extractor callable.
         memory_rows: Operator memory capacity in rows.
         spill_manager: Secondary-storage substrate.
         run_generation: ``"replacement_selection"`` or ``"quicksort"``.
@@ -45,11 +48,17 @@ class ExternalSort:
             run generation and the merge phase open spans.
         merge_read_ahead: Pages of background prefetch per run during
             merging (real-I/O backends only); ``0`` disables it.
+        key_encoding: ``"auto"`` (default), ``"ovc"`` or ``"tuple"`` —
+            the comparison substrate, with the same semantics as
+            :class:`repro.core.topk.HistogramTopK`: binary keys plus the
+            offset-value coded tree-of-losers merge when the (SortSpec)
+            key is encodable and worth encoding.  A plain callable
+            ``sort_key`` always runs on tuple keys.
     """
 
     def __init__(
         self,
-        sort_key: Callable[[tuple], Any],
+        sort_key: SortSpec | Callable[[tuple], Any],
         memory_rows: int,
         spill_manager: SpillManager,
         run_generation: str = "replacement_selection",
@@ -59,6 +68,7 @@ class ExternalSort:
         stats: OperatorStats | None = None,
         tracer=None,
         merge_read_ahead: int = 2,
+        key_encoding: str = "auto",
     ):
         try:
             generator_cls = RUN_GENERATORS[run_generation]
@@ -67,24 +77,46 @@ class ExternalSort:
                 f"unknown run generation algorithm {run_generation!r}; "
                 f"choose from {sorted(RUN_GENERATORS)}"
             ) from None
+        if key_encoding not in ("auto", "ovc", "tuple"):
+            raise ConfigurationError(
+                f"unknown key encoding {key_encoding!r} "
+                "(expected 'auto', 'ovc' or 'tuple')")
+        spec = sort_key if isinstance(sort_key, SortSpec) else None
+        resolved_key = sort_key.key if spec is not None else sort_key
+        self.key_codec = None
+        if key_encoding != "tuple":
+            codec = compile_keycodec(spec) if spec is not None else None
+            if key_encoding == "ovc":
+                if codec is None:
+                    raise ConfigurationError(
+                        "key_encoding='ovc' requires a SortSpec whose "
+                        "column types all have binary key encoders")
+                self.key_codec = codec
+            elif codec is not None and codec.preferred:
+                self.key_codec = codec
+        if self.key_codec is not None:
+            resolved_key = self.key_codec.encode
         self.stats = stats or OperatorStats()
-        self._sort_key = sort_key
+        self._sort_key = resolved_key
         self._spill_manager = spill_manager
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._generator = generator_cls(
-            sort_key=sort_key,
+            sort_key=resolved_key,
             memory_rows=memory_rows,
             spill_manager=spill_manager,
             run_size_limit=run_size_limit,
             stats=self.stats,
+            compute_codes=self.key_codec is not None,
         )
         self._merger = Merger(
-            sort_key=sort_key,
+            sort_key=resolved_key,
             spill_manager=spill_manager,
             fan_in=fan_in,
             policy=merge_policy,
             tracer=self.tracer,
             read_ahead=merge_read_ahead,
+            ovc=self.key_codec is not None,
+            stats=self.stats,
         )
         self.runs: list[SortedRun] = []
 

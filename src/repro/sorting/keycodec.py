@@ -1,0 +1,289 @@
+"""Order-preserving binary sort keys.
+
+A :class:`~repro.rows.sortspec.SortSpec` normally compiles to a tuple
+key: per-column values wrapped in ``(is_null, value)`` pairs and
+:class:`~repro.rows.sortspec.Desc` objects.  Comparing two such keys
+re-enters the interpreter once per column — ``Desc.__lt__``, tuple
+dispatch, NULL-flag tests — on *every* heap or sort comparison.
+
+This module compiles the same spec to an **order-preserving binary
+encoding**: one ``bytes`` string per row such that plain ``bytes``
+comparison (a single C ``memcmp``) realizes exactly the order the tuple
+keys realize, including equality.  Because everything downstream — run
+generation sorts, the cutoff filter, histogram buckets, page-index
+bisection, merge ranking — only ever compares keys, substituting the
+encoder for the tuple key changes *no* decision anywhere: outputs and
+``rows_spilled`` stay byte-identical (the differential suite enforces
+this).  The byte form is also what makes offset-value coding
+(:mod:`repro.sorting.ovc`) possible at all.
+
+The encoder itself is *generated code*: compilation emits one Python
+function whose body concatenates inline per-column expressions, because
+the encoder runs once per arriving row — on the paper's workloads that
+is the single hottest call in the operator, and a generic
+closure-per-column interpreter was measurably slower than tuple keys.
+Descending order is folded into each column's arithmetic (complemented
+bias for ints, XOR masks for floats) rather than applied as a separate
+``translate`` pass over the ascending bytes.
+
+Encoding per column type (ascending, non-null form):
+
+===========  ===========================================================
+INT64        8 bytes big-endian, biased: ``value + 2**63``.  Descending
+             uses ``2**63 - 1 - value`` (the bitwise complement of the
+             biased form).  Values outside the declared 64-bit range
+             raise :class:`~repro.errors.KeyEncodingError` — the typed
+             page codec already enforces the same bound at spill time.
+FLOAT64 /    8 bytes big-endian from the IEEE-754 bit pattern with the
+DECIMAL      usual total-order trick: negative values complement all 64
+             bits, non-negative values flip the sign bit.  ``-0.0`` is
+             canonicalized to ``0.0`` (tuple keys treat them equal);
+             NaN maps to a canonical pattern above ``+inf``.
+DATE         4 bytes big-endian proleptic-Gregorian ordinal.
+BOOL         1 byte, ``0x00`` / ``0x01``.
+STRING       UTF-8 (surrogatepass), each 0x00 byte escaped to
+             ``00 FF``, terminated by ``00 00`` — preserves code-point
+             order and keeps the encoding prefix-free.
+===========  ===========================================================
+
+A nullable column prepends a flag byte (``0x00`` value follows, ``0x01``
+NULL) realizing NULLS LAST in either direction.  A descending column
+complements the value bytes; the NULL flag byte is *not* complemented,
+so NULLs stay last.  Every per-column encoding is prefix-free, hence two
+distinct multi-column keys always differ at a byte index that exists in
+both — the property offset-value codes rely on.
+
+``decode`` is unsupported **by design**: rows travel next to their keys
+everywhere in this library, so a decoder would only invite drift between
+two representations of the same ordering.  Specs that cannot be encoded
+(unknown column types from future schema growth) simply return ``None``
+from :func:`compile_keycodec` and callers fall back to tuple keys.
+"""
+
+from __future__ import annotations
+
+import datetime
+import functools
+import struct
+from typing import Callable
+
+from repro.errors import KeyEncodingError
+from repro.rows.schema import ColumnType, Schema
+from repro.rows.sortspec import SortSpec
+
+#: 256-byte table mapping each byte to its bitwise complement — the
+#: descending transform for variable-length encodings (strings).
+COMPLEMENT = bytes(255 - value for value in range(256))
+
+_SIGN = 0x8000000000000000
+_ALL64 = 0xFFFFFFFFFFFFFFFF
+_PACK_D = struct.Struct(">d")
+#: Canonical encoded NaN: quiet-NaN bits with the non-negative sign flip
+#: applied — sorts after every real (and after ``+inf``), before NULL.
+_NAN_BYTES = (0x7FF8000000000000 | _SIGN).to_bytes(8, "big")
+
+_NULL_FLAG = b"\x01"
+_VALUE_FLAG = b"\x00"
+
+
+def _coerce_float(value) -> float:
+    """The slow path of the float encoders: non-``float`` values.
+
+    The schema admits ``int`` in FLOAT64/DECIMAL columns; encode only
+    when the float conversion is exact so ordering against true floats
+    cannot drift (``2**53 + 1`` would compare wrong).
+    """
+    try:
+        coerced = float(value)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise KeyEncodingError(
+            f"cannot encode {value!r} as a float sort key") from exc
+    if coerced != value:
+        raise KeyEncodingError(
+            f"{value!r} is not exactly representable as a float64 "
+            f"sort key")
+    return coerced
+
+
+def _make_float_encoder(ascending: bool) -> Callable:
+    """Direction-specialized float encoder (no post-hoc complement)."""
+    if ascending:
+        nan = _NAN_BYTES
+        mask_negative, mask_positive = _ALL64, _SIGN
+    else:
+        nan = _NAN_BYTES.translate(COMPLEMENT)
+        mask_negative, mask_positive = 0, _ALL64 ^ _SIGN
+
+    def encode_float(value, _pack=_PACK_D.pack,
+                     _from_bytes=int.from_bytes) -> bytes:
+        if type(value) is not float:
+            value = _coerce_float(value)
+        if value != value:  # NaN: canonical pattern above every real
+            return nan
+        # ``value if value else 0.0`` collapses -0.0 (tuple keys treat
+        # -0.0 and 0.0 as equal).
+        bits = _from_bytes(_pack(value if value else 0.0), "big")
+        return ((bits ^ mask_negative) if bits & _SIGN
+                else (bits ^ mask_positive)).to_bytes(8, "big")
+
+    return encode_float
+
+
+def _make_string_encoder(ascending: bool) -> Callable:
+    # ORDER BY strings are typically low-cardinality (tags, categories,
+    # names), so the encoded form is memoized: repeats cost one dict
+    # probe instead of an encode + escape scan (+ complement pass when
+    # descending).  Bounded per compiled codec.
+    @functools.lru_cache(maxsize=4096)
+    def encode_string(value) -> bytes:
+        if type(value) is not str:
+            raise KeyEncodingError(
+                f"cannot encode {value!r} as a string sort key")
+        data = value.encode("utf-8", "surrogatepass")
+        if b"\x00" in data:
+            data = data.replace(b"\x00", b"\x00\xff")
+        data += b"\x00\x00"
+        return data if ascending else data.translate(COMPLEMENT)
+
+    return encode_string
+
+
+def _make_date_encoder(ascending: bool) -> Callable:
+    def encode_date(value) -> bytes:
+        # ``datetime.datetime`` subclasses ``date``; its time-of-day
+        # would be silently dropped by the ordinal, so strict identity
+        # is required — mixed date/datetime tuples do not compare
+        # cleanly under tuple keys either.
+        if type(value) is not datetime.date:
+            raise KeyEncodingError(
+                f"cannot encode {value!r} as a date sort key")
+        ordinal = value.toordinal()
+        if not ascending:
+            ordinal = 0xFFFFFFFF - ordinal
+        return ordinal.to_bytes(4, "big")
+
+    return encode_date
+
+
+def _make_bool_encoder(ascending: bool) -> Callable:
+    first, second = (b"\x00", b"\x01") if ascending else (b"\x01", b"\x00")
+
+    def encode_bool(value) -> bytes:
+        if value is False:
+            return first
+        if value is True:
+            return second
+        raise KeyEncodingError(
+            f"cannot encode {value!r} as a bool sort key")
+
+    return encode_bool
+
+
+#: Per-type inline expression templates for the generated encoder.
+#: ``{v}`` is the row subscript; helpers land in the namespace as
+#: ``e{i}``.  INT64 is pure arithmetic — biased for ascending,
+#: complemented-bias for descending — and needs no helper at all.
+_INT_ASC = "({v} + 9223372036854775808).to_bytes(8, 'big')"
+_INT_DESC = "(9223372036854775807 - {v}).to_bytes(8, 'big')"
+
+_HELPER_FACTORIES = {
+    ColumnType.FLOAT64: _make_float_encoder,
+    ColumnType.DECIMAL: _make_float_encoder,
+    ColumnType.STRING: _make_string_encoder,
+    ColumnType.DATE: _make_date_encoder,
+    ColumnType.BOOL: _make_bool_encoder,
+}
+
+
+class KeyCodec:
+    """A compiled order-preserving key encoder for one sort spec.
+
+    Attributes:
+        columns: The spec's sort columns (for display).
+        preferred: Whether the auto policy should substitute this codec
+            for tuple keys: ``True`` unless the tuple key is already a
+            bare primitive (single non-nullable column, ascending or
+            descending-numeric), whose C-level comparisons the encoding
+            cannot beat — and which the vectorized batch paths rely on.
+        encode: ``row -> bytes``; keys compare with plain ``<``.
+    """
+
+    __slots__ = ("columns", "preferred", "encode")
+
+    def __init__(self, columns, preferred: bool,
+                 encode: Callable[[tuple], bytes]):
+        self.columns = columns
+        self.preferred = preferred
+        self.encode = encode
+
+    def decode(self, key: bytes) -> tuple:
+        """Unsupported by design — see the module docstring."""
+        raise NotImplementedError(
+            "binary sort keys are one-way by design; rows travel with "
+            "their keys, so nothing ever needs to decode one")
+
+    def __repr__(self) -> str:
+        clause = ", ".join(str(column) for column in self.columns)
+        return f"KeyCodec({clause})"
+
+
+@functools.lru_cache(maxsize=256)
+def _compile(schema: Schema, columns) -> KeyCodec | None:
+    expressions: list[str] = []
+    namespace: dict = {"KeyEncodingError": KeyEncodingError}
+    for position, column in enumerate(columns):
+        index = schema.index_of(column.name)
+        schema_column = schema.columns[index]
+        ctype = schema_column.type
+        subscript = f"row[{index}]"
+        if ctype is ColumnType.INT64:
+            template = _INT_ASC if column.ascending else _INT_DESC
+            expression = template.format(v=subscript)
+        elif ctype in _HELPER_FACTORIES:
+            helper = f"e{position}"
+            namespace[helper] = _HELPER_FACTORIES[ctype](column.ascending)
+            expression = f"{helper}({subscript})"
+        else:  # future column type: fall back to tuple keys
+            return None
+        if schema_column.nullable:
+            expression = (f"(NULL_FLAG if {subscript} is None "
+                          f"else VALUE_FLAG + {expression})")
+            namespace["NULL_FLAG"] = _NULL_FLAG
+            namespace["VALUE_FLAG"] = _VALUE_FLAG
+        expressions.append(expression)
+
+    # One generated function, one expression: per-row cost is the
+    # column arithmetic plus a single bytes concatenation — no closure
+    # dispatch, no join over a generator.  OverflowError can only come
+    # from an out-of-range INT64 (the float/date/bool helpers raise
+    # KeyEncodingError themselves).
+    source = (
+        "def encode(row):\n"
+        "    try:\n"
+        f"        return {' + '.join(expressions)}\n"
+        "    except OverflowError as exc:\n"
+        "        raise KeyEncodingError(\n"
+        "            f'integer out of int64 range for binary sort "
+        "keys: {row!r}') from exc\n"
+    )
+    exec(compile(source, "<keycodec>", "exec"), namespace)
+    encode = namespace["encode"]
+
+    first = schema.columns[schema.index_of(columns[0].name)]
+    numeric = first.type in (ColumnType.INT64, ColumnType.FLOAT64,
+                             ColumnType.DECIMAL)
+    primitive_tuple_key = (
+        len(columns) == 1 and not first.nullable
+        and (columns[0].ascending or numeric))
+    return KeyCodec(columns, preferred=not primitive_tuple_key,
+                    encode=encode)
+
+
+def compile_keycodec(spec: SortSpec) -> KeyCodec | None:
+    """Compile ``spec`` to a :class:`KeyCodec`, or ``None`` if any of its
+    columns has no binary encoding (callers then keep tuple keys).
+
+    Compilation is memoized on ``(schema, columns)``, so repeated plan
+    construction reuses the same generated encoder.
+    """
+    return _compile(spec.schema, spec.columns)

@@ -1,9 +1,9 @@
 """Multiway merging of sorted runs.
 
 The merge phase produces the final top-k output: runs are scanned
-sequentially and merged with a heap until ``k`` rows (after an optional
-``OFFSET``) have been produced.  Two of the paper's merge-specific
-optimizations are implemented (Section 4.1):
+sequentially and merged until ``k`` rows (after an optional ``OFFSET``)
+have been produced.  Two of the paper's merge-specific optimizations are
+implemented (Section 4.1):
 
 * **Early termination** — a merge step ends when the desired row count is
   reached or when the latest merged key exceeds the cutoff key; for
@@ -14,6 +14,17 @@ optimizations are implemented (Section 4.1):
   merge steps are needed, a top operation should merge the runs with the
   lowest keys (the most recently produced ones) rather than the classic
   smallest-runs-first choice.
+
+Two merge substrates are available.  :func:`merge_keyed` is the classic
+binary heap over precomputed (tuple or binary) keys.  When the engine
+runs on binary keys, ``Merger(ovc=True)`` substitutes the offset-value
+coded tree of losers (:func:`repro.sorting.ovc.merge_coded`), which
+decides most tournaments with one integer comparison and hands each
+intermediate :class:`~repro.sorting.runs.RunWriter` ready-made codes.
+Both report into the ``full_key_comparisons`` / ``code_comparisons``
+counters of :class:`~repro.storage.stats.OperatorStats` (the heap's
+count is a per-operation ``2 * log2(fan-in)`` estimate validated
+against instrumented comparison counts; see :func:`merge_keyed`).
 """
 
 from __future__ import annotations
@@ -24,8 +35,10 @@ from typing import Any, Callable, Iterator
 
 from repro.errors import ConfigurationError, MergeError
 from repro.obs.trace import NULL_TRACER
+from repro.sorting.ovc import merge_coded
 from repro.sorting.runs import RunWriter, SortedRun
 from repro.storage.spill import SpillManager
+from repro.storage.stats import OperatorStats
 
 
 class MergePolicy(Enum):
@@ -42,6 +55,7 @@ def merge_keyed(
     sort_key: Callable[[tuple], Any],
     sources: list[Iterator[tuple[Any, tuple]]] | None = None,
     read_ahead: int = 0,
+    stats: OperatorStats | None = None,
 ) -> Iterator[tuple[Any, tuple]]:
     """Yield ``(key, row)`` pairs from ``runs`` in global sort order.
 
@@ -55,9 +69,20 @@ def merge_keyed(
     run mid-file); ``read_ahead > 0`` enables background page prefetch on
     backends with real I/O.  Per-run iterators are closed on exit, so an
     early-terminated merge releases any read-ahead threads immediately.
+
+    ``stats``, when given, accumulates ``full_key_comparisons`` — a
+    ``2 * log2(heap size)``-per-operation estimate of the key
+    comparisons one heap replacement performs: ``heapreplace`` descends
+    the tree comparing the two children of each vacated slot (one entry
+    comparison per level) and then sifts the new entry back up, and each
+    *entry* comparison touches the key up to twice (tuple comparison
+    probes ``==`` before ``<``).  Instrumented runs with a counting key
+    wrapper measure ~2.2 key touches per level, so ``2 * depth`` is a
+    close, slightly conservative model.
     """
     heap: list[tuple] = []
     iterators = []
+    full = 0
     try:
         for order, run in enumerate(runs):
             if sources is not None:
@@ -69,16 +94,22 @@ def merge_keyed(
             if first is not None:
                 heap.append((first[0], order, first[1]))
         heapq.heapify(heap)
+        depth = 2 * max(1, len(heap).bit_length())
+        full += len(heap) * depth  # heapify cost
         while heap:
             key, order, row = heap[0]
             yield key, row
+            full += depth
             following = next(iterators[order], None)
             if following is None:
                 heapq.heappop(heap)
+                depth = 2 * max(1, len(heap).bit_length())
             else:
                 heapq.heapreplace(
                     heap, (following[0], order, following[1]))
     finally:
+        if stats is not None:
+            stats.full_key_comparisons += full
         for iterator in iterators:
             close = getattr(iterator, "close", None)
             if close is not None:
@@ -89,16 +120,23 @@ class Merger:
     """Merges sorted runs, honoring fan-in limits and top-k early stops.
 
     Args:
-        sort_key: Normalized key extractor.
+        sort_key: Normalized key extractor.  With ``ovc=True`` this must
+            be a binary key encoder
+            (:attr:`repro.sorting.keycodec.KeyCodec.encode`).
         spill_manager: Needed only when intermediate merge steps must write
             new runs (fan-in smaller than the number of runs).
         fan_in: Maximum runs merged at once (``None`` = unlimited).
         policy: Run-selection policy for intermediate steps.
         tracer: Optional :class:`repro.obs.trace.Tracer`; when enabled,
-            every intermediate merge step and the final merge open spans.
+            every intermediate merge step and the final merge open spans
+            annotated with full/code-only comparison counts.
         read_ahead: Pages of background prefetch per run scan (effective
             only on backends with real I/O, e.g. the disk backend); ``0``
             disables the read-ahead thread entirely.
+        ovc: Merge with the offset-value coded tree of losers instead of
+            the binary heap (binary-key engines only).
+        stats: Operator counters receiving ``full_key_comparisons`` /
+            ``code_comparisons``; a private record is kept when omitted.
     """
 
     def __init__(
@@ -109,6 +147,8 @@ class Merger:
         policy: MergePolicy = MergePolicy.LOWEST_KEYS_FIRST,
         tracer=None,
         read_ahead: int = 2,
+        ovc: bool = False,
+        stats: OperatorStats | None = None,
     ):
         if fan_in is not None and fan_in < 2:
             raise ConfigurationError("merge fan-in must be at least 2")
@@ -120,6 +160,8 @@ class Merger:
         self._policy = policy
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._read_ahead = read_ahead
+        self._ovc = ovc
+        self._stats = stats if stats is not None else OperatorStats()
         self._next_intermediate_id = 1_000_000  # distinct from run-gen ids
         #: Rows skipped unread by the last offset-optimized merge.
         self.offset_rows_skipped = 0
@@ -155,6 +197,13 @@ class Merger:
             surviving.append(run)
         return surviving
 
+    def _set_comparison_attributes(self, span, full_before: int,
+                                   code_before: int) -> None:
+        span.set_attribute("comparisons_full",
+                           self._stats.full_key_comparisons - full_before)
+        span.set_attribute("comparisons_code_only",
+                           self._stats.code_comparisons - code_before)
+
     def merge_step(
         self,
         runs: list[SortedRun],
@@ -165,33 +214,68 @@ class Merger:
         """Merge ``runs`` into one new run, truncated per top-k rules.
 
         The inputs are deleted after the step (their storage is reclaimed),
-        matching an external sort's behavior.
+        matching an external sort's behavior.  In OVC mode the tree of
+        losers produces each output row's code as a by-product, and the
+        writer persists it without re-touching the key bytes.
         """
         if self._spill_manager is None:
             raise MergeError("intermediate merge steps need a spill manager")
         with self._tracer.span("merge.step", fan_in=len(runs)) as span:
+            full_before = self._stats.full_key_comparisons
+            code_before = self._stats.code_comparisons
             writer = RunWriter(self._spill_manager,
                                self._next_intermediate_id,
-                               on_spill=on_spill)
+                               on_spill=on_spill,
+                               compute_codes=self._ovc)
             self._next_intermediate_id += 1
-            for key, row in merge_keyed(runs, self._sort_key,
-                                        read_ahead=self._read_ahead):
-                if cutoff is not None and key > cutoff:
-                    writer.truncated = True
-                    break
-                if row_limit is not None and writer.row_count >= row_limit:
-                    writer.truncated = True
-                    break
-                writer.write(key, row)
+            if self._ovc:
+                for key, row, code in merge_coded(
+                        runs, self._sort_key,
+                        read_ahead=self._read_ahead, stats=self._stats):
+                    if cutoff is not None and key > cutoff:
+                        writer.truncated = True
+                        break
+                    if (row_limit is not None
+                            and writer.row_count >= row_limit):
+                        writer.truncated = True
+                        break
+                    writer.write(key, row, code)
+            else:
+                for key, row in merge_keyed(runs, self._sort_key,
+                                            read_ahead=self._read_ahead,
+                                            stats=self._stats):
+                    if cutoff is not None and key > cutoff:
+                        writer.truncated = True
+                        break
+                    if (row_limit is not None
+                            and writer.row_count >= row_limit):
+                        writer.truncated = True
+                        break
+                    writer.write(key, row)
             merged = writer.close()
             for run in runs:
                 self._spill_manager.delete_file(run.file)
             if self._tracer.enabled:
                 span.set_attribute("rows_written", merged.row_count)
                 span.set_attribute("truncated", writer.truncated)
+                self._set_comparison_attributes(span, full_before,
+                                                code_before)
             return merged
 
     # -- final merge ---------------------------------------------------------
+
+    def _stream(self, runs: list[SortedRun], sources
+                ) -> Iterator[tuple[Any, tuple]]:
+        """The final-merge ``(key, row)`` stream on either substrate."""
+        if self._ovc:
+            for key, row, _code in merge_coded(
+                    runs, self._sort_key, sources=sources,
+                    read_ahead=self._read_ahead, stats=self._stats):
+                yield key, row
+        else:
+            yield from merge_keyed(runs, self._sort_key, sources=sources,
+                                   read_ahead=self._read_ahead,
+                                   stats=self._stats)
 
     def merge_topk(
         self,
@@ -258,9 +342,14 @@ class Merger:
             if skip_key is not None:
                 sources = []
                 for run in runs:
-                    skipped_rows, iterator = run.keyed_rows_skipping(
-                        self._sort_key, skip_key,
-                        prefetch=self._read_ahead)
+                    if self._ovc:
+                        skipped_rows, iterator = run.coded_rows_skipping(
+                            self._sort_key, skip_key,
+                            prefetch=self._read_ahead)
+                    else:
+                        skipped_rows, iterator = run.keyed_rows_skipping(
+                            self._sort_key, skip_key,
+                            prefetch=self._read_ahead)
                     self.offset_rows_skipped += skipped_rows
                     sources.append(iterator)
         remaining_offset = offset - self.offset_rows_skipped
@@ -268,9 +357,9 @@ class Merger:
         produced = 0
         skipped = 0
         with self._tracer.span("merge.final", runs=len(runs)) as span:
-            for key, row in merge_keyed(runs, self._sort_key,
-                                        sources=sources,
-                                        read_ahead=self._read_ahead):
+            full_before = self._stats.full_key_comparisons
+            code_before = self._stats.code_comparisons
+            for key, row in self._stream(runs, sources):
                 if cutoff is not None and key > cutoff:
                     break
                 if skipped < remaining_offset:
@@ -284,3 +373,5 @@ class Merger:
                 span.set_attribute("rows_output", produced)
                 span.set_attribute("offset_rows_skipped",
                                    self.offset_rows_skipped)
+                self._set_comparison_attributes(span, full_before,
+                                                code_before)

@@ -1,0 +1,226 @@
+"""Offset-value codes and the tree-of-losers merge.
+
+Offset-value coding (Do & Graefe; also Conner's original formulation)
+attaches to each key in a sorted sequence a single integer — its *code*
+relative to the previous key — from which most comparisons between keys
+can be decided without touching the keys at all:
+
+* ``offset`` — the index of the first byte where the key differs from
+  its base (the keys are order-preserving byte strings from
+  :mod:`repro.sorting.keycodec`, so byte index granularity is exact);
+* ``value`` — the key's byte at that offset.
+
+The code packs both as ``((KMAX - offset) << 9) | (value + 1)`` so that
+*smaller code* |srarr| *smaller key* among keys coded against a common
+base: a longer shared prefix means a larger offset means a smaller code,
+and equal offsets tie-break on the differing byte.  The ``value + 1``
+bias reserves slot 0 for "key ends here", which orders a proper prefix
+before any continuation; code ``0`` means "equal to the base".
+
+The tree-of-losers merge below maintains the classic invariant that
+every stored loser along the current winner's path carries a code
+relative to that winner.  A tournament between two candidates then
+needs a full key comparison *only* when their codes are equal (equal
+prefix up to and including the coded byte); in every other case one
+integer comparison decides, and the loser's stored code is already
+correct relative to the new winner.  On low-to-moderate-entropy inputs
+this eliminates the vast majority of full-key comparisons — the
+``full_key_comparisons`` / ``code_comparisons`` counters on
+:class:`~repro.storage.stats.OperatorStats` quantify it per query.
+
+.. |srarr| unicode:: U+2192
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+#: Offset bias: offsets are subtracted from KMAX so deeper agreement
+#: yields smaller codes.  32 bits bounds key length at ~4 GiB.
+KMAX = 1 << 32
+_SHIFT = 9  # value field: 0 (end of key) .. 256 (byte 0xFF, biased +1)
+
+#: Code of the first row of a run (no base to compare against).  Never
+#: consulted by the merge — first candidates are seeded with full
+#: comparisons — but distinct from every real code for debuggability.
+INITIAL_CODE = (KMAX + 1) << _SHIFT
+#: Code of an exhausted input: loses every tournament by code alone.
+SENTINEL_CODE = (KMAX + 2) << _SHIFT
+
+
+def first_diff(a: bytes, b: bytes) -> int:
+    """Index of the first byte where ``a`` and ``b`` differ.
+
+    Assumes ``a != b``; returns ``min(len(a), len(b))`` when one is a
+    proper prefix of the other.  XOR of the common-length prefixes as
+    big-endian integers: the highest set bit locates the first differing
+    byte, all in C-level bigint ops regardless of key length.
+    """
+    n = min(len(a), len(b))
+    x = int.from_bytes(a[:n], "big") ^ int.from_bytes(b[:n], "big")
+    if not x:
+        return n
+    return n - ((x.bit_length() + 7) >> 3)
+
+
+def code_between(base: bytes | None, key: bytes) -> int:
+    """The offset-value code of ``key`` relative to ``base`` (<= key).
+
+    ``None`` base (the run's first row) yields :data:`INITIAL_CODE`;
+    equality yields ``0``.
+    """
+    if base is None:
+        return INITIAL_CODE
+    if base == key:
+        return 0
+    d = first_diff(base, key)
+    value = key[d] + 1 if d < len(key) else 0
+    return ((KMAX - d) << _SHIFT) | value
+
+
+def merge_coded(
+    runs: list,
+    encode: Callable[[tuple], bytes],
+    sources: list[Iterator[tuple[bytes, tuple, int]]] | None = None,
+    read_ahead: int = 0,
+    stats: Any = None,
+) -> Iterator[tuple[bytes, tuple, int]]:
+    """Merge coded run scans with an OVC tree of losers.
+
+    Yields ``(key, row, code)`` in global sort order, stable by run
+    position within equal keys (matching
+    :func:`~repro.sorting.merge.merge_keyed` exactly).  The yielded
+    ``code`` is the row's offset-value code relative to the *previous
+    yielded row* — exactly what an intermediate merge step hands to its
+    :class:`~repro.sorting.runs.RunWriter`, so re-spilled rows never
+    recompute codes.  The code of the first yielded row is meaningless
+    (the writer substitutes :data:`INITIAL_CODE`).
+
+    ``sources`` substitutes custom coded iterators per run (offset
+    skipping); ``stats`` receives ``full_key_comparisons`` /
+    ``code_comparisons`` increments.  Per-run iterators are closed on
+    exit like the heap merge.
+    """
+    iterators: list[Iterator] = []
+    full = code_only = 0
+    try:
+        for order, run in enumerate(runs):
+            if sources is not None:
+                iterators.append(iter(sources[order]))
+            else:
+                iterators.append(run.coded_rows(encode,
+                                                prefetch=read_ahead))
+        m = len(iterators)
+        if m == 0:
+            return
+        if m == 1:
+            first = next(iterators[0], None)
+            if first is not None:
+                yield first
+                yield from iterators[0]
+            return
+
+        keys: list[bytes | None] = [None] * m
+        rows: list[tuple | None] = [None] * m
+        codes: list[int] = [SENTINEL_CODE] * m
+        for slot, iterator in enumerate(iterators):
+            first = next(iterator, None)
+            if first is not None:
+                keys[slot], rows[slot], codes[slot] = first
+        # Internal nodes 1..m-1 hold loser slots; leaf for slot ``i``
+        # is tree position ``m + i``; losers[0] is the overall winner.
+        losers = [0] * m
+
+        def full_duel(a: int, b: int) -> tuple[int, int]:
+            """Resolve by full key comparison; recode the loser.
+
+            Returns ``(winner, loser)`` and stores the loser's code
+            relative to the winner, re-establishing the invariant.
+            """
+            nonlocal full
+            ka, kb = keys[a], keys[b]
+            if ka is None or kb is None:
+                if ka is None and kb is None:
+                    return (a, b) if a < b else (b, a)
+                return (b, a) if ka is None else (a, b)
+            full += 1
+            if ka == kb:
+                winner, loser = (a, b) if a < b else (b, a)
+                codes[loser] = 0
+                return winner, loser
+            d = first_diff(ka, kb)
+            va = ka[d] + 1 if d < len(ka) else 0
+            vb = kb[d] + 1 if d < len(kb) else 0
+            if va < vb:
+                winner, loser, lv = a, b, vb
+            else:
+                winner, loser, lv = b, a, va
+            codes[loser] = ((KMAX - d) << _SHIFT) | lv
+            return winner, loser
+
+        def duel(a: int, b: int) -> tuple[int, int]:
+            """Tournament between candidates coded against a common base.
+
+            Distinct codes decide by one integer comparison, and the
+            loser's existing code is already relative to the winner (the
+            offset-value coding lemma).  Equal nonzero codes mean the
+            keys agree through the coded byte: fall back to a full
+            comparison, which recodes the loser.
+            """
+            nonlocal code_only
+            ca, cb = codes[a], codes[b]
+            if ca != cb:
+                code_only += 1
+                return (a, b) if ca < cb else (b, a)
+            if ca == 0:  # both equal to the base: stable by run order
+                code_only += 1
+                return (a, b) if a < b else (b, a)
+            if ca >= SENTINEL_CODE:  # both exhausted
+                return (a, b) if a < b else (b, a)
+            return full_duel(a, b)
+
+        def build(node: int) -> int:
+            """Seed the tree bottom-up with full comparisons.
+
+            Incoming first-candidate codes are relative to nothing and
+            are ignored: every stored loser leaves the build coded
+            relative to the winner that defeated it.
+            """
+            if node >= m:
+                return node - m
+            winner, loser = full_duel(build(2 * node),
+                                      build(2 * node + 1))
+            losers[node] = loser
+            return winner
+
+        losers[0] = build(1)
+
+        while True:
+            w = losers[0]
+            key = keys[w]
+            if key is None:
+                break
+            yield key, rows[w], codes[w]
+            following = next(iterators[w], None)
+            if following is None:
+                keys[w] = None
+                rows[w] = None
+                codes[w] = SENTINEL_CODE
+            else:
+                keys[w], rows[w], codes[w] = following
+            # The replacement enters coded against the departed winner,
+            # as is every loser on its path — ascend with code duels.
+            node = (m + w) >> 1
+            winner = w
+            while node:
+                winner, losers[node] = duel(winner, losers[node])
+                node >>= 1
+            losers[0] = winner
+    finally:
+        if stats is not None:
+            stats.full_key_comparisons += full
+            stats.code_comparisons += code_only
+        for iterator in iterators:
+            close = getattr(iterator, "close", None)
+            if close is not None:
+                close()

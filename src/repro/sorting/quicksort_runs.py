@@ -45,6 +45,7 @@ class QuicksortRunGenerator:
         memory_bytes: int | None = None,
         row_size: Callable[[tuple], int] | None = None,
         stats: OperatorStats | None = None,
+        compute_codes: bool = False,
     ):
         if memory_rows is None and memory_bytes is None:
             raise ConfigurationError(
@@ -66,7 +67,14 @@ class QuicksortRunGenerator:
         self._on_spill = on_spill
         self._on_run_closed = on_run_closed
         self._stats = stats or OperatorStats()
+        self._compute_codes = compute_codes
+        # Rows and their sort keys, parallel.  Keys are computed exactly
+        # once per row — at admission (or inherited from a keyed feeder,
+        # e.g. the arrival-side cutoff check, which already paid for
+        # them) — and reused for the load sort, the spill-filter
+        # re-check, and the run write.
         self._buffer: list[tuple] = []
+        self._buffer_keys: list = []
         self._next_run_id = 0
         self.runs: list[SortedRun] = []
 
@@ -75,31 +83,33 @@ class QuicksortRunGenerator:
         possibly split) run."""
         if not self._buffer:
             return
-        key = self._sort_key
-        self._buffer.sort(key=key)
+        keys = self._buffer_keys
+        rows = self._buffer
+        # Sort positions by the precomputed keys (stable: ``sorted`` on
+        # distinct positions never compares two equal entries' rows).
+        order = sorted(range(len(rows)), key=keys.__getitem__)
         # ~n log n comparisons for the sort, as a CPU-effort proxy.
-        n = len(self._buffer)
+        n = len(rows)
         self._stats.sort_comparisons += n * max(1, n.bit_length())
 
         writer = RunWriter(self._spill_manager, self._next_run_id,
-                           on_spill=self._on_spill)
+                           on_spill=self._on_spill,
+                           compute_codes=self._compute_codes)
         self._next_run_id += 1
         if self._spill_filter is None:
             # No per-row re-check can truncate the run, so the sorted
             # load goes out in whole-run (or run-size-limit) batches.
-            self._flush_buffer_batched(writer)
+            self._flush_buffer_batched(writer, order)
             return
-        for index, row in enumerate(self._buffer):
-            row_key = key(row)
-            if self._spill_filter is not None:
-                self._stats.cutoff_comparisons += 1
-                if self._spill_filter(row_key):
-                    # Ascending order: every remaining row is >= this one,
-                    # so the whole tail is eliminated and the run truncated.
-                    remaining = len(self._buffer) - index
-                    self._stats.rows_eliminated_at_spill += remaining
-                    writer.truncated = True
-                    break
+        for written, position in enumerate(order):
+            row_key = keys[position]
+            self._stats.cutoff_comparisons += 1
+            if self._spill_filter(row_key):
+                # Ascending order: every remaining row is >= this one,
+                # so the whole tail is eliminated and the run truncated.
+                self._stats.rows_eliminated_at_spill += n - written
+                writer.truncated = True
+                break
             if (self._run_size_limit is not None
                     and writer.row_count >= self._run_size_limit):
                 run = writer.close()
@@ -107,10 +117,12 @@ class QuicksortRunGenerator:
                 if self._on_run_closed is not None:
                     self._on_run_closed(run)
                 writer = RunWriter(self._spill_manager, self._next_run_id,
-                                   on_spill=self._on_spill)
+                                   on_spill=self._on_spill,
+                                   compute_codes=self._compute_codes)
                 self._next_run_id += 1
-            writer.write(row_key, row)
+            writer.write(row_key, rows[position])
         self._buffer = []
+        self._buffer_keys = []
         self._buffer_bytes = 0
         if writer.row_count == 0:
             writer.abandon()
@@ -120,19 +132,23 @@ class QuicksortRunGenerator:
         if self._on_run_closed is not None:
             self._on_run_closed(run)
 
-    def _flush_buffer_batched(self, writer: RunWriter) -> None:
+    def _flush_buffer_batched(self, writer: RunWriter,
+                              order: list[int]) -> None:
         """Write the sorted load via batch writes (no spill filter).
 
         Run boundaries match the per-row path exactly: each run takes
         ``run_size_limit`` rows (the last takes the remainder).
         """
-        keys = list(map(self._sort_key, self._buffer))
-        total = len(self._buffer)
+        buffer_keys = self._buffer_keys
+        buffer_rows = self._buffer
+        keys = [buffer_keys[position] for position in order]
+        rows = [buffer_rows[position] for position in order]
+        total = len(rows)
         start = 0
         while True:
             end = (total if self._run_size_limit is None
                    else min(total, start + self._run_size_limit))
-            writer.write_batch(keys[start:end], self._buffer[start:end])
+            writer.write_batch(keys[start:end], rows[start:end])
             start = end
             if start >= total:
                 break
@@ -141,9 +157,11 @@ class QuicksortRunGenerator:
             if self._on_run_closed is not None:
                 self._on_run_closed(run)
             writer = RunWriter(self._spill_manager, self._next_run_id,
-                               on_spill=self._on_spill)
+                               on_spill=self._on_spill,
+                               compute_codes=self._compute_codes)
             self._next_run_id += 1
         self._buffer = []
+        self._buffer_keys = []
         self._buffer_bytes = 0
         run = writer.close()
         self.runs.append(run)
@@ -152,9 +170,11 @@ class QuicksortRunGenerator:
 
     def consume(self, rows: Iterable[tuple]) -> None:
         """Feed rows; a run is emitted every time memory fills."""
+        key = self._sort_key
         track_bytes = self._memory_bytes is not None
         for row in rows:
             self._buffer.append(row)
+            self._buffer_keys.append(key(row))
             if track_bytes:
                 self._buffer_bytes += self._row_size(row)
                 if self._buffer_bytes >= self._memory_bytes:
@@ -164,31 +184,59 @@ class QuicksortRunGenerator:
                     and len(self._buffer) >= self._memory_rows):
                 self._flush_buffer()
 
-    def consume_batch(self, rows: list[tuple]) -> None:
+    def consume_keyed(self, keyed_rows: Iterable[tuple]) -> None:
+        """Feed ``(key, row)`` pairs from a caller that already computed
+        the keys (the arrival-side cutoff check does), so admission adds
+        no key computation at all."""
+        track_bytes = self._memory_bytes is not None
+        for key, row in keyed_rows:
+            self._buffer.append(row)
+            self._buffer_keys.append(key)
+            if track_bytes:
+                self._buffer_bytes += self._row_size(row)
+                if self._buffer_bytes >= self._memory_bytes:
+                    self._flush_buffer()
+                    continue
+            if (self._memory_rows is not None
+                    and len(self._buffer) >= self._memory_rows):
+                self._flush_buffer()
+
+    def consume_batch(self, rows: list[tuple],
+                      keys: list | None = None) -> None:
         """Feed a batch of rows via bulk buffer extension.
 
         Equivalent to :meth:`consume` (identical flush points for
         row-counted memory: loads fill to exactly ``memory_rows``), but
         the buffer grows by list slices instead of one append per row.
-        Byte-budgeted memory still needs per-row size accounting and
-        falls back to the row loop.
+        ``keys``, when given, parallels ``rows`` and spares the bulk key
+        computation.  Byte-budgeted memory still needs per-row size
+        accounting and falls back to the row loop.
         """
         if self._memory_bytes is not None:
-            self.consume(rows)
+            if keys is not None:
+                self.consume_keyed(zip(keys, rows))
+            else:
+                self.consume(rows)
             return
+        if keys is None:
+            keys = list(map(self._sort_key, rows))
         buffer = self._buffer
+        buffer_keys = self._buffer_keys
         total = len(rows)
         start = 0
         while start < total:
             take = min(self._memory_rows - len(buffer), total - start)
             if start == 0 and take == total and not buffer:
                 buffer.extend(rows)
+                buffer_keys.extend(keys)
             else:
                 buffer.extend(rows[start:start + take])
+                buffer_keys.extend(keys[start:start + take])
             start += take
             if len(buffer) >= self._memory_rows:
                 self._flush_buffer()
                 buffer = self._buffer
+                buffer_keys = self._buffer_keys
 
     def finish(self) -> list[SortedRun]:
         """Flush the final partial load and return all runs."""

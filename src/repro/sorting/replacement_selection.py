@@ -68,6 +68,7 @@ class ReplacementSelectionRunGenerator:
         memory_bytes: int | None = None,
         row_size: Callable[[tuple], int] | None = None,
         stats: OperatorStats | None = None,
+        compute_codes: bool = False,
     ):
         if memory_rows is None and memory_bytes is None:
             raise ConfigurationError(
@@ -89,6 +90,7 @@ class ReplacementSelectionRunGenerator:
         self._on_spill = on_spill
         self._on_run_closed = on_run_closed
         self._stats = stats or OperatorStats()
+        self._compute_codes = compute_codes
         # Heap entries: (epoch, key, seq, size, row).  ``seq`` breaks ties
         # so rows never get compared directly.
         self._heap: list[tuple] = []
@@ -103,7 +105,8 @@ class ReplacementSelectionRunGenerator:
 
     def _open_writer(self) -> RunWriter:
         writer = RunWriter(self._spill_manager, self._next_run_id,
-                           on_spill=self._on_spill)
+                           on_spill=self._on_spill,
+                           compute_codes=self._compute_codes)
         self._next_run_id += 1
         return writer
 
@@ -148,8 +151,9 @@ class ReplacementSelectionRunGenerator:
             # ``_last_written_key`` is kept: deferment decisions must still
             # compare against the last key actually emitted in this epoch.
 
-    def _admit(self, row: tuple, size: int) -> None:
-        key = self._sort_key(row)
+    def _admit(self, row: tuple, size: int, key: Any = None) -> None:
+        if key is None:
+            key = self._sort_key(row)
         if (self._last_written_key is not None
                 and key < self._last_written_key):
             # Too small for the current run: defer to the next epoch.
@@ -186,11 +190,26 @@ class ReplacementSelectionRunGenerator:
                 self._spill_smallest()
             self._admit(row, size)
 
-    def consume_batch(self, rows: list[tuple]) -> None:
+    def consume_keyed(self, keyed_rows: Iterable[tuple]) -> None:
+        """Feed ``(key, row)`` pairs from a caller that already computed
+        the keys (the arrival-side cutoff check does), sparing the
+        admission-time key computation."""
+        track_bytes = self._memory_bytes is not None
+        for key, row in keyed_rows:
+            size = self._row_size(row) if track_bytes else 0
+            while self._memory_full(size):
+                self._spill_smallest()
+            self._admit(row, size, key)
+
+    def consume_batch(self, rows: list[tuple],
+                      keys: list | None = None) -> None:
         """Batch-feeding surface; replacement selection is inherently
         row-at-a-time (each admission can evict), so this delegates to
-        :meth:`consume`."""
-        self.consume(rows)
+        :meth:`consume` / :meth:`consume_keyed`."""
+        if keys is not None:
+            self.consume_keyed(zip(keys, rows))
+        else:
+            self.consume(rows)
 
     def finish(self) -> list[SortedRun]:
         """Drain memory, seal the final run(s) and return all runs."""

@@ -14,6 +14,13 @@ Each run also records the first key of every page — a tiny page index
 (the "linear partitioned b-tree" idea of Section 4.1) that lets deep
 ``OFFSET`` merges skip whole pages without reading them, while knowing
 exactly how many rows were skipped.
+
+When the engine runs on binary keys (:mod:`repro.sorting.keycodec`),
+writers additionally compute each row's offset-value code against the
+previous row (``compute_codes=True``) and store it in the page, and
+:meth:`SortedRun.coded_rows` hands the merge ``(key, row, code)``
+triples — with both key recomputation and code recovery happening on the
+read-ahead thread when prefetching.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from repro.errors import SpillError
+from repro.sorting.ovc import INITIAL_CODE, code_between
 from repro.storage.pages import Page, PageBuilder
 from repro.storage.spill import SpillFile, SpillManager
 
@@ -43,7 +51,37 @@ def _ensure_keys(sort_key: Callable[[tuple], Any]
     return transform
 
 
-@dataclass
+def _ensure_coded(encode: Callable[[tuple], bytes]
+                  ) -> Callable[[Page], Page]:
+    """Page transform guaranteeing both keys and offset-value codes.
+
+    Stateful across pages (the previous page's last key is the code base
+    of the next page's first row), so it must be applied to one
+    sequential scan only — which is exactly how
+    :meth:`~repro.storage.spill.SpillFile.pages` applies transforms,
+    including under read-ahead (a single producer thread).
+    """
+    state: list[Any] = [None]
+
+    def transform(page: Page) -> Page:
+        keys = page.keys
+        if keys is None:
+            keys = page.keys = [encode(row) for row in page.rows]
+        if page.codes is None:
+            codes = []
+            append = codes.append
+            previous = state[0]
+            for key in keys:
+                append(code_between(previous, key))
+                previous = key
+            page.codes = codes
+        if keys:
+            state[0] = keys[-1]
+        return page
+    return transform
+
+
+@dataclass(slots=True)
 class SortedRun:
     """Metadata and reader for one sealed sorted run."""
 
@@ -76,6 +114,32 @@ class SortedRun:
                                     transform=transform):
             yield from zip(page.keys, page.rows)
 
+    def coded_rows(self, encode: Callable[[tuple], bytes],
+                   prefetch: int = 0, start_page: int = 0
+                   ) -> Iterator[tuple[bytes, tuple, int]]:
+        """Scan ``(key, row, code)`` triples for the OVC merge.
+
+        Codes persisted at write time (typed codec, or the in-memory
+        backend's page objects) are reused; otherwise they are recovered
+        page-at-a-time alongside the keys — on the read-ahead thread
+        when prefetching.  When the scan starts mid-file
+        (``start_page > 0``), the first delivered row's stored code is
+        relative to a row the caller never saw, so it is replaced by
+        :data:`~repro.sorting.ovc.INITIAL_CODE`.
+        """
+        transform = _ensure_coded(encode)
+        first = start_page > 0
+        for page in self.file.pages(start_page=start_page,
+                                    prefetch=prefetch,
+                                    transform=transform):
+            if first and page.rows:
+                first = False
+                yield page.keys[0], page.rows[0], INITIAL_CODE
+                yield from zip(page.keys[1:], page.rows[1:],
+                               page.codes[1:])
+                continue
+            yield from zip(page.keys, page.rows, page.codes)
+
     def keyed_rows_skipping(
         self, sort_key: Callable[[tuple], Any], skip_key: Any,
         prefetch: int = 0,
@@ -87,6 +151,19 @@ class SortedRun:
         start = max(0, start - 1)
         skipped = sum(self.file.page_row_counts[:start])
         return skipped, self.keyed_rows(sort_key, prefetch=prefetch,
+                                        start_page=start)
+
+    def coded_rows_skipping(
+        self, encode: Callable[[tuple], bytes], skip_key: Any,
+        prefetch: int = 0,
+    ) -> tuple[int, Iterator[tuple[bytes, tuple, int]]]:
+        """Coded variant of :meth:`rows_skipping` (same skip rule)."""
+        if not self.page_first_keys or skip_key is None:
+            return 0, self.coded_rows(encode, prefetch=prefetch)
+        start = bisect.bisect_left(self.page_first_keys, skip_key)
+        start = max(0, start - 1)
+        skipped = sum(self.file.page_row_counts[:start])
+        return skipped, self.coded_rows(encode, prefetch=prefetch,
                                         start_page=start)
 
     def rows_skipping(self, skip_key: Any
@@ -127,7 +204,17 @@ class RunWriter:
         on_spill: Optional callback ``(key, row)`` fired after each row is
             appended — the paper's ``rowSpilled`` hook.
         check_order: Verify keys are non-decreasing (cheap; on by default).
+        compute_codes: Compute and store each row's offset-value code
+            against the previous row (binary-key engines only; keys must
+            be ``bytes``).  A caller that already knows a row's code —
+            the OVC merge produces them as a by-product — passes it to
+            :meth:`write` and no key bytes are re-touched.
     """
+
+    __slots__ = ("_manager", "_file", "_builder", "_on_spill",
+                 "_check_order", "_compute_codes", "run_id", "row_count",
+                 "first_key", "last_key", "truncated", "page_first_keys",
+                 "_closed")
 
     def __init__(
         self,
@@ -135,12 +222,14 @@ class RunWriter:
         run_id: int,
         on_spill: Callable[[Any, tuple], None] | None = None,
         check_order: bool = True,
+        compute_codes: bool = False,
     ):
         self._manager = spill_manager
         self._file = spill_manager.create_file()
         self._builder: PageBuilder = spill_manager.new_page_builder()
         self._on_spill = on_spill
         self._check_order = check_order
+        self._compute_codes = compute_codes
         self.run_id = run_id
         self.row_count = 0
         self.first_key: Any = None
@@ -149,7 +238,8 @@ class RunWriter:
         self.page_first_keys: list = []
         self._closed = False
 
-    def write(self, key: Any, row: tuple) -> None:
+    def write(self, key: Any, row: tuple,
+              code: int | None = None) -> None:
         """Append one row (must not sort before the previous row)."""
         if self._closed:
             raise SpillError("run writer is already closed")
@@ -158,10 +248,17 @@ class RunWriter:
                 f"run #{self.run_id} order violation: {key!r} after "
                 f"{self.last_key!r}"
             )
+        if self._compute_codes:
+            if self.row_count == 0:
+                code = INITIAL_CODE
+            elif code is None:
+                code = code_between(self.last_key, key)
+        else:
+            code = None
         if self._builder.pending_rows == 0:
             # This row opens a new page: index its key.
             self.page_first_keys.append(key)
-        page = self._builder.add(row, key)
+        page = self._builder.add(row, key, code)
         if page is not None:
             self._file.append_page(page)
         if self.row_count == 0:
@@ -192,11 +289,18 @@ class RunWriter:
                 f"run #{self.run_id} order violation: {first!r} after "
                 f"{self.last_key!r}"
             )
+        codes = None
+        if self._compute_codes:
+            codes = [0] * count
+            previous = self.last_key if self.row_count else None
+            for position, key in enumerate(keys):
+                codes[position] = code_between(previous, key)
+                previous = key
         # ``boundary`` walks the page-opening positions in batch-local
         # coordinates; a carried partial page opened before this batch
         # (negative start) was already indexed.
         boundary = -self._builder.pending_rows
-        pages = self._builder.extend(rows, keys)
+        pages = self._builder.extend(rows, keys, codes)
         for page in pages:
             if boundary >= 0:
                 self.page_first_keys.append(keys[boundary])

@@ -17,10 +17,17 @@ what each surviving row costs on the wire and on the CPU:
 
 Wire format (one page)::
 
-    byte 0        format version (0 = pickle, 1 = typed columnar)
+    byte 0        format version (0 = pickle, 1 = typed columnar,
+                  2 = offset-value-code wrapper)
     --- version 0 ---------------------------------------------------
     u32           stated byte size (the page's accounting size)
     ...           pickle.dumps(rows)
+    --- version 2 ---------------------------------------------------
+    u32           stated byte size
+    u32           row count
+    rows x u64    offset-value codes (little-endian; see
+                  :mod:`repro.sorting.ovc`)
+    ...           a complete embedded page (any other version)
     --- version 1 ---------------------------------------------------
     u32           stated byte size
     u32           row count
@@ -59,6 +66,9 @@ from repro.storage.pages import Page
 FORMAT_PICKLE = 0
 #: Version byte of the typed columnar page format.
 FORMAT_TYPED = 1
+#: Version byte of the offset-value-code wrapper: a u64 LE code vector
+#: followed by a complete embedded page in any other format.
+FORMAT_OVC = 2
 
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
@@ -119,6 +129,18 @@ class TypedPageCodec:
         ]
 
     def encode(self, page: Page) -> bytes:
+        payload = self._encode_rows(page)
+        if page.codes is not None and len(page.codes) == len(page.rows):
+            # Persist the offset-value codes in front of the page so the
+            # merge read path never recomputes them (recomputation would
+            # re-touch exactly the key bytes the codes exist to skip).
+            return (_PREFIX.pack(FORMAT_OVC, page.byte_size)
+                    + _U32.pack(len(page.codes))
+                    + struct.pack(f"<{len(page.codes)}Q", *page.codes)
+                    + payload)
+        return payload
+
+    def _encode_rows(self, page: Page) -> bytes:
         rows = page.rows
         if rows and len(rows[0]) != len(self._encoders):
             # Arity drift (projection upstream): not this schema's pages.
@@ -259,6 +281,23 @@ def decode_page(payload: bytes) -> Page:
             raise SpillError(
                 f"corrupted typed spill page: {exc}") from exc
         return Page(rows=rows, byte_size=stated_size)
+    if version == FORMAT_OVC:
+        try:
+            (count,) = _U32.unpack_from(payload, _PREFIX.size)
+            body = _PREFIX.size + _U32.size
+            codes = list(struct.unpack_from(f"<{count}Q", payload, body))
+            inner = decode_page(payload[body + 8 * count:])
+        except SpillError:
+            raise
+        except Exception as exc:
+            raise SpillError(
+                f"corrupted offset-value-code spill page: {exc}") from exc
+        if count != len(inner.rows):
+            raise SpillError(
+                f"offset-value-code vector length {count} does not match "
+                f"{len(inner.rows)} page rows: corrupted spill page")
+        inner.codes = codes
+        return inner
     raise SpillError(
         f"unknown spill page format version {version}; the file is "
         f"corrupted or written by an incompatible codec")

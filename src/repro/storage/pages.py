@@ -34,11 +34,19 @@ class Page:
 
     ``keys``, when present, parallels ``rows`` with each row's normalized
     sort key (a merge-side cache; excluded from serialization).
+
+    ``codes``, when present, parallels ``rows`` with each row's
+    offset-value code relative to the previous row of the run (see
+    :mod:`repro.sorting.ovc`).  Unlike keys, codes *are* persisted by the
+    typed page codec — they are cheap on the wire (8 bytes/row) and,
+    recomputing them on read would re-touch exactly the key bytes the
+    codes exist to avoid.
     """
 
     rows: list[tuple]
     byte_size: int
     keys: list | None = None
+    codes: list[int] | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -64,6 +72,7 @@ class PageBuilder:
             raise SpillError("page capacity must be positive")
         self._rows: list[tuple] = []
         self._keys: list = []
+        self._codes: list[int] = []
         self._bytes = 0
 
     @property
@@ -71,7 +80,8 @@ class PageBuilder:
         """Rows buffered but not yet emitted as a page."""
         return len(self._rows)
 
-    def add(self, row: tuple, key: Any = None) -> Page | None:
+    def add(self, row: tuple, key: Any = None,
+            code: int | None = None) -> Page | None:
         """Buffer ``row``; return a completed page when capacity is reached.
 
         A single row larger than the page capacity still gets its own page —
@@ -81,28 +91,41 @@ class PageBuilder:
 
         ``key``, when given, is the row's normalized sort key; a page whose
         every row carried one is emitted with its key cache populated.
+        ``code`` likewise carries the row's offset-value code.
         """
         size = self.row_size(row)
         self._rows.append(row)
         if key is not None:
             self._keys.append(key)
+        if code is not None:
+            self._codes.append(code)
         self._bytes += size
         if self._bytes >= self.page_bytes:
             return self.flush()
         return None
 
     def extend(self, rows: Sequence[tuple],
-               keys: Sequence | None = None) -> list[Page]:
+               keys: Sequence | None = None,
+               codes: Sequence[int] | None = None) -> list[Page]:
         """Buffer a batch of rows; return every page completed on the way.
 
         The batch equivalent of repeated :meth:`add` calls (identical
         page boundaries), amortizing the per-call overhead over a whole
         spill batch.  A trailing partial page stays buffered as usual.
-        ``keys``, when given, parallels ``rows``.
+        ``keys`` and ``codes``, when given, parallel ``rows``.
         """
         pages: list[Page] = []
         row_size = self.row_size
         if keys is not None:
+            if codes is not None:
+                for row, key, code in zip(rows, keys, codes):
+                    self._rows.append(row)
+                    self._keys.append(key)
+                    self._codes.append(code)
+                    self._bytes += row_size(row)
+                    if self._bytes >= self.page_bytes:
+                        pages.append(self.flush())
+                return pages
             for row, key in zip(rows, keys):
                 self._rows.append(row)
                 self._keys.append(key)
@@ -122,8 +145,11 @@ class PageBuilder:
         if not self._rows:
             return None
         keys = self._keys if len(self._keys) == len(self._rows) else None
-        page = Page(rows=self._rows, byte_size=self._bytes, keys=keys)
+        codes = self._codes if len(self._codes) == len(self._rows) else None
+        page = Page(rows=self._rows, byte_size=self._bytes, keys=keys,
+                    codes=codes)
         self._rows = []
         self._keys = []
+        self._codes = []
         self._bytes = 0
         return page

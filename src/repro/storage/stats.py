@@ -161,6 +161,15 @@ class OperatorStats:
     cutoff_comparisons: int = 0
     #: Sort comparisons (heap sift / quicksort) — proxy for CPU effort.
     sort_comparisons: int = 0
+    #: Full key comparisons during merging — byte-string (or tuple)
+    #: comparisons that touched actual key material.  The heap merge
+    #: counts a log2(fan-in)-per-operation proxy; the offset-value coded
+    #: tree of losers counts exact comparisons.
+    full_key_comparisons: int = 0
+    #: Merge tournaments decided by offset-value codes alone — one
+    #: integer comparison, no key bytes touched (see
+    #: :mod:`repro.sorting.ovc`).
+    code_comparisons: int = 0
     io: IOStats = field(default_factory=IOStats)
 
     def merge(self, other: "OperatorStats") -> None:
@@ -177,6 +186,8 @@ class OperatorStats:
         self.rows_output += other.rows_output
         self.cutoff_comparisons += other.cutoff_comparisons
         self.sort_comparisons += other.sort_comparisons
+        self.full_key_comparisons += other.full_key_comparisons
+        self.code_comparisons += other.code_comparisons
         self.io.merge(other.io)
 
     def snapshot(self) -> "OperatorStats":
@@ -188,6 +199,8 @@ class OperatorStats:
             rows_output=self.rows_output,
             cutoff_comparisons=self.cutoff_comparisons,
             sort_comparisons=self.sort_comparisons,
+            full_key_comparisons=self.full_key_comparisons,
+            code_comparisons=self.code_comparisons,
         )
         copy.io = self.io.snapshot()
         return copy

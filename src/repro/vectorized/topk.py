@@ -11,6 +11,17 @@ storage), or is omitted entirely for keys-only analysis.
 The operator is exact: its output equals ``np.sort(all_keys)[:k]`` and
 its spill accounting uses the same counters as the row engine, so the two
 engines can be cross-checked (see ``tests/test_vectorized.py``).
+
+**Comparison substrate.**  This kernel's float64 key arrays already *are*
+machine-word comparisons — numpy sorts and merges never re-enter the
+interpreter per key — so the binary key codec and offset-value coding
+(:mod:`repro.sorting.keycodec`, :mod:`repro.sorting.ovc`) have nothing to
+win here and deliberately stay off: the planner only lowers
+single-numeric-column specs, exactly the specs on which
+``KeyCodec.preferred`` is ``False``.  The codec and this kernel are the
+same idea at two granularities — replace interpreted tuple comparisons
+with hardware comparisons — one per-row (any spec), one per-column-array
+(numeric specs).
 """
 
 from __future__ import annotations

@@ -1,0 +1,286 @@
+"""Property tests for the binary key codec and offset-value coding.
+
+The codec's one obligation is *order isomorphism*: for any sort spec and
+any pair of rows, comparing the encoded ``bytes`` keys must reach exactly
+the same verdict (<, ==, >) as comparing the tuple keys
+``SortSpec.key`` produces.  Everything downstream (run generation, the
+cutoff filter, histograms, merging) only ever compares keys, so this
+single property is what makes OVC engines byte-identical to tuple-key
+engines.
+
+Offset-value codes get their own invariants: a code of zero exactly means
+equal-to-base, codes computed against a common base reconstruct the
+comparison verdict, and codes along a sorted run (relative to the run's
+first row) never decrease.
+"""
+
+from __future__ import annotations
+
+import datetime
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KeyEncodingError
+from repro.rows.schema import Column, ColumnType, Schema
+from repro.rows.sortspec import SortColumn, SortSpec
+from repro.sorting.keycodec import compile_keycodec
+from repro.sorting.merge import merge_keyed
+from repro.sorting.ovc import (
+    INITIAL_CODE,
+    code_between,
+    first_diff,
+    merge_coded,
+)
+from repro.sorting.runs import write_run
+from repro.storage.spill import SpillManager
+
+# -- value strategies per column type ------------------------------------
+
+_FLOATS = st.floats(allow_nan=False) | st.sampled_from(
+    [0.0, -0.0, math.inf, -math.inf, 5e-324, -5e-324])
+_VALUES = {
+    ColumnType.INT64: st.integers(-2**63, 2**63 - 1),
+    ColumnType.FLOAT64: _FLOATS,
+    ColumnType.DECIMAL: _FLOATS | st.integers(-2**40, 2**40),
+    ColumnType.STRING: st.text(max_size=12) | st.sampled_from(
+        ["", "\x00", "a\x00b", "a", "ab", "müller", "￿"]),
+    ColumnType.DATE: st.dates(),
+    ColumnType.BOOL: st.booleans(),
+}
+_TYPES = list(_VALUES)
+
+
+@st.composite
+def spec_and_rows(draw):
+    """A random (SortSpec, rows) pair over 1-3 columns of any type."""
+    count = draw(st.integers(1, 3))
+    types = [draw(st.sampled_from(_TYPES)) for _ in range(count)]
+    nullable = [draw(st.booleans()) for _ in range(count)]
+    ascending = [draw(st.booleans()) for _ in range(count)]
+    schema = Schema([Column(f"c{i}", types[i], nullable=nullable[i])
+                     for i in range(count)])
+    spec = SortSpec(schema, [SortColumn(f"c{i}", ascending=ascending[i])
+                             for i in range(count)])
+
+    def value(i):
+        if nullable[i] and draw(st.integers(0, 4)) == 0:
+            return None
+        return draw(_VALUES[types[i]])
+
+    rows = [tuple(value(i) for i in range(count))
+            for _ in range(draw(st.integers(2, 12)))]
+    return spec, rows
+
+
+def verdict(a, b) -> int:
+    if a < b:
+        return -1
+    if b < a:
+        return 1
+    return 0
+
+
+@given(spec_and_rows())
+@settings(max_examples=300, deadline=None)
+def test_encoded_order_is_isomorphic_to_tuple_order(case):
+    spec, rows = case
+    codec = compile_keycodec(spec)
+    assert codec is not None
+    tuple_key, encode = spec.key, codec.encode
+    for left, right in itertools.combinations(rows, 2):
+        expected = verdict(tuple_key(left), tuple_key(right))
+        assert verdict(encode(left), encode(right)) == expected, \
+            f"{left!r} vs {right!r} under {spec!r}"
+        # Equality must agree exactly too (not just trichotomy): OVC
+        # treats equal keys as code 0.
+        assert ((encode(left) == encode(right))
+                == (tuple_key(left) == tuple_key(right)))
+
+
+@given(spec_and_rows())
+@settings(max_examples=200, deadline=None)
+def test_sorting_by_encoded_key_matches_tuple_sort(case):
+    spec, rows = case
+    encode = compile_keycodec(spec).encode
+    # Stable sorts + order isomorphism => identical permutations.
+    assert sorted(rows, key=encode) == sorted(rows, key=spec.key)
+
+
+# -- directed edge cases --------------------------------------------------
+
+def _single(ctype, ascending=True, nullable=False):
+    schema = Schema([Column("v", ctype, nullable=nullable)])
+    spec = SortSpec(schema, [SortColumn("v", ascending=ascending)])
+    return compile_keycodec(spec).encode
+
+
+class TestEncodingEdgeCases:
+    def test_negative_zero_equals_zero(self):
+        encode = _single(ColumnType.FLOAT64)
+        assert encode((0.0,)) == encode((-0.0,))
+
+    def test_nan_sorts_after_inf_and_before_null(self):
+        encode = _single(ColumnType.FLOAT64, nullable=True)
+        assert encode((math.inf,)) < encode((math.nan,)) < encode((None,))
+
+    def test_nan_encoding_is_canonical(self):
+        encode = _single(ColumnType.FLOAT64)
+        assert encode((math.nan,)) == encode((-math.nan,))
+
+    def test_exact_int_in_float_column(self):
+        encode = _single(ColumnType.FLOAT64)
+        assert encode((2,)) == encode((2.0,))
+        assert encode((2,)) < encode((2.5,))
+
+    def test_inexact_int_in_float_column_raises(self):
+        encode = _single(ColumnType.FLOAT64)
+        with pytest.raises(KeyEncodingError):
+            encode((2**53 + 1,))
+
+    def test_huge_int_raises(self):
+        encode = _single(ColumnType.INT64)
+        with pytest.raises(KeyEncodingError):
+            encode((2**1100,))
+
+    def test_int64_boundaries(self):
+        encode = _single(ColumnType.INT64)
+        assert encode((-2**63,)) < encode((0,)) < encode((2**63 - 1,))
+        for out_of_range in (2**63, -2**63 - 1):
+            with pytest.raises(KeyEncodingError):
+                encode((out_of_range,))
+
+    def test_datetime_in_date_column_raises(self):
+        encode = _single(ColumnType.DATE)
+        with pytest.raises(KeyEncodingError):
+            encode((datetime.datetime(2020, 1, 1, 12, 30),))
+
+    def test_string_prefix_orders_before_extension(self):
+        for ascending in (True, False):
+            encode = _single(ColumnType.STRING, ascending=ascending)
+            expected = -1 if ascending else 1
+            assert verdict(encode(("a",)), encode(("ab",))) == expected
+
+    def test_embedded_nul_strings(self):
+        encode = _single(ColumnType.STRING)
+        assert encode(("",)) < encode(("\x00",)) < encode(("\x00a",)) \
+            < encode(("a",))
+
+    def test_descending_nulls_still_last(self):
+        encode = _single(ColumnType.INT64, ascending=False, nullable=True)
+        assert encode((-5,)) < encode((-100,)) < encode((None,))
+
+    def test_decode_is_unsupported_by_design(self):
+        schema = Schema([Column("v", ColumnType.INT64)])
+        codec = compile_keycodec(SortSpec(schema, ["v"]))
+        with pytest.raises(NotImplementedError):
+            codec.decode(b"\x81\x01")
+
+    def test_preferred_policy(self):
+        schema = Schema([
+            Column("f", ColumnType.FLOAT64),
+            Column("s", ColumnType.STRING),
+            Column("n", ColumnType.FLOAT64, nullable=True),
+        ])
+        bare = compile_keycodec(SortSpec(schema, ["f"]))
+        assert not bare.preferred  # primitive tuple key already optimal
+        desc_num = compile_keycodec(
+            SortSpec(schema, [SortColumn("f", False)]))
+        assert not desc_num.preferred  # negation keeps it primitive
+        for columns in (["s", "f"], [SortColumn("s", False)], ["n"]):
+            assert compile_keycodec(SortSpec(schema, columns)).preferred
+
+    def test_compilation_is_memoized(self):
+        schema = Schema([Column("v", ColumnType.STRING)])
+        one = compile_keycodec(SortSpec(schema, ["v"]))
+        two = compile_keycodec(SortSpec(schema, ["v"]))
+        assert one is two
+
+
+# -- offset-value code invariants ----------------------------------------
+
+_KEYS = st.lists(st.binary(max_size=6), min_size=1, max_size=40)
+
+
+@given(base=st.binary(max_size=6), key=st.binary(max_size=6))
+@settings(max_examples=300, deadline=None)
+def test_code_zero_exactly_means_equal(base, key):
+    if key >= base:  # codes are only defined for key >= base
+        assert (code_between(base, key) == 0) == (key == base)
+
+
+@given(base=st.binary(max_size=6), keys=st.lists(
+    st.binary(max_size=6), min_size=2, max_size=2))
+@settings(max_examples=300, deadline=None)
+def test_codes_against_common_base_reconstruct_comparisons(base, keys):
+    a, b = sorted(keys)
+    if a < base:
+        return
+    code_a, code_b = code_between(base, a), code_between(base, b)
+    if code_a != code_b:
+        # Differing codes against a common base decide the comparison
+        # outright — the tree-of-losers' one-integer fast path.
+        assert (code_a < code_b) == (a < b)
+
+
+@given(keys=_KEYS)
+@settings(max_examples=300, deadline=None)
+def test_codes_relative_to_first_row_never_decrease(keys):
+    keys.sort()
+    base = keys[0]
+    codes = [code_between(base, key) for key in keys]
+    assert codes == sorted(codes)
+
+
+@given(a=st.binary(max_size=8), b=st.binary(max_size=8))
+@settings(max_examples=300, deadline=None)
+def test_first_diff_is_the_first_differing_offset(a, b):
+    d = first_diff(a, b)
+    assert a[:d] == b[:d]
+    if a != b:
+        assert a[d:d + 1] != b[d:d + 1]
+    else:
+        assert d == len(a) == len(b)
+
+
+@given(runs_keys=st.lists(_KEYS, min_size=1, max_size=5))
+@settings(max_examples=120, deadline=None)
+def test_merge_coded_equals_merge_keyed(runs_keys):
+    """The tree of losers and the heap produce the same stable stream."""
+    encode = lambda row: row[0]  # rows carry their byte key  # noqa: E731
+    with SpillManager() as spill:
+        runs = []
+        for run_id, keys in enumerate(runs_keys):
+            keys.sort()
+            runs.append(write_run(
+                spill, run_id, ((key, (key, run_id)) for key in keys)))
+        coded = [(key, row) for key, row, _code in
+                 merge_coded(runs, encode)]
+        keyed = list(merge_keyed(runs, encode))
+    assert coded == keyed
+    assert [key for key, _row in coded] == sorted(
+        itertools.chain.from_iterable(runs_keys))
+
+
+@given(runs_keys=st.lists(_KEYS, min_size=1, max_size=4))
+@settings(max_examples=120, deadline=None)
+def test_merge_coded_output_codes_chain_previous_output(runs_keys):
+    """Each yielded code is the row's OVC relative to the previous
+    yielded key (INITIAL_CODE for the first), so intermediate merge
+    steps can persist them without re-deriving anything."""
+    encode = lambda row: row[0]  # noqa: E731
+    with SpillManager() as spill:
+        runs = []
+        for run_id, keys in enumerate(runs_keys):
+            keys.sort()
+            runs.append(write_run(
+                spill, run_id, ((key, (key, run_id)) for key in keys)))
+        previous = None
+        for key, _row, code in merge_coded(runs, encode):
+            if previous is None:
+                assert code == INITIAL_CODE
+            else:
+                assert code == code_between(previous, key)
+            previous = key
