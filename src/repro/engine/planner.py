@@ -92,6 +92,15 @@ class Planner:
             vectorized numpy kernels when the ORDER BY key is a single
             non-nullable numeric column (see :meth:`_lower_topk`).
             ``False`` pins every plan to the row-engine operator.
+        shards: Default worker-process count for sharded execution;
+            ``1`` (the default) keeps every plan single-process.  A plan
+            is sharded only when it would lower onto the vectorized
+            kernel anyway *and* the table is known to be large enough to
+            amortize process startup (see :meth:`_lower_topk`).
+        shard_options: Extra keyword arguments for
+            :class:`~repro.shard.executor.ShardedTopKExecutor`
+            (``partition=``, ``exchange=``, ``spill=``, ...) plus the
+            planner-level ``min_rows_per_shard`` threshold.
     """
 
     def __init__(
@@ -101,16 +110,23 @@ class Planner:
         spill_manager_factory: Callable[[], SpillManager] | None = None,
         algorithm_options: dict | None = None,
         vectorize: bool = True,
+        shards: int = 1,
+        shard_options: dict | None = None,
     ):
         self.memory_rows = memory_rows
         self.algorithm = algorithm
         self.spill_manager_factory = spill_manager_factory or SpillManager
         self.algorithm_options = algorithm_options or {}
         self.vectorize = vectorize
+        self.shards = shards
+        self.shard_options = dict(shard_options or {})
+        self.min_rows_per_shard = self.shard_options.pop(
+            "min_rows_per_shard", 50_000)
 
     def _lower_topk(self, node: Operator, spec: SortSpec, query: ParsedQuery,
                     memory_rows: int, cutoff_seed: Any,
-                    tracer=None) -> Operator | None:
+                    tracer=None, table: Table | None = None,
+                    shards: int | None = None) -> Operator | None:
         """The plain-top-k lowering decision (``None`` → keep the row op).
 
         Lowering onto :class:`VectorizedTopK` requires every condition
@@ -127,6 +143,12 @@ class Planner:
           detection; seeded repeats run on the row engine);
         * the ORDER BY key is a single non-nullable numeric column, so
           batch key columns extract as float64 arrays (numpy present).
+
+        A lowered plan is further promoted to
+        :class:`~repro.shard.operator.ShardedVectorizedTopK` when the
+        effective ``shards`` is ≥ 2 and the table is not known to be too
+        small — ``min_rows_per_shard`` per worker, with an unknown
+        ``row_count`` treated as large (the knob was set deliberately).
         """
         if not self.vectorize:
             return None
@@ -139,6 +161,21 @@ class Planner:
             return None
         if numeric_key_column(spec) is None:
             return None
+        effective_shards = self.shards if shards is None else shards
+        if effective_shards >= 2 and self._large_enough(
+                table, effective_shards):
+            from repro.shard.operator import ShardedVectorizedTopK
+
+            return ShardedVectorizedTopK(
+                node,
+                sort_spec=spec,
+                k=query.limit,
+                shards=effective_shards,
+                offset=query.offset,
+                memory_rows=memory_rows,
+                tracer=tracer,
+                shard_options=dict(self.shard_options),
+            )
         return VectorizedTopK(
             node,
             sort_spec=spec,
@@ -147,6 +184,11 @@ class Planner:
             memory_rows=memory_rows,
             tracer=tracer,
         )
+
+    def _large_enough(self, table: Table | None, shards: int) -> bool:
+        row_count = getattr(table, "row_count", None)
+        return row_count is None or row_count >= shards \
+            * self.min_rows_per_shard
 
     @staticmethod
     def _shared_sorted_prefix(table: Table,
@@ -168,6 +210,7 @@ class Planner:
         memory_rows: int | None = None,
         cutoff_seed: Any = None,
         tracer=None,
+        shards: int | None = None,
     ) -> Operator:
         """Produce the physical plan for ``query`` over ``table``.
 
@@ -182,6 +225,9 @@ class Planner:
                 shortcuts, grouped/segmented operators, full sorts).
             tracer: Optional :class:`repro.obs.trace.Tracer` attached to
                 the plan's top-k operator (and its spill substrate).
+            shards: Per-query override of the planner's default worker
+                count for sharded execution (``None`` → the planner
+                default; ``1`` forces single-process).
         """
         if memory_rows is None:
             memory_rows = self.memory_rows
@@ -232,7 +278,8 @@ class Planner:
                         if query.offset else segmented)
             elif query.limit is not None:
                 lowered = self._lower_topk(node, spec, query, memory_rows,
-                                           cutoff_seed, tracer=tracer)
+                                           cutoff_seed, tracer=tracer,
+                                           table=table, shards=shards)
                 node = lowered if lowered is not None else TopK(
                     node,
                     sort_spec=spec,

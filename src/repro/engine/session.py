@@ -86,6 +86,10 @@ class Database:
         memory_rows: Memory budget (rows) for each sorting operator.
         algorithm: Default top-k algorithm (``"histogram"``).
         algorithm_options: Extra options forwarded to the top-k algorithm.
+        shards: Default worker-process count for sharded top-k execution
+            (``1`` = single-process; see :mod:`repro.shard`).
+        shard_options: Extra options for the shard executor
+            (``partition=``, ``exchange=``, ``spill=``, ...).
     """
 
     def __init__(
@@ -93,12 +97,16 @@ class Database:
         memory_rows: int = 100_000,
         algorithm: str = "histogram",
         algorithm_options: dict | None = None,
+        shards: int = 1,
+        shard_options: dict | None = None,
     ):
         self._tables: dict[str, Table] = {}
         self.planner = Planner(
             memory_rows=memory_rows,
             algorithm=algorithm,
             algorithm_options=algorithm_options,
+            shards=shards,
+            shard_options=shard_options,
         )
 
     # -- registry -------------------------------------------------------------
@@ -156,6 +164,7 @@ class Database:
         cutoff_seed: Any = None,
         explain_analyze: bool = False,
         tracer: Tracer | None = None,
+        shards: int | None = None,
     ) -> QueryResult:
         """Parse, plan and execute ``sql_text``; results are materialized.
 
@@ -174,22 +183,26 @@ class Database:
                 renders the classic text tree.  Implies a tracer.
             tracer: Optional :class:`~repro.obs.trace.Tracer` observing
                 the execution (phase spans, cutoff refinement events).
+            shards: Per-query worker-process count for sharded top-k
+                execution (``None`` → session default; ``1`` forces
+                single-process).
         """
         query = parse(sql_text)
         return self._execute(query, memory_rows=memory_rows,
                              cutoff_seed=cutoff_seed,
                              explain_analyze=explain_analyze,
-                             tracer=tracer)
+                             tracer=tracer, shards=shards)
 
     def _execute(self, query: ParsedQuery, *, memory_rows: int | None,
                  cutoff_seed: Any, explain_analyze: bool = False,
-                 tracer: Tracer | None = None) -> QueryResult:
+                 tracer: Tracer | None = None,
+                 shards: int | None = None) -> QueryResult:
         if explain_analyze and tracer is None:
             tracer = Tracer()
         plan = self.planner.plan(query, self.table(query.table),
                                  memory_rows=memory_rows,
                                  cutoff_seed=cutoff_seed,
-                                 tracer=tracer)
+                                 tracer=tracer, shards=shards)
         probe = PlanProbe(plan) if explain_analyze else None
         active = tracer if tracer is not None else NULL_TRACER
         try:
@@ -204,7 +217,7 @@ class Database:
             return self._execute(query, memory_rows=memory_rows,
                                  cutoff_seed=None,
                                  explain_analyze=explain_analyze,
-                                 tracer=tracer)
+                                 tracer=tracer, shards=shards)
         except BaseException:
             # Failed queries must not leak spill files (or pages).
             release_plan_storage(plan)

@@ -149,6 +149,9 @@ class QueryService:
         metrics: Inject a shared :class:`MetricsRegistry` (e.g. one
             registry scraped across several services); ``None`` builds
             a private one.  Snapshot via :meth:`metrics_snapshot`.
+        shards: Per-query worker-process count forwarded to every
+            execution (``None`` → the database's own default).  Sharded
+            queries surface as ``service.shard.*`` counters.
     """
 
     def __init__(
@@ -163,6 +166,7 @@ class QueryService:
         cache: ResultCache | None = None,
         default_deadline: float | None = None,
         metrics: MetricsRegistry | None = None,
+        shards: int | None = None,
     ):
         if workers <= 0:
             raise ConfigurationError("workers must be positive")
@@ -178,6 +182,7 @@ class QueryService:
             total_memory_rows or workers * per_query)
         self.cache = cache if cache is not None else ResultCache()
         self.default_deadline = default_deadline
+        self.shards = shards
         self.pool = SessionPool(database, workers)
         self.stats = ServiceStatsAggregator()
         #: Fleet-wide metrics: per-query observations aggregate here and
@@ -205,6 +210,13 @@ class QueryService:
         self._m_comparisons = {
             kind: m.counter(f"sort.comparisons.{kind}")
             for kind in ("full", "code_only")}
+        # Sharded execution: cross-process cutoff traffic and its payoff
+        # (all zero while every plan stays single-process).
+        self._m_shard = {
+            kind: m.counter(f"service.shard.{kind}")
+            for kind in ("queries", "cutoff_publications",
+                         "cutoff_adoptions",
+                         "rows_dropped_by_remote_cutoff")}
         self._m_inflight = m.gauge("service.queries.inflight")
         self._m_queue_wait = m.histogram(
             "service.query.queue_wait_seconds", LATENCY_BOUNDARIES)
@@ -351,7 +363,8 @@ class QueryService:
                 try:
                     result = session.execute(sql_text,
                                              memory_rows=lease.rows,
-                                             cutoff_seed=seed)
+                                             cutoff_seed=seed,
+                                             shards=self.shards)
                 finally:
                     self._m_inflight.dec()
                 record.execution_seconds = time.monotonic() - started
@@ -359,6 +372,7 @@ class QueryService:
         record.rows_spilled = result.stats.io.rows_spilled
         record.rows_filtered = result.stats.rows_eliminated
         record.rows_filtered_by_seed = self._seed_eliminations(result)
+        self._record_shard_stats(result, record)
 
         if scope is not None and result.final_cutoff is not None:
             self.cache.store_cutoff(
@@ -384,6 +398,14 @@ class QueryService:
         self._m_spill["read_stalls"].inc(io.read_stalls)
         self._m_comparisons["full"].inc(result.stats.full_key_comparisons)
         self._m_comparisons["code_only"].inc(result.stats.code_comparisons)
+        if record.shards > 1:
+            self._m_shard["queries"].inc()
+            self._m_shard["cutoff_publications"].inc(
+                record.shard_cutoff_publications)
+            self._m_shard["cutoff_adoptions"].inc(
+                record.shard_cutoff_adoptions)
+            self._m_shard["rows_dropped_by_remote_cutoff"].inc(
+                record.shard_rows_dropped_remote)
         return ServiceResult(rows=result.rows, schema=result.schema,
                              query=query, stats=record,
                              operator_stats=result.stats)
@@ -404,6 +426,23 @@ class QueryService:
                     return cutoff_filter.stats.rows_eliminated_by_seed
             stack.extend(node.children())
         return 0
+
+    @staticmethod
+    def _record_shard_stats(result, record: ServiceStats) -> None:
+        """Fill the record's shard fields off the plan's sharded top-k
+        node, when the planner chose one (no-op otherwise)."""
+        stack = [result.plan]
+        while stack:
+            node = stack.pop()
+            impl = node.__dict__.get("last_impl")
+            if impl is not None \
+                    and getattr(impl, "shard_summaries", None) is not None:
+                record.shards = impl.shards
+                record.shard_cutoff_publications = impl.publications
+                record.shard_cutoff_adoptions = impl.adoptions
+                record.shard_rows_dropped_remote = impl.rows_dropped_remote
+                return
+            stack.extend(node.children())
 
     def _note_deadline_overrun(self, _ticket: QueryTicket) -> None:
         """A caller abandoned a still-running query past its deadline."""

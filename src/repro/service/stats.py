@@ -58,6 +58,15 @@ class ServiceStats:
     rows_spilled: int = 0
     #: Worker session that served the query (-1 before assignment).
     session_id: int = -1
+    #: Worker processes the plan executed across (1 = single-process).
+    shards: int = 1
+    #: Cross-shard cutoff publications the query performed.
+    shard_cutoff_publications: int = 0
+    #: Cutoff adoptions (a shard tightened its bound from the slot).
+    shard_cutoff_adoptions: int = 0
+    #: Rows dropped because a *remote* shard's cutoff was tighter than
+    #: anything known locally.
+    shard_rows_dropped_remote: int = 0
     #: Error description for ``outcome == "error"``.
     error: str | None = None
 
@@ -81,6 +90,10 @@ class ServiceSnapshot:
     cache_misses: int = 0
     lease_shrinks: int = 0
     rows_filtered_by_seed: int = 0
+    queries_sharded: int = 0
+    shard_cutoff_publications: int = 0
+    shard_cutoff_adoptions: int = 0
+    shard_rows_dropped_remote: int = 0
     queue_wait_seconds: float = 0.0
     execution_seconds: float = 0.0
     #: Aggregate engine-side work across all completed queries.
@@ -142,6 +155,11 @@ class ServiceStatsAggregator:
             if stats.lease_shrunk:
                 snap.lease_shrinks += 1
             snap.rows_filtered_by_seed += stats.rows_filtered_by_seed
+            if stats.shards > 1:
+                snap.queries_sharded += 1
+            snap.shard_cutoff_publications += stats.shard_cutoff_publications
+            snap.shard_cutoff_adoptions += stats.shard_cutoff_adoptions
+            snap.shard_rows_dropped_remote += stats.shard_rows_dropped_remote
             snap.queue_wait_seconds += stats.queue_wait_seconds
             snap.execution_seconds += stats.execution_seconds
             if operator is not None:
@@ -165,6 +183,10 @@ class ServiceStatsAggregator:
                 cache_misses=snap.cache_misses,
                 lease_shrinks=snap.lease_shrinks,
                 rows_filtered_by_seed=snap.rows_filtered_by_seed,
+                queries_sharded=snap.queries_sharded,
+                shard_cutoff_publications=snap.shard_cutoff_publications,
+                shard_cutoff_adoptions=snap.shard_cutoff_adoptions,
+                shard_rows_dropped_remote=snap.shard_rows_dropped_remote,
                 queue_wait_seconds=snap.queue_wait_seconds,
                 execution_seconds=snap.execution_seconds,
                 operator=snap.operator.snapshot(),

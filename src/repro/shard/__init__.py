@@ -1,0 +1,41 @@
+"""Multi-process sharded top-k with a shared-memory global cutoff.
+
+The paper's histogram filter eliminates rows against the sharpest known
+cutoff; this package runs one query across N worker processes and keeps
+that property *global*: every shard's cutoff refinements are published
+to a shared-memory seqlock slot, and every shard (plus the coordinator)
+filters arrivals against the tightest bound any of them has found.
+
+Modules:
+
+* :mod:`~repro.shard.slot` — the seqlock cutoff cell.
+* :mod:`~repro.shard.chunks` — shared-memory chunk transport + cleanup.
+* :mod:`~repro.shard.partition` — hash / key-range input partitioners.
+* :mod:`~repro.shard.worker` — the per-process kernel driver.
+* :mod:`~repro.shard.executor` — the coordinator (feed, exchange,
+  collect, OVC or vectorized final merge).
+* :mod:`~repro.shard.operator` — the plan operator the planner lowers
+  to when ``shards >= 2``.
+"""
+
+from repro.shard.chunks import SHM_PREFIX, ShmRegistry, shm_residue
+from repro.shard.executor import ShardedTopKExecutor, ShardSummary
+from repro.shard.operator import ShardedVectorizedTopK
+from repro.shard.partition import (HashPartitioner, RangePartitioner,
+                                   make_partitioner)
+from repro.shard.slot import SharedCutoffSlot
+from repro.shard.worker import ShardConfig
+
+__all__ = [
+    "SHM_PREFIX",
+    "ShardConfig",
+    "ShardSummary",
+    "ShardedTopKExecutor",
+    "ShardedVectorizedTopK",
+    "SharedCutoffSlot",
+    "ShmRegistry",
+    "HashPartitioner",
+    "RangePartitioner",
+    "make_partitioner",
+    "shm_residue",
+]

@@ -1,0 +1,164 @@
+"""Shared-memory transport between the shard coordinator and workers.
+
+Input flows to workers as fixed-layout ``multiprocessing.shared_memory``
+segments: an 8-byte row count followed by a float64 key array and an
+int64 global-row-id array.  The coordinator writes each chunk directly
+into the segment (one copy out of the batch scan, no pickling); a worker
+maps the same physical pages, copies the two arrays out (the kernel
+buffers chunk views across calls, so the segment cannot outlive-by-view),
+and immediately unlinks the segment.  Peak ``/dev/shm`` usage is bounded
+by the task-queue depth, not the input size.
+
+**Cleanup discipline.**  Every segment name carries :data:`SHM_PREFIX`
+so a leak check can glob ``/dev/shm/repro_shard_*``, and every name is
+recorded in a :class:`ShmRegistry` *before* any bytes are written.  The
+normal path unlinks in the consumer; the failure path (worker crash,
+query cancellation, coordinator error) unlinks everything left in the
+registry from a ``finally`` block.  CPython's ``resource_tracker``
+(which would otherwise double-unlink segments that cross a process
+boundary and warn at exit — the well-known pre-3.13 behavior) is
+neutralized by unregistering exactly the registrations the stdlib makes
+implicitly: on create (ownership moves to the registry) and on
+read-only attaches (the slot).  Attach-and-unlink consumers leave the
+stdlib's bookkeeping balanced on its own.
+"""
+
+from __future__ import annotations
+
+import struct
+import uuid
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+
+import numpy as np
+
+#: Prefix of every segment this subsystem creates — the leak-check
+#: contract: after a query (successful or not), ``/dev/shm`` holds no
+#: entry matching ``repro_shard_*``.
+SHM_PREFIX = "repro_shard_"
+
+_HEADER = struct.Struct("<Q")  # row count
+
+
+def untrack(shm: shared_memory.SharedMemory) -> None:
+    """Drop this process's resource-tracker registration for ``shm``.
+
+    Called when cleanup responsibility lives elsewhere (the registry, or
+    another process): leaving the registration in place would make the
+    tracker unlink the segment again at interpreter exit.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def shm_residue() -> list[str]:
+    """Leftover shard segments visible in ``/dev/shm`` (Linux tmpfs)."""
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux
+        return []
+    return sorted(p.name for p in root.glob(SHM_PREFIX + "*"))
+
+
+class ShmRegistry:
+    """Owns the names of every live segment one query has created.
+
+    The coordinator registers a name before writing the segment and
+    calls :meth:`unlink_all` from its ``finally`` block; segments the
+    workers already consumed (and unlinked) are skipped silently.
+    """
+
+    def __init__(self):
+        self._names: set[str] = set()
+
+    @staticmethod
+    def new_name() -> str:
+        return f"{SHM_PREFIX}{uuid.uuid4().hex[:16]}"
+
+    def register(self, name: str) -> None:
+        self._names.add(name)
+
+    def forget(self, name: str) -> None:
+        self._names.discard(name)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def unlink_all(self) -> int:
+        """Best-effort unlink of every registered segment; returns how
+        many actually still existed."""
+        removed = 0
+        for name in sorted(self._names):
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue  # a consumer already unlinked it
+            shm.close()
+            try:
+                shm.unlink()
+                removed += 1
+            except FileNotFoundError:  # pragma: no cover - unlink race
+                untrack(shm)
+        self._names.clear()
+        return removed
+
+
+def write_chunk(keys: np.ndarray, ids: np.ndarray,
+                registry: ShmRegistry) -> str:
+    """Materialize one ``(keys, ids)`` chunk as a shared segment.
+
+    Returns the segment name (the message actually sent to a worker —
+    descriptors travel through queues, data through shared pages).
+    """
+    rows = int(keys.shape[0])
+    size = _HEADER.size + rows * (8 + 8)
+    name = registry.new_name()
+    shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+    registry.register(name)
+    untrack(shm)  # the registry owns cleanup now
+    try:
+        _HEADER.pack_into(shm.buf, 0, rows)
+        if rows:
+            key_view = np.ndarray((rows,), dtype=np.float64,
+                                  buffer=shm.buf, offset=_HEADER.size)
+            id_view = np.ndarray((rows,), dtype=np.int64, buffer=shm.buf,
+                                 offset=_HEADER.size + rows * 8)
+            key_view[:] = keys
+            id_view[:] = ids
+            # The mmap refuses to close while array views export its
+            # buffer.
+            del key_view, id_view
+    finally:
+        shm.close()
+    return name
+
+
+def read_chunk(name: str, *,
+               unlink: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """Read a chunk written by :func:`write_chunk`; unlink it by default
+    (the consumer retires each segment the moment it is copied out)."""
+    shm = shared_memory.SharedMemory(name=name)
+    if not unlink:
+        untrack(shm)
+    try:
+        (rows,) = _HEADER.unpack_from(shm.buf, 0)
+        if rows:
+            key_view = np.ndarray((rows,), dtype=np.float64,
+                                  buffer=shm.buf, offset=_HEADER.size)
+            id_view = np.ndarray((rows,), dtype=np.int64, buffer=shm.buf,
+                                 offset=_HEADER.size + rows * 8)
+            keys = np.array(key_view)
+            ids = np.array(id_view)
+            del key_view, id_view
+        else:
+            keys = np.empty(0, dtype=np.float64)
+            ids = np.empty(0, dtype=np.int64)
+    finally:
+        shm.close()
+    if unlink:
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - cleanup race
+            pass
+    return keys, ids

@@ -1,0 +1,494 @@
+"""The shard coordinator: partition, feed, exchange cutoffs, merge.
+
+One :class:`ShardedTopKExecutor` runs one top-k query across ``N``
+worker processes:
+
+1. **Partition & feed** — the input key/id stream is staged into blocks,
+   routed by a :mod:`~repro.shard.partition` partitioner, and handed to
+   workers as shared-memory segments (descriptors over queues, data over
+   shared pages).  Bounded task queues give natural backpressure, so
+   ``/dev/shm`` holds at most ``shards × queue_depth`` chunks.
+2. **Cutoff exchange** — workers publish/adopt through the
+   :class:`~repro.shard.slot.SharedCutoffSlot`; the coordinator reads the
+   same slot so its arrival-side pre-filter (in the operator) drops rows
+   before they are ever stored or shipped.
+3. **Collect & merge** — each worker returns its shard-local top
+   ``k + offset``; the union provably contains the global answer, which
+   the coordinator extracts either with the offset-value-coded tree of
+   losers (:func:`~repro.sorting.ovc.merge_coded`) over composite
+   ``(binary key ‖ row id)`` keys, or with one vectorized
+   ``(key, id)`` lexsort — both resolve ties by smallest global row id,
+   i.e. arrival order, byte-identical to the single-process engines.
+
+Cleanup is unconditional: a ``finally`` block sends poison pills,
+terminates stragglers, unlinks every registered shared-memory segment,
+and removes the spill tree — worker crash, query cancellation, and
+coordinator errors all converge on the same path (see the leak-check
+tests).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import shutil
+import tempfile
+from time import perf_counter
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShardError
+from repro.obs.timeline import CutoffTimeline
+from repro.obs.trace import NULL_TRACER
+from repro.shard.chunks import ShmRegistry, write_chunk
+from repro.shard.partition import make_partitioner
+from repro.shard.slot import SharedCutoffSlot
+from repro.shard.worker import DONE, ShardConfig, shard_worker_main
+from repro.sorting.keycodec import encode_float_key
+from repro.sorting.ovc import INITIAL_CODE, code_between, merge_coded
+from repro.storage.stats import OperatorStats, SnapshotMerger
+
+#: Cutoff-exchange modes → slot-read cadence in chunks.
+EXCHANGE_INTERVALS = {"slot": 1, "periodic": 8}
+
+#: Candidate-count threshold below which ``merge="auto"`` picks the
+#: offset-value-coded tree of losers (per-row Python iteration) over the
+#: vectorized lexsort.
+_OVC_MERGE_LIMIT = 32_768
+
+
+class ShardSummary:
+    """Per-shard execution summary (feeds EXPLAIN ANALYZE and tests)."""
+
+    def __init__(self, shard: int, payload: dict):
+        stats = payload["stats"]
+        self.shard = shard
+        self.rows_consumed = stats.rows_consumed
+        self.rows_eliminated = stats.rows_eliminated
+        self.rows_spilled = stats.io.rows_spilled
+        self.runs_written = stats.io.runs_written
+        self.chunks = payload["chunks"]
+        self.publications = payload["publications"]
+        self.adoptions = payload["adoptions"]
+        self.rows_dropped_remote = payload["rows_dropped_remote"]
+        self.local_cutoff = payload["local_cutoff"]
+        self.busy_seconds = payload["busy_seconds"]
+        self.stats = stats
+
+    def describe(self) -> str:
+        return (f"rows={self.rows_consumed} spilled={self.rows_spilled} "
+                f"pub={self.publications} adopt={self.adoptions} "
+                f"remote_drop={self.rows_dropped_remote} "
+                f"busy={self.busy_seconds:.3f}s")
+
+
+class ShardedTopKExecutor:
+    """Coordinator for one sharded top-k execution.
+
+    Args:
+        k: Output size (after ``offset``).
+        offset: Rows to skip; applied at the final merge, so workers
+            each keep ``k + offset`` candidates.
+        shards: Worker process count.
+        memory_rows: *Total* memory budget in rows, divided evenly
+            across shards (the sharded plan uses the same budget as the
+            single-process plan it replaces).
+        partition: ``"hash"`` or ``"range"``.
+        exchange: ``"slot"`` (check the shared slot every chunk),
+            ``"periodic"`` (every few chunks), or ``"off"``.
+        merge: ``"auto"``, ``"ovc"``, or ``"vector"``.
+        spill: ``"memory"`` or ``"disk"`` per-shard run storage.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        shards: int,
+        memory_rows: int,
+        offset: int = 0,
+        buckets_per_run: int = 50,
+        partition: str = "hash",
+        exchange: str = "slot",
+        merge: str = "auto",
+        spill: str = "memory",
+        chunk_rows: int = 32_768,
+        queue_depth: int = 4,
+        stats: OperatorStats | None = None,
+        tracer=None,
+        mp_context=None,
+        fail_shard: int | None = None,
+        fail_after_chunks: int = 0,
+    ):
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        if shards < 1:
+            raise ConfigurationError("shards must be positive")
+        if offset < 0:
+            raise ConfigurationError("offset must be non-negative")
+        if memory_rows < shards:
+            raise ConfigurationError(
+                "memory_rows must be at least one row per shard")
+        if exchange not in ("off", *EXCHANGE_INTERVALS):
+            raise ConfigurationError(
+                f"unknown exchange mode {exchange!r}")
+        if merge not in ("auto", "ovc", "vector"):
+            raise ConfigurationError(f"unknown merge mode {merge!r}")
+        if spill not in ("memory", "disk"):
+            raise ConfigurationError(f"unknown spill backend {spill!r}")
+        self.k = k
+        self.offset = offset
+        self.shards = shards
+        self.memory_rows = memory_rows
+        self.buckets_per_run = buckets_per_run
+        self.partition = partition
+        self.exchange = exchange
+        self.merge = merge
+        self.spill = spill
+        self.chunk_rows = max(1, chunk_rows)
+        self.queue_depth = max(1, queue_depth)
+        self.stats = stats if stats is not None else OperatorStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._mp = mp_context or _default_context()
+        self._fail_shard = fail_shard
+        self._fail_after_chunks = fail_after_chunks
+
+        # Results of the last execute():
+        self.final_cutoff: float | None = None
+        self.timeline: CutoffTimeline | None = None
+        self.shard_summaries: list[ShardSummary] = []
+        self.publications = 0
+        self.adoptions = 0
+        self.rows_dropped_remote = 0
+        self.merge_mode_used: str | None = None
+        self.elapsed_seconds = 0.0
+        self.cutoff_filter = None  # API parity with the kernel
+
+        self._slot: SharedCutoffSlot | None = None
+        self._parent_cutoff: float | None = None
+        self._registry: ShmRegistry | None = None
+
+    # -- the coordinator-side cutoff view --------------------------------
+
+    def global_cutoff(self) -> float | None:
+        """Freshest globally published cutoff (the operator pre-filters
+        arriving batches against this before storing rows)."""
+        if self._slot is None:
+            return self._parent_cutoff
+        value, _ = self._slot.read_float()
+        if value is not None and (self._parent_cutoff is None
+                                  or value < self._parent_cutoff):
+            self._parent_cutoff = value
+        return self._parent_cutoff
+
+    def note_parent_drop(self, rows: int) -> None:
+        """Account rows the operator dropped with the global cutoff."""
+        self.rows_dropped_remote += rows
+
+    # -- execution --------------------------------------------------------
+
+    def execute(self, stream: Iterable[tuple[np.ndarray, np.ndarray]],
+                ) -> tuple[np.ndarray, np.ndarray]:
+        """Consume ``(keys, ids)`` batches, return the selected
+        ``(keys, ids)`` — global top ``k`` after ``offset``, sorted, ties
+        by smallest id."""
+        registry = ShmRegistry()
+        self._registry = registry
+        lock = self._mp.Lock()
+        slot = None
+        if self.exchange != "off":
+            slot = SharedCutoffSlot.create(registry, lock)
+            self._slot = slot
+        spill_root = (tempfile.mkdtemp(prefix="repro_shard_spill_")
+                      if self.spill == "disk" else None)
+        task_queues = [self._mp.Queue(maxsize=self.queue_depth)
+                       for _ in range(self.shards)]
+        result_queue = self._mp.Queue()
+        workers = []
+        interval = EXCHANGE_INTERVALS.get(self.exchange, 1)
+        for shard in range(self.shards):
+            config = ShardConfig(
+                k=self.k + self.offset,
+                memory_rows=max(2, self.memory_rows // self.shards),
+                buckets_per_run=self.buckets_per_run,
+                slot_name=slot.name if slot is not None else None,
+                exchange_interval=interval,
+                spill=self.spill,
+                spill_root=spill_root,
+                fail_after_chunks=(self._fail_after_chunks
+                                   if shard == self._fail_shard else None),
+            )
+            process = self._mp.Process(
+                target=shard_worker_main,
+                args=(shard, config, lock, task_queues[shard],
+                      result_queue),
+                daemon=True,
+                name=f"repro-shard-{shard}",
+            )
+            process.start()
+            workers.append(process)
+
+        merger = SnapshotMerger(self.stats)
+        payloads: dict[int, dict] = {}
+        started = perf_counter()
+        try:
+            with self.tracer.span("shard.execute", shards=self.shards,
+                                  partition=self.partition,
+                                  exchange=self.exchange,
+                                  spill=self.spill) as span:
+                self._feed(stream, task_queues, workers, result_queue,
+                           merger, payloads)
+                for task_queue in task_queues:
+                    self._put(task_queue, DONE, workers, result_queue,
+                              merger, payloads)
+                self._collect(workers, result_queue, merger, payloads)
+                selected = self._finalize(payloads, span)
+            return selected
+        finally:
+            self._shutdown(workers, task_queues, result_queue)
+            if slot is not None:
+                slot.close()
+                self._slot = None
+            registry.unlink_all()
+            if spill_root is not None:
+                shutil.rmtree(spill_root, ignore_errors=True)
+            self.elapsed_seconds = perf_counter() - started
+
+    # -- feeding ----------------------------------------------------------
+
+    def _feed(self, stream, task_queues, workers, result_queue, merger,
+              payloads) -> None:
+        partitioner = make_partitioner(self.partition, self.shards)
+        staged_keys: list[np.ndarray] = []
+        staged_ids: list[np.ndarray] = []
+        staged = 0
+        registry = self._registry
+
+        def flush() -> None:
+            nonlocal staged
+            if not staged_keys:
+                return
+            keys = (staged_keys[0] if len(staged_keys) == 1
+                    else np.concatenate(staged_keys))
+            ids = (staged_ids[0] if len(staged_ids) == 1
+                   else np.concatenate(staged_ids))
+            staged_keys.clear()
+            staged_ids.clear()
+            staged = 0
+            assignment = partitioner.assign(keys)
+            for shard in range(self.shards):
+                mask = assignment == shard
+                count = int(mask.sum())
+                if not count:
+                    continue
+                name = write_chunk(keys[mask], ids[mask], registry)
+                self._put(task_queues[shard], name, workers,
+                          result_queue, merger, payloads)
+
+        for keys, ids in stream:
+            if not keys.size:
+                continue
+            staged_keys.append(keys)
+            staged_ids.append(ids)
+            staged += keys.size
+            if staged >= self.chunk_rows:
+                flush()
+        flush()
+
+    def _put(self, task_queue, item, workers, result_queue, merger,
+             payloads) -> None:
+        """Enqueue with backpressure, staying responsive to worker
+        failures (a dead consumer must never wedge the coordinator)."""
+        while True:
+            try:
+                task_queue.put(item, timeout=0.2)
+                return
+            except queue_module.Full:
+                self._drain_results(result_queue, merger, payloads,
+                                    block=False)
+                self._check_alive(workers, payloads)
+
+    # -- collection --------------------------------------------------------
+
+    def _collect(self, workers, result_queue, merger, payloads) -> None:
+        while len(payloads) < self.shards:
+            if not self._drain_results(result_queue, merger, payloads,
+                                       block=True):
+                self._check_alive(workers, payloads)
+
+    def _drain_results(self, result_queue, merger, payloads,
+                       block: bool) -> bool:
+        """Apply every queued worker message; returns whether any
+        message arrived.  Raises :class:`ShardError` on a worker-reported
+        failure."""
+        received = False
+        while True:
+            try:
+                message = result_queue.get(timeout=0.2 if block and
+                                           not received else 0)
+            except queue_module.Empty:
+                return received
+            received = True
+            kind = message[0]
+            if kind == "stats":
+                _, shard, snapshot = message
+                merger.apply(shard, snapshot)
+            elif kind == "done":
+                _, shard, payload = message
+                payloads[shard] = payload
+                merger.apply(shard, payload["stats"])
+            elif kind == "error":
+                _, shard, summary, worker_traceback = message
+                raise ShardError(
+                    f"shard worker {shard} failed: {summary}\n"
+                    f"{worker_traceback}")
+
+    def _check_alive(self, workers, payloads) -> None:
+        for shard, process in enumerate(workers):
+            if shard not in payloads and not process.is_alive():
+                raise ShardError(
+                    f"shard worker {shard} died without reporting "
+                    f"(exit code {process.exitcode})")
+
+    # -- merge & finalize --------------------------------------------------
+
+    def _finalize(self, payloads: dict[int, dict],
+                  span) -> tuple[np.ndarray, np.ndarray]:
+        summaries = [ShardSummary(shard, payloads[shard])
+                     for shard in sorted(payloads)]
+        self.shard_summaries = summaries
+        self.publications = sum(s.publications for s in summaries)
+        self.adoptions = sum(s.adoptions for s in summaries)
+        self.rows_dropped_remote += sum(s.rows_dropped_remote
+                                        for s in summaries)
+        self._emit_trace(payloads)
+        keys, ids = self._merge_candidates(payloads)
+        needed = self.k + self.offset
+        self.final_cutoff = (float(keys[-1])
+                             if keys.size == needed and keys.size else None)
+        span.set_attribute("merge_mode", self.merge_mode_used)
+        span.set_attribute("publications", self.publications)
+        span.set_attribute("adoptions", self.adoptions)
+        span.set_attribute("rows_dropped_remote", self.rows_dropped_remote)
+        return keys[self.offset:], ids[self.offset:]
+
+    def _merge_candidates(self, payloads) -> tuple[np.ndarray, np.ndarray]:
+        parts = [(payloads[shard]["keys"], payloads[shard]["ids"])
+                 for shard in sorted(payloads)
+                 if payloads[shard]["keys"] is not None
+                 and payloads[shard]["keys"].size]
+        needed = self.k + self.offset
+        if not parts:
+            self.merge_mode_used = "empty"
+            return (np.empty(0, dtype=np.float64),
+                    np.empty(0, dtype=np.int64))
+        total = sum(keys.size for keys, _ in parts)
+        mode = self.merge
+        if mode == "auto":
+            mode = "ovc" if total <= _OVC_MERGE_LIMIT else "vector"
+        self.merge_mode_used = mode
+        if mode == "vector":
+            keys = np.concatenate([keys for keys, _ in parts])
+            ids = np.concatenate([ids for _, ids in parts])
+            order = np.lexsort((ids, keys))[:needed]
+            # lexsort is not charged to sort_comparisons — numpy sorts
+            # are hardware comparisons, same convention as the kernel.
+            return keys[order], ids[order]
+        return self._merge_ovc(parts, needed)
+
+    def _merge_ovc(self, parts, needed) -> tuple[np.ndarray, np.ndarray]:
+        """Tree-of-losers merge over composite (binary key ‖ id) keys —
+        per-shard candidate lists are strictly increasing in (key, id),
+        so they are exactly sorted runs."""
+        sources = [_coded_candidates(keys, ids) for keys, ids in parts]
+        out_keys = np.empty(min(needed, sum(k.size for k, _ in parts)),
+                            dtype=np.float64)
+        out_ids = np.empty(out_keys.size, dtype=np.int64)
+        produced = 0
+        merged = merge_coded(list(range(len(sources))), encode=None,
+                             sources=sources, stats=self.stats)
+        for _, row, _ in merged:
+            out_keys[produced] = row[0]
+            out_ids[produced] = row[1]
+            produced += 1
+            if produced >= needed:
+                break
+        return out_keys[:produced], out_ids[:produced]
+
+    # -- observability -----------------------------------------------------
+
+    def _emit_trace(self, payloads) -> None:
+        exchanges = []
+        for shard in sorted(payloads):
+            for kind, rows_seen, cutoff, seq in payloads[shard]["records"]:
+                exchanges.append((seq, kind, shard, rows_seen, cutoff))
+        exchanges.sort()
+        if self.tracer.enabled:
+            for seq, kind, shard, rows_seen, cutoff in exchanges:
+                self.tracer.event(f"shard.cutoff.{kind}", shard=shard,
+                                  seq=seq, cutoff=cutoff,
+                                  rows_seen_local=rows_seen)
+            for shard in sorted(payloads):
+                summary = self.shard_summaries[shard]
+                with self.tracer.span("shard.worker",
+                                      shard=shard) as worker_span:
+                    worker_span.set_attribute("rows_consumed",
+                                              summary.rows_consumed)
+                    worker_span.set_attribute("rows_spilled",
+                                              summary.rows_spilled)
+                    worker_span.set_attribute("busy_seconds",
+                                              summary.busy_seconds)
+                    worker_span.set_attribute("publications",
+                                              summary.publications)
+                    worker_span.set_attribute("adoptions",
+                                              summary.adoptions)
+            timeline = CutoffTimeline()
+            rows_floor = 0
+            for seq, kind, shard, rows_seen, cutoff in exchanges:
+                if kind != "publish":
+                    continue
+                # Global rows-seen is estimated: a worker only knows its
+                # local consumption at publish time.  The running max
+                # keeps the timeline monotone.
+                rows_floor = max(rows_floor, rows_seen * self.shards)
+                timeline.record(rows_floor, cutoff)
+            self.timeline = timeline
+
+    # -- shutdown ----------------------------------------------------------
+
+    def _shutdown(self, workers, task_queues, result_queue) -> None:
+        for task_queue in task_queues:
+            try:  # poison pills for workers still draining
+                task_queue.put_nowait(DONE)
+            except queue_module.Full:
+                pass
+        for process in workers:
+            process.join(timeout=2.0)
+        for process in workers:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        for task_queue in task_queues:
+            task_queue.close()
+            task_queue.join_thread()
+        result_queue.close()
+        result_queue.join_thread()
+
+
+def _default_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return multiprocessing.get_context()
+
+
+def _coded_candidates(keys: np.ndarray,
+                      ids: np.ndarray) -> Iterator[tuple[bytes, tuple, int]]:
+    """One shard's candidates as a coded run for ``merge_coded``."""
+    previous = None
+    for key, row_id in zip(keys.tolist(), ids.tolist()):
+        composite = encode_float_key(key) + int(row_id).to_bytes(8, "big")
+        code = (INITIAL_CODE if previous is None
+                else code_between(previous, composite))
+        yield composite, (key, row_id), code
+        previous = composite

@@ -1,0 +1,97 @@
+"""Plan operator lowering a top-k onto sharded multi-process execution.
+
+Subclasses :class:`~repro.engine.operators.VectorizedTopK`, so everything
+downstream of the planner keeps working unchanged: the session's
+final-cutoff and timeline walks, the service's per-query accounting, and
+EXPLAIN ANALYZE all read the same ``stats`` / ``last_impl`` attributes —
+``last_impl`` here is the :class:`~repro.shard.executor.ShardedTopKExecutor`,
+which additionally carries per-shard summaries and cutoff-exchange
+counts for the analyzer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.engine.operators import Operator, VectorizedTopK
+from repro.rows.sortspec import SortSpec
+from repro.shard.executor import ShardedTopKExecutor
+from repro.storage.stats import OperatorStats
+
+
+class ShardedVectorizedTopK(VectorizedTopK):
+    """Top-k executed across worker processes with a shared cutoff."""
+
+    def __init__(
+        self,
+        child: Operator,
+        sort_spec: SortSpec,
+        k: int,
+        shards: int,
+        offset: int = 0,
+        memory_rows: int = 100_000,
+        buckets_per_run: int = 50,
+        tracer=None,
+        shard_options: dict | None = None,
+    ):
+        super().__init__(child, sort_spec, k, offset=offset,
+                         memory_rows=memory_rows,
+                         buckets_per_run=buckets_per_run, tracer=tracer)
+        self.shards = shards
+        self.shard_options = dict(shard_options or {})
+
+    def rows(self) -> Iterator[tuple]:
+        self.stats = OperatorStats()
+        executor = ShardedTopKExecutor(
+            k=self.k,
+            offset=self.offset,
+            shards=self.shards,
+            memory_rows=self.memory_rows,
+            buckets_per_run=self.buckets_per_run,
+            stats=self.stats,
+            tracer=self.tracer,
+            **self.shard_options,
+        )
+        self.last_impl = executor
+        store: list[tuple] = []
+        stats = self.stats
+
+        def chunks():
+            for batch in self.child.batches():
+                keys = self._batch_keys(batch)
+                rows = batch.rows
+                # Same arrival-side pre-filter as the single-process
+                # lowering, but against the *global* cutoff slot: rows
+                # any shard has already ruled out are neither stored nor
+                # shipped.  Charged identically so counters stay
+                # comparable across engines.
+                cutoff = executor.global_cutoff()
+                if cutoff is not None:
+                    mask = keys <= cutoff
+                    kept = int(mask.sum())
+                    dropped = len(rows) - kept
+                    if dropped:
+                        stats.rows_consumed += dropped
+                        stats.cutoff_comparisons += dropped
+                        stats.rows_eliminated_on_arrival += dropped
+                        executor.note_parent_drop(dropped)
+                        keys = keys[mask]
+                        rows = [rows[i] for i in np.flatnonzero(mask)]
+                if not rows:
+                    continue
+                ids = np.arange(len(store), len(store) + len(rows),
+                                dtype=np.int64)
+                store.extend(rows)
+                yield keys, ids
+
+        _keys, out_ids = executor.execute(chunks())
+        output = [store[int(i)] for i in out_ids]
+        del store
+        return iter(output)
+
+    def label(self) -> str:
+        return (f"ShardedVectorizedTopK k={self.k} offset={self.offset} "
+                f"shards={self.shards} [{self.sort_spec!r}] key_column="
+                f"{self.schema.names[self.key_index]}")

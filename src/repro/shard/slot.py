@@ -1,0 +1,139 @@
+"""The shared-memory global-cutoff slot: a seqlock over a binary sort key.
+
+The paper's filter works because every arriving row is tested against the
+*sharpest known* cutoff.  Run sharded, each worker's histogram only sees
+its own partition — so the sharpest cutoff any shard has established is
+published here, and every shard (and the coordinator's arrival-side
+pre-filter) reads it for free.  The slot holds the cutoff as an
+order-preserving binary key (:mod:`repro.sorting.keycodec`), so
+"tighter" is a plain ``bytes`` comparison regardless of key type or sort
+direction, and the publish rule is monotone: a key is written only if it
+is strictly below the current one.
+
+Layout (little-endian, one cache-line-ish segment)::
+
+    [ 0: 8)  sequence      — even: stable; odd: a writer is mid-update
+    [ 8:16)  publications  — total successful publishes (global sequence)
+    [16:20)  key length
+    [20:  )  key bytes     — up to KEY_CAPACITY
+
+Writers serialize on a ``multiprocessing.Lock`` (publishes are rare —
+one per cutoff refinement per shard — so contention is negligible);
+readers are lock-free: read the sequence, copy the payload, re-read the
+sequence, retry on change or on an odd value.  This is the classic
+seqlock, which needs no atomic read-modify-write — exactly what plain
+shared memory offers from Python.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from multiprocessing import shared_memory
+
+from repro.errors import ConfigurationError
+from repro.shard.chunks import ShmRegistry, untrack
+from repro.sorting.keycodec import decode_float_key, encode_float_key
+
+_HEADER = struct.Struct("<QQI")
+
+#: Maximum published key size.  Float keys need 8 bytes; the headroom
+#: admits future composite keys without a layout change.
+KEY_CAPACITY = 64
+
+SLOT_SIZE = _HEADER.size + KEY_CAPACITY
+
+#: Seqlock read attempts before falling back to a locked read.
+_READ_RETRIES = 64
+
+
+class SharedCutoffSlot:
+    """One cross-process cutoff cell (create in the coordinator, attach
+    in workers; the writer lock travels as a ``Process`` argument)."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, lock):
+        self._shm = shm
+        self._lock = lock
+
+    @classmethod
+    def create(cls, registry: ShmRegistry, lock) -> "SharedCutoffSlot":
+        name = registry.new_name()
+        shm = shared_memory.SharedMemory(name=name, create=True,
+                                         size=SLOT_SIZE)
+        registry.register(name)
+        untrack(shm)  # the registry owns cleanup
+        _HEADER.pack_into(shm.buf, 0, 0, 0, 0)
+        return cls(shm, lock)
+
+    @classmethod
+    def attach(cls, name: str, lock) -> "SharedCutoffSlot":
+        shm = shared_memory.SharedMemory(name=name)
+        untrack(shm)  # readers never unlink
+        return cls(shm, lock)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        self._shm.close()
+
+    # -- publish / read --------------------------------------------------
+
+    def publish(self, key: bytes) -> int | None:
+        """Install ``key`` if strictly tighter than the current cutoff.
+
+        Returns the global publication sequence number on success, or
+        ``None`` when the slot already holds an equal-or-tighter key —
+        the monotonicity that makes adopting a remote cutoff always
+        safe.
+        """
+        if len(key) > KEY_CAPACITY:
+            raise ConfigurationError(
+                f"cutoff key of {len(key)} bytes exceeds the slot "
+                f"capacity of {KEY_CAPACITY}")
+        buf = self._shm.buf
+        body = _HEADER.size
+        with self._lock:
+            seq, publications, key_len = _HEADER.unpack_from(buf, 0)
+            if key_len and bytes(buf[body:body + key_len]) <= key:
+                return None
+            # Odd sequence: readers discard anything they copy now.
+            _HEADER.pack_into(buf, 0, seq + 1, publications, key_len)
+            buf[body:body + len(key)] = key
+            _HEADER.pack_into(buf, 0, seq + 2, publications + 1, len(key))
+            return publications + 1
+
+    def read(self) -> tuple[bytes | None, int]:
+        """Lock-free consistent read → ``(key or None, publications)``."""
+        buf = self._shm.buf
+        body = _HEADER.size
+        for _ in range(_READ_RETRIES):
+            first, publications, key_len = _HEADER.unpack_from(buf, 0)
+            if first & 1:  # writer mid-update
+                time.sleep(0)
+                continue
+            key = bytes(buf[body:body + key_len]) if key_len else None
+            if _HEADER.unpack_from(buf, 0)[0] == first:
+                return key, publications
+        # Writer storm (practically unreachable): one locked read is
+        # always consistent.
+        with self._lock:  # pragma: no cover - contention fallback
+            _, publications, key_len = _HEADER.unpack_from(buf, 0)
+            key = bytes(buf[body:body + key_len]) if key_len else None
+            return key, publications
+
+    # -- float convenience (the vectorized engine's key space) -----------
+
+    def publish_float(self, value: float) -> int | None:
+        """Publish a *normalized* float cutoff (NaN is never published:
+        a NaN bound asserts nothing and would poison comparisons)."""
+        if value != value:
+            return None
+        return self.publish(encode_float_key(value))
+
+    def read_float(self) -> tuple[float | None, int]:
+        key, publications = self.read()
+        if key is None:
+            return None, publications
+        return decode_float_key(key), publications

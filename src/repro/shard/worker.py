@@ -1,0 +1,244 @@
+"""Worker-process side of sharded top-k execution.
+
+Each worker is one :class:`~repro.vectorized.topk.VectorizedHistogramTopK`
+kernel fed from shared-memory chunks, plus the cross-shard cutoff
+protocol around it:
+
+* **adopt** — at a configurable chunk cadence the worker reads the
+  global slot; a remote cutoff means "``k + offset`` rows globally sort
+  at or below this key", which is exactly the contract of
+  :meth:`~repro.core.cutoff.CutoffFilter.seed`, so adoption is a
+  ``seed()`` call (sharpening spill-time truncation) plus an arrival-side
+  pre-mask of the chunk (counted as ``rows_eliminated_on_arrival``, with
+  the remote share reported separately).
+* **publish** — after the kernel consumes a chunk, the worker publishes
+  its live cutoff if it tightened; the slot ignores anything not
+  strictly tighter than the global best.
+
+Results (the shard-local top ``k + offset`` keys/ids, cumulative
+statistics snapshots, and the exchange record) travel back over a result
+queue; snapshots are cumulative and folded in with
+:class:`~repro.storage.stats.SnapshotMerger`, so periodic progress
+reports and the final report never double count.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Iterator
+
+import numpy as np
+
+from repro.shard.chunks import read_chunk
+from repro.shard.slot import SharedCutoffSlot
+from repro.vectorized.runs import VectorRunDisk, VectorRunStore
+from repro.vectorized.topk import VectorizedHistogramTopK
+
+#: Task-queue sentinel: no more chunks.
+DONE = "__done__"
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a worker needs, picklable (crosses the process spawn)."""
+
+    #: Shard-local output size — the *global* ``k + offset`` (offset
+    #: handling stays in the coordinator's final merge).
+    k: int
+    #: Per-shard memory budget in rows.
+    memory_rows: int
+    buckets_per_run: int = 50
+    #: Cutoff slot segment name; ``None`` disables cutoff exchange.
+    slot_name: str | None = None
+    #: Chunks between slot reads (1 = check the shared slot on every
+    #: chunk; larger = periodic exchange).
+    exchange_interval: int = 1
+    #: Spill backend: ``"memory"`` or ``"disk"``.
+    spill: str = "memory"
+    #: Parent directory for per-shard spill files (disk backend); the
+    #: coordinator removes the whole tree on exit, covering even
+    #: hard-killed workers.
+    spill_root: str | None = None
+    #: Chunks between cumulative progress snapshots on the result queue.
+    stats_interval: int = 16
+    #: Cap on retained exchange records (they feed EXPLAIN ANALYZE).
+    record_limit: int = 256
+    #: Test hook: raise after consuming this many chunks.
+    fail_after_chunks: int | None = None
+
+
+class _ExchangeState:
+    """Mutable per-worker cutoff-exchange bookkeeping."""
+
+    def __init__(self):
+        self.chunks = 0
+        self.publications = 0
+        self.adoptions = 0
+        self.rows_dropped_remote = 0
+        self.remote_cutoff: float | None = None
+        self.published: float | None = None
+        #: ``(kind, local_rows_seen, cutoff, global_publication_seq)``
+        self.records: list[tuple[str, int, float, int]] = []
+
+    def record(self, kind: str, rows_seen: int, cutoff: float,
+               seq: int, limit: int) -> None:
+        if len(self.records) < limit:
+            self.records.append((kind, rows_seen, float(cutoff), seq))
+
+
+def shard_worker_main(shard_id: int, config: ShardConfig, slot_lock,
+                      task_queue, result_queue) -> None:
+    """Process entry point.  Never raises: failures are reported over the
+    result queue, and the task queue is drained afterwards (unlinking
+    every unconsumed segment) so the coordinator can't block on a full
+    queue feeding a dead consumer."""
+    try:
+        payload = _run_shard(shard_id, config, slot_lock, task_queue,
+                             result_queue)
+        result_queue.put(("done", shard_id, payload))
+    except BaseException as exc:
+        result_queue.put(("error", shard_id,
+                          f"{type(exc).__name__}: {exc}",
+                          traceback.format_exc()))
+        _drain(task_queue)
+
+
+def _drain(task_queue) -> None:
+    while True:
+        message = task_queue.get()
+        if message == DONE:
+            return
+        try:
+            read_chunk(message)  # attach + unlink, data discarded
+        except FileNotFoundError:  # pragma: no cover - cleanup race
+            pass
+
+
+def _make_store(shard_id: int, config: ShardConfig) -> VectorRunStore:
+    if config.spill != "disk":
+        return VectorRunStore()
+    directory = None
+    if config.spill_root is not None:
+        directory = os.path.join(config.spill_root, f"shard{shard_id}")
+        os.makedirs(directory, exist_ok=True)
+    return VectorRunStore(storage=VectorRunDisk(directory=directory))
+
+
+def _run_shard(shard_id: int, config: ShardConfig, slot_lock,
+               task_queue, result_queue) -> dict:
+    started = perf_counter()
+    slot = (SharedCutoffSlot.attach(config.slot_name, slot_lock)
+            if config.slot_name is not None else None)
+    store = _make_store(shard_id, config)
+    kernel = VectorizedHistogramTopK(
+        k=config.k,
+        memory_rows=config.memory_rows,
+        buckets_per_run=config.buckets_per_run,
+        store=store,
+    )
+    state = _ExchangeState()
+    try:
+        out_keys, out_ids = kernel.execute(
+            _chunk_stream(shard_id, config, task_queue, result_queue,
+                          kernel, slot, state))
+        _maybe_publish(kernel, slot, state, config)  # final local cutoff
+        return {
+            "keys": out_keys,
+            "ids": (out_ids if out_ids is not None
+                    else np.empty(0, dtype=np.int64)),
+            "stats": kernel.stats.snapshot(),
+            "chunks": state.chunks,
+            "publications": state.publications,
+            "adoptions": state.adoptions,
+            "rows_dropped_remote": state.rows_dropped_remote,
+            "records": state.records,
+            "local_cutoff": kernel.live_cutoff,
+            "busy_seconds": perf_counter() - started,
+        }
+    finally:
+        store.close()
+        if slot is not None:
+            slot.close()
+
+
+def _chunk_stream(shard_id: int, config: ShardConfig, task_queue,
+                  result_queue, kernel: VectorizedHistogramTopK,
+                  slot: SharedCutoffSlot | None,
+                  state: _ExchangeState) -> Iterator[tuple]:
+    interval = max(1, config.exchange_interval)
+    stats = kernel.stats
+    while True:
+        message = task_queue.get()
+        if message == DONE:
+            return
+        keys, ids = read_chunk(message)
+        state.chunks += 1
+        if (config.fail_after_chunks is not None
+                and state.chunks > config.fail_after_chunks):
+            raise RuntimeError(
+                f"injected failure in shard {shard_id} after "
+                f"{config.fail_after_chunks} chunks")
+        if slot is not None and state.chunks % interval == 0:
+            _adopt(kernel, slot, state, config)
+        # Arrival-side pre-mask with the freshest *remote* cutoff when it
+        # is strictly tighter than anything this shard knows locally —
+        # the kernel's own filter would only apply the local bound.
+        # Charged exactly like the single-process arrival pre-filter so
+        # counters stay comparable; the remote share is also tallied on
+        # its own for the service metrics.
+        remote = state.remote_cutoff
+        local = kernel.live_cutoff
+        if remote is not None and (local is None or remote < local):
+            mask = keys <= remote
+            kept = int(mask.sum())
+            dropped = keys.size - kept
+            if dropped:
+                stats.rows_consumed += dropped
+                stats.cutoff_comparisons += dropped
+                stats.rows_eliminated_on_arrival += dropped
+                state.rows_dropped_remote += dropped
+                keys = keys[mask]
+                ids = ids[mask]
+        if keys.size:
+            yield keys, ids
+            _maybe_publish(kernel, slot, state, config)
+        if state.chunks % max(1, config.stats_interval) == 0:
+            result_queue.put(("stats", shard_id, stats.snapshot()))
+
+
+def _adopt(kernel: VectorizedHistogramTopK, slot: SharedCutoffSlot,
+           state: _ExchangeState, config: ShardConfig) -> None:
+    remote, seq = slot.read_float()
+    if remote is None:
+        return
+    if state.remote_cutoff is None or remote < state.remote_cutoff:
+        state.remote_cutoff = remote
+        local = kernel.live_cutoff
+        if local is None or remote < local:
+            state.adoptions += 1
+            state.record("adopt", kernel.stats.rows_consumed, remote, seq,
+                         limit=config.record_limit)
+            # Sharpen spill-time truncation too: a remote cutoff is a
+            # valid seed (>= k + offset rows globally sort at/below it).
+            kernel.cutoff_filter.seed(remote)
+
+
+def _maybe_publish(kernel: VectorizedHistogramTopK,
+                   slot: SharedCutoffSlot | None, state: _ExchangeState,
+                   config: ShardConfig) -> None:
+    if slot is None:
+        return
+    cutoff = kernel.live_cutoff
+    if cutoff is None or cutoff != cutoff:  # nothing yet, or NaN
+        return
+    if state.published is not None and cutoff >= state.published:
+        return
+    state.published = cutoff
+    seq = slot.publish_float(cutoff)
+    if seq is not None:
+        state.publications += 1
+        state.record("publish", kernel.stats.rows_consumed, cutoff, seq,
+                     limit=config.record_limit)

@@ -77,6 +77,28 @@ class CostModel:
         """Simulated end-to-end operator time (CPU + I/O)."""
         return self.cpu_seconds(stats) + self.io_seconds(stats.io)
 
+    def sharded_seconds(
+        self,
+        shard_stats: "list[OperatorStats]",
+        coordinator_stats: OperatorStats | None = None,
+    ) -> float:
+        """Simulated time of a sharded execution: the critical path.
+
+        Shards run concurrently, so the parallel phase costs as much as
+        its slowest shard; the coordinator's own work (partitioning feed
+        plus final merge) is serial and adds on top.  This is the
+        standard parallel external-memory accounting (max over
+        processors + sequential remainder) and the basis of the modeled
+        speedup in ``benchmarks/bench_shard.py`` — wall-clock speedups
+        require as many cores as shards, which a CI container rarely
+        has, while the critical path is machine-independent.
+        """
+        slowest = max((self.total_seconds(stats)
+                       for stats in shard_stats), default=0.0)
+        serial = (self.total_seconds(coordinator_stats)
+                  if coordinator_stats is not None else 0.0)
+        return slowest + serial
+
 
 #: Model of the paper's workstation + disaggregated storage setup.
 DEFAULT_COST_MODEL = CostModel()

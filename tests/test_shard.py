@@ -1,0 +1,496 @@
+"""Sharded multi-process top-k: protocol units, leak checks, and the
+differential leg pinning sharded output byte-identical to the
+single-process engines.
+
+Tests that actually spawn worker processes carry the ``slow_mp`` marker
+(deselect with ``-m "not slow_mp"``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.session import Database
+from repro.engine.sql import parse
+from repro.errors import ConfigurationError, ShardError
+from repro.rows.schema import Column, ColumnType, Schema
+from repro.shard import (
+    ShardedTopKExecutor,
+    ShardedVectorizedTopK,
+    SharedCutoffSlot,
+    ShmRegistry,
+    make_partitioner,
+    shm_residue,
+)
+from repro.shard.chunks import read_chunk, write_chunk
+from repro.sorting.keycodec import decode_float_key, encode_float_key
+from repro.storage.stats import (
+    IOStats,
+    OperatorStats,
+    SnapshotMerger,
+    ThreadSafeIOStats,
+)
+
+SCHEMA = Schema([
+    Column("key", ColumnType.FLOAT64),
+    Column("id", ColumnType.INT64),
+])
+
+
+def make_table_rows(count: int, seed: int = 7) -> list[tuple]:
+    rng = np.random.default_rng(seed)
+    keys = rng.normal(size=count) * 1000.0
+    return [(float(key), index) for index, key in enumerate(keys)]
+
+
+def register(db: Database, rows: list[tuple]) -> None:
+    db.register_table("T", SCHEMA, rows, row_count=len(rows))
+
+
+# -- the seqlock slot --------------------------------------------------------
+
+
+class TestSharedCutoffSlot:
+    def _slot(self):
+        registry = ShmRegistry()
+        lock = multiprocessing.Lock()
+        slot = SharedCutoffSlot.create(registry, lock)
+        return slot, registry
+
+    def test_empty_slot_reads_none(self):
+        slot, registry = self._slot()
+        try:
+            assert slot.read() == (None, 0)
+            assert slot.read_float() == (None, 0)
+        finally:
+            slot.close()
+            registry.unlink_all()
+
+    def test_publish_monotone_tightening_only(self):
+        slot, registry = self._slot()
+        try:
+            assert slot.publish_float(100.0) == 1
+            # Looser or equal cutoffs are rejected (no seq consumed).
+            assert slot.publish_float(100.0) is None
+            assert slot.publish_float(250.0) is None
+            assert slot.publish_float(40.0) == 2
+            value, publications = slot.read_float()
+            assert value == 40.0
+            assert publications == 2
+        finally:
+            slot.close()
+            registry.unlink_all()
+
+    def test_nan_is_never_published(self):
+        slot, registry = self._slot()
+        try:
+            assert slot.publish_float(float("nan")) is None
+            assert slot.read_float() == (None, 0)
+        finally:
+            slot.close()
+            registry.unlink_all()
+
+    def test_negative_and_infinite_floats_order_correctly(self):
+        slot, registry = self._slot()
+        try:
+            slot.publish_float(float("inf"))
+            slot.publish_float(-0.0)
+            slot.publish_float(-1e300)
+            value, _ = slot.read_float()
+            assert value == -1e300
+        finally:
+            slot.close()
+            registry.unlink_all()
+
+    def test_oversized_key_rejected(self):
+        slot, registry = self._slot()
+        try:
+            with pytest.raises(ConfigurationError):
+                slot.publish(b"\x00" * 65)
+        finally:
+            slot.close()
+            registry.unlink_all()
+
+    def test_attach_sees_published_value(self):
+        slot, registry = self._slot()
+        try:
+            slot.publish_float(7.5)
+            reader = SharedCutoffSlot.attach(slot.name, slot._lock)
+            try:
+                assert reader.read_float() == (7.5, 1)
+            finally:
+                reader.close()
+        finally:
+            slot.close()
+            registry.unlink_all()
+
+
+def test_float_key_codec_roundtrip_and_order():
+    values = [-1e300, -2.5, -0.0, 0.0, 1.0, 3.14, 1e300,
+              float("-inf"), float("inf")]
+    encoded = [encode_float_key(v) for v in values]
+    for value, key in zip(values, encoded):
+        assert decode_float_key(key) == value
+    ordered = sorted(values)
+    assert sorted(encoded) == [encode_float_key(v) for v in ordered]
+
+
+# -- chunk transport ---------------------------------------------------------
+
+
+class TestChunks:
+    def test_roundtrip_unlinks_by_default(self):
+        registry = ShmRegistry()
+        keys = np.array([3.0, 1.0, 2.0])
+        ids = np.array([10, 11, 12], dtype=np.int64)
+        name = write_chunk(keys, ids, registry)
+        assert name in shm_residue()
+        out_keys, out_ids = read_chunk(name)
+        np.testing.assert_array_equal(out_keys, keys)
+        np.testing.assert_array_equal(out_ids, ids)
+        assert name not in shm_residue()
+        registry.unlink_all()
+
+    def test_empty_chunk(self):
+        registry = ShmRegistry()
+        name = write_chunk(np.empty(0), np.empty(0, dtype=np.int64),
+                           registry)
+        out_keys, out_ids = read_chunk(name)
+        assert out_keys.size == 0 and out_ids.size == 0
+        registry.unlink_all()
+
+    def test_registry_unlinks_unconsumed_segments(self):
+        registry = ShmRegistry()
+        names = [write_chunk(np.array([float(i)]),
+                             np.array([i], dtype=np.int64), registry)
+                 for i in range(3)]
+        read_chunk(names[0])  # consumer retired one of them
+        assert registry.unlink_all() == 2
+        assert shm_residue() == []
+        # Idempotent: a second sweep finds nothing.
+        assert registry.unlink_all() == 0
+
+
+# -- partitioners ------------------------------------------------------------
+
+
+class TestPartitioners:
+    def test_hash_covers_all_shards_and_is_deterministic(self):
+        partitioner = make_partitioner("hash", 4)
+        keys = np.random.default_rng(1).normal(size=4096)
+        first = partitioner.assign(keys)
+        second = partitioner.assign(keys)
+        np.testing.assert_array_equal(first, second)
+        assert set(np.unique(first)) == {0, 1, 2, 3}
+        assert first.min() >= 0 and first.max() < 4
+
+    def test_range_respects_key_order(self):
+        partitioner = make_partitioner("range", 3)
+        keys = np.linspace(-100.0, 100.0, 3000)
+        assignment = partitioner.assign(keys)
+        # Once boundaries are learned, shard numbers are non-decreasing
+        # along sorted keys.
+        assert (np.diff(assignment) >= 0).all()
+        assert set(np.unique(assignment)) == {0, 1, 2}
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_partitioner("round_robin", 2)
+
+
+# -- picklable snapshots and delta merging (satellite 1) ---------------------
+
+
+class TestSnapshots:
+    def test_thread_safe_iostats_pickles(self):
+        stats = ThreadSafeIOStats()
+        stats.rows_spilled += 42
+        stats.bytes_written += 1000
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.rows_spilled == 42
+        assert clone.bytes_written == 1000
+        # The restored lock is functional.
+        clone.rows_spilled += 1
+        assert clone.rows_spilled == 43
+
+    def test_operator_stats_subtraction(self):
+        earlier = OperatorStats()
+        earlier.rows_consumed = 10
+        earlier.io.rows_spilled = 2
+        later = OperatorStats()
+        later.rows_consumed = 25
+        later.io.rows_spilled = 7
+        delta = later - earlier
+        assert delta.rows_consumed == 15
+        assert delta.io.rows_spilled == 5
+
+    def test_snapshot_merger_never_double_counts(self):
+        target = OperatorStats()
+        merger = SnapshotMerger(target)
+        cumulative = OperatorStats()
+        for step in (10, 25, 40):
+            cumulative.rows_consumed = step
+            cumulative.io = IOStats(rows_spilled=step // 5)
+            merger.apply("shard-0", cumulative.snapshot())
+        assert target.rows_consumed == 40
+        assert target.io.rows_spilled == 8
+        # A second source folds independently.
+        other = OperatorStats()
+        other.rows_consumed = 5
+        merger.apply("shard-1", other)
+        assert target.rows_consumed == 45
+
+
+# -- the executor end to end (multi-process) ---------------------------------
+
+
+def oracle_topk(rows, k, offset=0):
+    ordered = sorted(rows, key=lambda row: (row[0], row[1]))
+    return ordered[offset:offset + k]
+
+
+def chunk_stream(rows, batch=500):
+    for start in range(0, len(rows), batch):
+        part = rows[start:start + batch]
+        yield (np.array([row[0] for row in part]),
+               np.array([row[1] for row in part], dtype=np.int64))
+
+
+@pytest.mark.slow_mp
+class TestShardedExecutor:
+    def test_matches_oracle_and_leaves_no_residue(self):
+        rows = make_table_rows(6000)
+        executor = ShardedTopKExecutor(k=700, shards=2, memory_rows=600,
+                                       chunk_rows=1024)
+        keys, ids = executor.execute(chunk_stream(rows))
+        expected = oracle_topk(rows, 700)
+        assert [(k, i) for k, i in zip(keys.tolist(), ids.tolist())] \
+            == expected
+        assert executor.final_cutoff == expected[-1][0]
+        assert shm_residue() == []
+        assert executor.stats.rows_consumed == len(rows)
+
+    def test_offset_applied_at_final_merge(self):
+        rows = make_table_rows(3000)
+        executor = ShardedTopKExecutor(k=50, offset=25, shards=2,
+                                       memory_rows=400, chunk_rows=512)
+        keys, ids = executor.execute(chunk_stream(rows))
+        expected = oracle_topk(rows, 50, offset=25)
+        assert [(k, i) for k, i in zip(keys.tolist(), ids.tolist())] \
+            == expected
+
+    def test_merge_modes_agree(self):
+        rows = make_table_rows(4000)
+        expected = oracle_topk(rows, 300)
+        for merge in ("ovc", "vector"):
+            executor = ShardedTopKExecutor(k=300, shards=2,
+                                           memory_rows=400,
+                                           chunk_rows=512, merge=merge)
+            keys, ids = executor.execute(chunk_stream(rows))
+            assert executor.merge_mode_used == merge
+            assert [(k, i) for k, i in zip(keys.tolist(), ids.tolist())] \
+                == expected
+
+    def test_exchange_off_still_correct(self):
+        rows = make_table_rows(3000)
+        executor = ShardedTopKExecutor(k=200, shards=2, memory_rows=400,
+                                       chunk_rows=512, exchange="off")
+        keys, ids = executor.execute(chunk_stream(rows))
+        assert [(k, i) for k, i in zip(keys.tolist(), ids.tolist())] \
+            == oracle_topk(rows, 200)
+        assert executor.publications == 0
+
+    def test_disk_spill_backend(self):
+        rows = make_table_rows(4000)
+        executor = ShardedTopKExecutor(k=600, shards=2, memory_rows=300,
+                                       chunk_rows=512, spill="disk")
+        keys, ids = executor.execute(chunk_stream(rows))
+        assert [(k, i) for k, i in zip(keys.tolist(), ids.tolist())] \
+            == oracle_topk(rows, 600)
+        spilled = sum(s.rows_spilled for s in executor.shard_summaries)
+        assert spilled > 0
+        assert executor.stats.io.rows_spilled == spilled
+
+    def test_worker_crash_raises_and_cleans_up(self):
+        rows = make_table_rows(8000)
+        executor = ShardedTopKExecutor(k=500, shards=2, memory_rows=400,
+                                       chunk_rows=256, fail_shard=1,
+                                       fail_after_chunks=2)
+        with pytest.raises(ShardError, match="injected failure"):
+            executor.execute(chunk_stream(rows))
+        assert shm_residue() == []
+
+    def test_cancellation_mid_feed_cleans_up(self):
+        executor = ShardedTopKExecutor(k=100, shards=2, memory_rows=200,
+                                       chunk_rows=128)
+
+        def cancelled_stream():
+            rows = make_table_rows(2000)
+            yield from chunk_stream(rows, batch=200)
+            raise KeyboardInterrupt("query cancelled")
+
+        with pytest.raises(KeyboardInterrupt):
+            executor.execute(cancelled_stream())
+        assert shm_residue() == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardedTopKExecutor(k=0, shards=2, memory_rows=100)
+        with pytest.raises(ConfigurationError):
+            ShardedTopKExecutor(k=5, shards=2, memory_rows=100,
+                                exchange="gossip")
+        with pytest.raises(ConfigurationError):
+            ShardedTopKExecutor(k=5, shards=2, memory_rows=100,
+                                merge="bogus")
+        with pytest.raises(ConfigurationError):
+            ShardedTopKExecutor(k=5, shards=2, memory_rows=1)
+
+
+# -- the differential leg (satellite 3) --------------------------------------
+
+
+@pytest.mark.slow_mp
+class TestShardedDifferential:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("exchange", ["slot", "periodic"])
+    def test_byte_identical_to_single_process(self, shards, exchange):
+        rows = make_table_rows(9000, seed=shards * 31 + len(exchange))
+        sql = "SELECT * FROM T ORDER BY key LIMIT 1500"
+
+        baseline_db = Database(memory_rows=1200)
+        register(baseline_db, rows)
+        baseline = baseline_db.sql(sql)
+
+        row_db = Database(memory_rows=1200)
+        row_db.planner.vectorize = False
+        register(row_db, rows)
+        row_engine = row_db.sql(sql)
+
+        sharded_db = Database(
+            memory_rows=1200, shards=shards,
+            shard_options={"min_rows_per_shard": 100,
+                           "exchange": exchange, "chunk_rows": 1024})
+        register(sharded_db, rows)
+        sharded = sharded_db.sql(sql)
+
+        assert sharded.rows == baseline.rows == row_engine.rows
+        assert shm_residue() == []
+        if shards >= 2:
+            impl = _sharded_impl(sharded.plan)
+            assert impl is not None
+            per_shard = sum(s.rows_spilled for s in impl.shard_summaries)
+            assert sharded.stats.io.rows_spilled == per_shard
+            assert sharded.stats.rows_consumed == len(rows)
+
+    def test_range_partition_identical_too(self):
+        rows = make_table_rows(6000, seed=99)
+        sql = "SELECT * FROM T ORDER BY key LIMIT 800"
+        baseline_db = Database(memory_rows=900)
+        register(baseline_db, rows)
+        sharded_db = Database(
+            memory_rows=900, shards=2,
+            shard_options={"min_rows_per_shard": 100,
+                           "partition": "range"})
+        register(sharded_db, rows)
+        assert sharded_db.sql(sql).rows == baseline_db.sql(sql).rows
+
+
+def _sharded_impl(plan):
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        impl = node.__dict__.get("last_impl")
+        if impl is not None and getattr(impl, "shard_summaries", None):
+            return impl
+        stack.extend(node.children())
+    return None
+
+
+# -- planner lowering --------------------------------------------------------
+
+
+class TestPlannerLowering:
+    def test_small_table_stays_single_process(self):
+        db = Database(memory_rows=500, shards=4)
+        register(db, make_table_rows(1000))
+        plan = db.plan("SELECT * FROM T ORDER BY key LIMIT 10")
+        assert _find(plan, ShardedVectorizedTopK) is None
+
+    def test_large_table_lowers_to_sharded(self):
+        db = Database(memory_rows=500, shards=4,
+                      shard_options={"min_rows_per_shard": 100})
+        register(db, make_table_rows(1000))
+        plan = db.plan("SELECT * FROM T ORDER BY key LIMIT 10")
+        node = _find(plan, ShardedVectorizedTopK)
+        assert node is not None
+        assert node.shards == 4
+        assert "shards=4" in node.label()
+
+    def test_per_query_override_forces_single_process(self):
+        db = Database(memory_rows=500, shards=4,
+                      shard_options={"min_rows_per_shard": 100})
+        register(db, make_table_rows(1000))
+        query_plan = db.planner.plan(
+            parse("SELECT * FROM T ORDER BY key LIMIT 10"),
+            db.table("T"), shards=1)
+        assert _find(query_plan, ShardedVectorizedTopK) is None
+
+
+def _find(plan, kind):
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, kind):
+            return node
+        stack.extend(node.children())
+    return None
+
+
+# -- observability (EXPLAIN ANALYZE + service metrics) -----------------------
+
+
+@pytest.mark.slow_mp
+class TestShardObservability:
+    def test_explain_analyze_shows_cutoff_exchange(self):
+        db = Database(memory_rows=800, shards=2,
+                      shard_options={"min_rows_per_shard": 100,
+                                     "chunk_rows": 512})
+        register(db, make_table_rows(6000))
+        result = db.sql("SELECT * FROM T ORDER BY key LIMIT 900",
+                        explain_analyze=True)
+        text = result.explain_analyze()
+        assert "ShardedVectorizedTopK" in text
+        assert "cutoff_publications=" in text
+        assert "shard[0]=" in text and "shard[1]=" in text
+        nodes = result.analysis.find("ShardedVectorizedTopK")
+        assert nodes and nodes[0].details["shards"] == 2
+        assert nodes[0].details["cutoff_publications"] >= 1
+        spans = result.tracer.find("shard.execute")
+        assert spans
+        event_names = [name for _, name, _ in spans[0].events]
+        assert any(name.startswith("shard.cutoff.publish")
+                   for name in event_names)
+
+    def test_service_shard_counters(self):
+        db = Database(memory_rows=800, shards=2,
+                      shard_options={"min_rows_per_shard": 100,
+                                     "chunk_rows": 512})
+        register(db, make_table_rows(6000))
+        from repro.service.service import QueryService
+
+        with QueryService(database=db, workers=1) as service:
+            result = service.execute(
+                "SELECT * FROM T ORDER BY key LIMIT 900")
+            assert result.stats.shards == 2
+            assert result.stats.shard_cutoff_publications >= 1
+            snapshot = service.snapshot()
+            assert snapshot.queries_sharded == 1
+            assert snapshot.shard_cutoff_publications >= 1
+            metrics = service.metrics_snapshot()
+            assert metrics["service.shard.queries"]["value"] == 1
+            assert metrics["service.shard.cutoff_publications"]["value"] \
+                >= 1
