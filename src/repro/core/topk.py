@@ -152,6 +152,7 @@ class HistogramTopK:
         tracer=None,
         merge_read_ahead: int = 2,
         key_encoding: str = "auto",
+        histogram_sink: Callable[[Any], None] | None = None,
     ):
         if k <= 0:
             raise ConfigurationError("k must be positive")
@@ -248,9 +249,24 @@ class HistogramTopK:
             on_refine=(self._record_refinement
                        if trace_cutoff or self.timeline is not None
                        else None))
+        # Seeds live in the active key space (byte strings with a codec,
+        # tuples/raw values without).  A cost-based planner may choose a
+        # different encoding for a repeat of the query that produced the
+        # seed, so a space-mismatched seed is dropped rather than letting
+        # ``bytes``-vs-tuple comparisons blow up mid-scan.
+        if cutoff_seed is not None \
+                and isinstance(cutoff_seed, bytes) \
+                != (self.key_codec is not None):
+            cutoff_seed = None
         self.cutoff_seed = cutoff_seed
         if cutoff_seed is not None:
             self.cutoff_filter.seed(cutoff_seed)
+        #: Optional observer of every emitted histogram bucket — the
+        #: statistics-catalog harvest hook (zero-cost when ``None``).
+        #: Buckets are in *normalized key space*: whatever ``sort_key``
+        #: produces (tuple keys or encoded byte keys); the harvester is
+        #: responsible for mapping keys back to column values.
+        self.histogram_sink = histogram_sink
         self._last_output_row: tuple | None = None
         self.build_rank_index = build_rank_index
         self.rank_index: RankIndex | None = None
@@ -502,6 +518,8 @@ class HistogramTopK:
             self.cutoff_filter.insert(bucket)
             if self.rank_index is not None:
                 self.rank_index.add_bucket(bucket)
+            if self.histogram_sink is not None:
+                self.histogram_sink(bucket)
 
         histogram_builder = RunHistogramBuilder(
             policy=self.sizing_policy,

@@ -161,8 +161,18 @@ class Operator:
         return []
 
     def explain(self, depth: int = 0) -> str:
-        """Render this operator subtree as indented text."""
+        """Render this operator subtree as indented text.
+
+        Nodes chosen by the cost-based planner carry a
+        ``PlanDecision`` (see :mod:`repro.engine.planner`); its costed
+        summary renders indented under the node's label.
+        """
         lines = ["  " * depth + "-> " + self.label()]
+        decision = self.__dict__.get("decision")
+        if decision is not None:
+            indent = "  " * depth + "     "
+            lines.extend(indent + line
+                         for line in decision.describe().splitlines())
         for child in self.children():
             lines.append(child.explain(depth + 1))
         return "\n".join(lines)
@@ -438,11 +448,16 @@ class TopK(Operator):
         algorithm_options: dict | None = None,
         cutoff_seed: Any = None,
         tracer=None,
+        execution: str = "batch",
     ):
         if algorithm not in TOPK_ALGORITHMS:
             raise ConfigurationError(
                 f"unknown top-k algorithm {algorithm!r}; "
                 f"choose from {TOPK_ALGORITHMS}")
+        if execution not in ("batch", "row"):
+            raise ConfigurationError(
+                f"unknown execution mode {execution!r} "
+                "(expected 'batch' or 'row')")
         self.child = child
         self.schema = child.schema
         self.sort_spec = sort_spec
@@ -453,9 +468,21 @@ class TopK(Operator):
         self.spill_manager = spill_manager
         self.algorithm_options = algorithm_options or {}
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: ``"batch"`` drains the child's batch surface (the default);
+        #: ``"row"`` pins the Volcano row-at-a-time path — kept as a
+        #: costed planner candidate and an ablation knob.
+        self.execution = execution
         #: Only the histogram algorithm understands cutoff seeding; the
         #: seed is silently ignored for the baselines.
         self.cutoff_seed = cutoff_seed
+        #: The planner's costed decision for this operator, when the
+        #: cost-based planner produced it (``None`` for hand-built
+        #: plans).  Read by ``EXPLAIN`` / ``EXPLAIN ANALYZE``.
+        self.decision = None
+        #: Optional per-bucket sink harvesting the run-generation
+        #: histogram into the statistics catalog (histogram algorithm
+        #: only; attached by the session when a catalog is present).
+        self.histogram_sink = None
         #: The algorithm instance of the most recent ``rows()`` call —
         #: lets callers read execution artifacts (``final_cutoff``,
         #: ``cutoff_filter``, ``runs``) after materializing the output.
@@ -477,6 +504,8 @@ class TopK(Operator):
         if self.algorithm == "histogram":
             if self.cutoff_seed is not None:
                 options.setdefault("cutoff_seed", self.cutoff_seed)
+            if self.histogram_sink is not None:
+                options.setdefault("histogram_sink", self.histogram_sink)
             return HistogramTopK(self.sort_spec, tracer=self.tracer,
                                  **common, **options)
         if self.algorithm == "optimized":
@@ -486,11 +515,15 @@ class TopK(Operator):
     def rows(self) -> Iterator[tuple]:
         impl = self._make_impl()
         self.last_impl = impl
+        if self.execution == "row":
+            return impl.execute(self.child.rows())
         return impl.execute_batches(self.child.batches())
 
     def label(self) -> str:
+        extra = "" if self.execution == "batch" \
+            else f" execution={self.execution}"
         return (f"TopK k={self.k} offset={self.offset} "
-                f"[{self.sort_spec!r}] algorithm={self.algorithm}")
+                f"[{self.sort_spec!r}] algorithm={self.algorithm}{extra}")
 
     def children(self) -> list[Operator]:
         return [self.child]
@@ -561,6 +594,7 @@ class VectorizedTopK(TopK):
             store=self.run_store,
             stats=self.stats,
             tracer=self.tracer,
+            histogram_sink=self.histogram_sink,
         )
         self.last_impl = impl
         store: list[tuple] = []

@@ -1,17 +1,24 @@
 """Planner: turn a :class:`ParsedQuery` into a physical operator tree.
 
 Plans are intentionally simple — scan, optional filter, then either a
-top-k, a full sort, or a plain limit, then a projection.  The interesting
-decision, and the one the paper makes moot, is the top-k algorithm choice:
-the histogram operator *adapts at runtime*, so the planner never needs to
-predict whether the output will fit in memory (Section 5.2: "an a-priori
-choice of algorithm is not required").  Baseline algorithms remain
-selectable to reproduce the evaluation.
+top-k, a full sort, or a plain limit, then a projection.  The paper
+makes the top-k *algorithm* choice moot (the histogram operator adapts
+at runtime, Section 5.2), but everything *around* the operator is a
+genuine optimization problem: row vs batch vs vectorized vs sharded
+execution, tuple vs order-preserving-byte key encoding, merge fan-in,
+and worker count.  Those choices are made here by enumerating the
+eligible candidates and costing each with the
+:class:`~repro.storage.costmodel.CostModel`, fed by the statistics
+catalog (:mod:`repro.stats`) when one is attached — with every historic
+knob (``vectorize=``, ``shards=``, ``key_encoding``, ``fan_in``,
+``path=``) retained as an override that pins the decision.
 """
 
 from __future__ import annotations
 
 import operator as _operator
+import os
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.engine.operators import (
@@ -27,11 +34,13 @@ from repro.engine.operators import (
     TopK,
     VectorizedTopK,
 )
-from repro.engine.sql import Comparison, ParsedQuery
-from repro.errors import PlanError
+from repro.engine.sql import Comparison, ParsedQuery, cutoff_scope
+from repro.errors import PlanError, SchemaError
 from repro.rows.batch import numeric_key_column
 from repro.rows.schema import Schema
 from repro.rows.sortspec import SortColumn, SortSpec
+from repro.sorting.keycodec import compile_keycodec
+from repro.storage.costmodel import CostModel, DEFAULT_COST_MODEL, PlanCost
 from repro.storage.spill import SpillManager
 
 _COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
@@ -43,19 +52,55 @@ _COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
     ">=": _operator.ge,
 }
 
+#: Input cardinality assumed when neither the table nor the catalog
+#: knows (callable sources before their first scan).
+DEFAULT_ROW_ESTIMATE = 100_000
+
+#: Fallback selectivities when no column sketch is available (the
+#: textbook System-R defaults).
+_DEFAULT_SELECTIVITY = {"=": 0.1, "!=": 0.9}
+_DEFAULT_RANGE_SELECTIVITY = 1 / 3
+
 
 def _resolve_column(schema: Schema, name: str) -> str:
     """Case-insensitive column lookup returning the canonical name."""
-    if name in schema:
-        return name
-    lowered = {column_name.lower(): column_name
-               for column_name in schema.names}
     try:
-        return lowered[name.lower()]
-    except KeyError:
-        raise PlanError(
-            f"unknown column {name!r}; available: {list(schema.names)}"
-        ) from None
+        return schema.resolve(name)
+    except SchemaError as exc:
+        raise PlanError(str(exc)) from None
+
+
+def vectorized_lowering_eligible(
+    spec: SortSpec,
+    *,
+    algorithm: str = "histogram",
+    algorithm_options: dict | None = None,
+    cutoff_seed: Any = None,
+) -> bool:
+    """Whether a plain top-k may lower onto the numpy kernels.
+
+    The single shared predicate for both the vectorized and the sharded
+    lowering (the sharded executor runs the same kernel per worker).
+    Lowering requires every condition the kernels assume:
+
+    * the paper's histogram algorithm with no ablation options — except
+      ``key_encoding="auto"``, the row engine's default, under which the
+      binary key codec declines single-numeric-column specs anyway
+      (exactly the specs that lower); a forced ``"ovc"``/``"tuple"``
+      pins the query to the row engine;
+    * no ``cutoff_seed`` (the kernels have no stale-seed detection;
+      seeded repeats run on the row engine);
+    * a single non-nullable numeric ORDER BY column, so batch key
+      columns extract as float64 arrays (numpy present).
+    """
+    options = {key: value
+               for key, value in (algorithm_options or {}).items()
+               if not (key == "key_encoding" and value == "auto")}
+    if algorithm != "histogram" or options:
+        return False
+    if cutoff_seed is not None:
+        return False
+    return numeric_key_column(spec) is not None
 
 
 def _compile_predicates(schema: Schema,
@@ -78,6 +123,64 @@ def _compile_predicates(schema: Schema,
     return test, " AND ".join(parts)
 
 
+@dataclass(frozen=True)
+class Candidate:
+    """One costed physical alternative for a plain top-k plan."""
+
+    path: str              # "row" | "batch" | "vectorized" | "sharded"
+    key_encoding: str      # "tuple" | "ovc" | "-" (vectorized paths)
+    shards: int
+    cost: PlanCost
+
+    def label(self) -> str:
+        encoding = "" if self.key_encoding == "-" \
+            else f"/{self.key_encoding}"
+        shards = f"x{self.shards}" if self.shards > 1 else ""
+        return f"{self.path}{encoding}{shards}"
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """The planner's costed choice for one top-k query, kept on the
+    operator node for ``EXPLAIN`` / ``EXPLAIN ANALYZE`` auditing."""
+
+    chosen: Candidate
+    candidates: tuple[Candidate, ...]
+    #: Estimated input cardinality (after WHERE selectivity).
+    estimated_rows: float
+    #: Estimated WHERE selectivity applied to the base cardinality
+    #: (1.0 when the query has no predicates).
+    estimated_selectivity: float
+    #: Where the estimates came from: ``"observed"`` (post-execution
+    #: feedback for this exact scope), ``"catalog"`` (column sketches),
+    #: ``"table"`` (registered row count only), or ``"default"``.
+    stats_source: str
+    #: Knobs that pinned (parts of) the decision, e.g. ``("shards",)``.
+    forced: tuple[str, ...] = field(default_factory=tuple)
+
+    def describe(self) -> str:
+        cost = self.chosen.cost
+        fan_in = cost.fan_in if cost.fan_in is not None else "-"
+        lines = [
+            (f"Planner: path={self.chosen.path} "
+             f"key_encoding={self.chosen.key_encoding} "
+             f"fan_in={fan_in} shards={self.chosen.shards} "
+             f"cost={cost.seconds:.4f}s [stats={self.stats_source}]"),
+            (f"  estimated: rows_in={self.estimated_rows:.0f} "
+             f"(selectivity {self.estimated_selectivity:.3f}) "
+             f"rows_spilled={cost.rows_spilled:.0f} runs={cost.runs} "
+             f"merge_passes={cost.merge_passes} "
+             f"cpu={cost.cpu_seconds:.4f}s io={cost.io_seconds:.4f}s"),
+        ]
+        if self.forced:
+            lines.append(f"  forced by: {', '.join(self.forced)}")
+        ranked = sorted(self.candidates, key=lambda c: c.cost.seconds)
+        lines.append("  candidates: " + " | ".join(
+            f"{candidate.label()}={candidate.cost.seconds:.4f}s"
+            for candidate in ranked))
+        return "\n".join(lines)
+
+
 class Planner:
     """Builds physical plans for parsed queries.
 
@@ -87,20 +190,31 @@ class Planner:
         spill_manager_factory: Zero-argument factory for each query's spill
             substrate (lets a session share I/O accounting).
         algorithm_options: Extra keyword arguments for the top-k operator's
-            algorithm (e.g. ``sizing_policy=...``).
+            algorithm (e.g. ``sizing_policy=...``).  Any option beyond
+            ``key_encoding`` pins plans to the row engine, whose behavior
+            the knobs configure; an explicit ``key_encoding`` pins the
+            encoding decision.
         vectorize: Allow lowering plain histogram top-k plans onto the
-            vectorized numpy kernels when the ORDER BY key is a single
-            non-nullable numeric column (see :meth:`_lower_topk`).
-            ``False`` pins every plan to the row-engine operator.
-        shards: Default worker-process count for sharded execution;
-            ``1`` (the default) keeps every plan single-process.  A plan
-            is sharded only when it would lower onto the vectorized
-            kernel anyway *and* the table is known to be large enough to
-            amortize process startup (see :meth:`_lower_topk`).
+            vectorized numpy kernels (see
+            :func:`vectorized_lowering_eligible`).  ``False`` pins every
+            plan to the row-engine operator.
+        shards: Worker-process count for sharded execution.  ``1`` (the
+            default) keeps plans single-process; an integer ``>= 2`` is a
+            placement directive — eligible plans shard, exactly as
+            before the cost-based planner; ``"auto"`` lets the cost
+            model pick the count (including 1) up to the machine's CPUs.
         shard_options: Extra keyword arguments for
             :class:`~repro.shard.executor.ShardedTopKExecutor`
             (``partition=``, ``exchange=``, ``spill=``, ...) plus the
             planner-level ``min_rows_per_shard`` threshold.
+        cost_model: The :class:`~repro.storage.costmodel.CostModel`
+            pricing the candidates.
+        stats_catalog: Optional :class:`~repro.stats.StatsCatalog`
+            feeding cardinality/selectivity estimates (the session wires
+            its own by default).
+        path: Force one physical path (``"row"``, ``"batch"``,
+            ``"vectorized"``, ``"sharded"``) instead of costing; the
+            benchmark harness's hand-picking knob.
     """
 
     def __init__(
@@ -110,8 +224,11 @@ class Planner:
         spill_manager_factory: Callable[[], SpillManager] | None = None,
         algorithm_options: dict | None = None,
         vectorize: bool = True,
-        shards: int = 1,
+        shards: int | str = 1,
         shard_options: dict | None = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        stats_catalog=None,
+        path: str | None = None,
     ):
         self.memory_rows = memory_rows
         self.algorithm = algorithm
@@ -122,73 +239,236 @@ class Planner:
         self.shard_options = dict(shard_options or {})
         self.min_rows_per_shard = self.shard_options.pop(
             "min_rows_per_shard", 50_000)
+        self.cost_model = cost_model
+        self.stats_catalog = stats_catalog
+        if path is not None and path not in ("row", "batch", "vectorized",
+                                             "sharded"):
+            raise PlanError(f"unknown forced path {path!r}")
+        self.path = path
 
-    def _lower_topk(self, node: Operator, spec: SortSpec, query: ParsedQuery,
-                    memory_rows: int, cutoff_seed: Any,
-                    tracer=None, table: Table | None = None,
-                    shards: int | None = None) -> Operator | None:
-        """The plain-top-k lowering decision (``None`` → keep the row op).
+    # -- estimation ------------------------------------------------------
 
-        Lowering onto :class:`VectorizedTopK` requires every condition
-        the numpy kernels assume:
-
-        * the session's algorithm is the paper's histogram operator with
-          no custom algorithm options (ablation knobs stay on the row
-          engine, whose behavior they configure) — except
-          ``key_encoding="auto"``, the row engine's default, under which
-          the binary key codec declines single-numeric-column specs
-          anyway, i.e. exactly the specs that lower.  A forced
-          ``"ovc"``/``"tuple"`` pins the query to the row engine;
-        * no ``cutoff_seed`` (the vectorized kernel has no stale-seed
-          detection; seeded repeats run on the row engine);
-        * the ORDER BY key is a single non-nullable numeric column, so
-          batch key columns extract as float64 arrays (numpy present).
-
-        A lowered plan is further promoted to
-        :class:`~repro.shard.operator.ShardedVectorizedTopK` when the
-        effective ``shards`` is ≥ 2 and the table is not known to be too
-        small — ``min_rows_per_shard`` per worker, with an unknown
-        ``row_count`` treated as large (the knob was set deliberately).
-        """
-        if not self.vectorize:
+    def _table_stats(self, table: Table):
+        if self.stats_catalog is None:
             return None
-        options = {key: value
-                   for key, value in self.algorithm_options.items()
-                   if not (key == "key_encoding" and value == "auto")}
-        if self.algorithm != "histogram" or options:
-            return None
-        if cutoff_seed is not None:
-            return None
-        if numeric_key_column(spec) is None:
-            return None
-        effective_shards = self.shards if shards is None else shards
-        if effective_shards >= 2 and self._large_enough(
-                table, effective_shards):
-            from repro.shard.operator import ShardedVectorizedTopK
+        return self.stats_catalog.get(table.name, table.version)
 
-            return ShardedVectorizedTopK(
-                node,
-                sort_spec=spec,
-                k=query.limit,
-                shards=effective_shards,
-                offset=query.offset,
-                memory_rows=memory_rows,
-                tracer=tracer,
-                shard_options=dict(self.shard_options),
-            )
-        return VectorizedTopK(
-            node,
-            sort_spec=spec,
-            k=query.limit,
-            offset=query.offset,
-            memory_rows=memory_rows,
-            tracer=tracer,
-        )
+    def _estimate_input(self, query: ParsedQuery, table: Table,
+                        stats) -> tuple[float, float, float, str]:
+        """``(rows_in, row_bytes, selectivity, source)`` for costing."""
+        base = None
+        source = "default"
+        if stats is not None and stats.row_count is not None:
+            base = stats.row_count
+            source = "catalog"
+        if base is None and table.row_count is not None:
+            base = table.row_count
+            source = "table"
+        if base is None:
+            base = DEFAULT_ROW_ESTIMATE
+        selectivity = 1.0
+        if query.predicates:
+            observed = None
+            if stats is not None:
+                scope = cutoff_scope(query)
+                if scope is not None:
+                    observed = stats.observed.get(scope)
+            if observed is not None:
+                selectivity = min(1.0, observed / base) if base else 1.0
+                source = "observed"
+            else:
+                for predicate in query.predicates:
+                    selectivity *= self._predicate_selectivity(
+                        table, stats, predicate)
+        row_bytes = None
+        if stats is not None and stats.avg_row_bytes is not None:
+            row_bytes = stats.avg_row_bytes
+        if row_bytes is None:
+            row_bytes = self._schema_row_bytes(table.schema)
+        return base * selectivity, row_bytes, selectivity, source
+
+    def _predicate_selectivity(self, table: Table, stats,
+                               predicate: Comparison) -> float:
+        sketch = None
+        if stats is not None:
+            try:
+                column = table.schema.resolve(predicate.column)
+            except SchemaError:
+                column = predicate.column
+            sketch = stats.column(column)
+        if sketch is not None and sketch.rows:
+            return max(1e-6, sketch.selectivity_cmp(predicate.op,
+                                                    predicate.value))
+        if predicate.op in _DEFAULT_SELECTIVITY:
+            return _DEFAULT_SELECTIVITY[predicate.op]
+        return _DEFAULT_RANGE_SELECTIVITY
+
+    @staticmethod
+    def _schema_row_bytes(schema: Schema) -> float:
+        total = 16.0
+        for column in schema.columns:
+            width = column.type.fixed_width
+            total += width if width is not None else 20.0
+        return total
+
+    # -- candidate enumeration / costing ---------------------------------
+
+    def _encoding_candidates(self, spec: SortSpec) -> list[str]:
+        """Eligible key encodings for the row engine, pinned or costed."""
+        pinned = self.algorithm_options.get("key_encoding")
+        if pinned is not None and pinned != "auto":
+            return [pinned]
+        if self.algorithm != "histogram":
+            return ["tuple"]
+        codec = compile_keycodec(spec)
+        if codec is None:
+            return ["tuple"]
+        if codec.preferred:
+            # Composite specs: both encodings work; the cost model
+            # decides (comparison savings vs encode overhead).
+            return ["ovc", "tuple"]
+        # Bare-primitive specs: the codec declines by policy — byte
+        # keys would defeat the vectorized batch admission filter.
+        return ["tuple"]
+
+    def _shard_counts(self, table: Table, shards: int | str) -> list[int]:
+        """Worker counts worth costing (gated on table size)."""
+        if shards == "auto":
+            cpus = os.cpu_count() or 1
+            counts = [n for n in (2, 4, 8, 16)
+                      if n <= cpus and self._large_enough(table, n)]
+            return counts
+        if isinstance(shards, int) and shards >= 2 \
+                and self._large_enough(table, shards):
+            return [shards]
+        return []
 
     def _large_enough(self, table: Table | None, shards: int) -> bool:
         row_count = getattr(table, "row_count", None)
         return row_count is None or row_count >= shards \
             * self.min_rows_per_shard
+
+    def _decide_topk(self, spec: SortSpec, query: ParsedQuery,
+                     table: Table, memory_rows: int, cutoff_seed: Any,
+                     shards: int | str) -> PlanDecision:
+        """Enumerate eligible candidates, cost each, pick the cheapest."""
+        stats = self._table_stats(table)
+        rows, row_bytes, selectivity, source = self._estimate_input(
+            query, table, stats)
+        needed = query.limit + query.offset
+        key_columns = len(spec.columns)
+        forced: list[str] = []
+
+        def cost(path: str, encoding: str, n_shards: int = 1) -> PlanCost:
+            return self.cost_model.topk_plan_cost(
+                rows=rows, row_bytes=row_bytes, needed=needed,
+                memory_rows=memory_rows, path=path,
+                key_columns=key_columns,
+                key_encoding=encoding if encoding != "-" else "tuple",
+                desc_obj_columns=spec.desc_object_columns,
+                fan_in=self.algorithm_options.get("fan_in"),
+                shards=n_shards)
+
+        # Enumeration order doubles as the cost tie-break (``min`` keeps
+        # the first of equals): vectorized before the row engine, batch
+        # before row, so degenerate inputs (zero estimated rows) still
+        # get the historically-preferred plan.
+        candidates: list[Candidate] = []
+        vector_ok = self.vectorize and vectorized_lowering_eligible(
+            spec, algorithm=self.algorithm,
+            algorithm_options=self.algorithm_options,
+            cutoff_seed=cutoff_seed)
+        if vector_ok:
+            candidates.append(Candidate("vectorized", "-", 1,
+                                        cost("vectorized", "-")))
+            for count in self._shard_counts(table, shards):
+                candidates.append(Candidate("sharded", "-", count,
+                                            cost("sharded", "-", count)))
+        for encoding in self._encoding_candidates(spec):
+            candidates.append(Candidate("batch", encoding, 1,
+                                        cost("batch", encoding)))
+            candidates.append(Candidate("row", encoding, 1,
+                                        cost("row", encoding)))
+
+        eligible = candidates
+        if self.path is not None:
+            forced.append(f"path={self.path}")
+            eligible = [c for c in candidates if c.path == self.path]
+            if not eligible:
+                raise PlanError(
+                    f"forced path {self.path!r} is not eligible for this "
+                    f"query (candidates: "
+                    f"{sorted({c.path for c in candidates})})")
+        elif isinstance(shards, int) and shards >= 2:
+            # An explicit worker count is a placement directive, exactly
+            # as before the cost-based planner: eligible plans shard.
+            sharded = [c for c in eligible if c.path == "sharded"]
+            if sharded:
+                forced.append("shards")
+                eligible = sharded
+        if not self.vectorize:
+            forced.append("vectorize=False")
+        if self.algorithm_options.get("key_encoding") not in (None, "auto"):
+            forced.append("key_encoding")
+        if self.algorithm_options.get("fan_in") is not None:
+            forced.append("fan_in")
+
+        chosen = min(eligible, key=lambda c: c.cost.seconds)
+        return PlanDecision(
+            chosen=chosen,
+            candidates=tuple(candidates),
+            estimated_rows=rows,
+            estimated_selectivity=selectivity,
+            stats_source=source,
+            forced=tuple(forced),
+        )
+
+    def _build_topk(self, decision: PlanDecision, node: Operator,
+                    spec: SortSpec, query: ParsedQuery, memory_rows: int,
+                    cutoff_seed: Any, tracer) -> Operator:
+        """Materialize the chosen candidate as a physical operator."""
+        chosen = decision.chosen
+        if chosen.path == "sharded":
+            from repro.shard.operator import ShardedVectorizedTopK
+
+            operator = ShardedVectorizedTopK(
+                node,
+                sort_spec=spec,
+                k=query.limit,
+                shards=chosen.shards,
+                offset=query.offset,
+                memory_rows=memory_rows,
+                tracer=tracer,
+                shard_options=dict(self.shard_options),
+            )
+        elif chosen.path == "vectorized":
+            operator = VectorizedTopK(
+                node,
+                sort_spec=spec,
+                k=query.limit,
+                offset=query.offset,
+                memory_rows=memory_rows,
+                tracer=tracer,
+            )
+        else:
+            options = dict(self.algorithm_options)
+            if self.algorithm == "histogram":
+                options["key_encoding"] = chosen.key_encoding
+            operator = TopK(
+                node,
+                sort_spec=spec,
+                k=query.limit,
+                offset=query.offset,
+                algorithm=self.algorithm,
+                memory_rows=memory_rows,
+                spill_manager=self.spill_manager_factory(),
+                algorithm_options=options,
+                cutoff_seed=cutoff_seed,
+                tracer=tracer,
+                execution=chosen.path,
+            )
+        operator.decision = decision
+        return operator
 
     @staticmethod
     def _shared_sorted_prefix(table: Table,
@@ -210,7 +490,7 @@ class Planner:
         memory_rows: int | None = None,
         cutoff_seed: Any = None,
         tracer=None,
-        shards: int | None = None,
+        shards: int | str | None = None,
     ) -> Operator:
         """Produce the physical plan for ``query`` over ``table``.
 
@@ -227,7 +507,8 @@ class Planner:
                 the plan's top-k operator (and its spill substrate).
             shards: Per-query override of the planner's default worker
                 count for sharded execution (``None`` → the planner
-                default; ``1`` forces single-process).
+                default; ``1`` forces single-process; ``"auto"`` costs
+                the count).
         """
         if memory_rows is None:
             memory_rows = self.memory_rows
@@ -277,21 +558,11 @@ class Planner:
                 node = (Limit(segmented, query.limit, query.offset)
                         if query.offset else segmented)
             elif query.limit is not None:
-                lowered = self._lower_topk(node, spec, query, memory_rows,
-                                           cutoff_seed, tracer=tracer,
-                                           table=table, shards=shards)
-                node = lowered if lowered is not None else TopK(
-                    node,
-                    sort_spec=spec,
-                    k=query.limit,
-                    offset=query.offset,
-                    algorithm=self.algorithm,
-                    memory_rows=memory_rows,
-                    spill_manager=self.spill_manager_factory(),
-                    algorithm_options=dict(self.algorithm_options),
-                    cutoff_seed=cutoff_seed,
-                    tracer=tracer,
-                )
+                decision = self._decide_topk(
+                    spec, query, table, memory_rows, cutoff_seed,
+                    self.shards if shards is None else shards)
+                node = self._build_topk(decision, node, spec, query,
+                                        memory_rows, cutoff_seed, tracer)
             else:
                 node = InMemorySort(node, spec)
                 if query.offset:

@@ -16,13 +16,15 @@ import logging
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.engine.operators import Operator, Table, TopK
+from repro.engine.operators import Operator, Table, TopK, VectorizedTopK
 from repro.engine.planner import Planner
-from repro.engine.sql import ParsedQuery, parse
+from repro.engine.sql import ParsedQuery, cutoff_scope, parse
 from repro.errors import PlanError, StaleCutoffSeed
 from repro.obs.explain import AnalyzedPlan, PlanProbe
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.rows.schema import Schema
+from repro.rows.sortspec import key_value_decoder
+from repro.stats import StatsCatalog, TableStats
 from repro.storage.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.storage.stats import OperatorStats
 
@@ -87,9 +89,22 @@ class Database:
         algorithm: Default top-k algorithm (``"histogram"``).
         algorithm_options: Extra options forwarded to the top-k algorithm.
         shards: Default worker-process count for sharded top-k execution
-            (``1`` = single-process; see :mod:`repro.shard`).
+            (``1`` = single-process; ``"auto"`` lets the cost model pick;
+            see :mod:`repro.shard`).
         shard_options: Extra options for the shard executor
             (``partition=``, ``exchange=``, ``spill=``, ...).
+        stats_catalog: Inject a pre-built
+            :class:`~repro.stats.StatsCatalog`; ``None`` builds one
+            (persisting under ``stats_path`` when given).  The catalog
+            feeds the cost-based planner and is refilled by
+            :meth:`analyze` scans, run-generation histogram harvesting,
+            and post-execution cardinality feedback.
+        stats_path: Directory for the default catalog's per-table JSON
+            files; statistics then survive process restarts.
+        force_path: Pin every plain top-k plan to one physical path
+            (``"row"``, ``"batch"``, ``"vectorized"``, ``"sharded"``)
+            instead of costing — the benchmark harness's hand-picking
+            knob.
     """
 
     def __init__(
@@ -97,16 +112,23 @@ class Database:
         memory_rows: int = 100_000,
         algorithm: str = "histogram",
         algorithm_options: dict | None = None,
-        shards: int = 1,
+        shards: int | str = 1,
         shard_options: dict | None = None,
+        stats_catalog: StatsCatalog | None = None,
+        stats_path=None,
+        force_path: str | None = None,
     ):
         self._tables: dict[str, Table] = {}
+        self.stats_catalog = (stats_catalog if stats_catalog is not None
+                              else StatsCatalog(path=stats_path))
         self.planner = Planner(
             memory_rows=memory_rows,
             algorithm=algorithm,
             algorithm_options=algorithm_options,
             shards=shards,
             shard_options=shard_options,
+            stats_catalog=self.stats_catalog,
+            path=force_path,
         )
 
     # -- registry -------------------------------------------------------------
@@ -133,7 +155,20 @@ class Database:
         table = Table(name, schema, source, row_count=row_count,
                       sorted_by=sorted_by, version=version)
         self._tables[name.upper()] = table
+        if previous is not None:
+            # Statistics describe table *content*; a replaced table must
+            # not be planned with the old version's sketches.
+            self.stats_catalog.invalidate(name)
         return table
+
+    def analyze(self, name: str) -> TableStats:
+        """Scan ``name`` and (re)build its statistics catalog entry.
+
+        The explicit feed: exact row/null counts, min/max, KMV distinct
+        estimates, and an equi-depth histogram per column.  Returns the
+        stored :class:`~repro.stats.TableStats`.
+        """
+        return self.stats_catalog.analyze(self.table(name))
 
     def table(self, name: str) -> Table:
         """Look up a table case-insensitively."""
@@ -196,13 +231,17 @@ class Database:
     def _execute(self, query: ParsedQuery, *, memory_rows: int | None,
                  cutoff_seed: Any, explain_analyze: bool = False,
                  tracer: Tracer | None = None,
-                 shards: int | None = None) -> QueryResult:
+                 shards: int | str | None = None) -> QueryResult:
         if explain_analyze and tracer is None:
             tracer = Tracer()
-        plan = self.planner.plan(query, self.table(query.table),
+        table = self.table(query.table)
+        plan = self.planner.plan(query, table,
                                  memory_rows=memory_rows,
                                  cutoff_seed=cutoff_seed,
                                  tracer=tracer, shards=shards)
+        topk = _plan_topk_node(plan)
+        harvest = (self._attach_harvest(topk, query)
+                   if topk is not None else None)
         probe = PlanProbe(plan) if explain_analyze else None
         active = tracer if tracer is not None else NULL_TRACER
         try:
@@ -222,6 +261,8 @@ class Database:
             # Failed queries must not leak spill files (or pages).
             release_plan_storage(plan)
             raise
+        if topk is not None:
+            self._feed_stats(table, query, topk, harvest)
         stats = _collect_stats(plan)
         return QueryResult(rows=rows, schema=plan.schema, plan=plan,
                            query=query, stats=stats,
@@ -234,6 +275,54 @@ class Database:
     def explain(self, sql_text: str) -> str:
         """The physical plan for ``sql_text`` as text."""
         return self.plan(sql_text).explain()
+
+    # -- statistics feedback ---------------------------------------------
+
+    def _attach_harvest(self, topk: Operator, query: ParsedQuery):
+        """Attach a run-histogram collector to the plan's top-k node.
+
+        Returns ``(collector, column_name, un_normalize)`` when the
+        execution's spilled-bucket boundaries can be mapped back into
+        column value space, else ``None``:
+
+        * WHERE predicates bias the scanned distribution — only
+          predicate-free executions harvest;
+        * the sort key must be a single non-nullable column whose
+          normalized keys decode (raw values, negated numerics, or
+          ``Desc`` wrappers — not order-preserving byte strings).
+        """
+        if query.predicates:
+            return None
+        spec = getattr(topk, "sort_spec", None)
+        if spec is None or not hasattr(topk, "histogram_sink"):
+            return None
+        decision = topk.__dict__.get("decision")
+        if decision is not None and decision.chosen.key_encoding == "ovc":
+            return None
+        un_normalize = key_value_decoder(spec)
+        if un_normalize is None:
+            return None
+        pairs: list[tuple[Any, int]] = []
+        topk.histogram_sink = (
+            lambda bucket: pairs.append((bucket.boundary_key, bucket.size)))
+        return pairs, spec.columns[0].name, un_normalize
+
+    def _feed_stats(self, table: Table, query: ParsedQuery,
+                    topk: Operator, harvest) -> None:
+        """Post-execution catalog feedback (cardinalities + histograms)."""
+        catalog = self.stats_catalog
+        if harvest is not None:
+            pairs, column, un_normalize = harvest
+            if pairs:
+                catalog.harvest(
+                    table, column,
+                    [(un_normalize(boundary), size)
+                     for boundary, size in pairs])
+        stats = topk.__dict__.get("stats")
+        consumed = getattr(stats, "rows_consumed", 0)
+        if consumed:
+            catalog.observe(table, cutoff_scope(query), consumed,
+                            had_predicates=bool(query.predicates))
 
     def paginate(self, sql_text: str, page_size: int,
                  prefetch_pages: int = 4):
@@ -303,6 +392,17 @@ class _ProjectedPaginator:
     @property
     def stats(self):
         return self._paginator.stats
+
+
+def _plan_topk_node(plan: Operator) -> Operator | None:
+    """The plan's plain top-k node (row, vectorized, or sharded), if any."""
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (TopK, VectorizedTopK)):
+            return node
+        stack.extend(node.children())
+    return None
 
 
 def _collect_stats(plan: Operator) -> OperatorStats:

@@ -227,6 +227,26 @@ class PlanProbe:
                 if io.writer_stalls or io.read_stalls:
                     details["spill_stalls"] = (f"writer={io.writer_stalls} "
                                                f"read={io.read_stalls}")
+        decision = node.__dict__.get("decision")
+        if decision is not None:
+            # Estimate-vs-actual: the planner's costed prediction next to
+            # what the execution measured, the audit trail for the cost
+            # model's calibration.
+            cost = decision.chosen.cost
+            details["plan_choice"] = decision.chosen.label()
+            details["plan_cost_seconds"] = round(cost.seconds, 4)
+            actual_in = (stats.rows_consumed
+                         if stats is not None else None)
+            details["rows_in_est_vs_actual"] = (
+                f"{decision.estimated_rows:.0f} vs "
+                f"{actual_in if actual_in is not None else '?'}")
+            actual_spilled = (stats.io.rows_spilled
+                              if stats is not None else None)
+            details["rows_spilled_est_vs_actual"] = (
+                f"{cost.rows_spilled:.0f} vs "
+                f"{actual_spilled if actual_spilled is not None else '?'}")
+            details["seconds_est_vs_actual"] = (
+                f"{cost.seconds:.4f} vs {measurement.seconds:.4f}")
         impl = node.__dict__.get("last_impl")
         if impl is not None:
             cutoff = getattr(impl, "final_cutoff", None)

@@ -100,6 +100,7 @@ class Schema:
 
     columns: tuple[Column, ...]
     _index: dict[str, int] = field(init=False, repr=False, compare=False)
+    _lower: dict[str, str] = field(init=False, repr=False, compare=False)
     _fixed_row_bytes: int = field(init=False, repr=False, compare=False)
     _variable_columns: tuple = field(init=False, repr=False, compare=False)
 
@@ -110,6 +111,11 @@ class Schema:
             raise SchemaError(f"duplicate column names in schema: {names}")
         object.__setattr__(self, "columns", cols)
         object.__setattr__(self, "_index", {c.name: i for i, c in enumerate(cols)})
+        # Case-insensitive lookup map, built once per schema: column
+        # resolution happens for every identifier of every query, so the
+        # planner must not rebuild this on each call.
+        object.__setattr__(self, "_lower",
+                           {c.name.lower(): c.name for c in cols})
         # Row-size estimation is on the hot spill path (called once per
         # admitted row), so the fixed-width portion is summed once here:
         # only variable-width or nullable columns need a per-value look.
@@ -154,6 +160,24 @@ class Schema:
     def column(self, name: str) -> Column:
         """Return the :class:`Column` named ``name``."""
         return self.columns[self.index_of(name)]
+
+    def resolve(self, name: str) -> str:
+        """Case-insensitive lookup returning the canonical column name.
+
+        Exact matches win (two columns may differ only by case); the
+        lowered map is precomputed per schema.
+
+        Raises:
+            SchemaError: if no column matches.
+        """
+        if name in self._index:
+            return name
+        try:
+            return self._lower[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; available: {list(self._index)}"
+            ) from None
 
     def validate_row(self, row: Sequence[Any]) -> None:
         """Check arity and per-column types of ``row``.

@@ -41,6 +41,11 @@ class CutoffHint:
     key: Any
     #: The ``limit + offset`` of the execution that proved the fact.
     covered: int
+    #: ``True`` when the fact was *not* proven for this exact scope and
+    #: table version but accepted by a statistics validator (histogram
+    #: bounding) — the engine's stale-seed re-execution remains the
+    #: safety net should the statistics have been wrong.
+    validated: bool = False
 
 
 @dataclass
@@ -128,28 +133,56 @@ class ResultCache:
 
     # -- cutoff hints ----------------------------------------------------
 
-    def get_cutoff(self, scope: tuple | None, needed: int) -> CutoffHint | None:
+    def get_cutoff(self, scope: tuple | None, needed: int,
+                   validator=None) -> CutoffHint | None:
         """The best seed for a query needing ``needed`` rows, if any.
 
-        Only hints whose proven coverage is at least ``needed`` are
-        eligible (a smaller-coverage cutoff might be over-tight and
-        would just trigger the engine's stale-seed re-execution); among
-        eligible hints the smallest coverage wins — it has the tightest
-        key and eliminates the most input.
+        Without a ``validator``, only hints proven for this exact scope
+        whose coverage is at least ``needed`` are eligible (a
+        smaller-coverage cutoff might be over-tight and would just
+        trigger the engine's stale-seed re-execution); among eligible
+        hints the smallest coverage wins — it has the tightest key and
+        eliminates the most input.
+
+        With a ``validator`` (a ``(key, needed) -> bool`` callable,
+        typically histogram bounding against the statistics catalog), a
+        proven-hint miss falls back to *nearest-neighbor* reuse: hints
+        recorded for the same table and scope text under **other content
+        versions** — or with too-small proven coverage — are tried in
+        order of how close their coverage is to ``needed``, and the
+        first key the validator confirms still covers ``needed`` rows
+        seeds the query (marked ``validated``).
         """
         if scope is None:
             return None
         with self._lock:
             hints = self._scopes.get(scope)
-            if not hints:
+            if hints:
+                eligible = [c for c in hints if c >= needed]
+                if eligible:
+                    covered = min(eligible)
+                    self._scopes.move_to_end(scope)
+                    self.cutoff_hits += 1
+                    return CutoffHint(key=hints[covered], covered=covered)
+            if validator is None:
                 return None
-            eligible = [c for c in hints if c >= needed]
-            if not eligible:
-                return None
-            covered = min(eligible)
-            self._scopes.move_to_end(scope)
-            self.cutoff_hits += 1
-            return CutoffHint(key=hints[covered], covered=covered)
+            name, _version, scope_text = scope
+            candidates = [
+                item
+                for (other_name, _v, other_text), other_hints
+                in self._scopes.items()
+                if other_name == name and other_text == scope_text
+                for item in other_hints.items()
+            ]
+        # Validate outside the lock: validators consult the statistics
+        # catalog, which must not nest under the cache lock.
+        candidates.sort(key=lambda item: abs(item[0] - needed))
+        for covered, key in candidates:
+            if validator(key, needed):
+                with self._lock:
+                    self.cutoff_hits += 1
+                return CutoffHint(key=key, covered=covered, validated=True)
+        return None
 
     def store_cutoff(self, scope: tuple | None, needed: int,
                      key: Any) -> None:

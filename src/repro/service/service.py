@@ -346,7 +346,9 @@ class QueryService:
         seed = None
         if scope is not None and query.limit is not None:
             needed = query.limit + query.offset
-            hint = self.cache.get_cutoff(scope, needed)
+            hint = self.cache.get_cutoff(
+                scope, needed,
+                validator=self._seed_validator(query, table))
             if hint is not None:
                 seed = hint.key
                 record.cache = "cutoff"
@@ -409,6 +411,68 @@ class QueryService:
         return ServiceResult(rows=result.rows, schema=result.schema,
                              query=query, stats=record,
                              operator_stats=result.stats)
+
+    def _seed_validator(self, query: ParsedQuery, table):
+        """A histogram-bounding validator for nearest-neighbor cutoff
+        reuse, or ``None`` when the statistics cannot vouch for seeds.
+
+        The returned callable accepts a *normalized* cutoff key and the
+        required coverage, decodes the key back into column value space,
+        and asks the current table version's histogram whether at least
+        that many rows sort at or below it.  Harvested (run-generation)
+        histograms describe only spilled rows, so their absolute counts
+        are a conservative lower bound for ascending keys; descending
+        keys additionally require a full-scan (``ANALYZE``) sketch,
+        whose fractions are unbiased.
+        """
+        from repro.errors import SchemaError
+        from repro.rows.sortspec import SortColumn, SortSpec, \
+            key_value_decoder
+
+        catalog = getattr(self.database, "stats_catalog", None)
+        if catalog is None or len(query.order_by) != 1:
+            return None
+        item = query.order_by[0]
+        try:
+            column = table.schema.resolve(item.column)
+        except SchemaError:
+            return None
+        spec = SortSpec(table.schema,
+                        [SortColumn(column, ascending=item.ascending)])
+        decode = key_value_decoder(spec)
+        if decode is None:
+            return None
+
+        def validator(key, needed: int) -> bool:
+            if isinstance(key, bytes):
+                # Order-preserving byte keys don't decode to values.
+                return False
+            stats = catalog.get(table.name, table.version)
+            sketch = stats.column(column) if stats is not None else None
+            if sketch is None or sketch.histogram is None:
+                return False
+            try:
+                value = decode(key)
+            except TypeError:
+                return False
+            histogram = sketch.histogram
+            if sketch.rows:
+                fraction = histogram.fraction_at_most(value)
+                if fraction is None:
+                    return False
+                total = stats.row_count or sketch.rows
+                covered = (fraction if item.ascending
+                           else 1.0 - fraction) * total
+            elif item.ascending:
+                at_most = histogram.rows_at_most(value)
+                if at_most is None:
+                    return False
+                covered = at_most
+            else:
+                return False
+            return covered >= needed
+
+        return validator
 
     @staticmethod
     def _seed_eliminations(result) -> int:

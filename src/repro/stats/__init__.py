@@ -1,0 +1,33 @@
+"""Persistent table statistics for cost-based planning.
+
+The paper's operator already builds equi-depth histograms of the sort
+key *during run generation* (Section 3.1.2) — the same sketch a query
+optimizer wants as a table statistic.  This package recycles them: every
+external top-k execution harvests its run-generation histogram into a
+per-column sketch, an explicit ``ANALYZE``-style scan fills in the rest
+(null fractions, distinct counts, min/max), and the
+:class:`~repro.stats.catalog.StatsCatalog` persists everything keyed by
+``(table name, content_version)`` so the planner can cost physical plans
+instead of guessing.
+
+Contents:
+
+* :mod:`repro.stats.sketches` — :class:`KMVSketch` (distinct-count
+  estimation), :class:`EquiDepthHistogram` (selectivity / quantiles),
+  :class:`ColumnSketch` (the per-column bundle).
+* :mod:`repro.stats.catalog` — :class:`TableStats`,
+  :class:`StatsCatalog` (versioned, optionally disk-backed), and the
+  ``ANALYZE`` scan.
+"""
+
+from repro.stats.catalog import StatsCatalog, TableStats, analyze_table
+from repro.stats.sketches import ColumnSketch, EquiDepthHistogram, KMVSketch
+
+__all__ = [
+    "ColumnSketch",
+    "EquiDepthHistogram",
+    "KMVSketch",
+    "StatsCatalog",
+    "TableStats",
+    "analyze_table",
+]

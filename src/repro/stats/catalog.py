@@ -1,0 +1,333 @@
+"""The statistics catalog: versioned, persistent per-table sketches.
+
+Entries are keyed by ``(table name, content_version)``.  A lookup with a
+version that does not match the stored entry returns nothing and drops
+the stale entry — re-registering a table bumps its version (see
+:meth:`repro.engine.session.Database.register_table`), so statistics for
+replaced data can never steer a plan.
+
+Two feeds fill the catalog:
+
+* :func:`analyze_table` — an explicit full scan building every column's
+  sketch (exact row/null counts and min/max, KMV distinct estimate,
+  equi-depth histogram from a reservoir sample).
+* **Run-generation harvesting** — every external top-k execution already
+  builds an equi-depth histogram of its sort key (Section 3.1.2); the
+  session folds those ``(boundary, size)`` buckets into the sort
+  column's sketch at zero extra scan cost via :meth:`StatsCatalog.harvest`.
+
+With a ``path``, every mutation persists as one JSON file per table
+(atomic rename), and lookups fall back to disk — statistics survive
+process restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.stats.sketches import (
+    ColumnSketch,
+    EquiDepthHistogram,
+    encode_value,
+)
+
+#: Default histogram resolution for analyzed and harvested columns.
+DEFAULT_BUCKETS = 64
+
+#: Reservoir-sample cap per column for ANALYZE histograms.
+SAMPLE_LIMIT = 100_000
+
+
+class TableStats:
+    """Everything the planner knows about one table version."""
+
+    __slots__ = ("table", "version", "row_count", "exact_row_count",
+                 "avg_row_bytes", "columns", "observed")
+
+    def __init__(self, table: str, version: int,
+                 row_count: int | None = None,
+                 exact_row_count: bool = False,
+                 avg_row_bytes: float | None = None,
+                 columns: dict[str, ColumnSketch] | None = None,
+                 observed: dict[str, float] | None = None):
+        self.table = table.upper()
+        self.version = version
+        self.row_count = row_count
+        self.exact_row_count = exact_row_count
+        self.avg_row_bytes = avg_row_bytes
+        self.columns = columns if columns is not None else {}
+        #: Post-execution feedback: cutoff scope → observed post-filter
+        #: cardinality of the most recent execution.  Exact-match scopes
+        #: beat any histogram estimate on repeat traffic.
+        self.observed = observed if observed is not None else {}
+
+    def column(self, name: str) -> ColumnSketch | None:
+        return self.columns.get(name)
+
+    def to_dict(self) -> dict:
+        return {
+            "table": self.table,
+            "version": self.version,
+            "row_count": self.row_count,
+            "exact_row_count": self.exact_row_count,
+            "avg_row_bytes": self.avg_row_bytes,
+            "columns": {name: sketch.to_dict()
+                        for name, sketch in self.columns.items()},
+            "observed": {scope: encode_value(rows)
+                         for scope, rows in self.observed.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TableStats":
+        return cls(
+            table=payload["table"],
+            version=payload["version"],
+            row_count=payload.get("row_count"),
+            exact_row_count=payload.get("exact_row_count", False),
+            avg_row_bytes=payload.get("avg_row_bytes"),
+            columns={name: ColumnSketch.from_dict(sketch)
+                     for name, sketch in payload.get("columns", {}).items()},
+            observed=dict(payload.get("observed", {})),
+        )
+
+    def __repr__(self) -> str:
+        return (f"TableStats({self.table} v{self.version}, "
+                f"rows={self.row_count}, columns={sorted(self.columns)})")
+
+
+def analyze_table(table, buckets: int = DEFAULT_BUCKETS,
+                  sample_limit: int = SAMPLE_LIMIT) -> TableStats:
+    """Full-scan statistics for ``table`` (the ``ANALYZE`` operation).
+
+    One pass over the rows updates every column's counts, min/max, and
+    KMV sketch; a per-column reservoir sample (deterministic seed, so
+    repeated scans of identical data agree) becomes the equi-depth
+    histogram.
+    """
+    schema = table.schema
+    sketches = [ColumnSketch() for _ in schema.columns]
+    reservoirs: list[list[Any]] = [[] for _ in schema.columns]
+    rng = random.Random(0xA17)
+    rows = 0
+    total_bytes = 0
+    for row in table.rows():
+        rows += 1
+        total_bytes += schema.estimate_row_bytes(row)
+        for index, value in enumerate(row):
+            sketches[index].update(value)
+            if value is None:
+                continue
+            reservoir = reservoirs[index]
+            if len(reservoir) < sample_limit:
+                reservoir.append(value)
+            else:
+                slot = rng.randrange(rows)
+                if slot < sample_limit:
+                    reservoir[slot] = value
+    for sketch, reservoir in zip(sketches, reservoirs):
+        if reservoir:
+            try:
+                reservoir.sort()
+            except TypeError:
+                continue
+            sketch.histogram = EquiDepthHistogram.from_sorted(
+                reservoir, buckets=buckets)
+    stats = TableStats(
+        table=table.name,
+        version=table.version,
+        row_count=rows,
+        exact_row_count=True,
+        avg_row_bytes=(total_bytes / rows if rows else None),
+        columns={column.name: sketch
+                 for column, sketch in zip(schema.columns, sketches)},
+    )
+    return stats
+
+
+class StatsCatalog:
+    """Versioned per-table statistics with optional disk persistence.
+
+    Args:
+        path: Directory for persistence; ``None`` keeps the catalog
+            purely in memory.  One JSON file per table, written
+            atomically on every mutation and re-read on lookup misses.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._entries: dict[str, TableStats] = {}
+        #: Observability counters.
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.harvests = 0
+
+    # -- lookup / store --------------------------------------------------
+
+    def get(self, name: str, version: int) -> TableStats | None:
+        """Statistics for ``(name, version)``, or ``None``.
+
+        A stored entry with a different version is stale: it is dropped
+        (memory and disk) and the lookup misses.
+        """
+        upper = name.upper()
+        with self._lock:
+            entry = self._entries.get(upper)
+            if entry is None and self.path is not None:
+                entry = self._load(upper)
+                if entry is not None:
+                    self._entries[upper] = entry
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.version != version:
+                self.invalidations += 1
+                self.misses += 1
+                del self._entries[upper]
+                self._remove_file(upper)
+                return None
+            self.hits += 1
+            return entry
+
+    def put(self, stats: TableStats) -> None:
+        """Insert/replace the entry for ``stats.table``."""
+        with self._lock:
+            self._entries[stats.table] = stats
+            self._persist(stats)
+
+    def analyze(self, table, buckets: int = DEFAULT_BUCKETS) -> TableStats:
+        """Run :func:`analyze_table` and store the result."""
+        stats = analyze_table(table, buckets=buckets)
+        self.put(stats)
+        return stats
+
+    # -- feedback feeds --------------------------------------------------
+
+    def _entry_for(self, table) -> TableStats:
+        """The current-version entry for ``table``, created on demand."""
+        upper = table.name.upper()
+        entry = self._entries.get(upper)
+        if entry is None and self.path is not None:
+            entry = self._load(upper)
+        if entry is None or entry.version != table.version:
+            if entry is not None:
+                self.invalidations += 1
+            entry = TableStats(table.name, table.version,
+                               row_count=table.row_count)
+        self._entries[upper] = entry
+        return entry
+
+    def harvest(self, table, column: str,
+                pairs: Iterable[tuple[Any, int]],
+                buckets: int = DEFAULT_BUCKETS) -> None:
+        """Fold run-generation histogram buckets into ``column``'s sketch.
+
+        ``pairs`` are ``(column value, row count)`` boundaries in column
+        value space (the session un-normalizes descending keys before
+        calling).  The harvested histogram describes the rows the
+        execution *spilled* — a biased-but-free sample that still pins
+        quantiles of the low end of the distribution, which is exactly
+        the region top-k cutoffs and seeds live in.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return
+        with self._lock:
+            entry = self._entry_for(table)
+            sketch = entry.columns.get(column)
+            if sketch is None:
+                sketch = entry.columns[column] = ColumnSketch(
+                    source="rungen")
+            harvested = EquiDepthHistogram.from_run_buckets(
+                pairs, buckets=buckets)
+            if sketch.histogram is None:
+                sketch.histogram = harvested
+            else:
+                sketch.histogram = sketch.histogram.merge(
+                    harvested, buckets=buckets)
+            self.harvests += 1
+            self._persist(entry)
+
+    def observe(self, table, scope: str | None, rows_consumed: int,
+                had_predicates: bool) -> None:
+        """Post-execution cardinality feedback.
+
+        Without predicates the observed cardinality *is* the table's row
+        count; with predicates it is recorded against the query's cutoff
+        scope so the next plan for the same shape starts from measured
+        reality instead of a selectivity estimate.
+        """
+        with self._lock:
+            entry = self._entry_for(table)
+            if not had_predicates:
+                if not entry.exact_row_count:
+                    entry.row_count = rows_consumed
+            elif scope is not None:
+                entry.observed[scope] = float(rows_consumed)
+            self._persist(entry)
+
+    # -- maintenance -----------------------------------------------------
+
+    def invalidate(self, name: str) -> None:
+        """Eagerly drop any entry for ``name`` (memory and disk)."""
+        upper = name.upper()
+        with self._lock:
+            if upper in self._entries:
+                del self._entries[upper]
+                self.invalidations += 1
+            self._remove_file(upper)
+
+    def tables(self) -> list[str]:
+        with self._lock:
+            names = set(self._entries)
+            if self.path is not None:
+                names.update(p.stem for p in self.path.glob("*.json"))
+            return sorted(names)
+
+    def describe(self) -> str:
+        with self._lock:
+            return (f"tables={len(self._entries)} hits={self.hits} "
+                    f"misses={self.misses} harvests={self.harvests} "
+                    f"invalidations={self.invalidations}")
+
+    # -- persistence -----------------------------------------------------
+
+    def _file(self, upper: str) -> Path:
+        return self.path / f"{upper}.json"
+
+    def _persist(self, stats: TableStats) -> None:
+        if self.path is None:
+            return
+        target = self._file(stats.table)
+        temporary = target.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(stats.to_dict()))
+        os.replace(temporary, target)
+
+    def _load(self, upper: str) -> TableStats | None:
+        if self.path is None:
+            return None
+        target = self._file(upper)
+        try:
+            payload = json.loads(target.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        try:
+            return TableStats.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _remove_file(self, upper: str) -> None:
+        if self.path is None:
+            return
+        try:
+            self._file(upper).unlink()
+        except OSError:
+            pass

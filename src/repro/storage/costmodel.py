@@ -18,6 +18,7 @@ crossovers are) even though absolute constants differ.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.storage.stats import IOStats, OperatorStats
@@ -54,6 +55,41 @@ class CostModel:
     cpu_row_s: float = 2.0e-8
     cpu_comparison_s: float = 6.0e-9
     codec_bandwidth_bytes_per_s: float = float("inf")
+
+    # -- planning-side constants (a-priori, before any row is read) ------
+    #
+    # Per-row wall costs of the physical top-k paths, calibrated from
+    # ``BENCH_batch.json`` (1M uniform rows on the reference container:
+    # row 0.43s, batch 0.30s, vectorized 0.076s).  These drive the
+    # planner's path choice, where only *relative* magnitudes matter.
+    plan_row_s_row: float = 4.3e-7
+    plan_row_s_batch: float = 3.0e-7
+    plan_row_s_vectorized: float = 7.6e-8
+    #: One-time cost per worker process of a sharded plan (fork + shared
+    #: memory segment setup + module import amortization).
+    plan_shard_startup_s: float = 0.08
+    #: Coordinator-side cost per row of feeding shard input queues.
+    plan_shard_feed_row_s: float = 4.0e-8
+    #: Full key comparison: a base charge plus a per-column term (tuple
+    #: comparisons walk the columns; byte-string keys do not).
+    plan_compare_base_s: float = 8.0e-8
+    plan_compare_column_s: float = 6.0e-8
+    #: A comparison decided by offset-value codes alone (integer test).
+    plan_compare_code_s: float = 1.5e-8
+    #: Surcharge per descending non-numeric column in a tuple-encoded
+    #: comparison: each one is a ``Desc`` wrapper whose ``__lt__`` is a
+    #: Python call instead of a C-level compare.  Calibrated from the
+    #: measured 1.5x OVC-vs-tuple gap on ``ORDER BY S DESC, T`` at 200k
+    #: rows (byte-string keys pay encoding once instead).
+    plan_compare_desc_obj_s: float = 2.5e-7
+    #: Extra per-row cost of encoding an order-preserving binary key.
+    plan_key_encode_s: float = 1.0e-7
+    #: Fraction of merge comparisons an OVC tree resolves without a full
+    #: key comparison (~20x reduction measured in ``BENCH_merge.json``).
+    plan_ovc_code_fraction: float = 0.95
+    #: Rows of merge read buffer charged per run during a merge pass —
+    #: the Arge–Thorup ``M/B`` term bounding the practical fan-in.
+    plan_merge_buffer_rows: int = 1024
 
     def io_seconds(self, io: IOStats) -> float:
         """Simulated seconds spent on storage traffic alone."""
@@ -98,6 +134,175 @@ class CostModel:
         serial = (self.total_seconds(coordinator_stats)
                   if coordinator_stats is not None else 0.0)
         return slowest + serial
+
+    # -- a-priori plan costing (the cost-based planner) ------------------
+
+    def expected_admitted(self, rows: float, needed: float) -> float:
+        """Expected rows surviving arrival filtering in random order.
+
+        A row survives when it ranks among the ``needed`` smallest seen
+        so far; summing that probability over the stream gives the
+        harmonic bound ``needed * (1 + ln(rows / needed))`` — within a
+        few percent of the measured spill volumes in
+        ``BENCH_batch.json`` (76k observed vs 78k modeled at 1M rows,
+        k=15000).
+        """
+        if rows <= 0:
+            return 0.0
+        if rows <= needed:
+            return float(rows)
+        return min(float(rows),
+                   needed * (1.0 + math.log(rows / needed)))
+
+    def run_rows(self, needed: float, memory_rows: int) -> float:
+        """Expected rows per sorted run (replacement selection doubles
+        the memory load; the auto run-size limit caps at ``needed``)."""
+        return max(1.0, min(2.0 * memory_rows, needed))
+
+    def merge_passes(self, runs: int, fan_in: int | None) -> int:
+        """Merge passes for ``runs`` at ``fan_in`` (``None`` = single).
+
+        This is the Arge–Thorup pass count ``ceil(log_F R)``: each pass
+        folds ``F`` runs into one, re-reading and re-writing every
+        surviving row, so bounded fan-in trades passes for buffer
+        memory.
+        """
+        if runs <= 1:
+            return 0
+        if fan_in is None or fan_in >= runs:
+            return 1
+        fan_in = max(2, fan_in)
+        return max(1, math.ceil(math.log(runs) / math.log(fan_in)))
+
+    def max_fan_in(self, memory_rows: int) -> int:
+        """The Arge–Thorup memory-bounded fan-in ``M / B``: how many
+        run read-buffers fit in the operator's memory budget."""
+        return max(2, memory_rows // self.plan_merge_buffer_rows)
+
+    def topk_plan_cost(
+        self,
+        *,
+        rows: float,
+        row_bytes: float,
+        needed: int,
+        memory_rows: int,
+        path: str,
+        key_columns: int = 1,
+        key_encoding: str = "tuple",
+        desc_obj_columns: int = 0,
+        fan_in: int | None = None,
+        shards: int = 1,
+    ) -> "PlanCost":
+        """Estimated cost of one physical top-k plan, before execution.
+
+        Args:
+            rows: Estimated input cardinality (after WHERE filtering).
+            row_bytes: Estimated bytes per row (spill volume term).
+            needed: ``k + offset`` output rows.
+            memory_rows: The operator's memory budget.
+            path: ``"row"`` | ``"batch"`` | ``"vectorized"`` |
+                ``"sharded"``.
+            key_columns: ORDER BY arity (tuple-comparison cost term).
+            key_encoding: ``"tuple"`` or ``"ovc"``.
+            desc_obj_columns: Descending non-numeric columns — ``Desc``
+                wrappers that make tuple comparisons pay a Python call.
+            fan_in: Merge fan-in (``None`` = unbounded single pass).
+            shards: Worker processes (``"sharded"`` path only).
+        """
+        rows = max(0.0, float(rows))
+        if path == "sharded":
+            shard_rows = rows / max(1, shards)
+            per_shard = self.topk_plan_cost(
+                rows=shard_rows, row_bytes=row_bytes, needed=needed,
+                memory_rows=memory_rows, path="vectorized",
+                key_columns=key_columns, key_encoding=key_encoding,
+                desc_obj_columns=desc_obj_columns, fan_in=fan_in,
+                shards=1)
+            startup = self.plan_shard_startup_s * shards
+            feed = rows * self.plan_shard_feed_row_s
+            final_merge = (shards * needed) * self.plan_row_s_vectorized
+            cpu = startup + feed + final_merge + per_shard.cpu_seconds
+            return PlanCost(
+                seconds=cpu + per_shard.io_seconds,
+                cpu_seconds=cpu,
+                io_seconds=per_shard.io_seconds,
+                rows_in=rows,
+                rows_spilled=per_shard.rows_spilled * shards,
+                runs=per_shard.runs * shards,
+                merge_passes=per_shard.merge_passes,
+                fan_in=per_shard.fan_in,
+            )
+
+        per_row = {
+            "row": self.plan_row_s_row,
+            "batch": self.plan_row_s_batch,
+            "vectorized": self.plan_row_s_vectorized,
+        }[path]
+        full_compare = (self.plan_compare_base_s
+                        + self.plan_compare_column_s * max(1, key_columns)
+                        + self.plan_compare_desc_obj_s * desc_obj_columns)
+        cpu = rows * per_row
+        if key_encoding == "ovc":
+            cpu += rows * self.plan_key_encode_s
+            full_compare = (
+                self.plan_ovc_code_fraction * self.plan_compare_code_s
+                + (1.0 - self.plan_ovc_code_fraction)
+                * (self.plan_compare_base_s + self.plan_compare_column_s))
+        if path == "vectorized":
+            # numpy sorts/compares inside the per-row constant already.
+            full_compare = 0.0
+
+        in_memory = needed <= memory_rows
+        if in_memory:
+            # Priority-queue regime: one rejection test per row plus
+            # harmonic heap maintenance; nothing spills.
+            survivors = self.expected_admitted(rows, needed)
+            comparisons = rows + survivors * math.log2(max(2, needed))
+            cpu += comparisons * full_compare
+            return PlanCost(seconds=cpu, cpu_seconds=cpu, io_seconds=0.0,
+                            rows_in=rows, rows_spilled=0.0, runs=0,
+                            merge_passes=0, fan_in=None)
+
+        spilled = self.expected_admitted(rows, needed)
+        run_rows = self.run_rows(needed, memory_rows)
+        runs = max(1, math.ceil(spilled / run_rows)) if spilled else 0
+        effective_fan_in = fan_in if fan_in is not None else (runs or None)
+        passes = self.merge_passes(runs, fan_in)
+        # Run generation: heap (or sort) over the memory load; merge:
+        # one tournament per surviving row per pass.
+        comparisons = spilled * math.log2(max(2.0, run_rows))
+        comparisons += passes * spilled * math.log2(
+            max(2, min(runs, effective_fan_in or runs)))
+        cpu += comparisons * full_compare
+
+        spill_bytes = spilled * row_bytes
+        pages = math.ceil(spill_bytes / 65536) if spill_bytes else 0
+        io = spill_bytes / self.write_bandwidth_bytes_per_s
+        io += passes * spill_bytes * (
+            1.0 / self.read_bandwidth_bytes_per_s
+            + 1.0 / self.write_bandwidth_bytes_per_s)
+        # The final pass reads but does not rewrite.
+        io -= spill_bytes / self.write_bandwidth_bytes_per_s if passes else 0
+        io += pages * (1 + passes) * self.request_overhead_s
+        return PlanCost(seconds=cpu + io, cpu_seconds=cpu, io_seconds=io,
+                        rows_in=rows, rows_spilled=spilled, runs=runs,
+                        merge_passes=passes, fan_in=effective_fan_in)
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """An a-priori cost estimate for one candidate physical plan."""
+
+    seconds: float
+    cpu_seconds: float
+    io_seconds: float
+    rows_in: float
+    rows_spilled: float
+    runs: int
+    merge_passes: int
+    #: The effective merge fan-in the estimate assumed (``None`` when
+    #: nothing spills).
+    fan_in: int | None = None
 
 
 #: Model of the paper's workstation + disaggregated storage setup.

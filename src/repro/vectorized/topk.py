@@ -82,6 +82,7 @@ class VectorizedHistogramTopK:
         store: VectorRunStore | None = None,
         stats: OperatorStats | None = None,
         tracer=None,
+        histogram_sink=None,
     ):
         if k <= 0:
             raise ConfigurationError("k must be positive")
@@ -107,6 +108,10 @@ class VectorizedHistogramTopK:
             k=k + offset,
             on_refine=(self._record_refinement if self.timeline is not None
                        else None))
+        #: Optional observer of every emitted histogram bucket — the
+        #: statistics-catalog harvest hook.  Keys are normalized floats
+        #: (descending specs arrive negated).
+        self.histogram_sink = histogram_sink
         #: In-memory-regime admission bound (the external regime's bound
         #: lives in the cutoff filter); see :attr:`live_cutoff`.
         self._live_cutoff: float | None = None
@@ -284,9 +289,11 @@ class VectorizedHistogramTopK:
                     truncated = True
                     break
             previous = self._positions[index - 1] if index else 0
-            self.cutoff_filter.insert(Bucket(
-                boundary_key=float(keys[position - 1]),
-                size=position - previous))
+            bucket = Bucket(boundary_key=float(keys[position - 1]),
+                            size=position - previous)
+            self.cutoff_filter.insert(bucket)
+            if self.histogram_sink is not None:
+                self.histogram_sink(bucket)
             cursor = position
             written = position
         if not truncated and cursor < keys.size:

@@ -1,0 +1,307 @@
+"""Tests for the cost-based planner and its statistics wiring.
+
+The acceptance surface of the enumerate→cost→pick refactor: default
+plans pick the historically-right path per workload shape, every legacy
+knob still pins its decision, EXPLAIN carries the costed decision,
+statistics persist and invalidate with table versions, and all physical
+paths stay byte-identical on the same query.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.operators import TopK, VectorizedTopK
+from repro.engine.planner import (
+    PlanDecision,
+    Planner,
+    vectorized_lowering_eligible,
+)
+from repro.engine.session import Database
+from repro.errors import PlanError
+from repro.rows.schema import Column, ColumnType, Schema
+from repro.rows.sortspec import SortColumn, SortSpec
+from repro.service.cache import ResultCache
+
+SCHEMA = Schema([
+    Column("K", ColumnType.FLOAT64),
+    Column("G", ColumnType.INT64),
+    Column("S", ColumnType.STRING),
+    Column("T", ColumnType.STRING),
+])
+
+
+def make_rows(count, seed=3):
+    rng = random.Random(seed)
+    return [(rng.random() * 1000, rng.randrange(100),
+             f"s{rng.randrange(10_000):05d}", f"t{rng.randrange(50):03d}")
+            for _ in range(count)]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return make_rows(20_000)
+
+
+def make_db(rows, **kwargs):
+    db = Database(memory_rows=2_000, **kwargs)
+    db.register_table("R", SCHEMA, rows, row_count=len(rows))
+    return db
+
+
+def decision_of(plan) -> PlanDecision:
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        decision = node.__dict__.get("decision")
+        if decision is not None:
+            return decision
+        stack.extend(node.children())
+    raise AssertionError("no PlanDecision on the plan")
+
+
+class TestDefaultChoices:
+    def test_single_numeric_key_picks_vectorized(self, rows):
+        db = make_db(rows)
+        plan = db.plan("SELECT * FROM R ORDER BY K LIMIT 500")
+        decision = decision_of(plan)
+        assert decision.chosen.path == "vectorized"
+        assert not decision.forced
+        assert isinstance(plan, VectorizedTopK)
+
+    def test_multi_column_string_key_picks_ovc(self, rows):
+        db = make_db(rows)
+        plan = db.plan("SELECT * FROM R ORDER BY S, T, G LIMIT 500")
+        decision = decision_of(plan)
+        assert decision.chosen.path in ("batch", "row")
+        assert decision.chosen.key_encoding == "ovc"
+
+    def test_auto_shards_stays_single_process_on_small_tables(self, rows):
+        db = make_db(rows, shards="auto")
+        decision = decision_of(db.plan("SELECT * FROM R ORDER BY K "
+                                       "LIMIT 500"))
+        assert decision.chosen.path == "vectorized"
+        assert decision.chosen.shards == 1
+
+    def test_candidates_are_recorded_and_ranked(self, rows):
+        db = make_db(rows)
+        decision = decision_of(db.plan("SELECT * FROM R ORDER BY K "
+                                       "LIMIT 500"))
+        paths = {candidate.path for candidate in decision.candidates}
+        assert {"vectorized", "batch", "row"} <= paths
+        best = min(decision.candidates, key=lambda c: c.cost.seconds)
+        assert decision.chosen.cost.seconds == best.cost.seconds
+
+
+class TestOverrides:
+    def test_explicit_shards_is_a_placement_directive(self, rows):
+        # 20k rows >= 2 shards * 5k threshold → eligible, so the knob
+        # forces sharding exactly as before the cost-based planner.
+        db = make_db(rows, shards=2,
+                     shard_options={"min_rows_per_shard": 5_000})
+        decision = decision_of(db.plan("SELECT * FROM R ORDER BY K "
+                                       "LIMIT 200"))
+        assert decision.chosen.path == "sharded"
+        assert decision.chosen.shards == 2
+        assert "shards" in decision.forced
+
+    def test_shards_below_size_threshold_not_sharded(self, rows):
+        db = make_db(rows, shards=2,
+                     shard_options={"min_rows_per_shard": 50_000})
+        decision = decision_of(db.plan("SELECT * FROM R ORDER BY K "
+                                       "LIMIT 200"))
+        assert decision.chosen.path == "vectorized"
+
+    def test_pinned_key_encoding(self, rows):
+        db = make_db(rows, algorithm_options={"key_encoding": "tuple"})
+        decision = decision_of(db.plan("SELECT * FROM R ORDER BY S, T "
+                                       "LIMIT 100"))
+        assert decision.chosen.key_encoding == "tuple"
+        assert "key_encoding" in decision.forced
+
+    def test_forced_path(self, rows):
+        for path, expected in (("row", TopK), ("batch", TopK),
+                               ("vectorized", VectorizedTopK)):
+            db = make_db(rows, force_path=path)
+            plan = db.plan("SELECT * FROM R ORDER BY K LIMIT 100")
+            assert isinstance(plan, expected)
+            decision = decision_of(plan)
+            assert decision.chosen.path == path
+        if isinstance(plan, TopK):
+            assert plan.execution == "batch"
+
+    def test_forced_path_row_execution(self, rows):
+        db = make_db(rows, force_path="row")
+        plan = db.plan("SELECT * FROM R ORDER BY K LIMIT 100")
+        assert plan.execution == "row"
+
+    def test_forced_ineligible_path_raises(self, rows):
+        db = make_db(rows, force_path="vectorized")
+        with pytest.raises(PlanError):
+            db.plan("SELECT * FROM R ORDER BY S LIMIT 100")
+
+    def test_unknown_forced_path_rejected(self):
+        with pytest.raises(PlanError):
+            Planner(path="warp")
+
+    def test_vectorize_false_pins_row_engine(self, rows):
+        db = Database(memory_rows=2_000)
+        db.register_table("R", SCHEMA, rows)
+        db.planner.vectorize = False
+        plan = db.plan("SELECT * FROM R ORDER BY K LIMIT 100")
+        assert isinstance(plan, TopK) and not isinstance(plan,
+                                                         VectorizedTopK)
+
+
+class TestEligibilityPredicate:
+    def spec(self, *columns):
+        return SortSpec(SCHEMA, [SortColumn(c) for c in columns])
+
+    def test_numeric_single_column_eligible(self):
+        assert vectorized_lowering_eligible(self.spec("K"))
+
+    def test_string_key_not_eligible(self):
+        assert not vectorized_lowering_eligible(self.spec("S"))
+
+    def test_ablation_options_pin_row_engine(self):
+        assert not vectorized_lowering_eligible(
+            self.spec("K"), algorithm_options={"run_generation": "loser"})
+
+    def test_auto_key_encoding_is_not_an_option(self):
+        assert vectorized_lowering_eligible(
+            self.spec("K"), algorithm_options={"key_encoding": "auto"})
+
+    def test_cutoff_seed_pins_row_engine(self):
+        assert not vectorized_lowering_eligible(self.spec("K"),
+                                                cutoff_seed=1.0)
+
+
+class TestExplainSurface:
+    def test_explain_shows_decision(self, rows):
+        db = make_db(rows)
+        text = db.explain("SELECT * FROM R ORDER BY K LIMIT 500")
+        assert "Planner: path=vectorized" in text
+        assert "key_encoding=" in text
+        assert "fan_in=" in text
+        assert "cost=" in text
+        assert "candidates:" in text
+
+    def test_explain_analyze_estimate_vs_actual(self, rows):
+        db = make_db(rows)
+        result = db.sql("SELECT * FROM R ORDER BY K LIMIT 500",
+                        explain_analyze=True)
+        text = result.explain_analyze()
+        assert "plan_choice=vectorized" in text
+        assert "rows_in_est_vs_actual=" in text
+        assert "rows_spilled_est_vs_actual=" in text
+        assert "seconds_est_vs_actual=" in text
+
+
+class TestStatsFeedback:
+    def test_execution_harvests_and_observes(self, rows):
+        db = make_db(rows)
+        db.sql("SELECT * FROM R ORDER BY K LIMIT 5000")
+        entry = db.stats_catalog.get("R", 0)
+        assert entry is not None
+        sketch = entry.column("K")
+        assert sketch is not None and sketch.histogram is not None
+        assert db.stats_catalog.harvests >= 1
+
+    def test_observed_cardinality_feeds_next_plan(self, rows):
+        db = make_db(rows)
+        sql = "SELECT * FROM R WHERE K < 10 ORDER BY K LIMIT 50"
+        db.sql(sql)
+        decision = decision_of(db.plan(sql))
+        assert decision.stats_source == "observed"
+        actual = sum(1 for r in rows if r[0] < 10)
+        assert decision.estimated_rows == pytest.approx(actual, rel=0.01)
+
+    def test_analyze_feeds_selectivity(self, rows):
+        db = make_db(rows)
+        db.analyze("R")
+        decision = decision_of(db.plan(
+            "SELECT * FROM R WHERE K < 100 ORDER BY K LIMIT 50"))
+        assert decision.stats_source == "catalog"
+        actual = sum(1 for r in rows if r[0] < 100)
+        assert decision.estimated_rows == pytest.approx(actual, rel=0.35)
+
+    def test_stats_persist_across_database_restarts(self, rows, tmp_path):
+        first = make_db(rows, stats_path=tmp_path)
+        first.analyze("R")
+        second = make_db(rows, stats_path=tmp_path)
+        entry = second.stats_catalog.get("R", 0)
+        assert entry is not None and entry.exact_row_count
+
+    def test_reregistration_invalidates_stats(self, rows):
+        db = make_db(rows)
+        db.analyze("R")
+        db.register_table("R", SCHEMA, rows[:100], row_count=100)
+        assert db.stats_catalog.get("R", 0) is None
+        decision = decision_of(db.plan("SELECT * FROM R ORDER BY K "
+                                       "LIMIT 10"))
+        assert decision.stats_source in ("table", "catalog")
+        assert decision.estimated_rows <= 100
+
+
+class TestStaleSeedSpaceGuard:
+    def test_mismatched_seed_space_is_dropped(self, rows):
+        from repro.core.topk import HistogramTopK
+
+        spec = SortSpec(SCHEMA, [SortColumn("S"), SortColumn("T")])
+        operator = HistogramTopK(sort_key=spec, k=10, memory_rows=100,
+                                 key_encoding="ovc",
+                                 cutoff_seed=("sx", "tx"))
+        assert operator.cutoff_seed is None  # tuple seed, byte key space
+        output = list(operator.execute(iter(rows[:1000])))
+        assert len(output) == 10
+
+
+class TestNearestNeighborSeeding:
+    def test_validated_cross_version_hint(self, rows):
+        cache = ResultCache()
+        old_scope = ("R", 0, "R||K:A")
+        new_scope = ("R", 1, "R||K:A")
+        cache.store_cutoff(old_scope, 100, 42.0)
+        # Proven-scope lookup misses (new version) without a validator.
+        assert cache.get_cutoff(new_scope, 100) is None
+        hint = cache.get_cutoff(new_scope, 100,
+                                validator=lambda key, needed: key < 50)
+        assert hint is not None and hint.key == 42.0 and hint.validated
+        # A rejecting validator yields nothing.
+        assert cache.get_cutoff(new_scope, 100,
+                                validator=lambda *_: False) is None
+
+    def test_nearest_coverage_tried_first(self):
+        cache = ResultCache()
+        scope = ("R", 0, "R||K:A")
+        cache.store_cutoff(scope, 10, 1.0)
+        cache.store_cutoff(scope, 500, 77.0)
+        tried = []
+
+        def validator(key, needed):
+            tried.append(key)
+            return True
+
+        hint = cache.get_cutoff(("R", 1, "R||K:A"), 400,
+                                validator=validator)
+        assert tried[0] == 77.0  # coverage 500 is nearest to 400
+        assert hint.key == 77.0
+
+
+class TestDifferentialPaths:
+    def test_all_paths_byte_identical(self, rows):
+        sql = "SELECT * FROM R WHERE G < 80 ORDER BY K LIMIT 700"
+        results = {}
+        for path in ("row", "batch", "vectorized"):
+            db = make_db(rows, force_path=path)
+            results[path] = db.sql(sql).rows
+        assert results["row"] == results["batch"] == results["vectorized"]
+
+    def test_encodings_byte_identical(self, rows):
+        sql = "SELECT * FROM R ORDER BY S, T DESC LIMIT 400"
+        outputs = []
+        for encoding in ("ovc", "tuple"):
+            db = make_db(
+                rows, algorithm_options={"key_encoding": encoding})
+            outputs.append(db.sql(sql).rows)
+        assert outputs[0] == outputs[1]

@@ -371,3 +371,61 @@ def test_multi_column_key_stays_on_row_engine_and_agrees():
     assert not isinstance(result.plan, VectorizedTopK)
     expected = sorted(rows, key=lambda r: (r[0], -r[1]))[:500]
     assert result.rows == expected
+
+
+@given(keys=st.lists(finite_floats, min_size=0, max_size=300),
+       k=st.integers(1, 50),
+       memory=st.integers(2, 64),
+       ascending=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_planner_choice_is_semantically_invisible(keys, k, memory,
+                                                  ascending):
+    """The cost-based planner's pick never changes the answer: every
+    forced physical path returns rows byte-identical to the no-knob
+    cost-chosen plan (and to the oracle)."""
+    rows = make_rows(keys)
+    spec = make_spec(ascending)
+    oracle = sorted(rows, key=spec.key)[:k]
+    order = "" if ascending else " DESC"
+    sql = f"SELECT * FROM T ORDER BY K{order} LIMIT {k}"
+
+    def run(**db_kwargs):
+        db = Database(memory_rows=memory, **db_kwargs)
+        db.register_table("T", SCHEMA, rows, row_count=len(rows))
+        return db.sql(sql).rows
+
+    chosen = run()
+    assert chosen == oracle
+    for path in ("row", "batch", "vectorized"):
+        assert run(force_path=path) == oracle
+
+
+@given(keys=st.lists(st.integers(-40, 40), min_size=0, max_size=250),
+       k=st.integers(1, 40),
+       memory=st.integers(2, 48),
+       first_desc=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_planner_choice_composite_keys_agree(keys, k, memory,
+                                             first_desc):
+    """Composite string-led keys: the costed encoding pick (OVC) and
+    every forced path x encoding combination agree byte-for-byte."""
+    schema = Schema([Column("S", ColumnType.STRING),
+                     Column("K", ColumnType.INT64)])
+    rows = [(f"g{key % 7}", int(key)) for key in keys]
+    spec = SortSpec(schema, [SortColumn("S", ascending=not first_desc),
+                             SortColumn("K")])
+    oracle = sorted(rows, key=spec.key)[:k]
+    order = " DESC" if first_desc else ""
+    sql = f"SELECT * FROM T ORDER BY S{order}, K LIMIT {k}"
+
+    def run(**db_kwargs):
+        db = Database(memory_rows=memory, **db_kwargs)
+        db.register_table("T", schema, rows, row_count=len(rows))
+        return db.sql(sql).rows
+
+    assert run() == oracle
+    for path in ("row", "batch"):
+        for encoding in ("ovc", "tuple"):
+            assert run(force_path=path,
+                       algorithm_options={"key_encoding": encoding}) \
+                == oracle

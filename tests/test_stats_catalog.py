@@ -1,0 +1,252 @@
+"""Tests for the statistics subsystem: sketches and the catalog.
+
+Property tests pin the estimators' contracts (serialization round-trips,
+merge associativity with exact counters, KMV error bounds on distinct
+counts, histogram quantile error against the true CDF); unit tests cover
+the catalog's version-keyed invalidation and on-disk persistence.
+"""
+
+import datetime
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.operators import Table
+from repro.rows.schema import Column, ColumnType, Schema
+from repro.stats import (
+    EquiDepthHistogram,
+    KMVSketch,
+    StatsCatalog,
+    TableStats,
+    analyze_table,
+)
+
+# ---------------------------------------------------------------------------
+# KMV distinct-count sketch
+# ---------------------------------------------------------------------------
+
+
+class TestKMV:
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=300))
+    def test_small_domains_exact(self, values):
+        """Below capacity the sketch holds every hash: estimate is exact."""
+        sketch = KMVSketch(k=256)
+        for value in values:
+            sketch.add(value)
+        assert sketch.estimate() == len(set(values))
+
+    def test_error_bound_on_large_domain(self):
+        rng = random.Random(41)
+        sketch = KMVSketch(k=256)
+        distinct = 50_000
+        for _ in range(100_000):
+            sketch.add(rng.randrange(distinct))
+        estimate = sketch.estimate()
+        # KMV relative standard error is ~1/sqrt(k-1) ≈ 6.3%; allow 4σ.
+        assert abs(estimate - distinct) / distinct < 4 / math.sqrt(255)
+
+    @given(st.lists(st.integers(), max_size=200),
+           st.lists(st.integers(), max_size=200))
+    def test_merge_equals_union(self, left_values, right_values):
+        left, right, union = KMVSketch(16), KMVSketch(16), KMVSketch(16)
+        for value in left_values:
+            left.add(value)
+            union.add(value)
+        for value in right_values:
+            right.add(value)
+            union.add(value)
+        assert left.merge(right) == union
+
+    @given(st.lists(st.one_of(st.integers(), st.text(max_size=8),
+                              st.booleans()), max_size=100))
+    def test_serialization_round_trip(self, values):
+        sketch = KMVSketch(k=32)
+        for value in values:
+            sketch.add(value)
+        assert KMVSketch.from_dict(sketch.to_dict()) == sketch
+
+
+# ---------------------------------------------------------------------------
+# Equi-depth histogram
+# ---------------------------------------------------------------------------
+
+
+class TestEquiDepthHistogram:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=400),
+           st.integers(min_value=1, max_value=32))
+    def test_fraction_at_most_matches_cdf(self, values, buckets):
+        values.sort()
+        histogram = EquiDepthHistogram.from_sorted(values, buckets=buckets)
+        total = len(values)
+        # Equi-depth error is bounded by the heaviest realized bucket's
+        # mass (duplicates can make a bucket heavier than total/buckets).
+        bound = max(histogram.counts) / total + 1e-9
+        for probe in (values[0], values[len(values) // 2], values[-1]):
+            true_cdf = sum(1 for v in values if v <= probe) / total
+            estimate = histogram.fraction_at_most(probe)
+            assert abs(estimate - true_cdf) <= bound
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=300))
+    def test_serialization_round_trip(self, values):
+        values.sort()
+        histogram = EquiDepthHistogram.from_sorted(values, buckets=16)
+        restored = EquiDepthHistogram.from_dict(histogram.to_dict())
+        assert restored.boundaries == histogram.boundaries
+        assert restored.counts == histogram.counts
+        assert restored.total == histogram.total
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                        allow_nan=False),
+                              st.integers(min_value=1, max_value=50)),
+                    min_size=1, max_size=100))
+    def test_run_bucket_total_preserved(self, pairs):
+        histogram = EquiDepthHistogram.from_run_buckets(pairs, buckets=8)
+        assert histogram.total == sum(size for _boundary, size in pairs)
+
+    def test_merge_preserves_mass_and_order(self):
+        left = EquiDepthHistogram.from_sorted(
+            sorted(float(v) for v in range(0, 100)), buckets=8)
+        right = EquiDepthHistogram.from_sorted(
+            sorted(float(v) for v in range(50, 150)), buckets=8)
+        merged = left.merge(right, buckets=8)
+        assert merged.total == left.total + right.total
+        assert list(merged.boundaries) == sorted(merged.boundaries)
+        # The merged CDF must still be monotone and span both inputs.
+        assert merged.fraction_at_most(-1.0) == 0.0
+        assert merged.fraction_at_most(149.0) == pytest.approx(1.0,
+                                                               abs=0.2)
+
+    def test_non_numeric_values_supported(self):
+        values = sorted(["apple", "banana", "cherry", "date"] * 10)
+        histogram = EquiDepthHistogram.from_sorted(values, buckets=4)
+        assert 0.0 <= histogram.fraction_at_most("banana") <= 1.0
+        restored = EquiDepthHistogram.from_dict(histogram.to_dict())
+        assert restored.boundaries == histogram.boundaries
+
+    def test_dates_survive_serialization(self):
+        values = sorted(datetime.date(2024, 1, 1 + i) for i in range(20))
+        histogram = EquiDepthHistogram.from_sorted(values, buckets=4)
+        restored = EquiDepthHistogram.from_dict(histogram.to_dict())
+        assert restored.boundaries == histogram.boundaries
+        assert isinstance(restored.boundaries[0], datetime.date)
+
+
+# ---------------------------------------------------------------------------
+# Column sketches and ANALYZE
+# ---------------------------------------------------------------------------
+
+
+SCHEMA = Schema([
+    Column("K", ColumnType.FLOAT64),
+    Column("N", ColumnType.INT64, nullable=True),
+    Column("S", ColumnType.STRING),
+])
+
+
+def make_table(rows, name="T", version=0):
+    return Table(name, SCHEMA, rows, row_count=len(rows), version=version)
+
+
+def make_rows(count, seed=11):
+    rng = random.Random(seed)
+    return [(rng.random() * 100,
+             None if rng.random() < 0.25 else rng.randrange(50),
+             f"s{rng.randrange(1000):04d}")
+            for _ in range(count)]
+
+
+class TestAnalyze:
+    def test_counts_and_bounds(self):
+        rows = make_rows(2_000)
+        stats = analyze_table(make_table(rows))
+        assert stats.row_count == 2_000
+        assert stats.exact_row_count
+        sketch = stats.column("K")
+        assert sketch.rows == 2_000
+        assert sketch.nulls == 0
+        assert sketch.minimum == min(r[0] for r in rows)
+        assert sketch.maximum == max(r[0] for r in rows)
+        null_fraction = stats.column("N").null_fraction
+        assert 0.15 < null_fraction < 0.35
+
+    def test_distinct_estimates(self):
+        stats = analyze_table(make_table(make_rows(5_000)))
+        # 50 distinct non-null values, small domain → exact under KMV k.
+        assert stats.column("N").distinct == 50
+
+    def test_selectivity_from_histogram(self):
+        rows = [(float(i), i, f"s{i}") for i in range(1_000)]
+        stats = analyze_table(make_table(rows))
+        sketch = stats.column("K")
+        assert sketch.selectivity_cmp("<", 250.0) == pytest.approx(
+            0.25, abs=0.05)
+        assert sketch.selectivity_cmp(">=", 900.0) == pytest.approx(
+            0.10, abs=0.05)
+
+    def test_sketch_serialization_round_trip(self):
+        stats = analyze_table(make_table(make_rows(500)))
+        restored = TableStats.from_dict(stats.to_dict())
+        for name in ("K", "N", "S"):
+            original = stats.column(name)
+            copy = restored.column(name)
+            assert copy.rows == original.rows
+            assert copy.nulls == original.nulls
+            assert copy.kmv == original.kmv
+            assert copy.histogram.boundaries \
+                == original.histogram.boundaries
+
+
+# ---------------------------------------------------------------------------
+# The catalog: versioning, persistence, feeds
+# ---------------------------------------------------------------------------
+
+
+class TestStatsCatalog:
+    def test_version_mismatch_is_a_miss_and_invalidates(self):
+        catalog = StatsCatalog()
+        catalog.analyze(make_table(make_rows(100), version=0))
+        assert catalog.get("T", 0) is not None
+        assert catalog.get("T", 1) is None          # bumped version
+        assert catalog.get("T", 0) is None          # stale entry dropped
+        assert catalog.invalidations >= 1
+
+    def test_persistence_across_instances(self, tmp_path):
+        first = StatsCatalog(path=tmp_path)
+        first.analyze(make_table(make_rows(300), version=2))
+        second = StatsCatalog(path=tmp_path)
+        stats = second.get("T", 2)
+        assert stats is not None
+        assert stats.row_count == 300
+        assert stats.column("K").histogram is not None
+
+    def test_persisted_stale_version_not_served(self, tmp_path):
+        first = StatsCatalog(path=tmp_path)
+        first.analyze(make_table(make_rows(100), version=0))
+        second = StatsCatalog(path=tmp_path)
+        assert second.get("T", 1) is None
+
+    def test_harvest_builds_column_histogram(self):
+        catalog = StatsCatalog()
+        table = make_table(make_rows(100))
+        catalog.harvest(table, "K", [(10.0, 40), (20.0, 40), (30.0, 20)])
+        sketch = catalog.get("T", 0).column("K")
+        assert sketch.source == "rungen"
+        assert sketch.histogram.total == 100
+        assert catalog.harvests == 1
+
+    def test_observe_feeds_scope_cardinality(self):
+        catalog = StatsCatalog()
+        table = make_table(make_rows(100))
+        catalog.observe(table, "T|K<5|K:A", 37, had_predicates=True)
+        assert catalog.get("T", 0).observed["T|K<5|K:A"] == 37.0
+
+    def test_observe_without_predicates_sets_row_count(self):
+        catalog = StatsCatalog()
+        table = Table("U", SCHEMA, [], row_count=None, version=0)
+        catalog.observe(table, None, 4_321, had_predicates=False)
+        assert catalog.get("U", 0).row_count == 4_321
