@@ -153,6 +153,7 @@ class HistogramTopK:
         merge_read_ahead: int = 2,
         key_encoding: str = "auto",
         histogram_sink: Callable[[Any], None] | None = None,
+        cutoff_listener: Callable[[Any], None] | None = None,
     ):
         if k <= 0:
             raise ConfigurationError("k must be positive")
@@ -244,11 +245,24 @@ class HistogramTopK:
         #: live tracer is attached (``None`` on untraced executions).
         self.timeline: CutoffTimeline | None = (
             CutoffTimeline() if self.tracer.enabled else None)
+        #: Optional observer of every admission-bound refinement, in the
+        #: operator's active key space — the cutoff-pushdown channel: a
+        #: pre-join :class:`~repro.engine.operators.CutoffPushdownFilter`
+        #: subscribes so input rows are dropped *below* the join.  Both
+        #: regimes publish (the external cutoff filter's refinements and
+        #: the in-memory heap's live bound).
+        self.cutoff_listener = cutoff_listener
+        record = (self._record_refinement
+                  if trace_cutoff or self.timeline is not None else None)
+        if record is not None and cutoff_listener is not None:
+            def on_refine(key, _record=record, _listen=cutoff_listener):
+                _record(key)
+                _listen(key)
+        else:
+            on_refine = record if record is not None else cutoff_listener
         self.cutoff_filter = CutoffFilter(
             k=needed, bucket_capacity=histogram_bucket_capacity,
-            on_refine=(self._record_refinement
-                       if trace_cutoff or self.timeline is not None
-                       else None))
+            on_refine=on_refine)
         # Seeds live in the active key space (byte strings with a codec,
         # tuples/raw values without).  A cost-based planner may choose a
         # different encoding for a repeat of the query that produced the
@@ -365,6 +379,7 @@ class HistogramTopK:
         row_size = self.row_size
         track_bytes = self.memory_bytes is not None
         stats = self.stats
+        listener = self.cutoff_listener
         # Max-heap of the ``needed`` smallest keys seen so far.
         heap: list[tuple[_ReverseKey, int, tuple]] = []
         bytes_used = 0
@@ -377,6 +392,8 @@ class HistogramTopK:
                 heapq.heappush(heap, (_ReverseKey(key), seq, row))
                 if track_bytes:
                     bytes_used += row_size(row)
+                if listener is not None and len(heap) == needed:
+                    listener(heap[0][0].key)
             else:
                 stats.cutoff_comparisons += 1
                 if key < heap[0][0].key:
@@ -385,6 +402,8 @@ class HistogramTopK:
                         bytes_used += row_size(row) \
                             - row_size(heap[0][2])
                     heapq.heapreplace(heap, (_ReverseKey(key), seq, row))
+                    if listener is not None:
+                        listener(heap[0][0].key)
                 stats.rows_eliminated_on_arrival += 1
             if track_bytes and bytes_used > self.memory_bytes:
                 # The output no longer fits: hand everything resident
@@ -421,6 +440,7 @@ class HistogramTopK:
         needed = self.k + self.offset
         sort_key = self.sort_key
         stats = self.stats
+        listener = self.cutoff_listener
         heap: list[tuple[_ReverseKey, int, tuple]] = []
         seq = 0
         for batch in batches:
@@ -435,6 +455,8 @@ class HistogramTopK:
                     heapq.heappush(heap,
                                    (_ReverseKey(sort_key(row)), seq, row))
                 if index >= len(rows):
+                    if listener is not None and len(heap) == needed:
+                        listener(heap[0][0].key)
                     continue
             remaining = len(rows) - index
             stats.cutoff_comparisons += remaining
@@ -459,6 +481,11 @@ class HistogramTopK:
                         seq += 1
                         heapq.heapreplace(heap,
                                           (_ReverseKey(key), seq, row))
+            # Downstream sees this batch's consequences only after the
+            # loop yields control, so one publication per batch is as
+            # sharp as per-replacement publication.
+            if listener is not None:
+                listener(heap[0][0].key)
         survivors = sorted(((entry[0].key, entry[1], entry[2])
                             for entry in heap),
                            key=lambda item: (item[0], item[1]))

@@ -37,7 +37,7 @@ from repro.rows.batch import (
     flatten,
     numeric_key_column,
 )
-from repro.rows.schema import Schema
+from repro.rows.schema import Column, ColumnType, Schema
 from repro.rows.sortspec import SortSpec
 from repro.storage.spill import SpillManager
 from repro.storage.stats import OperatorStats
@@ -313,6 +313,433 @@ class InMemorySort(Operator):
         return [self.child]
 
 
+class SharedCutoffBound:
+    """A mutable bound shared between a top-k consumer and a pushed-down
+    pre-join filter.
+
+    The top-k operator publishes every refinement of its admission
+    cutoff; the :class:`CutoffPushdownFilter` sitting below the join on
+    the sort-key side reads the latest bound as input flows through it.
+    The pipeline is single-threaded pull, so publication and observation
+    interleave deterministically.  ``publish`` only ever tightens: a
+    bound, once established, never loosens (mirroring
+    :class:`~repro.core.cutoff.CutoffFilter` monotonicity).
+    """
+
+    __slots__ = ("key", "publications")
+
+    def __init__(self):
+        self.key = None
+        self.publications = 0
+
+    def publish(self, key) -> None:
+        if key is None:
+            return
+        if self.key is None or key < self.key:
+            self.key = key
+            self.publications += 1
+
+
+class CutoffPushdownFilter(Operator):
+    """Pre-join input filter driven by a consumer's live top-k cutoff.
+
+    Sits below a join on the side that supplies every ORDER BY column
+    and drops rows whose sort key is strictly above the shared bound —
+    exactly the rows the downstream top-k's arrival filter would reject
+    (ties are retained, matching
+    :meth:`~repro.core.cutoff.CutoffFilter.eliminate`).  Until the
+    consumer establishes a bound, everything passes.  ``key_of`` must
+    produce keys in the consumer's active key space (normalized tuples,
+    encoded bytes, or normalized floats, depending on the chosen top-k
+    lowering).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        key_of: Callable[[tuple], Any],
+        bound: SharedCutoffBound,
+        description: str = "",
+    ):
+        self.child = child
+        self.schema = child.schema
+        self.key_of = key_of
+        self.bound = bound
+        self.description = description
+        self.stats = OperatorStats()
+        #: Rows that entered the filter on the most recent execution.
+        self.rows_in = 0
+        #: Rows dropped by the pushed-down cutoff.
+        self.rows_dropped = 0
+
+    def rows(self) -> Iterator[tuple]:
+        return flatten(self.batches())
+
+    def batches(self) -> Iterator[RowBatch]:
+        self.stats = stats = OperatorStats()
+        self.rows_in = 0
+        self.rows_dropped = 0
+        return self._filtered(stats)
+
+    def _filtered(self, stats: OperatorStats) -> Iterator[RowBatch]:
+        key_of = self.key_of
+        bound = self.bound
+        for batch in self.child.batches():
+            rows = batch.rows
+            self.rows_in += len(rows)
+            stats.rows_consumed += len(rows)
+            # The bound cannot change mid-batch (the consumer only runs
+            # after this batch is yielded), so one read suffices.
+            cutoff = bound.key
+            if cutoff is None:
+                yield batch
+                continue
+            stats.cutoff_comparisons += len(rows)
+            kept = [row for row in rows if not key_of(row) > cutoff]
+            dropped = len(rows) - len(kept)
+            if dropped:
+                self.rows_dropped += dropped
+                stats.rows_eliminated_on_arrival += dropped
+                if kept:
+                    yield RowBatch(self.schema, kept)
+            else:
+                yield batch
+
+    def analyze_details(self) -> dict:
+        return {
+            "pushdown_rows_in": self.rows_in,
+            "pushdown_rows_dropped": self.rows_dropped,
+            "pushdown_refinements": self.bound.publications,
+        }
+
+    def label(self) -> str:
+        suffix = f" [{self.description}]" if self.description else ""
+        return f"CutoffPushdownFilter{suffix}"
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+
+class _JoinBase(Operator):
+    """Shared surface of the two equi-join physical operators.
+
+    Output rows are ``left_row + right_row`` under ``schema`` (built by
+    the planner; column names de-duplicated there).  SQL semantics:
+    ``NULL`` join keys never match, and a LEFT join pads the right
+    columns of unmatched (or NULL-key) left rows with ``None``.
+    """
+
+    JOIN_TYPES = ("inner", "left")
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_index: int,
+        right_index: int,
+        join_type: str,
+        schema: Schema,
+        tracer=None,
+    ):
+        if join_type not in self.JOIN_TYPES:
+            raise ConfigurationError(
+                f"unknown join type {join_type!r}; "
+                f"choose from {self.JOIN_TYPES}")
+        self.left = left
+        self.right = right
+        self.left_index = left_index
+        self.right_index = right_index
+        self.join_type = join_type
+        self.schema = schema
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = OperatorStats()
+        #: Rows read from the right (build) input on the last execution.
+        self.rows_build = 0
+        #: Rows read from the left (probe) input on the last execution.
+        self.rows_probe = 0
+        #: Matched output rows (excludes LEFT-join padding rows).
+        self.rows_matched = 0
+
+    def _reset(self) -> OperatorStats:
+        self.stats = OperatorStats()
+        self.rows_build = 0
+        self.rows_probe = 0
+        self.rows_matched = 0
+        return self.stats
+
+    def _pad(self) -> tuple:
+        return (None,) * len(self.right.schema.columns)
+
+    def analyze_details(self) -> dict:
+        return {
+            "join_rows_build": self.rows_build,
+            "join_rows_probe": self.rows_probe,
+            "join_rows_matched": self.rows_matched,
+        }
+
+    def label(self) -> str:
+        on = (f"{self.left.schema.names[self.left_index]} = "
+              f"{self.right.schema.names[self.right_index]}")
+        return f"{type(self).__name__} {self.join_type} on {on}"
+
+    def children(self) -> list[Operator]:
+        return [self.left, self.right]
+
+
+class HashJoin(_JoinBase):
+    """Hash equi-join: build a table on the right input, stream the left.
+
+    Emission order is probe order — for each left row, its matches in
+    right-input order — which makes the output deterministic and
+    independent of hashing.
+    """
+
+    def rows(self) -> Iterator[tuple]:
+        stats = self._reset()
+        return self._joined(stats)
+
+    def _joined(self, stats: OperatorStats) -> Iterator[tuple]:
+        left_index = self.left_index
+        right_index = self.right_index
+        left_outer = self.join_type == "left"
+        with self.tracer.span("join.hash.build"):
+            table: dict[Any, list[tuple]] = {}
+            build = 0
+            for row in self.right.rows():
+                build += 1
+                key = row[right_index]
+                if key is None:
+                    continue
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = [row]
+                else:
+                    bucket.append(row)
+            self.rows_build = build
+            stats.rows_consumed += build
+        pad = self._pad()
+        with self.tracer.span("join.hash.probe"):
+            for row in self.left.rows():
+                self.rows_probe += 1
+                stats.rows_consumed += 1
+                key = row[left_index]
+                matches = table.get(key) if key is not None else None
+                if matches:
+                    self.rows_matched += len(matches)
+                    for match in matches:
+                        stats.rows_output += 1
+                        yield row + match
+                elif left_outer:
+                    stats.rows_output += 1
+                    yield row + pad
+
+
+class SortMergeJoin(_JoinBase):
+    """Sort-merge equi-join: sort both inputs on the key, then zip.
+
+    Both sorts are stable, so within one join-key value the output is
+    left-input-order × right-input-order — the same *multiset* as
+    :class:`HashJoin` (overall emission order differs: key order here,
+    probe order there).
+    """
+
+    def rows(self) -> Iterator[tuple]:
+        stats = self._reset()
+        return self._joined(stats)
+
+    def _joined(self, stats: OperatorStats) -> Iterator[tuple]:
+        left_index = self.left_index
+        right_index = self.right_index
+        left_outer = self.join_type == "left"
+        with self.tracer.span("join.merge.sort"):
+            left_rows = list(self.left.rows())
+            right_rows = list(self.right.rows())
+            self.rows_probe = len(left_rows)
+            self.rows_build = len(right_rows)
+            stats.rows_consumed += len(left_rows) + len(right_rows)
+            null_left = [r for r in left_rows if r[left_index] is None]
+            keyed_left = sorted(
+                (r for r in left_rows if r[left_index] is not None),
+                key=lambda r: r[left_index])
+            keyed_right = sorted(
+                (r for r in right_rows if r[right_index] is not None),
+                key=lambda r: r[right_index])
+            stats.sort_comparisons += len(keyed_left) + len(keyed_right)
+        pad = self._pad()
+        with self.tracer.span("join.merge.zip"):
+            j = 0
+            i = 0
+            total_right = len(keyed_right)
+            while i < len(keyed_left):
+                key = keyed_left[i][left_index]
+                i_end = i
+                while i_end < len(keyed_left) \
+                        and keyed_left[i_end][left_index] == key:
+                    i_end += 1
+                while j < total_right \
+                        and keyed_right[j][right_index] < key:
+                    j += 1
+                j_end = j
+                while j_end < total_right \
+                        and keyed_right[j_end][right_index] == key:
+                    j_end += 1
+                if j_end > j:
+                    matches = keyed_right[j:j_end]
+                    self.rows_matched += (i_end - i) * len(matches)
+                    for left_row in keyed_left[i:i_end]:
+                        for right_row in matches:
+                            stats.rows_output += 1
+                            yield left_row + right_row
+                elif left_outer:
+                    for left_row in keyed_left[i:i_end]:
+                        stats.rows_output += 1
+                        yield left_row + pad
+                i = i_end
+                j = j_end
+            if left_outer:
+                for left_row in null_left:
+                    stats.rows_output += 1
+                    yield left_row + pad
+
+
+#: Aggregate function registry for :class:`GroupedAggregate`.
+AGGREGATE_FUNCS = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+
+
+class GroupedAggregate(Operator):
+    """In-memory hash aggregation for GROUP BY / aggregate queries.
+
+    Standard SQL semantics: aggregates skip NULL inputs (``COUNT(*)``
+    counts rows), an all-NULL group yields ``None`` for
+    SUM/MIN/MAX/AVG and ``0`` for COUNT, NULL group keys form one
+    group, and a global aggregate (no GROUP BY) emits exactly one row
+    even on empty input.  Output rows are emitted in group-key order
+    (NULLs last) so the result is deterministic without an ORDER BY.
+
+    ``select`` fixes the output column order: each item is either a
+    group-by column name or the canonical name of an aggregate
+    (``SUM(V)``, ``COUNT(*)``).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_columns: Sequence[str],
+        aggregates: Sequence,  # of repro.engine.sql.Aggregate
+        select: Sequence[str],
+    ):
+        self.child = child
+        self.group_columns = tuple(group_columns)
+        self.aggregates = tuple(aggregates)
+        self.select = tuple(select)
+        self._group_indexes = tuple(child.schema.index_of(name)
+                                    for name in self.group_columns)
+        self._agg_indexes = tuple(
+            None if agg.column is None
+            else child.schema.index_of(child.schema.resolve(agg.column))
+            for agg in self.aggregates)
+        self.schema = self._output_schema(child.schema)
+        self.stats = OperatorStats()
+        #: Distinct groups produced on the most recent execution.
+        self.groups_out = 0
+
+    def _output_schema(self, child_schema: Schema) -> Schema:
+        by_name: dict[str, Column] = {}
+        for name in self.group_columns:
+            by_name[name] = child_schema.column(name)
+        for agg, index in zip(self.aggregates, self._agg_indexes):
+            if agg.func == "COUNT":
+                column = Column(agg.name, ColumnType.INT64, nullable=False)
+            elif agg.func == "AVG":
+                column = Column(agg.name, ColumnType.FLOAT64, nullable=True)
+            else:  # SUM / MIN / MAX keep the source type, made nullable
+                source = child_schema.columns[index]
+                column = Column(agg.name, source.type, nullable=True)
+            by_name[agg.name] = column
+        return Schema(by_name[name] for name in self.select)
+
+    def rows(self) -> Iterator[tuple]:
+        self.stats = OperatorStats()
+        self.groups_out = 0
+        return self._aggregated(self.stats)
+
+    def _aggregated(self, stats: OperatorStats) -> Iterator[tuple]:
+        group_indexes = self._group_indexes
+        specs = tuple((agg.func, index)
+                      for agg, index in zip(self.aggregates,
+                                            self._agg_indexes))
+        # Accumulator per aggregate: COUNT → int; SUM → number | None;
+        # MIN/MAX → value | None; AVG → [total, count].
+        groups: dict[tuple, list] = {}
+        for row in self.child.rows():
+            stats.rows_consumed += 1
+            key = tuple(row[i] for i in group_indexes)
+            accs = groups.get(key)
+            if accs is None:
+                accs = groups[key] = [
+                    [0.0, 0] if func == "AVG"
+                    else (0 if func == "COUNT" else None)
+                    for func, _ in specs]
+            for pos, (func, index) in enumerate(specs):
+                if func == "COUNT":
+                    if index is None or row[index] is not None:
+                        accs[pos] += 1
+                    continue
+                value = row[index]
+                if value is None:
+                    continue
+                if func == "AVG":
+                    accs[pos][0] += value
+                    accs[pos][1] += 1
+                elif accs[pos] is None:
+                    accs[pos] = value
+                elif func == "SUM":
+                    accs[pos] = accs[pos] + value
+                elif func == "MIN":
+                    if value < accs[pos]:
+                        accs[pos] = value
+                else:  # MAX
+                    if value > accs[pos]:
+                        accs[pos] = value
+        if not groups and not self.group_columns:
+            # Global aggregate over an empty input still emits one row.
+            groups[()] = [[0.0, 0] if func == "AVG"
+                          else (0 if func == "COUNT" else None)
+                          for func, _ in specs]
+        group_names = {name: pos
+                       for pos, name in enumerate(self.group_columns)}
+        agg_names = {agg.name: pos
+                     for pos, agg in enumerate(self.aggregates)}
+        picks = tuple(
+            (True, group_names[name]) if name in group_names
+            else (False, agg_names[name])
+            for name in self.select)
+        # NULL group keys sort last within each column, like ORDER BY.
+        ordered = sorted(
+            groups.items(),
+            key=lambda item: tuple((v is None, v) for v in item[0]))
+        self.groups_out = len(ordered)
+        for key, accs in ordered:
+            finals = [
+                (acc[0] / acc[1] if acc[1] else None)
+                if func == "AVG" else acc
+                for (func, _), acc in zip(specs, accs)]
+            stats.rows_output += 1
+            yield tuple(key[pos] if is_group else finals[pos]
+                        for is_group, pos in picks)
+
+    def analyze_details(self) -> dict:
+        return {"aggregate_groups_out": self.groups_out}
+
+    def label(self) -> str:
+        keys = ", ".join(self.group_columns) or "<global>"
+        aggs = ", ".join(agg.name for agg in self.aggregates)
+        return f"GroupedAggregate by [{keys}] agg [{aggs}]"
+
+    def children(self) -> list[Operator]:
+        return [self.child]
+
+
 #: Algorithm registry for the TopK physical operator.
 TOPK_ALGORITHMS = ("histogram", "optimized", "traditional", "priority_queue")
 
@@ -393,7 +820,12 @@ class GroupedTopKOperator(Operator):
         k: int,
         memory_rows: int = 100_000,
         spill_manager: SpillManager | None = None,
+        key_encoding: str = "auto",
     ):
+        if key_encoding not in ("auto", "ovc", "tuple"):
+            raise ConfigurationError(
+                f"unknown key encoding {key_encoding!r} "
+                "(expected 'auto', 'ovc' or 'tuple')")
         self.child = child
         self.schema = child.schema
         self.sort_spec = sort_spec
@@ -402,6 +834,26 @@ class GroupedTopKOperator(Operator):
         self.k = k
         self.memory_rows = memory_rows
         self.spill_manager = spill_manager
+        self.key_encoding = key_encoding
+        # The binary composite-key lowering (group bytes ‖ sort-key
+        # bytes) engages when both the group column and the sort spec
+        # compile to order-preserving byte encoders.  ``"auto"`` falls
+        # back to tuple keys when they don't; ``"ovc"`` insists.
+        self.group_encoder = None
+        self.value_encoder = None
+        if key_encoding != "tuple":
+            from repro.sorting.keycodec import compile_keycodec
+
+            group_codec = compile_keycodec(
+                SortSpec(child.schema, [group_column]))
+            value_codec = compile_keycodec(sort_spec)
+            if group_codec is not None and value_codec is not None:
+                self.group_encoder = group_codec.encode
+                self.value_encoder = value_codec.encode
+            elif key_encoding == "ovc":
+                raise ConfigurationError(
+                    "key_encoding='ovc' requires binary key encoders for "
+                    "the group column and every sort column")
         self.stats = OperatorStats()
 
     def rows(self) -> Iterator[tuple]:
@@ -416,12 +868,15 @@ class GroupedTopKOperator(Operator):
             memory_rows=self.memory_rows,
             spill_manager=self.spill_manager,
             stats=self.stats,
+            group_encoder=self.group_encoder,
+            value_encoder=self.value_encoder,
         )
         return (row for _group, row in operator.execute(self.child.rows()))
 
     def label(self) -> str:
+        encoding = "ovc" if self.group_encoder is not None else "tuple"
         return (f"GroupedTopK k={self.k} per {self.group_column} "
-                f"[{self.sort_spec!r}]")
+                f"[{self.sort_spec!r}] encoding={encoding}")
 
     def children(self) -> list["Operator"]:
         return [self.child]
@@ -483,6 +938,10 @@ class TopK(Operator):
         #: histogram into the statistics catalog (histogram algorithm
         #: only; attached by the session when a catalog is present).
         self.histogram_sink = None
+        #: Optional observer of admission-bound refinements (histogram
+        #: algorithm only; attached by the planner when a cutoff is
+        #: pushed below a join — see :class:`CutoffPushdownFilter`).
+        self.cutoff_listener = None
         #: The algorithm instance of the most recent ``rows()`` call —
         #: lets callers read execution artifacts (``final_cutoff``,
         #: ``cutoff_filter``, ``runs``) after materializing the output.
@@ -506,6 +965,8 @@ class TopK(Operator):
                 options.setdefault("cutoff_seed", self.cutoff_seed)
             if self.histogram_sink is not None:
                 options.setdefault("histogram_sink", self.histogram_sink)
+            if self.cutoff_listener is not None:
+                options.setdefault("cutoff_listener", self.cutoff_listener)
             return HistogramTopK(self.sort_spec, tracer=self.tracer,
                                  **common, **options)
         if self.algorithm == "optimized":
@@ -595,6 +1056,7 @@ class VectorizedTopK(TopK):
             stats=self.stats,
             tracer=self.tracer,
             histogram_sink=self.histogram_sink,
+            cutoff_listener=self.cutoff_listener,
         )
         self.last_impl = impl
         store: list[tuple] = []

@@ -105,6 +105,10 @@ class Database:
             (``"row"``, ``"batch"``, ``"vectorized"``, ``"sharded"``)
             instead of costing — the benchmark harness's hand-picking
             knob.
+        join_method: Pin the physical join operator (``"hash"`` /
+            ``"merge"``); ``"auto"`` (default) costs both.
+        pushdown: Pin top-k cutoff pushdown below joins (``True`` on
+            wherever valid, ``False`` off, ``None`` costed).
     """
 
     def __init__(
@@ -117,6 +121,8 @@ class Database:
         stats_catalog: StatsCatalog | None = None,
         stats_path=None,
         force_path: str | None = None,
+        join_method: str = "auto",
+        pushdown: bool | None = None,
     ):
         self._tables: dict[str, Table] = {}
         self.stats_catalog = (stats_catalog if stats_catalog is not None
@@ -129,6 +135,8 @@ class Database:
             shard_options=shard_options,
             stats_catalog=self.stats_catalog,
             path=force_path,
+            join_method=join_method,
+            pushdown=pushdown,
         )
 
     # -- registry -------------------------------------------------------------
@@ -189,7 +197,14 @@ class Database:
     def plan(self, sql_text: str) -> Operator:
         """Parse and plan without executing."""
         query = parse(sql_text)
-        return self.planner.plan(query, self.table(query.table))
+        return self.planner.plan(query, self.table(query.table),
+                                 join_table=self._join_table(query))
+
+    def _join_table(self, query: ParsedQuery) -> Table | None:
+        """Resolve the query's JOIN table, when it has one."""
+        if query.join is None:
+            return None
+        return self.table(query.join.table)
 
     def sql(
         self,
@@ -238,7 +253,8 @@ class Database:
         plan = self.planner.plan(query, table,
                                  memory_rows=memory_rows,
                                  cutoff_seed=cutoff_seed,
-                                 tracer=tracer, shards=shards)
+                                 tracer=tracer, shards=shards,
+                                 join_table=self._join_table(query))
         topk = _plan_topk_node(plan)
         harvest = (self._attach_harvest(topk, query)
                    if topk is not None else None)
@@ -291,7 +307,8 @@ class Database:
           normalized keys decode (raw values, negated numerics, or
           ``Desc`` wrappers — not order-preserving byte strings).
         """
-        if query.predicates:
+        if query.predicates or query.join is not None:
+            # Join output is not a column sample of the base table.
             return None
         spec = getattr(topk, "sort_spec", None)
         if spec is None or not hasattr(topk, "histogram_sink"):
@@ -318,6 +335,10 @@ class Database:
                     table, column,
                     [(un_normalize(boundary), size)
                      for boundary, size in pairs])
+        if query.join is not None:
+            # The top-k consumed *join output* rows; feeding that back
+            # as the left table's cardinality would corrupt the catalog.
+            return
         stats = topk.__dict__.get("stats")
         consumed = getattr(stats, "rows_consumed", 0)
         if consumed:
@@ -339,10 +360,11 @@ class Database:
         from repro.engine.operators import Project, TopK
 
         query = parse(sql_text)
-        if not query.is_topk or query.offset or query.per_column:
+        if (not query.is_topk or query.offset or query.per_column
+                or query.join is not None or query.is_aggregate):
             raise PlanError(
-                "paginate() needs an ORDER BY ... LIMIT query without "
-                "OFFSET or PER")
+                "paginate() needs a single-table ORDER BY ... LIMIT "
+                "query without OFFSET, PER, JOIN or aggregates")
         plan = self.planner.plan(query, self.table(query.table))
         # Peel the projection and the top-k node: the paginator re-sorts
         # from the top-k's *input* and projects on the way out.

@@ -47,6 +47,19 @@ class GroupedTopK:
         spill_manager: Secondary-storage substrate (private one if omitted).
         sizing_policy: Per-group histogram sizing (stride derived from the
             memory capacity; the per-group builder simply sees fewer rows).
+        group_encoder: Optional row → bytes encoder of the group columns
+            (order-preserving, prefix-free — a
+            :func:`~repro.keys.codec.compile_keycodec` encoder).  Given
+            together with ``value_encoder``, the operator runs in
+            *binary composite key* mode: the run-generation sort key is
+            ``group_bytes ‖ sort_bytes``, runs carry offset-value codes,
+            and the final merge is the OVC tree-of-losers.  Because the
+            group encoding is prefix-free, concatenation both clusters
+            runs by group and orders rows within a group exactly like
+            the sort key alone, so per-group cutoff filters operate
+            directly on composite byte keys.
+        value_encoder: Row → bytes encoder of the in-group sort key;
+            required with ``group_encoder``.
     """
 
     def __init__(
@@ -58,14 +71,23 @@ class GroupedTopK:
         spill_manager: SpillManager | None = None,
         sizing_policy: SizingPolicy | None = None,
         stats: OperatorStats | None = None,
+        group_encoder: Callable[[tuple], bytes] | None = None,
+        value_encoder: Callable[[tuple], bytes] | None = None,
     ):
         if k <= 0:
             raise ConfigurationError("k must be positive")
         if memory_rows <= 0:
             raise ConfigurationError("memory_rows must be positive")
+        if (group_encoder is None) != (value_encoder is None):
+            raise ConfigurationError(
+                "group_encoder and value_encoder must be given together")
         self.group_key = group_key
         self.value_key = (sort_key.key if isinstance(sort_key, SortSpec)
                           else sort_key)
+        self.group_encoder = group_encoder
+        self.value_encoder = value_encoder
+        #: Whether the binary composite-key lowering is active.
+        self.binary = group_encoder is not None
         self.k = k
         self.memory_rows = memory_rows
         self.spill_manager = spill_manager or SpillManager()
@@ -95,9 +117,22 @@ class GroupedTopK:
             self._builders[group] = builder
         return builder
 
-    def _composite_key(self, row: tuple) -> tuple:
+    def _composite_key(self, row: tuple):
+        if self.binary:
+            return self.group_encoder(row) + self.value_encoder(row)
         group = self.group_key(row)
         return (_group_orderable(group), self.value_key(row))
+
+    def _arrival_key(self, row: tuple):
+        """The key the row's group filter operates on.
+
+        Binary mode filters on full composite bytes: within one group
+        the (fixed, prefix-free) group prefix is constant, so composite
+        order equals sort-key order — no splitting needed anywhere.
+        """
+        if self.binary:
+            return self._composite_key(row)
+        return self.value_key(row)
 
     def _spill_filter(self, composite: tuple) -> bool:
         group_token, value = composite
@@ -106,9 +141,18 @@ class GroupedTopK:
             return False
         return cutoff_filter.eliminate(value)
 
+    def _spill_filter_keyed(self, key: bytes, row: tuple) -> bool:
+        cutoff_filter = self._filters.get(self.group_key(row))
+        if cutoff_filter is None:
+            return False
+        return cutoff_filter.eliminate(key)
+
     def _on_spill(self, composite: tuple, _row: tuple) -> None:
         group_token, value = composite
         self._builder_for(group_token.group).add(value)
+
+    def _on_spill_binary(self, key: bytes, row: tuple) -> None:
+        self._builder_for(self.group_key(row)).add(key)
 
     def _on_run_closed(self, _run) -> None:
         for builder in self._builders.values():
@@ -125,14 +169,17 @@ class GroupedTopK:
         """Yield ``(group, row)`` pairs: up to k rows per group, grouped
         and in sort order within each group."""
         stats = self.stats
+        binary = self.binary
         generator = ReplacementSelectionRunGenerator(
             sort_key=self._composite_key,
             memory_rows=self.memory_rows,
             spill_manager=self.spill_manager,
-            spill_filter=self._spill_filter,
-            on_spill=self._on_spill,
+            spill_filter=None if binary else self._spill_filter,
+            spill_filter_keyed=self._spill_filter_keyed if binary else None,
+            on_spill=self._on_spill_binary if binary else self._on_spill,
             on_run_closed=self._on_run_closed,
             stats=stats,
+            compute_codes=binary,
         )
 
         def admitted(stream: Iterable[tuple]) -> Iterator[tuple]:
@@ -142,14 +189,15 @@ class GroupedTopK:
                 cutoff_filter = self._filters.get(group)
                 if cutoff_filter is not None:
                     stats.cutoff_comparisons += 1
-                    if cutoff_filter.eliminate(self.value_key(row)):
+                    if cutoff_filter.eliminate(self._arrival_key(row)):
                         stats.rows_eliminated_on_arrival += 1
                         continue
                 yield row
 
         runs = generator.generate(admitted(rows))
         merger = Merger(sort_key=self._composite_key,
-                        spill_manager=self.spill_manager)
+                        spill_manager=self.spill_manager,
+                        ovc=binary, stats=stats)
         produced: dict[Hashable, int] = {}
         for row in merger.merge_topk(runs, k=None):
             group = self.group_key(row)
@@ -164,9 +212,13 @@ class GroupedTopK:
 class _group_orderable:
     """Wraps arbitrary hashable groups so heterogeneous ones still sort.
 
-    Groups are ordered by ``(type name, repr)`` when direct comparison
-    fails, which only needs to be *consistent*, not meaningful: grouping
-    correctness never depends on which group sorts first.
+    ``None`` groups order last — matching the engine-wide NULLS LAST
+    convention (:class:`~repro.rows.sortspec.SortSpec` normalization and
+    the binary key codec), so tuple-key and composite-byte-key
+    executions emit groups in the same order.  Other groups that resist
+    direct comparison are ordered by ``(type name, repr)``, which only
+    needs to be *consistent*, not meaningful: grouping correctness never
+    depends on which group sorts first.
     """
 
     __slots__ = ("group",)
@@ -175,6 +227,10 @@ class _group_orderable:
         self.group = group
 
     def __lt__(self, other: "_group_orderable") -> bool:
+        if self.group is None:
+            return False  # NULLS LAST: never less than anything
+        if other.group is None:
+            return True
         try:
             return self.group < other.group
         except TypeError:

@@ -227,6 +227,11 @@ class PlanProbe:
                 if io.writer_stalls or io.read_stalls:
                     details["spill_stalls"] = (f"writer={io.writer_stalls} "
                                                f"read={io.read_stalls}")
+        # Operator-specific measured details (joins, pushdown filters,
+        # aggregates expose ``analyze_details()``).
+        extra = getattr(node, "analyze_details", None)
+        if callable(extra):
+            details.update(extra())
         decision = node.__dict__.get("decision")
         if decision is not None:
             # Estimate-vs-actual: the planner's costed prediction next to
@@ -235,16 +240,24 @@ class PlanProbe:
             cost = decision.chosen.cost
             details["plan_choice"] = decision.chosen.label()
             details["plan_cost_seconds"] = round(cost.seconds, 4)
-            actual_in = (stats.rows_consumed
-                         if stats is not None else None)
-            details["rows_in_est_vs_actual"] = (
-                f"{decision.estimated_rows:.0f} vs "
-                f"{actual_in if actual_in is not None else '?'}")
-            actual_spilled = (stats.io.rows_spilled
-                              if stats is not None else None)
-            details["rows_spilled_est_vs_actual"] = (
-                f"{cost.rows_spilled:.0f} vs "
-                f"{actual_spilled if actual_spilled is not None else '?'}")
+            estimated_in = getattr(decision, "estimated_rows", None)
+            if estimated_in is not None:
+                actual_in = (stats.rows_consumed
+                             if stats is not None else None)
+                details["rows_in_est_vs_actual"] = (
+                    f"{estimated_in:.0f} vs "
+                    f"{actual_in if actual_in is not None else '?'}")
+            estimated_out = getattr(decision, "estimated_out_rows", None)
+            if estimated_out is not None:
+                details["rows_out_est_vs_actual"] = (
+                    f"{estimated_out:.0f} vs {measurement.rows_out}")
+            estimated_spilled = getattr(cost, "rows_spilled", None)
+            if estimated_spilled is not None:
+                actual_spilled = (stats.io.rows_spilled
+                                  if stats is not None else None)
+                details["rows_spilled_est_vs_actual"] = (
+                    f"{estimated_spilled:.0f} vs "
+                    f"{actual_spilled if actual_spilled is not None else '?'}")
             details["seconds_est_vs_actual"] = (
                 f"{cost.seconds:.4f} vs {measurement.seconds:.4f}")
         impl = node.__dict__.get("last_impl")

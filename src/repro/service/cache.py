@@ -96,9 +96,18 @@ class ResultCache:
     # -- keys ------------------------------------------------------------
 
     @staticmethod
-    def result_key(query: ParsedQuery, table: Table) -> tuple:
-        """Exact-hit key: normalized query text + table content version."""
-        return (table.name.upper(), table.version, normalize_query(query))
+    def result_key(query: ParsedQuery, table: Table,
+                   join_table: Table | None = None) -> tuple:
+        """Exact-hit key: normalized query text + table content versions.
+
+        A join query's result depends on *both* tables' contents, so the
+        right table's version participates too — re-registering either
+        table stops stale hits.
+        """
+        key = (table.name.upper(), table.version, normalize_query(query))
+        if join_table is not None:
+            key += (join_table.name.upper(), join_table.version)
+        return key
 
     @staticmethod
     def scope_key(query: ParsedQuery, table: Table) -> tuple | None:

@@ -217,6 +217,16 @@ class QueryService:
             for kind in ("queries", "cutoff_publications",
                          "cutoff_adoptions",
                          "rows_dropped_by_remote_cutoff")}
+        # Rank-aware joins: per-side input cardinalities and the output.
+        self._m_join = {
+            kind: m.counter(f"service.join.{kind}")
+            for kind in ("queries", "rows_build", "rows_probe",
+                         "rows_output")}
+        # Cutoff pushdown below joins: rows the pre-join filter saw and
+        # how many the consumer's published cutoff let it drop.
+        self._m_pushdown = {
+            kind: m.counter(f"service.pushdown.{kind}")
+            for kind in ("queries", "rows_in", "rows_dropped")}
         self._m_inflight = m.gauge("service.queries.inflight")
         self._m_queue_wait = m.histogram(
             "service.query.queue_wait_seconds", LATENCY_BOUNDARIES)
@@ -326,8 +336,10 @@ class QueryService:
                           record: ServiceStats) -> ServiceResult:
         query = parse(sql_text)
         table = self.database.table(query.table)
+        join_table = (self.database.table(query.join.table)
+                      if query.join is not None else None)
 
-        result_key = ResultCache.result_key(query, table)
+        result_key = ResultCache.result_key(query, table, join_table)
         scope = ResultCache.scope_key(query, table)
         if scope is None:
             record.cache = "bypass"
@@ -375,6 +387,7 @@ class QueryService:
         record.rows_filtered = result.stats.rows_eliminated
         record.rows_filtered_by_seed = self._seed_eliminations(result)
         self._record_shard_stats(result, record)
+        self._record_join_stats(result, record)
 
         if scope is not None and result.final_cutoff is not None:
             self.cache.store_cutoff(
@@ -408,6 +421,16 @@ class QueryService:
                 record.shard_cutoff_adoptions)
             self._m_shard["rows_dropped_by_remote_cutoff"].inc(
                 record.shard_rows_dropped_remote)
+        if record.joined:
+            self._m_join["queries"].inc()
+            self._m_join["rows_build"].inc(record.join_rows_build)
+            self._m_join["rows_probe"].inc(record.join_rows_probe)
+            self._m_join["rows_output"].inc(record.join_rows_output)
+        if record.pushdown_rows_in:
+            self._m_pushdown["queries"].inc()
+            self._m_pushdown["rows_in"].inc(record.pushdown_rows_in)
+            self._m_pushdown["rows_dropped"].inc(
+                record.pushdown_rows_dropped)
         return ServiceResult(rows=result.rows, schema=result.schema,
                              query=query, stats=record,
                              operator_stats=result.stats)
@@ -506,6 +529,25 @@ class QueryService:
                 record.shard_cutoff_adoptions = impl.adoptions
                 record.shard_rows_dropped_remote = impl.rows_dropped_remote
                 return
+            stack.extend(node.children())
+
+    @staticmethod
+    def _record_join_stats(result, record: ServiceStats) -> None:
+        """Fill the record's join/pushdown fields off the plan's join and
+        pre-join cutoff-filter operators (no-op for join-free plans)."""
+        from repro.engine.operators import CutoffPushdownFilter, _JoinBase
+
+        stack = [result.plan]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _JoinBase):
+                record.joined = True
+                record.join_rows_build += node.rows_build
+                record.join_rows_probe += node.rows_probe
+                record.join_rows_output += node.rows_matched
+            elif isinstance(node, CutoffPushdownFilter):
+                record.pushdown_rows_in += node.rows_in
+                record.pushdown_rows_dropped += node.rows_dropped
             stack.extend(node.children())
 
     def _note_deadline_overrun(self, _ticket: QueryTicket) -> None:

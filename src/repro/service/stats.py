@@ -67,6 +67,18 @@ class ServiceStats:
     #: Rows dropped because a *remote* shard's cutoff was tighter than
     #: anything known locally.
     shard_rows_dropped_remote: int = 0
+    #: Whether the plan contained a join operator.
+    joined: bool = False
+    #: Rows the join(s) built hash/sorted state from (right side).
+    join_rows_build: int = 0
+    #: Rows the join(s) probed with (left side).
+    join_rows_probe: int = 0
+    #: Matched rows the join(s) emitted (excludes left-join padding).
+    join_rows_output: int = 0
+    #: Rows that reached pre-join cutoff pushdown filters.
+    pushdown_rows_in: int = 0
+    #: Rows those filters dropped using the consumer's published cutoff.
+    pushdown_rows_dropped: int = 0
     #: Error description for ``outcome == "error"``.
     error: str | None = None
 
@@ -94,6 +106,12 @@ class ServiceSnapshot:
     shard_cutoff_publications: int = 0
     shard_cutoff_adoptions: int = 0
     shard_rows_dropped_remote: int = 0
+    queries_joined: int = 0
+    join_rows_build: int = 0
+    join_rows_probe: int = 0
+    join_rows_output: int = 0
+    pushdown_rows_in: int = 0
+    pushdown_rows_dropped: int = 0
     queue_wait_seconds: float = 0.0
     execution_seconds: float = 0.0
     #: Aggregate engine-side work across all completed queries.
@@ -160,6 +178,13 @@ class ServiceStatsAggregator:
             snap.shard_cutoff_publications += stats.shard_cutoff_publications
             snap.shard_cutoff_adoptions += stats.shard_cutoff_adoptions
             snap.shard_rows_dropped_remote += stats.shard_rows_dropped_remote
+            if stats.joined:
+                snap.queries_joined += 1
+            snap.join_rows_build += stats.join_rows_build
+            snap.join_rows_probe += stats.join_rows_probe
+            snap.join_rows_output += stats.join_rows_output
+            snap.pushdown_rows_in += stats.pushdown_rows_in
+            snap.pushdown_rows_dropped += stats.pushdown_rows_dropped
             snap.queue_wait_seconds += stats.queue_wait_seconds
             snap.execution_seconds += stats.execution_seconds
             if operator is not None:
@@ -187,6 +212,12 @@ class ServiceStatsAggregator:
                 shard_cutoff_publications=snap.shard_cutoff_publications,
                 shard_cutoff_adoptions=snap.shard_cutoff_adoptions,
                 shard_rows_dropped_remote=snap.shard_rows_dropped_remote,
+                queries_joined=snap.queries_joined,
+                join_rows_build=snap.join_rows_build,
+                join_rows_probe=snap.join_rows_probe,
+                join_rows_output=snap.join_rows_output,
+                pushdown_rows_in=snap.pushdown_rows_in,
+                pushdown_rows_dropped=snap.pushdown_rows_dropped,
                 queue_wait_seconds=snap.queue_wait_seconds,
                 execution_seconds=snap.execution_seconds,
                 operator=snap.operator.snapshot(),

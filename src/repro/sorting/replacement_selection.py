@@ -46,6 +46,10 @@ class ReplacementSelectionRunGenerator:
         spill_filter: Optional predicate ``key -> bool``; ``True`` means the
             row is *eliminated* instead of written.  Evaluated at spill time
             with whatever the filter knows *now*.
+        spill_filter_keyed: Like ``spill_filter`` but called as
+            ``(key, row) -> bool`` — for filters that need the row to
+            route the key (grouped top-k looks up the row's group's
+            cutoff filter).  Takes precedence over ``spill_filter``.
         on_spill: Optional ``(key, row)`` callback after each written row.
         on_run_closed: Optional ``SortedRun -> None`` callback as each run
             is sealed.
@@ -63,6 +67,7 @@ class ReplacementSelectionRunGenerator:
         spill_manager: SpillManager,
         run_size_limit: int | None = None,
         spill_filter: Callable[[Any], bool] | None = None,
+        spill_filter_keyed: Callable[[Any, tuple], bool] | None = None,
         on_spill: Callable[[Any, tuple], None] | None = None,
         on_run_closed: Callable[[SortedRun], None] | None = None,
         memory_bytes: int | None = None,
@@ -87,6 +92,7 @@ class ReplacementSelectionRunGenerator:
         self._spill_manager = spill_manager
         self._run_size_limit = run_size_limit
         self._spill_filter = spill_filter
+        self._spill_filter_keyed = spill_filter_keyed
         self._on_spill = on_spill
         self._on_run_closed = on_run_closed
         self._stats = stats or OperatorStats()
@@ -132,7 +138,12 @@ class ReplacementSelectionRunGenerator:
             self._close_writer()
             self._epoch = epoch
             self._last_written_key = None
-        if self._spill_filter is not None:
+        if self._spill_filter_keyed is not None:
+            self._stats.cutoff_comparisons += 1
+            if self._spill_filter_keyed(key, row):
+                self._stats.rows_eliminated_at_spill += 1
+                return
+        elif self._spill_filter is not None:
             self._stats.cutoff_comparisons += 1
             if self._spill_filter(key):
                 # Eliminated at spill time (Algorithm 1, line 11): the

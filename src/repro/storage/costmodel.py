@@ -90,6 +90,13 @@ class CostModel:
     #: Rows of merge read buffer charged per run during a merge pass —
     #: the Arge–Thorup ``M/B`` term bounding the practical fan-in.
     plan_merge_buffer_rows: int = 1024
+    #: Per-row costs of the two equi-join methods: inserting a build row
+    #: into the hash table, probing it, and emitting one output row
+    #: (tuple concatenation).  Interpreter-calibrated like the top-k
+    #: path constants — only relative magnitudes matter.
+    plan_hash_build_row_s: float = 1.5e-7
+    plan_hash_probe_row_s: float = 1.2e-7
+    plan_join_emit_row_s: float = 1.0e-7
 
     def io_seconds(self, io: IOStats) -> float:
         """Simulated seconds spent on storage traffic alone."""
@@ -287,6 +294,70 @@ class CostModel:
         return PlanCost(seconds=cpu + io, cpu_seconds=cpu, io_seconds=io,
                         rows_in=rows, rows_spilled=spilled, runs=runs,
                         merge_passes=passes, fan_in=effective_fan_in)
+
+
+    def join_plan_cost(
+        self,
+        *,
+        method: str,
+        build_rows: float,
+        probe_rows: float,
+        out_rows: float,
+        build_sorted: bool = False,
+        probe_sorted: bool = False,
+    ) -> "JoinCost":
+        """Estimated cost of one equi-join method, before execution.
+
+        Both physical joins here are in-memory (the engine materializes
+        the build side / both sides), so the estimate is pure CPU:
+
+        * ``hash`` — one hash-table insert per build row, one probe per
+          probe row, one emit per output row;
+        * ``merge`` — an ``n log n`` sort of each *unsorted* side plus a
+          linear zip.  A side whose table is physically sorted on the
+          join key skips its sort term, which is exactly when
+          sort-merge beats hashing.
+        """
+        build_rows = max(0.0, float(build_rows))
+        probe_rows = max(0.0, float(probe_rows))
+        out_rows = max(0.0, float(out_rows))
+        if method == "hash":
+            cpu = (build_rows * self.plan_hash_build_row_s
+                   + probe_rows * self.plan_hash_probe_row_s)
+        elif method == "merge":
+            compare = self.plan_compare_base_s
+
+            def sort_s(rows: float, pre_sorted: bool) -> float:
+                if pre_sorted or rows <= 1:
+                    return rows * self.cpu_row_s
+                return rows * math.log2(max(2.0, rows)) * compare
+
+            cpu = (sort_s(build_rows, build_sorted)
+                   + sort_s(probe_rows, probe_sorted)
+                   + (build_rows + probe_rows) * compare)
+        else:
+            raise ValueError(f"unknown join method {method!r}")
+        cpu += out_rows * self.plan_join_emit_row_s
+        return JoinCost(seconds=cpu, rows_build=build_rows,
+                        rows_probe=probe_rows, rows_out=out_rows)
+
+
+@dataclass(frozen=True)
+class JoinCost:
+    """An a-priori cost estimate for one candidate join method.
+
+    ``seconds`` may include planner-side surcharges beyond the bare
+    join (a pushed-down cutoff filter's per-row cost, the downstream
+    top-k's consumption of the join output); ``filter_rows_dropped``
+    records how many sort-side rows the estimate expects a pushed-down
+    cutoff filter to eliminate before they reach the join.
+    """
+
+    seconds: float
+    rows_build: float
+    rows_probe: float
+    rows_out: float
+    filter_rows_dropped: float = 0.0
 
 
 @dataclass(frozen=True)

@@ -83,6 +83,7 @@ class VectorizedHistogramTopK:
         stats: OperatorStats | None = None,
         tracer=None,
         histogram_sink=None,
+        cutoff_listener=None,
     ):
         if k <= 0:
             raise ConfigurationError("k must be positive")
@@ -104,10 +105,19 @@ class VectorizedHistogramTopK:
         #: attribute; built only when a live tracer is attached.
         self.timeline: CutoffTimeline | None = (
             CutoffTimeline() if self.tracer.enabled else None)
-        self.cutoff_filter = CutoffFilter(
-            k=k + offset,
-            on_refine=(self._record_refinement if self.timeline is not None
-                       else None))
+        #: Optional observer of admission-bound refinements (normalized
+        #: float key space) — the cutoff-pushdown channel, mirroring the
+        #: row engine's ``HistogramTopK.cutoff_listener``.
+        self.cutoff_listener = cutoff_listener
+        record = (self._record_refinement if self.timeline is not None
+                  else None)
+        if record is not None and cutoff_listener is not None:
+            def on_refine(key, _record=record, _listen=cutoff_listener):
+                _record(key)
+                _listen(key)
+        else:
+            on_refine = record if record is not None else cutoff_listener
+        self.cutoff_filter = CutoffFilter(k=k + offset, on_refine=on_refine)
         #: Optional observer of every emitted histogram bucket — the
         #: statistics-catalog harvest hook.  Keys are normalized floats
         #: (descending specs arrive negated).
@@ -224,9 +234,11 @@ class VectorizedHistogramTopK:
                 keep = _stable_smallest(keys, needed)
                 keys, ids = self._take(keys, ids, keep)
                 cutoff = float(np.max(keys))
-                if (self.timeline is not None
-                        and cutoff != self._live_cutoff):
-                    self._record_refinement(cutoff)
+                if cutoff != self._live_cutoff:
+                    if self.timeline is not None:
+                        self._record_refinement(cutoff)
+                    if self.cutoff_listener is not None:
+                        self.cutoff_listener(cutoff)
                 self._live_cutoff = cutoff
             if final and keys.size:
                 order = np.argsort(keys, kind="stable")

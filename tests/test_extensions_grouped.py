@@ -108,3 +108,85 @@ class TestGroupedTopK:
     def test_empty_input(self):
         operator = GroupedTopK(GROUP, VALUE, k=10, memory_rows=20)
         assert list(operator.execute(iter([]))) == []
+
+
+class TestNullAndEdgeGroups:
+    def test_null_group_keys_form_one_group(self):
+        rng = random.Random(3)
+        rows = [(rng.choice([None, "a", "b"]), rng.random())
+                for _ in range(4_000)]
+        operator = GroupedTopK(GROUP, VALUE, k=30, memory_rows=200)
+        got = collections.defaultdict(list)
+        for group, row in operator.execute(iter(rows)):
+            got[group].append(row)
+        assert dict(got) == expected_per_group(rows, 30)
+        assert None in got and len(got[None]) == 30
+
+    def test_null_group_emits_last(self):
+        """The NULLS LAST regression pin: tuple-key execution must order
+        the None group after every comparable group, matching the binary
+        composite-key lowering's byte order."""
+        rng = random.Random(4)
+        rows = [(rng.choice([None, 1, 2]), rng.random())
+                for _ in range(2_000)]
+        operator = GroupedTopK(GROUP, VALUE, k=10, memory_rows=100)
+        groups_seen = [group for group, _row in operator.execute(iter(rows))]
+        assert groups_seen[-1] is None
+        assert [g for i, g in enumerate(groups_seen)
+                if i == 0 or groups_seen[i - 1] != g] == [1, 2, None]
+
+    def test_single_mega_group_matches_plain_topk(self):
+        rng = random.Random(5)
+        rows = [("only", rng.random()) for _ in range(20_000)]
+        operator = GroupedTopK(GROUP, VALUE, k=500, memory_rows=400)
+        output = [row for _group, row in operator.execute(iter(rows))]
+        assert output == sorted(rows, key=VALUE)[:500]
+        # The single group's cutoff engaged like a plain top-k's would.
+        assert operator.cutoff_key("only") is not None
+        assert operator.stats.rows_eliminated_on_arrival > 0
+
+    def test_k_larger_than_every_group(self):
+        rng = random.Random(6)
+        rows = [(rng.randrange(8), rng.random()) for _ in range(200)]
+        operator = GroupedTopK(GROUP, VALUE, k=10_000, memory_rows=50)
+        got = collections.defaultdict(list)
+        for group, row in operator.execute(iter(rows)):
+            got[group].append(row)
+        assert sum(len(members) for members in got.values()) == len(rows)
+        assert dict(got) == expected_per_group(rows, 10_000)
+
+
+class TestGroupOrderable:
+    def test_hash_eq_consistency(self):
+        from repro.extensions.grouped import _group_orderable
+
+        pairs = [(1, 1), ("a", "a"), (None, None), ((1, 2), (1, 2))]
+        for a, b in pairs:
+            wa, wb = _group_orderable(a), _group_orderable(b)
+            assert wa == wb
+            assert hash(wa) == hash(wb)
+        assert _group_orderable(1) != _group_orderable(2)
+        # Never equal to the unwrapped value (dict keys must not alias).
+        assert _group_orderable(1) != 1
+
+    def test_none_orders_last_against_everything(self):
+        from repro.extensions.grouped import _group_orderable
+
+        none = _group_orderable(None)
+        for other in (1, -(10 ** 9), "", "z", (1,), 0.0):
+            wrapped = _group_orderable(other)
+            assert wrapped < none
+            assert not none < wrapped
+        assert not none < _group_orderable(None)
+
+    def test_mixed_types_order_consistently(self):
+        from repro.extensions.grouped import _group_orderable
+
+        wrapped = [_group_orderable(g)
+                   for g in (3, "b", 1, "a", (2,), None)]
+        ordered = sorted(wrapped)
+        assert sorted(wrapped) == ordered  # deterministic / total
+        assert ordered[-1].group is None
+        # Same-type runs keep their natural order.
+        ints = [w.group for w in ordered if isinstance(w.group, int)]
+        assert ints == sorted(ints)

@@ -1,10 +1,15 @@
-"""Tests for the alternative execution strategies (Section 2.1)."""
+"""Tests for the alternative execution strategies (Section 2.1), plus
+the shared multi-table *hypothesis* strategies other suites import
+(``joined_tables`` / ``unique_key_tables`` — see
+``tests/test_join_differential.py``)."""
 
 import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigurationError
+from repro.rows.schema import Column, ColumnType, Schema
 from repro.storage.costmodel import CostModel, SCALED_COST_MODEL
 from repro.strategies import (
     LateMaterializationTopK,
@@ -14,6 +19,89 @@ from repro.strategies import (
 )
 
 KEY = lambda row: row[0]  # noqa: E731
+
+
+# -- shared multi-table joinable-schema strategies ------------------------
+#
+# Two tables wired to join on L.JK = R.RK.  Row ids (LID / RID) are
+# unique by construction, so ``ORDER BY LV, LID, RID`` is a total order
+# over any join output and differential legs need no tie-stability
+# assumptions.  Join keys come from a deliberately small domain (heavy
+# duplicates → cross products) mixed with NULLs (which must never
+# match).
+
+LEFT_SCHEMA = Schema([
+    Column("LID", ColumnType.INT64),
+    Column("JK", ColumnType.INT64, nullable=True),
+    Column("LV", ColumnType.INT64),
+])
+
+RIGHT_SCHEMA = Schema([
+    Column("RID", ColumnType.INT64),
+    Column("RK", ColumnType.INT64, nullable=True),
+    Column("RV", ColumnType.INT64),
+])
+
+#: The join-output layout ``L.* + R.*`` (all names unique across sides,
+#: so the planner keeps them unqualified); right columns nullable
+#: because a LEFT join pads them.
+JOIN_OUT_SCHEMA = Schema(
+    list(LEFT_SCHEMA.columns)
+    + [Column(c.name, c.type, nullable=True) for c in RIGHT_SCHEMA.columns])
+
+join_keys = st.one_of(st.none(), st.integers(0, 5))
+
+
+@st.composite
+def left_rows(draw, max_size=60):
+    drawn = draw(st.lists(st.tuples(join_keys, st.integers(0, 40)),
+                          max_size=max_size))
+    return [(i, jk, lv) for i, (jk, lv) in enumerate(drawn)]
+
+
+@st.composite
+def right_rows(draw, max_size=40):
+    drawn = draw(st.lists(st.tuples(join_keys, st.integers(0, 9)),
+                          max_size=max_size))
+    return [(i, rk, rv) for i, (rk, rv) in enumerate(drawn)]
+
+
+@st.composite
+def joined_tables(draw):
+    """(left, right) row lists over LEFT_SCHEMA / RIGHT_SCHEMA."""
+    return draw(left_rows()), draw(right_rows())
+
+
+@st.composite
+def unique_key_tables(draw):
+    """(left, right) where right join keys are unique (at most one match
+    per probe row) and left sort values are unique — a join whose output
+    has a tie-free single-column total order, as the vectorized top-k
+    lowering requires for byte-level comparisons."""
+    size = draw(st.integers(0, 50))
+    null_mask = draw(st.lists(st.booleans(), min_size=size, max_size=size))
+    left = [(i, None if null_mask[i] else draw(st.integers(0, 12)), i * 7)
+            for i in range(size)]
+    right_size = draw(st.integers(0, 13))
+    right = [(j, j, j) for j in range(right_size)]
+    return left, right
+
+
+class TestJoinableStrategies:
+    @given(tables=joined_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_shapes_and_uniqueness(self, tables):
+        left, right = tables
+        assert all(len(row) == 3 for row in left + right)
+        assert len({row[0] for row in left}) == len(left)
+        assert len({row[0] for row in right}) == len(right)
+
+    @given(tables=unique_key_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_unique_key_tables_are_tie_free(self, tables):
+        left, right = tables
+        assert len({row[1] for row in right}) == len(right)
+        assert len({row[2] for row in left}) == len(left)
 
 
 def uniform(count, seed=0):

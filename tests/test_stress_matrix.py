@@ -62,3 +62,94 @@ def test_distribution_offset_matrix(distribution, offset):
     operator = HistogramTopK(KEY, 400, 120, offset=offset)
     expected = sorted(rows)[offset:offset + 400]
     assert list(operator.execute(iter(rows))) == expected
+
+
+# -- join + grouped plan-shape matrix ------------------------------------
+
+JOIN_PLANS = list(itertools.product(
+    ("inner", "left"),          # join type
+    ("auto", "hash", "merge"),  # physical join
+    (None, True, False),        # pushdown pin
+    (150, 100_000),             # memory budget (spilling / in-memory)
+))
+
+
+@pytest.fixture(scope="module")
+def join_dataset():
+    from repro.rows.schema import Column, ColumnType, Schema
+
+    rng = random.Random(17)
+    left_schema = Schema([Column("LID", ColumnType.INT64),
+                          Column("JK", ColumnType.INT64, nullable=True),
+                          Column("LV", ColumnType.INT64)])
+    right_schema = Schema([Column("RID", ColumnType.INT64),
+                           Column("RK", ColumnType.INT64, nullable=True),
+                           Column("RV", ColumnType.INT64)])
+    left = [(i, rng.choice([None] + list(range(12))), rng.randrange(1_000))
+            for i in range(5_000)]
+    right = [(j, rng.choice([None] + list(range(12))), rng.randrange(10))
+             for j in range(60)]
+    return left_schema, right_schema, left, right
+
+
+def _join_oracle(left, right, join_type):
+    out = []
+    for lrow in left:
+        matches = ([r for r in right
+                    if r[1] is not None and r[1] == lrow[1]]
+                   if lrow[1] is not None else [])
+        if matches:
+            out.extend(lrow + r for r in matches)
+        elif join_type == "left":
+            out.append(lrow + (None, None, None))
+    return out
+
+
+@pytest.mark.parametrize(
+    "join_type,join_method,pushdown,memory", JOIN_PLANS,
+    ids=[f"{t}-{m}-pd{p}-mem{mem}" for t, m, p, mem in JOIN_PLANS])
+def test_join_plan_matrix(join_dataset, join_type, join_method,
+                          pushdown, memory):
+    from repro.engine.session import Database
+
+    left_schema, right_schema, left, right = join_dataset
+    db = Database(memory_rows=memory, join_method=join_method,
+                  pushdown=pushdown)
+    db.register_table("L", left_schema, left, row_count=len(left))
+    db.register_table("R", right_schema, right, row_count=len(right))
+    op = "LEFT JOIN" if join_type == "left" else "JOIN"
+    result = db.sql(f"SELECT * FROM L {op} R ON L.JK = R.RK "
+                    "ORDER BY LV, LID, RID LIMIT 300")
+    oracle = sorted(_join_oracle(left, right, join_type),
+                    key=lambda r: (r[2], r[0], (r[3] is None, r[3] or 0)))
+    assert result.rows == oracle[:300]
+
+
+GROUPED_PLANS = list(itertools.product(
+    ("tuple", "ovc", "auto"),   # grouped key encoding
+    (3, 40),                    # k per group
+    (100, 100_000),             # memory budget
+))
+
+
+@pytest.mark.parametrize(
+    "encoding,k,memory", GROUPED_PLANS,
+    ids=[f"{e}-k{k}-mem{m}" for e, k, m in GROUPED_PLANS])
+def test_grouped_plan_matrix(join_dataset, encoding, k, memory):
+    from repro.engine.session import Database
+
+    left_schema, _right_schema, left, _right = join_dataset
+    db = Database(memory_rows=memory,
+                  algorithm_options={"key_encoding": encoding})
+    db.register_table("L", left_schema, left, row_count=len(left))
+    result = db.sql("SELECT * FROM L ORDER BY LV, LID "
+                    f"LIMIT {k} PER JK")
+    by_group = {}
+    for row in left:
+        by_group.setdefault(row[1], []).append(row)
+    expected = []
+    for group in sorted(by_group,
+                        key=lambda g: (g is None, g if g is not None else 0)):
+        expected.extend(
+            sorted(by_group[group], key=lambda r: (r[2], r[0]))[:k])
+    assert result.rows == expected
