@@ -24,6 +24,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import logging
+import time
 from typing import Any, Callable, Iterable, Iterator
 
 try:  # numpy powers the vectorized batch admission; optional.
@@ -124,6 +125,14 @@ class HistogramTopK:
             comparison costs differ.  Note that ``cutoff_seed`` and
             :attr:`final_cutoff` live in whichever key space is active,
             so seeds must come from an execution with the same encoding.
+        late_materialization: Merge spilled runs as key-only *skeletons*
+            (``(file, page, slot)`` references) and re-read the payload
+            pages of the ≤ k winners in a final stitch step.  Effective
+            only when the binary key codec is active and every run file's
+            storage supports skeleton reads (a disk backend whose page
+            codec writes key/payload-split pages); silently falls back to
+            eager materialization otherwise.  Output is identical either
+            way.
     """
 
     _AUTO = object()
@@ -154,6 +163,7 @@ class HistogramTopK:
         key_encoding: str = "auto",
         histogram_sink: Callable[[Any], None] | None = None,
         cutoff_listener: Callable[[Any], None] | None = None,
+        late_materialization: bool = False,
     ):
         if k <= 0:
             raise ConfigurationError("k must be positive")
@@ -216,6 +226,7 @@ class HistogramTopK:
             raise ConfigurationError("memory_bytes must be positive")
         self.memory_bytes = memory_bytes
         self.row_size = row_size or (lambda row: 16 + 8 * len(row))
+        self.late_materialization = late_materialization
         self.switched_to_external = False
         self.stats = stats or OperatorStats()
         self.stats.io = self.spill_manager.stats
@@ -585,6 +596,20 @@ class HistogramTopK:
                     f"{survivors} rows for a top-{self.k}"
                     f"{f'+{self.offset}' if self.offset else ''} output; "
                     f"re-execute without the seed")
+        # Late materialization applies when every run file can deliver
+        # key-only skeletons: original run files are flipped to skeleton
+        # reads and retained through the merge (intermediate runs hold
+        # references into them), then the stitch resolves the winners
+        # and deletes the payload files itself.
+        lazy = (self.late_materialization and self.key_codec is not None
+                and bool(self.runs)
+                and all(run.file.supports_lazy for run in self.runs))
+        payload_files = {}
+        if lazy:
+            payload_files = {run.file.file_id: run.file
+                             for run in self.runs}
+            for run in self.runs:
+                run.file.lazy_reads = True
         merger = Merger(
             sort_key=self.sort_key,
             spill_manager=self.spill_manager,
@@ -594,18 +619,46 @@ class HistogramTopK:
             read_ahead=self.merge_read_ahead,
             ovc=self.key_codec is not None,
             stats=self.stats,
+            retain_files=set(payload_files) if lazy else None,
         )
         with self.tracer.span("topk.merge", runs=len(self.runs)) as span:
-            yield from merger.merge_topk(
+            output = merger.merge_topk(
                 self.runs,
                 self.k,
                 offset=self.offset,
                 cutoff=self.cutoff_filter.cutoff_key,
                 rank_index=self.rank_index,
             )
+            if lazy:
+                output = self._stitch(output, payload_files)
+            yield from output
             if self.tracer.enabled:
                 span.set_attribute("rows_output", self.stats.rows_output)
         self.offset_rows_skipped = merger.offset_rows_skipped
+
+    def _stitch(self, output: Iterator[tuple],
+                payload_files: dict) -> Iterator[tuple]:
+        """Resolve skeleton winners back to full rows.
+
+        The merge delivered ``(file_id, page_index, slot)`` references;
+        each referenced payload page is re-read (and fully decoded) at
+        most once, then the retained original run files are deleted.
+        """
+        winners = list(output)
+        started = time.perf_counter()
+        pages: dict[tuple[int, int], Any] = {}
+        rows = []
+        for file_id, page_index, slot in winners:
+            page = pages.get((file_id, page_index))
+            if page is None:
+                page = payload_files[file_id].read_page(page_index)
+                pages[(file_id, page_index)] = page
+            rows.append(page.rows[slot])
+        self.stats.io.payload_stitch_seconds += (
+            time.perf_counter() - started)
+        for spill_file in payload_files.values():
+            self.spill_manager.delete_file(spill_file)
+        yield from rows
 
     def _execute_external(self, rows: Iterator[tuple]) -> Iterator[tuple]:
         """Histogram-filtered external merge sort (Algorithm 1)."""

@@ -150,12 +150,18 @@ class Candidate:
     key_encoding: str      # "tuple" | "ovc" | "-" (vectorized paths)
     shards: int
     cost: PlanCost
+    #: ``"eager"`` decodes full rows during the external merge;
+    #: ``"lazy"`` merges key/row-id skeletons from key-split spill pages
+    #: and stitches winner payloads afterwards (requires a spill backend
+    #: whose codec writes split pages).
+    materialization: str = "eager"
 
     def label(self) -> str:
         encoding = "" if self.key_encoding == "-" \
             else f"/{self.key_encoding}"
         shards = f"x{self.shards}" if self.shards > 1 else ""
-        return f"{self.path}{encoding}{shards}"
+        lazy = "+lazy" if self.materialization == "lazy" else ""
+        return f"{self.path}{encoding}{shards}{lazy}"
 
 
 @dataclass(frozen=True)
@@ -408,6 +414,22 @@ class Planner:
                 f"choose from {self.JOIN_METHODS}")
         self.join_method = join_method
         self.pushdown = pushdown
+        self._lazy_capable: bool | None = None
+
+    def _supports_lazy_spill(self) -> bool:
+        """Whether the session's spill substrate writes key-split pages
+        (the prerequisite for lazy-materialization candidates).
+
+        Probed once through the factory and cached.  The probe manager is
+        deliberately *not* closed: factories commonly share one
+        :class:`~repro.storage.spill.DiskSpillBackend`, whose ``close()``
+        would delete files belonging to every other query.
+        """
+        if self._lazy_capable is None:
+            manager = self.spill_manager_factory()
+            self._lazy_capable = bool(getattr(
+                manager.backend, "supports_late_materialization", False))
+        return self._lazy_capable
 
     # -- estimation ------------------------------------------------------
 
@@ -539,7 +561,8 @@ class Planner:
         key_columns = len(spec.columns)
         forced: list[str] = []
 
-        def cost(path: str, encoding: str, n_shards: int = 1) -> PlanCost:
+        def cost(path: str, encoding: str, n_shards: int = 1,
+                 materialization: str = "eager") -> PlanCost:
             return self.cost_model.topk_plan_cost(
                 rows=rows, row_bytes=row_bytes, needed=needed,
                 memory_rows=memory_rows, path=path,
@@ -547,7 +570,7 @@ class Planner:
                 key_encoding=encoding if encoding != "-" else "tuple",
                 desc_obj_columns=spec.desc_object_columns,
                 fan_in=self.algorithm_options.get("fan_in"),
-                shards=n_shards)
+                shards=n_shards, materialization=materialization)
 
         # Enumeration order doubles as the cost tie-break (``min`` keeps
         # the first of equals): vectorized before the row engine, batch
@@ -564,11 +587,21 @@ class Planner:
             for count in self._shard_counts(table, shards):
                 candidates.append(Candidate("sharded", "-", count,
                                             cost("sharded", "-", count)))
+        # Lazy materialization needs ovc byte keys (the split pages
+        # store the encoded sort key next to each row id) and a spill
+        # backend whose codec writes split pages.
+        lazy_ok = self._supports_lazy_spill()
         for encoding in self._encoding_candidates(spec):
             candidates.append(Candidate("batch", encoding, 1,
                                         cost("batch", encoding)))
             candidates.append(Candidate("row", encoding, 1,
                                         cost("row", encoding)))
+            if lazy_ok and encoding == "ovc":
+                for path in ("batch", "row"):
+                    candidates.append(Candidate(
+                        path, encoding, 1,
+                        cost(path, encoding, materialization="lazy"),
+                        materialization="lazy"))
 
         eligible = candidates
         if self.path is not None:
@@ -634,6 +667,8 @@ class Planner:
             options = dict(self.algorithm_options)
             if self.algorithm == "histogram":
                 options["key_encoding"] = chosen.key_encoding
+            if chosen.materialization == "lazy":
+                options["late_materialization"] = True
             operator = TopK(
                 node,
                 sort_spec=spec,

@@ -227,6 +227,16 @@ class PlanProbe:
                 if io.writer_stalls or io.read_stalls:
                     details["spill_stalls"] = (f"writer={io.writer_stalls} "
                                                f"read={io.read_stalls}")
+            # Page skipping (zone-map spill pages): whole pages pruned
+            # against the merge cutoff before decoding, plus payload
+            # bytes the key-split skeleton scan never decoded.
+            if io.pages_skipped_zone_map:
+                details["pages_skipped_zone_map"] = io.pages_skipped_zone_map
+            if io.bytes_skipped_decode:
+                details["bytes_skipped_decode"] = io.bytes_skipped_decode
+            if io.payload_stitch_seconds:
+                details["payload_stitch_ms"] = round(
+                    io.payload_stitch_seconds * 1e3, 3)
         # Operator-specific measured details (joins, pushdown filters,
         # aggregates expose ``analyze_details()``).
         extra = getattr(node, "analyze_details", None)

@@ -204,7 +204,8 @@ class QueryService:
         self._m_spill = {
             kind: m.counter(f"service.spill.{kind}")
             for kind in ("bytes_encoded", "bytes_decoded",
-                         "writer_stalls", "read_stalls")}
+                         "writer_stalls", "read_stalls",
+                         "pages_skipped")}
         # Merge comparison substrate: full-key comparisons vs tournaments
         # decided by offset-value codes alone (see repro.sorting.ovc).
         self._m_comparisons = {
@@ -411,6 +412,7 @@ class QueryService:
         self._m_spill["bytes_decoded"].inc(io.bytes_decoded)
         self._m_spill["writer_stalls"].inc(io.writer_stalls)
         self._m_spill["read_stalls"].inc(io.read_stalls)
+        self._m_spill["pages_skipped"].inc(io.pages_skipped_zone_map)
         self._m_comparisons["full"].inc(result.stats.full_key_comparisons)
         self._m_comparisons["code_only"].inc(result.stats.code_comparisons)
         if record.shards > 1:

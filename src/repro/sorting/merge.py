@@ -56,6 +56,7 @@ def merge_keyed(
     sources: list[Iterator[tuple[Any, tuple]]] | None = None,
     read_ahead: int = 0,
     stats: OperatorStats | None = None,
+    cutoff: Any = None,
 ) -> Iterator[tuple[Any, tuple]]:
     """Yield ``(key, row)`` pairs from ``runs`` in global sort order.
 
@@ -88,7 +89,8 @@ def merge_keyed(
             if sources is not None:
                 iterator = iter(sources[order])
             else:
-                iterator = run.keyed_rows(sort_key, prefetch=read_ahead)
+                iterator = run.keyed_rows(sort_key, prefetch=read_ahead,
+                                          cutoff=cutoff)
             iterators.append(iterator)
             first = next(iterator, None)
             if first is not None:
@@ -137,6 +139,11 @@ class Merger:
             the binary heap (binary-key engines only).
         stats: Operator counters receiving ``full_key_comparisons`` /
             ``code_comparisons``; a private record is kept when omitted.
+        retain_files: Spill-file ids the merger must *not* delete after
+            consuming (or pruning) them.  The late-materialization path
+            uses this: original run files hold the payload sections that
+            skeleton rows in intermediate runs still reference, so they
+            must outlive the merge — the stitch deletes them itself.
     """
 
     def __init__(
@@ -149,6 +156,7 @@ class Merger:
         read_ahead: int = 2,
         ovc: bool = False,
         stats: OperatorStats | None = None,
+        retain_files: set[int] | None = None,
     ):
         if fan_in is not None and fan_in < 2:
             raise ConfigurationError("merge fan-in must be at least 2")
@@ -162,9 +170,16 @@ class Merger:
         self._read_ahead = read_ahead
         self._ovc = ovc
         self._stats = stats if stats is not None else OperatorStats()
+        self._retain_files = retain_files if retain_files else set()
         self._next_intermediate_id = 1_000_000  # distinct from run-gen ids
         #: Rows skipped unread by the last offset-optimized merge.
         self.offset_rows_skipped = 0
+
+    def _release_run(self, run: SortedRun) -> None:
+        """Delete a consumed run's file unless it is retained."""
+        if run.file.file_id in self._retain_files:
+            return
+        self._spill_manager.delete_file(run.file)
 
     # -- intermediate steps ------------------------------------------------
 
@@ -192,7 +207,7 @@ class Merger:
         for run in runs:
             if run.first_key is not None and run.first_key > cutoff:
                 if self._spill_manager is not None:
-                    self._spill_manager.delete_file(run.file)
+                    self._release_run(run)
                 continue
             surviving.append(run)
         return surviving
@@ -231,7 +246,8 @@ class Merger:
             if self._ovc:
                 for key, row, code in merge_coded(
                         runs, self._sort_key,
-                        read_ahead=self._read_ahead, stats=self._stats):
+                        read_ahead=self._read_ahead, stats=self._stats,
+                        cutoff=cutoff):
                     if cutoff is not None and key > cutoff:
                         writer.truncated = True
                         break
@@ -243,7 +259,8 @@ class Merger:
             else:
                 for key, row in merge_keyed(runs, self._sort_key,
                                             read_ahead=self._read_ahead,
-                                            stats=self._stats):
+                                            stats=self._stats,
+                                            cutoff=cutoff):
                     if cutoff is not None and key > cutoff:
                         writer.truncated = True
                         break
@@ -254,7 +271,7 @@ class Merger:
                     writer.write(key, row)
             merged = writer.close()
             for run in runs:
-                self._spill_manager.delete_file(run.file)
+                self._release_run(run)
             if self._tracer.enabled:
                 span.set_attribute("rows_written", merged.row_count)
                 span.set_attribute("truncated", writer.truncated)
@@ -264,18 +281,19 @@ class Merger:
 
     # -- final merge ---------------------------------------------------------
 
-    def _stream(self, runs: list[SortedRun], sources
+    def _stream(self, runs: list[SortedRun], sources, cutoff: Any = None
                 ) -> Iterator[tuple[Any, tuple]]:
         """The final-merge ``(key, row)`` stream on either substrate."""
         if self._ovc:
             for key, row, _code in merge_coded(
                     runs, self._sort_key, sources=sources,
-                    read_ahead=self._read_ahead, stats=self._stats):
+                    read_ahead=self._read_ahead, stats=self._stats,
+                    cutoff=cutoff):
                 yield key, row
         else:
             yield from merge_keyed(runs, self._sort_key, sources=sources,
                                    read_ahead=self._read_ahead,
-                                   stats=self._stats)
+                                   stats=self._stats, cutoff=cutoff)
 
     def merge_topk(
         self,
@@ -345,11 +363,11 @@ class Merger:
                     if self._ovc:
                         skipped_rows, iterator = run.coded_rows_skipping(
                             self._sort_key, skip_key,
-                            prefetch=self._read_ahead)
+                            prefetch=self._read_ahead, cutoff=cutoff)
                     else:
                         skipped_rows, iterator = run.keyed_rows_skipping(
                             self._sort_key, skip_key,
-                            prefetch=self._read_ahead)
+                            prefetch=self._read_ahead, cutoff=cutoff)
                     self.offset_rows_skipped += skipped_rows
                     sources.append(iterator)
         remaining_offset = offset - self.offset_rows_skipped
@@ -359,7 +377,7 @@ class Merger:
         with self._tracer.span("merge.final", runs=len(runs)) as span:
             full_before = self._stats.full_key_comparisons
             code_before = self._stats.code_comparisons
-            for key, row in self._stream(runs, sources):
+            for key, row in self._stream(runs, sources, cutoff):
                 if cutoff is not None and key > cutoff:
                     break
                 if skipped < remaining_offset:

@@ -84,6 +84,7 @@ def merge_coded(
     sources: list[Iterator[tuple[bytes, tuple, int]]] | None = None,
     read_ahead: int = 0,
     stats: Any = None,
+    cutoff: bytes | None = None,
 ) -> Iterator[tuple[bytes, tuple, int]]:
     """Merge coded run scans with an OVC tree of losers.
 
@@ -98,8 +99,10 @@ def merge_coded(
 
     ``sources`` substitutes custom coded iterators per run (offset
     skipping); ``stats`` receives ``full_key_comparisons`` /
-    ``code_comparisons`` increments.  Per-run iterators are closed on
-    exit like the heap merge.
+    ``code_comparisons`` increments.  ``cutoff`` enables zone-map page
+    pruning within each run scan (the caller stops consuming at the
+    cutoff anyway, so pruning the tail is sound).  Per-run iterators
+    are closed on exit like the heap merge.
     """
     iterators: list[Iterator] = []
     full = code_only = 0
@@ -109,7 +112,8 @@ def merge_coded(
                 iterators.append(iter(sources[order]))
             else:
                 iterators.append(run.coded_rows(encode,
-                                                prefetch=read_ahead))
+                                                prefetch=read_ahead,
+                                                cutoff=cutoff))
         m = len(iterators)
         if m == 0:
             return

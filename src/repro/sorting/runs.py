@@ -94,28 +94,32 @@ class SortedRun:
     #: First key of each page — the page index used by offset skipping.
     page_first_keys: list = field(default_factory=list)
 
-    def rows(self) -> Iterator[tuple]:
+    def rows(self, cutoff: Any = None) -> Iterator[tuple]:
         """Sequentially scan the run's rows in sort order."""
-        return self.file.rows()
+        return self.file.rows(cutoff=cutoff)
 
     def keyed_rows(self, sort_key: Callable[[tuple], Any],
-                   prefetch: int = 0,
-                   start_page: int = 0) -> Iterator[tuple[Any, tuple]]:
+                   prefetch: int = 0, start_page: int = 0,
+                   cutoff: Any = None) -> Iterator[tuple[Any, tuple]]:
         """Scan ``(key, row)`` pairs using the page-level key cache.
 
         Keys cached at write time are reused; otherwise they are computed
         one page at a time.  ``prefetch`` enables background read-ahead
         on backends with real I/O, in which case both page decode and key
-        computation happen on the read-ahead thread.
+        computation happen on the read-ahead thread.  ``cutoff`` (binary
+        keys only) enables zone-map pruning: the scan stops at the first
+        page whose min key exceeds it, before decoding the page.
         """
         transform = _ensure_keys(sort_key)
         for page in self.file.pages(start_page=start_page,
                                     prefetch=prefetch,
-                                    transform=transform):
+                                    transform=transform,
+                                    cutoff=cutoff):
             yield from zip(page.keys, page.rows)
 
     def coded_rows(self, encode: Callable[[tuple], bytes],
-                   prefetch: int = 0, start_page: int = 0
+                   prefetch: int = 0, start_page: int = 0,
+                   cutoff: Any = None
                    ) -> Iterator[tuple[bytes, tuple, int]]:
         """Scan ``(key, row, code)`` triples for the OVC merge.
 
@@ -125,13 +129,15 @@ class SortedRun:
         when prefetching.  When the scan starts mid-file
         (``start_page > 0``), the first delivered row's stored code is
         relative to a row the caller never saw, so it is replaced by
-        :data:`~repro.sorting.ovc.INITIAL_CODE`.
+        :data:`~repro.sorting.ovc.INITIAL_CODE`.  ``cutoff`` as in
+        :meth:`keyed_rows`.
         """
         transform = _ensure_coded(encode)
         first = start_page > 0
         for page in self.file.pages(start_page=start_page,
                                     prefetch=prefetch,
-                                    transform=transform):
+                                    transform=transform,
+                                    cutoff=cutoff):
             if first and page.rows:
                 first = False
                 yield page.keys[0], page.rows[0], INITIAL_CODE
@@ -140,51 +146,49 @@ class SortedRun:
                 continue
             yield from zip(page.keys, page.rows, page.codes)
 
-    def keyed_rows_skipping(
-        self, sort_key: Callable[[tuple], Any], skip_key: Any,
-        prefetch: int = 0,
-    ) -> tuple[int, Iterator[tuple[Any, tuple]]]:
-        """Keyed variant of :meth:`rows_skipping` (same skip rule)."""
-        if not self.page_first_keys or skip_key is None:
-            return 0, self.keyed_rows(sort_key, prefetch=prefetch)
-        start = bisect.bisect_left(self.page_first_keys, skip_key)
-        start = max(0, start - 1)
-        skipped = sum(self.file.page_row_counts[:start])
-        return skipped, self.keyed_rows(sort_key, prefetch=prefetch,
-                                        start_page=start)
-
-    def coded_rows_skipping(
-        self, encode: Callable[[tuple], bytes], skip_key: Any,
-        prefetch: int = 0,
-    ) -> tuple[int, Iterator[tuple[bytes, tuple, int]]]:
-        """Coded variant of :meth:`rows_skipping` (same skip rule)."""
-        if not self.page_first_keys or skip_key is None:
-            return 0, self.coded_rows(encode, prefetch=prefetch)
-        start = bisect.bisect_left(self.page_first_keys, skip_key)
-        start = max(0, start - 1)
-        skipped = sum(self.file.page_row_counts[:start])
-        return skipped, self.coded_rows(encode, prefetch=prefetch,
-                                        start_page=start)
-
-    def rows_skipping(self, skip_key: Any
-                      ) -> tuple[int, Iterator[tuple]]:
-        """Scan the run, skipping leading pages that end below
-        ``skip_key`` — without reading them.
+    def _skip_start(self, skip_key: Any) -> tuple[int, int]:
+        """The shared page-skip rule: ``(start_page, rows_skipped)``.
 
         A page's rows are all <= the next page's first key, so every
         page whose successor starts strictly below ``skip_key`` holds
-        only keys < ``skip_key`` and can be skipped wholesale.  Returns
-        ``(rows_skipped, iterator_over_the_rest)``; the first delivered
-        page may still contain keys below ``skip_key`` — callers with
-        OFFSET semantics simply count those against the offset like any
-        other leading row.
+        only keys < ``skip_key`` and can be skipped wholesale.  The
+        first delivered page may still contain keys below ``skip_key``
+        — callers with OFFSET semantics count those against the offset
+        like any other leading row.
         """
         if not self.page_first_keys or skip_key is None:
-            return 0, self.rows()
+            return 0, 0
         start = bisect.bisect_left(self.page_first_keys, skip_key)
         start = max(0, start - 1)
-        skipped = sum(self.file.page_row_counts[:start])
-        return skipped, self.file.rows(start_page=start)
+        return start, sum(self.file.page_row_counts[:start])
+
+    def keyed_rows_skipping(
+        self, sort_key: Callable[[tuple], Any], skip_key: Any,
+        prefetch: int = 0, cutoff: Any = None,
+    ) -> tuple[int, Iterator[tuple[Any, tuple]]]:
+        """Keyed variant of :meth:`rows_skipping` (same skip rule)."""
+        start, skipped = self._skip_start(skip_key)
+        return skipped, self.keyed_rows(sort_key, prefetch=prefetch,
+                                        start_page=start, cutoff=cutoff)
+
+    def coded_rows_skipping(
+        self, encode: Callable[[tuple], bytes], skip_key: Any,
+        prefetch: int = 0, cutoff: Any = None,
+    ) -> tuple[int, Iterator[tuple[bytes, tuple, int]]]:
+        """Coded variant of :meth:`rows_skipping` (same skip rule)."""
+        start, skipped = self._skip_start(skip_key)
+        return skipped, self.coded_rows(encode, prefetch=prefetch,
+                                        start_page=start, cutoff=cutoff)
+
+    def rows_skipping(self, skip_key: Any, cutoff: Any = None
+                      ) -> tuple[int, Iterator[tuple]]:
+        """Scan the run, skipping leading pages that end below
+        ``skip_key`` — without reading them (see :meth:`_skip_start`
+        for the rule; ``cutoff`` additionally prunes the scan's *tail*
+        via zone maps).
+        """
+        start, skipped = self._skip_start(skip_key)
+        return skipped, self.file.rows(start_page=start, cutoff=cutoff)
 
     def __len__(self) -> int:
         return self.row_count

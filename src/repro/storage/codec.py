@@ -15,10 +15,27 @@ what each surviving row costs on the wire and on the CPU:
   fall back to the pickle format *per page*, so the codec is exact for
   arbitrary payloads while the common, well-typed case never pickles.
 
+Two outer wrappers make the format *page-skippable* and *payload-lazy*
+when the engine runs on order-preserving binary keys
+(:mod:`repro.sorting.keycodec`):
+
+* **Zone maps** (version 3) prepend the page's min/max encoded sort key
+  and its null count.  A reader holding a cutoff key compares the header
+  min against it — one ``bytes`` comparison, no decoding — and skips the
+  page body entirely when ``min > cutoff`` (:func:`read_zone_map` peeks
+  without decoding).
+* **Key/payload split** (version 4) stores the encoded sort keys (and
+  offset-value codes) *separated* from the row payload, so a merge can
+  decode only the key section and carry ``(file, page, slot)`` skeleton
+  references instead of wide rows (:func:`decode_page_skeleton`); the
+  payload section is decoded only for the final winners, by the
+  late-materialization stitch.
+
 Wire format (one page)::
 
     byte 0        format version (0 = pickle, 1 = typed columnar,
-                  2 = offset-value-code wrapper)
+                  2 = offset-value-code wrapper, 3 = zone-map wrapper,
+                  4 = key/payload split)
     --- version 0 ---------------------------------------------------
     u32           stated byte size (the page's accounting size)
     ...           pickle.dumps(rows)
@@ -28,6 +45,20 @@ Wire format (one page)::
     rows x u64    offset-value codes (little-endian; see
                   :mod:`repro.sorting.ovc`)
     ...           a complete embedded page (any other version)
+    --- version 3 ---------------------------------------------------
+    u32           stated byte size
+    u32           row count
+    u32           null count (rows whose leading sort column is NULL)
+    u16 + bytes   min encoded sort key of the page
+    u16 + bytes   max encoded sort key of the page
+    ...           a complete embedded page (any other version)
+    --- version 4 ---------------------------------------------------
+    u32           stated byte size
+    u32           row count
+    u8            1 when offset-value codes follow
+    [rows x u64]  offset-value codes, when flagged
+    (rows+1)xu32  key offsets, then the key blob
+    ...           a complete embedded *payload* page (version 0 or 1)
     --- version 1 ---------------------------------------------------
     u32           stated byte size
     u32           row count
@@ -56,6 +87,7 @@ from __future__ import annotations
 import datetime
 import pickle
 import struct
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import SpillError
@@ -69,6 +101,13 @@ FORMAT_TYPED = 1
 #: Version byte of the offset-value-code wrapper: a u64 LE code vector
 #: followed by a complete embedded page in any other format.
 FORMAT_OVC = 2
+#: Version byte of the zone-map wrapper: min/max encoded sort key and
+#: null count, followed by a complete embedded page in any other format.
+FORMAT_ZONEMAP = 3
+#: Version byte of the key/payload split page: sort keys (and optional
+#: offset-value codes) stored apart from an embedded payload page, so
+#: readers can decode keys without touching the payload.
+FORMAT_SPLIT = 4
 
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
@@ -109,6 +148,16 @@ class TypedPageCodec:
 
     Args:
         schema: Declared column types; drives the per-column packers.
+        zone_maps: Wrap pages carrying binary (``bytes``) sort keys in a
+            zone-map header so readers can skip them against a cutoff
+            without decoding.
+        late_materialization: Write key/payload-split pages so merges can
+            decode only the key section (skeleton reads); requires the
+            reader side to stitch payloads back for the winners.
+        null_key_prefix: The byte prefix the key encoding uses for a NULL
+            leading sort column (``b"\\x01"`` for the nullable encoding of
+            :mod:`repro.sorting.keycodec`); drives the zone-map null
+            count.  ``None`` means no nullable prefix — null count 0.
 
     Attributes:
         fallback_pages: Pages that fell back to the pickle format because
@@ -117,8 +166,13 @@ class TypedPageCodec:
         typed_pages: Pages encoded in the columnar format.
     """
 
-    def __init__(self, schema: Schema):
+    def __init__(self, schema: Schema, *, zone_maps: bool = True,
+                 late_materialization: bool = False,
+                 null_key_prefix: bytes | None = None):
         self.schema = schema
+        self.zone_maps = zone_maps
+        self.late_materialization = late_materialization
+        self.null_key_prefix = null_key_prefix
         self.fallback_pages = 0
         self.typed_pages = 0
         self._pickle = PickleCodec()
@@ -129,16 +183,68 @@ class TypedPageCodec:
         ]
 
     def encode(self, page: Page) -> bytes:
-        payload = self._encode_rows(page)
-        if page.codes is not None and len(page.codes) == len(page.rows):
-            # Persist the offset-value codes in front of the page so the
-            # merge read path never recomputes them (recomputation would
-            # re-touch exactly the key bytes the codes exist to skip).
-            return (_PREFIX.pack(FORMAT_OVC, page.byte_size)
-                    + _U32.pack(len(page.codes))
-                    + struct.pack(f"<{len(page.codes)}Q", *page.codes)
-                    + payload)
+        keys = page.keys
+        # Both wrappers require one memcomparable ``bytes`` key per row;
+        # tuple keys (or absent keys) take the original formats.
+        keyed = (keys is not None and len(keys) == len(page.rows)
+                 and len(page.rows) > 0 and type(keys[0]) is bytes)
+        if self.late_materialization and keyed:
+            # The split header carries the codes itself — no OVC wrapper.
+            payload = self._encode_split(page)
+        else:
+            payload = self._encode_rows(page)
+            if page.codes is not None and len(page.codes) == len(page.rows):
+                # Persist the offset-value codes in front of the page so
+                # the merge read path never recomputes them (recomputation
+                # would re-touch exactly the key bytes the codes exist to
+                # skip).
+                payload = (_PREFIX.pack(FORMAT_OVC, page.byte_size)
+                           + _U32.pack(len(page.codes))
+                           + struct.pack(f"<{len(page.codes)}Q", *page.codes)
+                           + payload)
+        if self.zone_maps and keyed:
+            wrapped = self._zone_wrap(page, keys, payload)
+            if wrapped is not None:
+                return wrapped
         return payload
+
+    def _zone_wrap(self, page: Page, keys: list,
+                   payload: bytes) -> bytes | None:
+        low, high = min(keys), max(keys)
+        if len(low) > 0xFFFF or len(high) > 0xFFFF:
+            # A u16-overflowing boundary key cannot be stored exactly, and
+            # truncating ``max`` would be unsound — skip the wrapper.
+            return None
+        nulls = 0
+        if self.null_key_prefix:
+            nulls = sum(1 for key in keys
+                        if key.startswith(self.null_key_prefix))
+        return (_PREFIX.pack(FORMAT_ZONEMAP, page.byte_size)
+                + _U32.pack(len(keys)) + _U32.pack(nulls)
+                + _U16.pack(len(low)) + low
+                + _U16.pack(len(high)) + high
+                + payload)
+
+    def _encode_split(self, page: Page) -> bytes:
+        keys = page.keys
+        codes = (page.codes if page.codes is not None
+                 and len(page.codes) == len(page.rows) else None)
+        parts = [
+            _PREFIX.pack(FORMAT_SPLIT, page.byte_size),
+            _U32.pack(len(keys)),
+            b"\x01" if codes is not None else b"\x00",
+        ]
+        if codes is not None:
+            parts.append(struct.pack(f"<{len(codes)}Q", *codes))
+        offsets = [0]
+        total = 0
+        for key in keys:
+            total += len(key)
+            offsets.append(total)
+        parts.append(struct.pack(f"<{len(offsets)}I", *offsets))
+        parts.extend(keys)
+        parts.append(self._encode_rows(page))
+        return b"".join(parts)
 
     def _encode_rows(self, page: Page) -> bytes:
         rows = page.rows
@@ -254,6 +360,54 @@ _DEFAULTS = {
 # -- decoding ------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class ZoneMap:
+    """The peekable summary a zone-map wrapper carries for one page."""
+
+    row_count: int
+    null_count: int
+    min_key: bytes
+    max_key: bytes
+
+
+def read_zone_map(payload: bytes) -> ZoneMap | None:
+    """Peek a page's zone map without decoding its body.
+
+    Returns ``None`` for pages written without the wrapper (pre-zone-map
+    files, tuple-keyed pages, oversized boundary keys), so callers fall
+    back to decoding.  Raises :class:`SpillError` only when the payload
+    claims to be a zone-mapped page but its header is truncated.
+    """
+    if len(payload) < _PREFIX.size or payload[0] != FORMAT_ZONEMAP:
+        return None
+    zone_map, _body = _read_zone_map(payload)
+    return zone_map
+
+
+def _read_zone_map(payload: bytes) -> tuple[ZoneMap, int]:
+    """Parse a zone-map header; return the summary and the body offset."""
+    try:
+        offset = _PREFIX.size
+        row_count, null_count = struct.unpack_from("<II", payload, offset)
+        offset += 8
+        (low_len,) = _U16.unpack_from(payload, offset)
+        offset += _U16.size
+        low = bytes(payload[offset:offset + low_len])
+        offset += low_len
+        (high_len,) = _U16.unpack_from(payload, offset)
+        offset += _U16.size
+        high = bytes(payload[offset:offset + high_len])
+        offset += high_len
+        if len(low) != low_len or len(high) != high_len:
+            raise SpillError("truncated zone-map header in spill page")
+    except SpillError:
+        raise
+    except Exception as exc:
+        raise SpillError(
+            f"corrupted zone-map spill page header: {exc}") from exc
+    return ZoneMap(row_count, null_count, low, high), offset
+
+
 def decode_page(payload: bytes) -> Page:
     """Reconstruct a page from any codec's output (version-dispatched).
 
@@ -298,9 +452,85 @@ def decode_page(payload: bytes) -> Page:
                 f"{len(inner.rows)} page rows: corrupted spill page")
         inner.codes = codes
         return inner
+    if version == FORMAT_ZONEMAP:
+        zone_map, body = _read_zone_map(payload)
+        inner = decode_page(payload[body:])
+        if zone_map.row_count != len(inner.rows):
+            raise SpillError(
+                f"zone-map row count {zone_map.row_count} does not match "
+                f"{len(inner.rows)} page rows: corrupted spill page")
+        return inner
+    if version == FORMAT_SPLIT:
+        try:
+            keys, codes, body = _read_split_header(payload)
+            inner = decode_page(payload[body:])
+        except SpillError:
+            raise
+        except Exception as exc:
+            raise SpillError(
+                f"corrupted key-split spill page: {exc}") from exc
+        if len(keys) != len(inner.rows):
+            raise SpillError(
+                f"key vector length {len(keys)} does not match "
+                f"{len(inner.rows)} page rows: corrupted spill page")
+        inner.keys = keys
+        inner.codes = codes
+        return inner
     raise SpillError(
         f"unknown spill page format version {version}; the file is "
         f"corrupted or written by an incompatible codec")
+
+
+def _read_split_header(payload: bytes) -> tuple[list[bytes],
+                                                list[int] | None, int]:
+    """Parse a split page's key section; return keys, codes, body offset."""
+    offset = _PREFIX.size
+    (count,) = _U32.unpack_from(payload, offset)
+    offset += _U32.size
+    has_codes = payload[offset]
+    offset += 1
+    codes = None
+    if has_codes:
+        codes = list(struct.unpack_from(f"<{count}Q", payload, offset))
+        offset += 8 * count
+    offsets = struct.unpack_from(f"<{count + 1}I", payload, offset)
+    offset += (count + 1) * _U32.size
+    blob = payload[offset:offset + offsets[-1]]
+    if len(blob) != offsets[-1]:
+        raise SpillError("truncated key blob in key-split spill page")
+    keys = [bytes(blob[offsets[i]:offsets[i + 1]]) for i in range(count)]
+    return keys, codes, offset + offsets[-1]
+
+
+def decode_page_skeleton(payload: bytes, file_id: int,
+                         page_index: int) -> tuple[Page, int]:
+    """Decode only the key section of a key/payload-split page.
+
+    Returns ``(page, payload_bytes_not_decoded)``.  For a split page the
+    page's rows are ``(file_id, page_index, slot)`` skeleton references —
+    the late-materialization stitch resolves them back to real rows via
+    :meth:`~repro.storage.spill.SpillFile.read_page` — and the second
+    element counts the payload-section bytes left undecoded.  Any other
+    format decodes in full (second element 0), so skeleton reads degrade
+    gracefully on mixed files.
+    """
+    body = payload
+    if len(payload) >= _PREFIX.size and payload[0] == FORMAT_ZONEMAP:
+        _zone, offset = _read_zone_map(payload)
+        body = payload[offset:]
+    if len(body) < _PREFIX.size or body[0] != FORMAT_SPLIT:
+        return decode_page(payload), 0
+    _version, stated_size = _PREFIX.unpack_from(body, 0)
+    try:
+        keys, codes, payload_start = _read_split_header(body)
+    except SpillError:
+        raise
+    except Exception as exc:
+        raise SpillError(
+            f"corrupted key-split spill page: {exc}") from exc
+    rows = [(file_id, page_index, slot) for slot in range(len(keys))]
+    page = Page(rows=rows, byte_size=stated_size, keys=keys, codes=codes)
+    return page, len(body) - payload_start
 
 
 def _decode_typed(payload: bytes) -> list[tuple]:

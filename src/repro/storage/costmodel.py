@@ -90,6 +90,15 @@ class CostModel:
     #: Rows of merge read buffer charged per run during a merge pass —
     #: the Arge–Thorup ``M/B`` term bounding the practical fan-in.
     plan_merge_buffer_rows: int = 1024
+    #: Bytes per row of a late-materialization *skeleton* (encoded sort
+    #: key + row reference + page framing) — what intermediate merge
+    #: passes move instead of the full payload.
+    plan_lazy_row_bytes: float = 48.0
+    #: Fraction of a merge pass's sequential read volume that zone-map
+    #: page skipping is expected to prune (pages whose min key exceeds
+    #: the sharpening cutoff).  Conservative: directed runs measure
+    #: more once the cutoff has tightened.
+    plan_zone_skip_fraction: float = 0.25
     #: Per-row costs of the two equi-join methods: inserting a build row
     #: into the hash table, probing it, and emitting one output row
     #: (tuple concatenation).  Interpreter-calibrated like the top-k
@@ -199,6 +208,7 @@ class CostModel:
         desc_obj_columns: int = 0,
         fan_in: int | None = None,
         shards: int = 1,
+        materialization: str = "eager",
     ) -> "PlanCost":
         """Estimated cost of one physical top-k plan, before execution.
 
@@ -215,7 +225,15 @@ class CostModel:
                 wrappers that make tuple comparisons pay a Python call.
             fan_in: Merge fan-in (``None`` = unbounded single pass).
             shards: Worker processes (``"sharded"`` path only).
+            materialization: ``"eager"`` (full rows through every merge
+                pass) or ``"lazy"`` (key/payload-split storage: merge
+                passes after the first move skeletons, zone maps prune
+                sequential reads, and the stitch pays random reads for
+                the winners).
         """
+        if materialization not in ("eager", "lazy"):
+            raise ValueError(
+                f"unknown materialization {materialization!r}")
         rows = max(0.0, float(rows))
         if path == "sharded":
             shard_rows = rows / max(1, shards)
@@ -284,6 +302,39 @@ class CostModel:
 
         spill_bytes = spilled * row_bytes
         pages = math.ceil(spill_bytes / 65536) if spill_bytes else 0
+        if materialization == "lazy":
+            # Original runs are written full-width; the first merge pass
+            # reads them key-only, every later pass moves skeletons, and
+            # zone maps prune a fraction of each sequential read.  The
+            # stitch pays one random read per winner page at the end.
+            skeleton_bytes = spilled * self.plan_lazy_row_bytes
+            skeleton_pages = (math.ceil(skeleton_bytes / 65536)
+                              if skeleton_bytes else 0)
+            keep = 1.0 - self.plan_zone_skip_fraction
+            io = spill_bytes / self.write_bandwidth_bytes_per_s
+            if passes:
+                io += keep * spill_bytes \
+                    / self.read_bandwidth_bytes_per_s
+                io += (passes - 1) * (
+                    keep * skeleton_bytes
+                    / self.read_bandwidth_bytes_per_s
+                    + skeleton_bytes
+                    / self.write_bandwidth_bytes_per_s)
+            read_pages = pages + skeleton_pages * max(0, passes - 1)
+            io += (pages * (2 if passes else 1)
+                   + 2 * skeleton_pages * max(0, passes - 1)) \
+                * self.request_overhead_s
+            stitch_reads = min(float(needed),
+                               runs + needed * row_bytes / 65536.0)
+            io += stitch_reads * self.random_read_s
+            return PlanCost(
+                seconds=cpu + io, cpu_seconds=cpu, io_seconds=io,
+                rows_in=rows, rows_spilled=spilled, runs=runs,
+                merge_passes=passes, fan_in=effective_fan_in,
+                materialization="lazy",
+                pages_skipped=self.plan_zone_skip_fraction * read_pages,
+                bytes_not_decoded=max(0.0,
+                                      spill_bytes - skeleton_bytes))
         io = spill_bytes / self.write_bandwidth_bytes_per_s
         io += passes * spill_bytes * (
             1.0 / self.read_bandwidth_bytes_per_s
@@ -374,6 +425,13 @@ class PlanCost:
     #: The effective merge fan-in the estimate assumed (``None`` when
     #: nothing spills).
     fan_in: int | None = None
+    #: ``"eager"`` or ``"lazy"`` — how the plan moves spilled payloads.
+    materialization: str = "eager"
+    #: Estimated pages zone maps will prune from sequential merge reads.
+    pages_skipped: float = 0.0
+    #: Estimated payload bytes a lazy plan never decodes (skeleton reads
+    #: over the full-width original runs).
+    bytes_not_decoded: float = 0.0
 
 
 #: Model of the paper's workstation + disaggregated storage setup.

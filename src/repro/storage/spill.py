@@ -46,11 +46,17 @@ from typing import Callable, Iterator, Sequence
 
 from repro.errors import SpillError
 from repro.obs.trace import NULL_TRACER
-from repro.storage.codec import PickleCodec, decode_page
+from repro.storage.codec import (FORMAT_ZONEMAP, PickleCodec, decode_page,
+                                 decode_page_skeleton, read_zone_map)
 from repro.storage.pages import DEFAULT_PAGE_BYTES, Page, PageBuilder
 from repro.storage.stats import IOStats
 
 _LENGTH_HEADER = struct.Struct("<Q")
+
+#: Bytes read to peek a page's zone-map header before committing to the
+#: full body read.  Large enough for any realistic pair of boundary
+#: keys; a header overflowing the window is simply not skipped.
+_ZONE_PEEK_BYTES = 4096
 
 #: Queue slots for the background writer: one chunk on disk, one encoded
 #: and waiting — classic double buffering.
@@ -217,6 +223,21 @@ class SpillFile:
     #: only worthwhile on backends with real I/O.
     supports_prefetch = False
 
+    #: Whether this file's pages can be read as key-only skeletons
+    #: (key/payload-split wire format; see :mod:`repro.storage.codec`).
+    supports_lazy = False
+
+    #: When True, sequential scans decode only the key section of split
+    #: pages and deliver ``(file_id, page_index, slot)`` skeleton rows;
+    #: the late-materialization stitch resolves winners via
+    #: :meth:`read_page`.  Set per file by the consumer — only on
+    #: original run files, never on intermediate merge output (whose
+    #: rows are already skeleton references).
+    lazy_reads = False
+
+    #: Tracer for skip events; :class:`SpillManager` installs its own.
+    tracer = NULL_TRACER
+
     def __init__(self, file_id: int, stats: IOStats):
         self.file_id = file_id
         self._stats = stats
@@ -255,8 +276,8 @@ class SpillFile:
     # -- read side -------------------------------------------------------
 
     def pages(self, start_page: int = 0, prefetch: int = 0,
-              transform: Callable[[Page], Page] | None = None
-              ) -> Iterator[Page]:
+              transform: Callable[[Page], Page] | None = None,
+              cutoff: bytes | None = None) -> Iterator[Page]:
         """Sequentially scan pages from ``start_page``; charges read
         requests and bytes only for the pages actually delivered.
 
@@ -266,10 +287,20 @@ class SpillFile:
         delivery — on the read-ahead thread when one is active, so
         per-page work such as building the merge key cache overlaps with
         downstream heap work as well.
+
+        ``cutoff`` (an encoded binary sort key) enables zone-map
+        pruning: the scan ends at the first page whose min key exceeds
+        it — pages within a run are key-ordered, so every later page
+        exceeds it too.  The test runs *before* the page body is decoded
+        (and, under read-ahead, on the prefetch thread, so skipped pages
+        are never pulled off disk).  Skipping is sound for a top-k merge
+        because such a page cannot contribute a winner.
         """
         if not self._sealed:
             raise SpillError("spill file must be sealed before reading")
-        source: Iterator[Page] = self._load_pages(start_page)
+        if cutoff is not None and not isinstance(cutoff, bytes):
+            cutoff = None  # zone maps exist only for binary keys
+        source: Iterator[Page] = self._load_pages(start_page, cutoff)
         if transform is not None:
             source = map(transform, source)
         reader = None
@@ -286,10 +317,23 @@ class SpillFile:
             if reader is not None:
                 reader.close()
 
-    def rows(self, start_page: int = 0) -> Iterator[tuple]:
+    def rows(self, start_page: int = 0,
+             cutoff: bytes | None = None) -> Iterator[tuple]:
         """Sequentially scan rows, optionally starting at a later page."""
-        for page in self.pages(start_page):
+        for page in self.pages(start_page, cutoff=cutoff):
             yield from page.rows
+
+    def read_page(self, index: int) -> Page:
+        """Random-access read of one fully-decoded page.
+
+        The late-materialization stitch uses this to resolve skeleton
+        references back to real rows; charges one random read.
+        """
+        if not self._sealed:
+            raise SpillError("spill file must be sealed before reading")
+        page = self._fetch_page(index)
+        self._stats.random_reads += 1
+        return page
 
     def delete(self) -> None:
         """Release the file's storage (idempotent)."""
@@ -300,11 +344,24 @@ class SpillFile:
     def _store_page(self, page: Page) -> None:
         raise NotImplementedError
 
-    def _load_pages(self, start_page: int = 0) -> Iterator[Page]:
+    def _load_pages(self, start_page: int = 0,
+                    cutoff: bytes | None = None) -> Iterator[Page]:
+        raise NotImplementedError
+
+    def _fetch_page(self, index: int) -> Page:
         raise NotImplementedError
 
     def _discard(self) -> None:
         raise NotImplementedError
+
+    def _charge_skip(self, pages: int, skipped_bytes: int) -> None:
+        """Record a zone-map skip (the tail of a scan never decoded)."""
+        stats = self._stats
+        stats.pages_skipped_zone_map += pages
+        stats.bytes_skipped_decode += skipped_bytes
+        if self.tracer.enabled:
+            self.tracer.event("spill.zone_map.skip", file_id=self.file_id,
+                              pages=pages, bytes=skipped_bytes)
 
 
 class _MemorySpillFile(SpillFile):
@@ -317,8 +374,30 @@ class _MemorySpillFile(SpillFile):
     def _store_page(self, page: Page) -> None:
         self._pages.append(page)
 
-    def _load_pages(self, start_page: int = 0) -> Iterator[Page]:
-        return iter(self._pages[start_page:])
+    def _load_pages(self, start_page: int = 0,
+                    cutoff: bytes | None = None) -> Iterator[Page]:
+        pages = self._pages
+        for index in range(start_page, len(pages)):
+            page = pages[index]
+            if cutoff is not None:
+                # Mirror the disk backend's zone-map rule (binary keys
+                # only) so accounting stays parallel across backends.
+                keys = page.keys
+                if (keys is not None and len(keys) == len(page.rows)
+                        and keys and type(keys[0]) is bytes
+                        and keys[0] > cutoff):
+                    tail = pages[index:]
+                    self._charge_skip(
+                        len(tail), sum(p.byte_size for p in tail))
+                    return
+            yield page
+
+    def _fetch_page(self, index: int) -> Page:
+        if not 0 <= index < len(self._pages):
+            raise SpillError(
+                f"page {index} out of range for spill file "
+                f"{self.file_id} ({self.page_count} pages)")
+        return self._pages[index]
 
     def _discard(self) -> None:
         self._pages = []
@@ -382,8 +461,15 @@ class _DiskSpillFile(SpillFile):
                 self._handle.close()
         super().seal()
 
-    def _load_pages(self, start_page: int = 0) -> Iterator[Page]:
+    @property
+    def supports_lazy(self) -> bool:
+        return bool(getattr(self._codec, "late_materialization", False))
+
+    def _load_pages(self, start_page: int = 0,
+                    cutoff: bytes | None = None) -> Iterator[Page]:
         stats = self._stats
+        lazy = self.lazy_reads
+        index = start_page
         with open(self._path, "rb") as handle:
             if start_page:
                 if start_page >= len(self._page_offsets):
@@ -396,14 +482,74 @@ class _DiskSpillFile(SpillFile):
                 if len(header) != _LENGTH_HEADER.size:
                     raise SpillError(f"truncated page header in {self._path}")
                 (length,) = _LENGTH_HEADER.unpack(header)
-                payload = handle.read(length)
+                if cutoff is not None:
+                    # Peek only the zone-map header before committing to
+                    # the body read: the first skipped page costs at most
+                    # the peek window, every later page costs nothing —
+                    # they are never read off disk at all.
+                    peek = handle.read(min(length, _ZONE_PEEK_BYTES))
+                    if peek[:1] == bytes([FORMAT_ZONEMAP]):
+                        try:
+                            zone_map = read_zone_map(peek)
+                        except SpillError:
+                            # Header larger than the peek window (or
+                            # corrupt — the full decode below reports it
+                            # with page context).
+                            zone_map = None
+                        if (zone_map is not None
+                                and zone_map.min_key > cutoff):
+                            pages = self.page_count - index
+                            span = (self._bytes_on_disk
+                                    - self._page_offsets[index])
+                            self._charge_skip(
+                                pages,
+                                span - _LENGTH_HEADER.size * pages)
+                            return
+                    payload = peek
+                    if len(peek) < length:
+                        payload = peek + handle.read(length - len(peek))
+                else:
+                    payload = handle.read(length)
                 if len(payload) != length:
                     raise SpillError(f"truncated page body in {self._path}")
-                started = time.perf_counter()
-                page = decode_page(payload)
-                stats.decode_seconds += time.perf_counter() - started
-                stats.bytes_decoded += length
-                yield page
+                yield self._decode_payload(payload, index, lazy)
+                index += 1
+
+    def _decode_payload(self, payload: bytes, index: int,
+                        lazy: bool) -> Page:
+        stats = self._stats
+        started = time.perf_counter()
+        try:
+            if lazy:
+                page, undecoded = decode_page_skeleton(
+                    payload, self.file_id, index)
+            else:
+                page, undecoded = decode_page(payload), 0
+        except SpillError as exc:
+            raise SpillError(
+                f"{exc} (page {index} at byte offset "
+                f"{self._page_offsets[index]} of {self._path})") from exc
+        stats.decode_seconds += time.perf_counter() - started
+        stats.bytes_decoded += len(payload) - undecoded
+        if undecoded:
+            stats.bytes_skipped_decode += undecoded
+        return page
+
+    def _fetch_page(self, index: int) -> Page:
+        if not 0 <= index < len(self._page_offsets):
+            raise SpillError(
+                f"page {index} out of range for spill file "
+                f"{self.file_id} ({self.page_count} pages)")
+        with open(self._path, "rb") as handle:
+            handle.seek(self._page_offsets[index])
+            header = handle.read(_LENGTH_HEADER.size)
+            if len(header) != _LENGTH_HEADER.size:
+                raise SpillError(f"truncated page header in {self._path}")
+            (length,) = _LENGTH_HEADER.unpack(header)
+            payload = handle.read(length)
+            if len(payload) != length:
+                raise SpillError(f"truncated page body in {self._path}")
+        return self._decode_payload(payload, index, lazy=False)
 
     def _discard(self) -> None:
         if self._deleted:
@@ -456,6 +602,12 @@ class DiskSpillBackend:
         self._background = background_writes
         self._files: list[_DiskSpillFile] = []
         self._closed = False
+
+    @property
+    def supports_late_materialization(self) -> bool:
+        """True when the configured codec writes key/payload-split pages
+        (so the planner may choose a lazy-materialization plan)."""
+        return bool(getattr(self._codec, "late_materialization", False))
 
     def create_file(self, file_id: int, stats: IOStats) -> SpillFile:
         if self._closed:
@@ -520,6 +672,7 @@ class SpillManager:
     def create_file(self) -> SpillFile:
         """Create a new spill file registered with this manager."""
         spill_file = self.backend.create_file(self._next_file_id, self.stats)
+        spill_file.tracer = self.tracer
         self._next_file_id += 1
         self._open_files.append(spill_file)
         if self.tracer.enabled:

@@ -70,6 +70,18 @@ class IOStats:
     #: Wall seconds the producing thread spent stalled on a full writer
     #: queue or an empty read-ahead queue.
     stall_seconds: float = 0.0
+    #: Pages skipped by zone-map pruning: the page's min key (carried in
+    #: the wire-format header) already exceeded the scan cutoff, so the
+    #: page body was never decoded — and never prefetched off disk.
+    pages_skipped_zone_map: int = 0
+    #: Payload bytes whose decode was skipped — by zone-map pruning
+    #: (whole pages) or late materialization (the payload section of a
+    #: key/payload-split page read as a skeleton).  Physical bytes on the
+    #: disk backend; stated page bytes on the in-memory backend.
+    bytes_skipped_decode: int = 0
+    #: Wall seconds the late-materialization stitch spent re-reading
+    #: payload pages for the final winners.
+    payload_stitch_seconds: float = 0.0
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""

@@ -80,6 +80,11 @@ class DiskVectorRun:
     has_ids: bool
     first_key: float | None
     last_key: float | None
+    #: First key of every ``page_rows``-sized chunk, recorded at write
+    #: time — the zone-map metadata that lets a cutoff-bounded read stop
+    #: at the first chunk starting above the bound without touching the
+    #: file (see :meth:`VectorRunStore.read_run`).
+    chunk_first_keys: tuple = ()
 
     def __len__(self) -> int:
         return self.count
@@ -245,15 +250,52 @@ class VectorRunDisk:
                 event.wait(_JOIN_TIMEOUT)
         self._raise_deferred()
 
-    def read(self, run: DiskVectorRun, stats: IOStats
+    def read(self, run: DiskVectorRun, stats: IOStats,
+             limit: int | None = None
              ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Read a run back; ``limit`` reads only the first ``limit``
+        rows of the typed format (header + key prefix + id prefix),
+        leaving the tail bytes unread on disk.  The pickled ablation
+        format has no addressable layout and falls back to a full read
+        followed by slicing."""
         self._wait_for(run, stats)
+        if (limit is not None and not self._pickle_rows
+                and 0 <= limit < run.count):
+            header_size = _VRUN_HEADER.size
+            started = time.perf_counter()
+            with open(run.path, "rb") as handle:
+                head = handle.read(header_size)
+                if len(head) < header_size:
+                    raise SpillError(
+                        f"truncated vector run file {run.path}")
+                version, count, has_ids = _VRUN_HEADER.unpack(head)
+                if version != _VRUN_TYPED:
+                    raise SpillError(
+                        f"unknown vector run format version {version} "
+                        f"in {run.path}")
+                key_body = handle.read(8 * limit)
+                id_body = b""
+                if has_ids:
+                    handle.seek(header_size + 8 * count)
+                    id_body = handle.read(8 * limit)
+            if len(key_body) != 8 * limit or len(id_body) != \
+                    (8 * limit if has_ids else 0):
+                raise SpillError(f"truncated vector run file {run.path}")
+            keys = np.frombuffer(key_body, dtype="<f8", count=limit)
+            ids = (np.frombuffer(id_body, dtype="<i8", count=limit)
+                   if has_ids else None)
+            stats.decode_seconds += time.perf_counter() - started
+            stats.bytes_decoded += header_size + len(key_body) + len(id_body)
+            return keys, ids
         with open(run.path, "rb") as handle:
             payload = handle.read()
         started = time.perf_counter()
         keys, ids = self._decode(payload, run.path)
         stats.decode_seconds += time.perf_counter() - started
         stats.bytes_decoded += len(payload)
+        if limit is not None and limit < keys.size:
+            keys = keys[:limit]
+            ids = ids[:limit] if ids is not None else None
         return keys, ids
 
     def delete(self, run: DiskVectorRun) -> None:
@@ -325,6 +367,8 @@ class VectorRunStore:
         if self.storage is not None:
             run: VectorRun | DiskVectorRun = self.storage.write(
                 self._next_run_id, keys, row_ids, self.stats)
+            run.chunk_first_keys = tuple(
+                float(key) for key in keys[::self.page_rows])
         else:
             run = VectorRun(self._next_run_id, keys, row_ids)
         self._next_run_id += 1
@@ -338,22 +382,60 @@ class VectorRunStore:
         self.stats.runs_written += 1
         return run
 
-    def read_run(self, run: VectorRun | DiskVectorRun
+    def _chunk_skip_limit(self, run: VectorRun | DiskVectorRun,
+                          max_key: float) -> int:
+        """Rows worth reading under ``max_key``: whole leading chunks up
+        to (and including) the last chunk whose first key is ``<=
+        max_key``.  Sound because run keys are sorted — every row of a
+        chunk starting above ``max_key`` exceeds it.  Returns the full
+        row count when chunk metadata is missing (never skips blindly).
+        """
+        rows = len(run)
+        if isinstance(run, DiskVectorRun):
+            first_keys = run.chunk_first_keys
+        else:
+            first_keys = run.keys[::self.page_rows]
+        if len(first_keys) != -(-rows // self.page_rows):
+            return rows
+        keep = int(np.searchsorted(first_keys, max_key, side="right"))
+        return min(rows, keep * self.page_rows)
+
+    def read_run(self, run: VectorRun | DiskVectorRun,
+                 max_key: float | None = None
                  ) -> tuple[np.ndarray, np.ndarray | None]:
-        """Read a run back, charging read traffic."""
+        """Read a run back, charging read traffic.
+
+        ``max_key`` bounds the read: chunks whose first key exceeds it
+        are skipped — not read, not decoded, not charged — and counted
+        in ``pages_skipped_zone_map`` / ``bytes_skipped_decode``.  The
+        caller still truncates the returned prefix precisely (chunk
+        granularity may admit a few trailing rows above the bound).
+        """
         rows = len(run)
         if isinstance(run, DiskVectorRun):
             has_ids = run.has_ids
         else:
             has_ids = run.row_ids is not None
         row_bytes = self._row_bytes(has_ids)
-        self.stats.rows_read += rows
-        self.stats.bytes_read += rows * row_bytes
+        limit = rows
+        if max_key is not None and rows:
+            limit = self._chunk_skip_limit(run, max_key)
+            if limit < rows:
+                skipped = -(-rows // self.page_rows) \
+                    - -(-limit // self.page_rows)
+                self.stats.pages_skipped_zone_map += skipped
+                self.stats.bytes_skipped_decode += (rows - limit) * row_bytes
+        self.stats.rows_read += limit
+        self.stats.bytes_read += limit * row_bytes
         self.stats.read_requests += max(
-            1, -(-rows // self.page_rows)) if rows else 0
+            1, -(-limit // self.page_rows)) if limit else 0
         if isinstance(run, DiskVectorRun):
-            return self.storage.read(run, self.stats)
-        return run.keys, run.row_ids
+            return self.storage.read(
+                run, self.stats, limit=None if limit == rows else limit)
+        if limit == rows:
+            return run.keys, run.row_ids
+        return (run.keys[:limit],
+                run.row_ids[:limit] if has_ids else None)
 
     def delete_run(self, run: VectorRun | DiskVectorRun) -> None:
         """Drop a run (its storage is reclaimed)."""

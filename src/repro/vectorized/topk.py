@@ -421,7 +421,7 @@ class VectorizedHistogramTopK:
                 # Entirely above the cutoff: skipped without reading.
                 self.store.delete_run(run)
                 continue
-            keys, ids = self.store.read_run(run)
+            keys, ids = self.store.read_run(run, max_key=cutoff)
             if cutoff is not None:
                 end = int(np.searchsorted(keys, cutoff, side="right"))
                 keys = keys[:end]

@@ -18,10 +18,14 @@ from repro.errors import SpillError
 from repro.rows.schema import Column, ColumnType, Schema
 from repro.storage.codec import (
     FORMAT_PICKLE,
+    FORMAT_SPLIT,
     FORMAT_TYPED,
+    FORMAT_ZONEMAP,
     PickleCodec,
     TypedPageCodec,
     decode_page,
+    decode_page_skeleton,
+    read_zone_map,
 )
 from repro.storage.pages import Page
 
@@ -201,6 +205,171 @@ class TestFallback:
     def test_arity_drift(self):
         schema = Schema([Column("i", ColumnType.INT64)])
         self._expect_fallback(schema, [(1, 2)])
+
+
+NULL_PREFIX = b"\x01"
+
+#: Keys as the key codec produces them: a flag byte then arbitrary
+#: payload bytes.  ``\x01`` marks a leading NULL (NULLS LAST ordering).
+_KEY = st.binary(min_size=0, max_size=24).map(
+    lambda tail: bytes([tail[0] & 1]) + tail[1:] if tail else b"\x00")
+
+
+@st.composite
+def _keyed_page(draw, allow_fallback=True):
+    """A page whose rows carry parallel binary sort keys (and codes)."""
+    schema = Schema([Column("i", ColumnType.INT64),
+                     Column("s", ColumnType.STRING)])
+    n = draw(st.integers(min_value=1, max_value=20))
+    rows = [(draw(st.integers(-1000, 1000))
+             if not allow_fallback or draw(st.integers(0, 9))
+             else draw(st.booleans()),  # bool defeats INT64 -> pickle
+             draw(st.text(max_size=12)))
+            for _ in range(n)]
+    keys = [draw(_KEY) for _ in range(n)]
+    codes = (list(range(n)) if draw(st.booleans()) else None)
+    return schema, Page(rows=rows, byte_size=4242, keys=keys, codes=codes)
+
+
+class TestZoneMapProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(_keyed_page())
+    def test_header_carries_exact_bounds_and_null_count(self, case):
+        schema, page = case
+        codec = TypedPageCodec(schema, zone_maps=True,
+                               null_key_prefix=NULL_PREFIX)
+        payload = codec.encode(page)
+        assert payload[0] == FORMAT_ZONEMAP
+        zone = read_zone_map(payload)
+        assert zone is not None
+        assert zone.row_count == len(page.rows)
+        assert zone.min_key == min(page.keys)
+        assert zone.max_key == max(page.keys)
+        assert zone.null_count == sum(
+            1 for key in page.keys if key.startswith(NULL_PREFIX))
+
+    @settings(max_examples=150, deadline=None)
+    @given(_keyed_page())
+    def test_round_trip_through_zone_wrapper_is_exact(self, case):
+        schema, page = case
+        codec = TypedPageCodec(schema, zone_maps=True,
+                               null_key_prefix=NULL_PREFIX)
+        restored = decode_page(codec.encode(page))
+        _assert_exact(restored.rows, page.rows)
+        assert restored.byte_size == page.byte_size
+
+    @settings(max_examples=100, deadline=None)
+    @given(_keyed_page())
+    def test_split_round_trip_attaches_keys_and_codes(self, case):
+        schema, page = case
+        codec = TypedPageCodec(schema, zone_maps=False,
+                               late_materialization=True)
+        payload = codec.encode(page)
+        assert payload[0] == FORMAT_SPLIT
+        restored = decode_page(payload)
+        _assert_exact(restored.rows, page.rows)
+        assert restored.keys == page.keys
+        assert restored.codes == page.codes
+
+    @settings(max_examples=100, deadline=None)
+    @given(_keyed_page())
+    def test_skeleton_decode_yields_row_refs_not_payload(self, case):
+        schema, page = case
+        codec = TypedPageCodec(schema, zone_maps=True,
+                               late_materialization=True,
+                               null_key_prefix=NULL_PREFIX)
+        payload = codec.encode(page)
+        skeleton, undecoded = decode_page_skeleton(payload, 7, 3)
+        assert undecoded > 0
+        assert skeleton.keys == page.keys
+        assert skeleton.codes == page.codes
+        assert skeleton.rows == [(7, 3, slot)
+                                 for slot in range(len(page.rows))]
+        # The same payload decodes eagerly to the full rows.
+        _assert_exact(decode_page(payload).rows, page.rows)
+
+    def test_unkeyed_pages_get_no_wrapper(self):
+        schema = Schema([Column("i", ColumnType.INT64)])
+        codec = TypedPageCodec(schema, zone_maps=True,
+                               late_materialization=True)
+        payload = codec.encode(Page(rows=[(1,), (2,)], byte_size=8))
+        assert payload[0] == FORMAT_TYPED
+
+    def test_tuple_keys_get_no_wrapper(self):
+        schema = Schema([Column("i", ColumnType.INT64)])
+        codec = TypedPageCodec(schema, zone_maps=True)
+        payload = codec.encode(Page(rows=[(1,)], byte_size=8,
+                                    keys=[(1,)]))
+        assert payload[0] == FORMAT_TYPED
+
+    def test_oversized_boundary_key_omits_wrapper(self):
+        # A u16 length cannot state a >64KiB key; truncating the max
+        # would be unsound, so the page is written unwrapped.
+        schema = Schema([Column("i", ColumnType.INT64)])
+        codec = TypedPageCodec(schema, zone_maps=True)
+        payload = codec.encode(Page(rows=[(1,)], byte_size=8,
+                                    keys=[b"\x00" * 70_000]))
+        assert payload[0] == FORMAT_TYPED
+
+    def test_read_zone_map_rejects_other_formats(self):
+        schema = Schema([Column("i", ColumnType.INT64)])
+        payload = TypedPageCodec(schema).encode(
+            Page(rows=[(1,)], byte_size=8))
+        assert read_zone_map(payload) is None
+
+
+class TestZoneMapCorruption:
+    def _zone_payload(self):
+        schema = Schema([Column("i", ColumnType.INT64)])
+        codec = TypedPageCodec(schema, zone_maps=True)
+        return codec.encode(Page(rows=[(1,), (2,)], byte_size=8,
+                                 keys=[b"\x00a", b"\x00b"]))
+
+    def test_truncated_zone_header(self):
+        with pytest.raises(SpillError, match="zone-map spill page header"):
+            read_zone_map(self._zone_payload()[:7])
+
+    def test_row_count_mismatch_detected(self):
+        payload = bytearray(self._zone_payload())
+        position = struct.calcsize("<BI")  # row count field
+        payload[position:position + 4] = struct.pack("<I", 99)
+        with pytest.raises(SpillError, match="zone-map row count"):
+            decode_page(bytes(payload))
+
+    def test_truncated_split_page(self):
+        schema = Schema([Column("s", ColumnType.STRING)])
+        codec = TypedPageCodec(schema, zone_maps=False,
+                               late_materialization=True)
+        payload = codec.encode(Page(rows=[("hello world",)], byte_size=8,
+                                    keys=[b"\x00key"]))
+        assert payload[0] == FORMAT_SPLIT
+        with pytest.raises(SpillError, match="key-split spill page"):
+            decode_page(payload[:12])
+
+    def test_disk_read_errors_carry_page_position(self):
+        """Satellite: corruption reports page index and byte offset."""
+        from repro.storage.spill import DiskSpillBackend, SpillManager
+
+        schema = Schema([Column("i", ColumnType.INT64)])
+        with DiskSpillBackend(codec=TypedPageCodec(schema)) as backend:
+            manager = SpillManager(backend=backend)
+            spill_file = manager.create_file()
+            for value in range(3):
+                spill_file.append_page(
+                    Page(rows=[(value,)], byte_size=16))
+            spill_file.seal()
+            # Corrupt the second page's row count in place (the field
+            # after the 8-byte length header, version byte and stated
+            # size).
+            path = spill_file._path
+            offset = spill_file._page_offsets[1]
+            with open(path, "r+b") as handle:
+                handle.seek(offset + 8 + 5)
+                handle.write(b"\xff\xff\xff\xff")
+            assert spill_file.read_page(0).rows == [(0,)]  # still fine
+            with pytest.raises(SpillError,
+                               match=rf"page 1 at byte offset {offset}"):
+                list(spill_file.pages(start_page=1))
 
 
 class TestCorruption:

@@ -40,7 +40,7 @@ class _FlakyFile(SpillFile):
             raise SpillError("injected write fault")
         self._pages.append(page)
 
-    def _load_pages(self, start_page: int = 0):
+    def _load_pages(self, start_page: int = 0, cutoff=None):
         for page in self._pages[start_page:]:
             if self._mode == "read" and self._fail_after():
                 raise SpillError("injected read fault")
