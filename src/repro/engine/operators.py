@@ -22,6 +22,7 @@ plan display.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.baselines.optimized_topk import OptimizedMergeSortTopK
@@ -39,6 +40,10 @@ from repro.rows.batch import (
 )
 from repro.rows.schema import Column, ColumnType, Schema
 from repro.rows.sortspec import SortSpec
+from repro.sorting.external_sort import StreamingSorter
+from repro.sorting.keycodec import compile_keycodec
+from repro.sorting.merge import Merger
+from repro.sorting.runs import RunWriter
 from repro.storage.spill import SpillManager
 from repro.storage.stats import OperatorStats
 
@@ -371,6 +376,9 @@ class CutoffPushdownFilter(Operator):
         self.rows_in = 0
         #: Rows dropped by the pushed-down cutoff.
         self.rows_dropped = 0
+        #: The planner's estimate of ``rows_dropped`` (set when the join
+        #: decision costed this filter), for the EXPLAIN ANALYZE audit.
+        self.estimated_drops: float | None = None
 
     def rows(self) -> Iterator[tuple]:
         return flatten(self.batches())
@@ -388,8 +396,11 @@ class CutoffPushdownFilter(Operator):
             rows = batch.rows
             self.rows_in += len(rows)
             stats.rows_consumed += len(rows)
-            # The bound cannot change mid-batch (the consumer only runs
-            # after this batch is yielded), so one read suffices.
+            # One read per batch suffices: ``publish`` only tightens, so
+            # a bound that sharpens mid-batch (the merge join's
+            # run-generation publisher does this while rows are still
+            # arriving) merely leaves this batch filtered against a
+            # conservative — still sound — older bound.
             cutoff = bound.key
             if cutoff is None:
                 yield batch
@@ -406,11 +417,15 @@ class CutoffPushdownFilter(Operator):
                 yield batch
 
     def analyze_details(self) -> dict:
-        return {
+        details = {
             "pushdown_rows_in": self.rows_in,
             "pushdown_rows_dropped": self.rows_dropped,
             "pushdown_refinements": self.bound.publications,
         }
+        if self.estimated_drops is not None:
+            details["pushdown_dropped_est_vs_actual"] = (
+                f"{self.estimated_drops:.0f} vs {self.rows_dropped}")
+        return details
 
     def label(self) -> str:
         suffix = f" [{self.description}]" if self.description else ""
@@ -418,6 +433,112 @@ class CutoffPushdownFilter(Operator):
 
     def children(self) -> list[Operator]:
         return [self.child]
+
+
+class _ReverseKey:
+    """Inverts ``<`` so ``heapq``'s min-heap tracks a running maximum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_ReverseKey") -> bool:
+        return other.value < self.value
+
+
+class MergePushdownPublisher:
+    """Sharpens a :class:`SharedCutoffBound` from the *sort side* of a
+    streaming merge join while that side's rows are still arriving.
+
+    The hash join gets pushdown for free: its probe side streams into a
+    consumer whose top-k keeps publishing.  A merge join blocks on two
+    sorts, so without help the bound would not move until the first
+    merged row — after the sort side was fully consumed and spilled.
+    This publisher closes that gap during run generation.
+
+    Soundness: a max-heap keeps the ``needed`` (= ``LIMIT + OFFSET``)
+    smallest ORDER BY keys among observed sort-side rows that are
+    *guaranteed* to emit at least one join output row — for an inner
+    join, rows whose join key was already seen on the other side (the
+    gate set; membership in a *partial*, capacity-capped set still
+    proves a match, so capping never breaks soundness, it only skips
+    candidates); for a preserved LEFT outer side, every row (matched or
+    padded).  All ORDER BY columns come from this side and pass through
+    the join unchanged, so each heap entry contributes an output row
+    with exactly that key: at least ``needed`` output rows sort at or
+    below the heap maximum, making it a sound top-k cutoff.  The
+    planner refuses to wire this when residual WHERE predicates filter
+    join *output* rows, which would break the guarantee.
+
+    Args:
+        bound: The shared bound the downstream top-k also publishes to.
+        key_of: ORDER BY key extractor in the consumer's key space (the
+            same function the :class:`CutoffPushdownFilter` uses).
+        needed: Output rows the consumer needs (``LIMIT + OFFSET``).
+        side: Which join input (``"left"``/``"right"``) is the sort
+            side this publisher observes.
+        gated: Whether observed rows must match a gate key (inner
+            joins); ``False`` for a preserved LEFT outer sort side.
+        gate_limit: Distinct join keys the gate set may hold.
+    """
+
+    def __init__(
+        self,
+        bound: SharedCutoffBound,
+        key_of: Callable[[tuple], Any],
+        needed: int,
+        side: str,
+        gated: bool,
+        gate_limit: int = 100_000,
+    ):
+        if side not in ("left", "right"):
+            raise ConfigurationError(
+                f"publisher side must be 'left' or 'right', not {side!r}")
+        if needed <= 0:
+            raise ConfigurationError("needed must be positive")
+        self.bound = bound
+        self.key_of = key_of
+        self.needed = needed
+        self.side = side
+        self.gated = gated
+        self.gate_limit = gate_limit
+        self._gate: set | None = set() if gated else None
+        self._heap: list[_ReverseKey] = []
+        #: Bound publications attempted from the sort side's arrivals.
+        self.publications = 0
+        #: Sort-side rows that entered the heap logic (gate passed).
+        self.rows_observed = 0
+
+    def reset(self) -> None:
+        self._gate = set() if self.gated else None
+        self._heap = []
+        self.publications = 0
+        self.rows_observed = 0
+
+    def add_gate_key(self, key: Any) -> None:
+        """Record one non-sort-side join key (capacity-capped)."""
+        gate = self._gate
+        if gate is not None and len(gate) < self.gate_limit:
+            gate.add(key)
+
+    def observe(self, join_key: Any, row: tuple) -> None:
+        """Score one arriving sort-side row against the heap."""
+        gate = self._gate
+        if gate is not None and join_key not in gate:
+            return
+        self.rows_observed += 1
+        key = self.key_of(row)
+        heap = self._heap
+        if len(heap) < self.needed:
+            heapq.heappush(heap, _ReverseKey(key))
+            if len(heap) == self.needed:
+                self.publications += 1
+                self.bound.publish(heap[0].value)
+        elif key < heap[0].value:
+            heapq.heapreplace(heap, _ReverseKey(key))
+            self.publications += 1
+            self.bound.publish(heap[0].value)
 
 
 class _JoinBase(Operator):
@@ -535,13 +656,72 @@ class HashJoin(_JoinBase):
 
 
 class SortMergeJoin(_JoinBase):
-    """Sort-merge equi-join: sort both inputs on the key, then zip.
+    """Streaming sort-merge equi-join on the external-sort substrate.
 
-    Both sorts are stable, so within one join-key value the output is
-    left-input-order × right-input-order — the same *multiset* as
-    :class:`HashJoin` (overall emission order differs: key order here,
-    probe order there).
+    Each input sorts through a
+    :class:`~repro.sorting.external_sort.StreamingSorter`: a side that
+    fits in ``memory_rows`` sorts in memory, a larger one generates
+    spill-backed sorted runs and merges them — the join's memory is
+    governed like every other operator's instead of materializing both
+    inputs with ``list()`` + ``sorted()``.  The zip phase streams
+    matched output incrementally off the two sorted streams, buffering
+    only one join-key group of right rows at a time.  Following the
+    engine-wide auto policy, a side whose join column compiles to a
+    *preferred* binary key codec sorts on memcomparable bytes and
+    merges its runs with the offset-value coded tree of losers; bare
+    primitive columns keep raw values (C-level comparisons).
+
+    Both side sorts are stable (see ``StreamingSorter``), so within one
+    join-key value the output is left-input-order × right-input-order —
+    the same *multiset* as :class:`HashJoin` and the exact emission
+    sequence of the old materializing implementation (overall order is
+    key order here, probe order there).
+
+    With a :class:`MergePushdownPublisher` attached (planner-wired when
+    a top-k consumer pushes its cutoff below this join), the non-sort
+    side is consumed first to seed the publisher's gate, and the
+    sort-key side then sharpens the shared bound *while its rows are
+    still arriving* — during run generation — so the upstream
+    :class:`CutoffPushdownFilter` drops rows before they are ever
+    buffered, sorted, or spilled.
     """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_index: int,
+        right_index: int,
+        join_type: str,
+        schema: Schema,
+        tracer=None,
+        memory_rows: int = 100_000,
+        spill_manager: SpillManager | None = None,
+        fan_in: int | None = None,
+        publisher: MergePushdownPublisher | None = None,
+    ):
+        super().__init__(left, right, left_index, right_index, join_type,
+                         schema, tracer)
+        if memory_rows <= 0:
+            raise ConfigurationError("memory_rows must be positive")
+        self.memory_rows = memory_rows
+        self.spill_manager = spill_manager
+        self.fan_in = fan_in
+        self.publisher = publisher
+        #: Rows the side sorts spilled to runs on the last execution.
+        self.join_sort_spilled = 0
+        #: Runs the side sorts wrote on the last execution.
+        self.join_runs_written = 0
+
+    def _side_key(self, node: Operator, index: int
+                  ) -> Callable[[tuple], Any] | None:
+        """The side's sort-key extractor: a preferred binary key codec's
+        encoder, or ``None`` for raw join-column values."""
+        codec = compile_keycodec(
+            SortSpec(node.schema, [node.schema.names[index]]))
+        if codec is not None and codec.preferred:
+            return codec.encode
+        return None
 
     def rows(self) -> Iterator[tuple]:
         stats = self._reset()
@@ -551,55 +731,139 @@ class SortMergeJoin(_JoinBase):
         left_index = self.left_index
         right_index = self.right_index
         left_outer = self.join_type == "left"
+        manager = self.spill_manager or SpillManager()
+        stats.io = manager.stats
+        spilled_before = manager.stats.rows_spilled
+        runs_before = manager.stats.runs_written
+        self.join_sort_spilled = 0
+        self.join_runs_written = 0
+        publisher = self.publisher
+        if publisher is not None:
+            publisher.reset()
+        null_left: list[tuple] = []
+
+        left_encode = self._side_key(self.left, left_index)
+        right_encode = self._side_key(self.right, right_index)
+        left_sorter = StreamingSorter(
+            sort_key=(left_encode if left_encode is not None
+                      else lambda row: row[left_index]),
+            memory_rows=self.memory_rows, spill_manager=manager,
+            stats=stats, fan_in=self.fan_in,
+            compute_codes=left_encode is not None)
+        right_sorter = StreamingSorter(
+            sort_key=(right_encode if right_encode is not None
+                      else lambda row: row[right_index]),
+            memory_rows=self.memory_rows, spill_manager=manager,
+            stats=stats, fan_in=self.fan_in,
+            compute_codes=right_encode is not None)
+
+        def left_pairs() -> Iterator[tuple]:
+            observe = (publisher.observe if publisher is not None
+                       and publisher.side == "left" else None)
+            gate = (publisher.add_gate_key if publisher is not None
+                    and publisher.side == "right" else None)
+            for row in self.left.rows():
+                self.rows_probe += 1
+                stats.rows_consumed += 1
+                key = row[left_index]
+                if key is None:
+                    if left_outer:
+                        null_left.append(row)
+                        # A preserved NULL-key row still emits (padded)
+                        # output, so it still belongs in the heap.
+                        if observe is not None:
+                            observe(None, row)
+                    continue
+                if gate is not None:
+                    gate(key)
+                if observe is not None:
+                    observe(key, row)
+                yield (key if left_encode is None else left_encode(row)), row
+
+        def right_pairs() -> Iterator[tuple]:
+            observe = (publisher.observe if publisher is not None
+                       and publisher.side == "right" else None)
+            gate = (publisher.add_gate_key if publisher is not None
+                    and publisher.side == "left" else None)
+            for row in self.right.rows():
+                self.rows_build += 1
+                stats.rows_consumed += 1
+                key = row[right_index]
+                if key is None:
+                    continue  # NULL keys never match; pads are left-only
+                if gate is not None:
+                    gate(key)
+                if observe is not None:
+                    observe(key, row)
+                yield (key if right_encode is None
+                       else right_encode(row)), row
+
         with self.tracer.span("join.merge.sort"):
-            left_rows = list(self.left.rows())
-            right_rows = list(self.right.rows())
-            self.rows_probe = len(left_rows)
-            self.rows_build = len(right_rows)
-            stats.rows_consumed += len(left_rows) + len(right_rows)
-            null_left = [r for r in left_rows if r[left_index] is None]
-            keyed_left = sorted(
-                (r for r in left_rows if r[left_index] is not None),
-                key=lambda r: r[left_index])
-            keyed_right = sorted(
-                (r for r in right_rows if r[right_index] is not None),
-                key=lambda r: r[right_index])
-            stats.sort_comparisons += len(keyed_left) + len(keyed_right)
+            # Gate side first: when a publisher watches one side, the
+            # other side's join keys must be known before the sort side
+            # streams through, or nothing would ever pass the gate.
+            if publisher is not None and publisher.side == "right":
+                left_sorter.consume_keyed(left_pairs())
+                right_sorter.consume_keyed(right_pairs())
+            else:
+                right_sorter.consume_keyed(right_pairs())
+                left_sorter.consume_keyed(left_pairs())
+            self.join_sort_spilled = \
+                manager.stats.rows_spilled - spilled_before
+            self.join_runs_written = \
+                manager.stats.runs_written - runs_before
+
         pad = self._pad()
-        with self.tracer.span("join.merge.zip"):
-            j = 0
-            i = 0
-            total_right = len(keyed_right)
-            while i < len(keyed_left):
-                key = keyed_left[i][left_index]
-                i_end = i
-                while i_end < len(keyed_left) \
-                        and keyed_left[i_end][left_index] == key:
-                    i_end += 1
-                while j < total_right \
-                        and keyed_right[j][right_index] < key:
-                    j += 1
-                j_end = j
-                while j_end < total_right \
-                        and keyed_right[j_end][right_index] == key:
-                    j_end += 1
-                if j_end > j:
-                    matches = keyed_right[j:j_end]
-                    self.rows_matched += (i_end - i) * len(matches)
-                    for left_row in keyed_left[i:i_end]:
-                        for right_row in matches:
+        left_stream = left_sorter.stream()
+        right_stream = right_sorter.stream()
+        no_group = object()
+        try:
+            with self.tracer.span("join.merge.zip"):
+                right_next = next(right_stream, None)
+                group_key: Any = no_group
+                group: list[tuple] = []
+                for _key, left_row in left_stream:
+                    key = left_row[left_index]
+                    if group_key is no_group or key != group_key:
+                        while right_next is not None \
+                                and right_next[1][right_index] < key:
+                            right_next = next(right_stream, None)
+                        group = []
+                        while right_next is not None \
+                                and right_next[1][right_index] == key:
+                            group.append(right_next[1])
+                            right_next = next(right_stream, None)
+                        group_key = key
+                    if group:
+                        self.rows_matched += len(group)
+                        for right_row in group:
                             stats.rows_output += 1
                             yield left_row + right_row
-                elif left_outer:
-                    for left_row in keyed_left[i:i_end]:
+                    elif left_outer:
                         stats.rows_output += 1
                         yield left_row + pad
-                i = i_end
-                j = j_end
-            if left_outer:
-                for left_row in null_left:
-                    stats.rows_output += 1
-                    yield left_row + pad
+                if left_outer:
+                    for left_row in null_left:
+                        stats.rows_output += 1
+                        yield left_row + pad
+        finally:
+            # Close both sorted streams so any surviving run files are
+            # reclaimed even when a consumer stops early (LIMIT).
+            left_stream.close()
+            right_stream.close()
+            self.join_sort_spilled = \
+                manager.stats.rows_spilled - spilled_before
+            self.join_runs_written = \
+                manager.stats.runs_written - runs_before
+
+    def analyze_details(self) -> dict:
+        details = super().analyze_details()
+        details["join_sort_spilled"] = self.join_sort_spilled
+        details["join_runs_written"] = self.join_runs_written
+        if self.publisher is not None:
+            details["pushdown_rungen_publications"] = \
+                self.publisher.publications
+        return details
 
 
 #: Aggregate function registry for :class:`GroupedAggregate`.
@@ -607,7 +871,8 @@ AGGREGATE_FUNCS = ("COUNT", "SUM", "MIN", "MAX", "AVG")
 
 
 class GroupedAggregate(Operator):
-    """In-memory hash aggregation for GROUP BY / aggregate queries.
+    """Hash aggregation for GROUP BY / aggregate queries, optionally
+    fused into external-sort run generation.
 
     Standard SQL semantics: aggregates skip NULL inputs (``COUNT(*)``
     counts rows), an all-NULL group yields ``None`` for
@@ -619,7 +884,25 @@ class GroupedAggregate(Operator):
     ``select`` fixes the output column order: each item is either a
     group-by column name or the canonical name of an aggregate
     (``SUM(V)``, ``COUNT(*)``).
+
+    Memory governance (``memory_rows`` set): every aggregate function
+    here is associative-mergeable, so duplicate group keys collapse
+    into in-buffer accumulators *during run generation* — when the
+    buffer reaches ``memory_rows`` distinct groups, it spills one run
+    of partial-aggregate rows (AVG as an exact ``(sum, count)`` pair)
+    sorted by group key, and the final merge re-combines partials of
+    the same key across run boundaries.  Memory and spill volume scale
+    with distinct groups per run, not input rows.  SUM/AVG totals over
+    int columns stay in exact int arithmetic with one division at emit,
+    so the merged result is bit-identical to the single-pass one.
+    ``fusion="postsort"`` instead externally sorts the raw rows by
+    group key and aggregates adjacent groups in a post-pass — the
+    Do/Graefe/Naughton baseline the fused mode is measured against.
+    With ``memory_rows=None`` (default) aggregation is a plain
+    unbounded in-memory hash pass.
     """
+
+    FUSION_MODES = ("rungen", "postsort")
 
     def __init__(
         self,
@@ -627,21 +910,47 @@ class GroupedAggregate(Operator):
         group_columns: Sequence[str],
         aggregates: Sequence,  # of repro.engine.sql.Aggregate
         select: Sequence[str],
+        memory_rows: int | None = None,
+        spill_manager: SpillManager | None = None,
+        fusion: str = "rungen",
     ):
+        if fusion not in self.FUSION_MODES:
+            raise ConfigurationError(
+                f"unknown aggregate fusion mode {fusion!r}; "
+                f"choose from {self.FUSION_MODES}")
+        if memory_rows is not None and memory_rows <= 0:
+            raise ConfigurationError("memory_rows must be positive")
         self.child = child
         self.group_columns = tuple(group_columns)
         self.aggregates = tuple(aggregates)
         self.select = tuple(select)
+        self.memory_rows = memory_rows
+        self.spill_manager = spill_manager
+        self.fusion = fusion
         self._group_indexes = tuple(child.schema.index_of(name)
                                     for name in self.group_columns)
         self._agg_indexes = tuple(
             None if agg.column is None
             else child.schema.index_of(child.schema.resolve(agg.column))
             for agg in self.aggregates)
+        self._specs = tuple((agg.func, index)
+                            for agg, index in zip(self.aggregates,
+                                                  self._agg_indexes))
+        group_names = {name: pos
+                       for pos, name in enumerate(self.group_columns)}
+        agg_names = {agg.name: pos
+                     for pos, agg in enumerate(self.aggregates)}
+        self._picks = tuple(
+            (True, group_names[name]) if name in group_names
+            else (False, agg_names[name])
+            for name in self.select)
         self.schema = self._output_schema(child.schema)
         self.stats = OperatorStats()
         #: Distinct groups produced on the most recent execution.
         self.groups_out = 0
+        #: Input rows absorbed into an existing in-buffer accumulator
+        #: during run generation (the fused path's collapse count).
+        self.groups_collapsed_rungen = 0
 
     def _output_schema(self, child_schema: Schema) -> Schema:
         by_name: dict[str, Column] = {}
@@ -661,75 +970,246 @@ class GroupedAggregate(Operator):
     def rows(self) -> Iterator[tuple]:
         self.stats = OperatorStats()
         self.groups_out = 0
-        return self._aggregated(self.stats)
+        self.groups_collapsed_rungen = 0
+        if self.memory_rows is None:
+            return self._aggregated(self.stats)
+        if self.fusion == "postsort":
+            return self._aggregated_postsort(self.stats)
+        return self._aggregated_fused(self.stats)
+
+    # -- accumulator plumbing (shared by all three paths) ------------------
+
+    def _new_accs(self) -> list:
+        # Accumulator per aggregate: COUNT → int; SUM → number | None;
+        # MIN/MAX → value | None; AVG → [total, count].  AVG's total
+        # starts at integer 0 (0 is the exact additive identity for
+        # every numeric type), so int columns accumulate in exact int
+        # arithmetic and divide exactly once at emit — which also makes
+        # the fused partial-aggregate merge bit-identical to the
+        # single-pass result.
+        return [[0, 0] if func == "AVG"
+                else (0 if func == "COUNT" else None)
+                for func, _ in self._specs]
+
+    def _accumulate(self, accs: list, row: tuple) -> None:
+        for pos, (func, index) in enumerate(self._specs):
+            if func == "COUNT":
+                if index is None or row[index] is not None:
+                    accs[pos] += 1
+                continue
+            value = row[index]
+            if value is None:
+                continue
+            if func == "AVG":
+                accs[pos][0] += value
+                accs[pos][1] += 1
+            elif accs[pos] is None:
+                accs[pos] = value
+            elif func == "SUM":
+                accs[pos] = accs[pos] + value
+            elif func == "MIN":
+                if value < accs[pos]:
+                    accs[pos] = value
+            else:  # MAX
+                if value > accs[pos]:
+                    accs[pos] = value
+
+    def _finalize(self, accs: list) -> list:
+        return [(acc[0] / acc[1] if acc[1] else None)
+                if func == "AVG" else acc
+                for (func, _), acc in zip(self._specs, accs)]
+
+    def _emit(self, key: tuple, accs: list, stats: OperatorStats) -> tuple:
+        finals = self._finalize(accs)
+        stats.rows_output += 1
+        self.groups_out += 1
+        return tuple(key[pos] if is_group else finals[pos]
+                     for is_group, pos in self._picks)
+
+    @staticmethod
+    def _normalized(key: tuple) -> tuple:
+        # NULL group keys sort last within each column, like ORDER BY.
+        return tuple((v is None, v) for v in key)
+
+    # -- the unbounded in-memory pass --------------------------------------
 
     def _aggregated(self, stats: OperatorStats) -> Iterator[tuple]:
         group_indexes = self._group_indexes
-        specs = tuple((agg.func, index)
-                      for agg, index in zip(self.aggregates,
-                                            self._agg_indexes))
-        # Accumulator per aggregate: COUNT → int; SUM → number | None;
-        # MIN/MAX → value | None; AVG → [total, count].
         groups: dict[tuple, list] = {}
         for row in self.child.rows():
             stats.rows_consumed += 1
             key = tuple(row[i] for i in group_indexes)
             accs = groups.get(key)
             if accs is None:
-                accs = groups[key] = [
-                    [0.0, 0] if func == "AVG"
-                    else (0 if func == "COUNT" else None)
-                    for func, _ in specs]
-            for pos, (func, index) in enumerate(specs):
-                if func == "COUNT":
-                    if index is None or row[index] is not None:
-                        accs[pos] += 1
-                    continue
-                value = row[index]
-                if value is None:
-                    continue
-                if func == "AVG":
-                    accs[pos][0] += value
-                    accs[pos][1] += 1
-                elif accs[pos] is None:
-                    accs[pos] = value
-                elif func == "SUM":
-                    accs[pos] = accs[pos] + value
-                elif func == "MIN":
-                    if value < accs[pos]:
-                        accs[pos] = value
-                else:  # MAX
-                    if value > accs[pos]:
-                        accs[pos] = value
+                accs = groups[key] = self._new_accs()
+            self._accumulate(accs, row)
         if not groups and not self.group_columns:
             # Global aggregate over an empty input still emits one row.
-            groups[()] = [[0.0, 0] if func == "AVG"
-                          else (0 if func == "COUNT" else None)
-                          for func, _ in specs]
-        group_names = {name: pos
-                       for pos, name in enumerate(self.group_columns)}
-        agg_names = {agg.name: pos
-                     for pos, agg in enumerate(self.aggregates)}
-        picks = tuple(
-            (True, group_names[name]) if name in group_names
-            else (False, agg_names[name])
-            for name in self.select)
-        # NULL group keys sort last within each column, like ORDER BY.
-        ordered = sorted(
-            groups.items(),
-            key=lambda item: tuple((v is None, v) for v in item[0]))
-        self.groups_out = len(ordered)
+            groups[()] = self._new_accs()
+        ordered = sorted(groups.items(),
+                         key=lambda item: self._normalized(item[0]))
         for key, accs in ordered:
-            finals = [
-                (acc[0] / acc[1] if acc[1] else None)
-                if func == "AVG" else acc
-                for (func, _), acc in zip(specs, accs)]
-            stats.rows_output += 1
-            yield tuple(key[pos] if is_group else finals[pos]
-                        for is_group, pos in picks)
+            yield self._emit(key, accs, stats)
+
+    # -- partial-aggregate rows (the fused path's spill currency) ----------
+    #
+    # A spilled partial row is ``group values + flattened accumulator
+    # state``: COUNT/SUM/MIN/MAX one slot each, AVG two (exact total,
+    # count).  Every function is associative and commutes with
+    # partitioning the input, so partials combine across run boundaries
+    # in any grouping — the merge combines them in run creation order,
+    # keeping the fold deterministic.
+
+    def _partial_row(self, key: tuple, accs: list) -> tuple:
+        parts = list(key)
+        for (func, _), acc in zip(self._specs, accs):
+            if func == "AVG":
+                parts.append(acc[0])
+                parts.append(acc[1])
+            else:
+                parts.append(acc)
+        return tuple(parts)
+
+    def _accs_from_partial(self, partial: tuple) -> list:
+        accs = []
+        pos = len(self._group_indexes)
+        for func, _ in self._specs:
+            if func == "AVG":
+                accs.append([partial[pos], partial[pos + 1]])
+                pos += 2
+            else:
+                accs.append(partial[pos])
+                pos += 1
+        return accs
+
+    def _combine_partials(self, earlier: tuple, later: tuple) -> tuple:
+        width = len(self._group_indexes)
+        parts = list(earlier[:width])
+        pos = width
+        for func, _ in self._specs:
+            if func == "AVG":
+                parts.append(earlier[pos] + later[pos])
+                parts.append(earlier[pos + 1] + later[pos + 1])
+                pos += 2
+                continue
+            mine, theirs = earlier[pos], later[pos]
+            if func == "COUNT":
+                parts.append(mine + theirs)
+            elif mine is None:
+                parts.append(theirs)
+            elif theirs is None:
+                parts.append(mine)
+            elif func == "SUM":
+                parts.append(mine + theirs)
+            elif func == "MIN":
+                parts.append(theirs if theirs < mine else mine)
+            else:  # MAX
+                parts.append(theirs if theirs > mine else mine)
+            pos += 1
+        return tuple(parts)
+
+    def _flush_partials(self, groups: dict, manager: SpillManager,
+                        run_id: int):
+        """Spill the resident groups as one key-ordered partial run."""
+        ordered = sorted(groups.items(),
+                         key=lambda item: self._normalized(item[0]))
+        writer = RunWriter(manager, run_id)
+        for key, accs in ordered:
+            writer.write(self._normalized(key),
+                         self._partial_row(key, accs))
+        return writer.close()
+
+    # -- run-generation-fused aggregation ----------------------------------
+
+    def _aggregated_fused(self, stats: OperatorStats) -> Iterator[tuple]:
+        group_indexes = self._group_indexes
+        limit = self.memory_rows
+        manager = self.spill_manager or SpillManager()
+        stats.io = manager.stats
+        groups: dict[tuple, list] = {}
+        runs = []
+        next_run_id = 0
+        for row in self.child.rows():
+            stats.rows_consumed += 1
+            key = tuple(row[i] for i in group_indexes)
+            accs = groups.get(key)
+            if accs is None:
+                if len(groups) >= limit:
+                    # Memory holds ``memory_rows`` distinct groups and a
+                    # new one arrived: spill the collapsed partials as a
+                    # run.  Rows of resident groups never trigger this —
+                    # they fold into their accumulator in place.
+                    runs.append(self._flush_partials(groups, manager,
+                                                     next_run_id))
+                    next_run_id += 1
+                    groups = {}
+                accs = groups[key] = self._new_accs()
+            else:
+                self.groups_collapsed_rungen += 1
+            self._accumulate(accs, row)
+        if not runs:
+            if not groups and not self.group_columns:
+                groups[()] = self._new_accs()
+            ordered = sorted(groups.items(),
+                             key=lambda item: self._normalized(item[0]))
+            for key, accs in ordered:
+                yield self._emit(key, accs, stats)
+            return
+        if groups:
+            runs.append(self._flush_partials(groups, manager, next_run_id))
+        width = len(group_indexes)
+        merger = Merger(
+            sort_key=lambda partial: self._normalized(partial[:width]),
+            spill_manager=manager, stats=stats)
+        for _key, partial in merger.merge_aggregated(
+                runs, self._combine_partials):
+            yield self._emit(tuple(partial[:width]),
+                             self._accs_from_partial(partial), stats)
+
+    # -- the post-sort baseline --------------------------------------------
+
+    def _aggregated_postsort(self, stats: OperatorStats) -> Iterator[tuple]:
+        group_indexes = self._group_indexes
+        manager = self.spill_manager or SpillManager()
+        stats.io = manager.stats
+        normalized = self._normalized
+        sorter = StreamingSorter(
+            sort_key=lambda row: normalized(
+                tuple(row[i] for i in group_indexes)),
+            memory_rows=self.memory_rows, spill_manager=manager,
+            stats=stats)
+
+        def pairs() -> Iterator[tuple]:
+            for row in self.child.rows():
+                stats.rows_consumed += 1
+                yield normalized(tuple(row[i] for i in group_indexes)), row
+
+        sorter.consume_keyed(pairs())
+        stream = sorter.stream()
+        current_key = no_group = object()
+        current_raw: tuple = ()
+        accs: list = []
+        try:
+            for key, row in stream:
+                if key != current_key:
+                    if current_key is not no_group:
+                        yield self._emit(current_raw, accs, stats)
+                    current_key = key
+                    current_raw = tuple(row[i] for i in group_indexes)
+                    accs = self._new_accs()
+                self._accumulate(accs, row)
+            if current_key is not no_group:
+                yield self._emit(current_raw, accs, stats)
+            elif not self.group_columns:
+                yield self._emit((), self._new_accs(), stats)
+        finally:
+            stream.close()
 
     def analyze_details(self) -> dict:
-        return {"aggregate_groups_out": self.groups_out}
+        details = {"aggregate_groups_out": self.groups_out}
+        if self.memory_rows is not None and self.fusion == "rungen":
+            details["groups_collapsed_rungen"] = self.groups_collapsed_rungen
+        return details
 
     def label(self) -> str:
         keys = ", ".join(self.group_columns) or "<global>"

@@ -29,6 +29,7 @@ from repro.engine.operators import (
     HashJoin,
     InMemorySort,
     Limit,
+    MergePushdownPublisher,
     Operator,
     Project,
     SegmentedTopKOperator,
@@ -65,6 +66,12 @@ _COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
 #: Input cardinality assumed when neither the table nor the catalog
 #: knows (callable sources before their first scan).
 DEFAULT_ROW_ESTIMATE = 100_000
+
+#: Explicit merge fan-ins swept as a costed candidate dimension when no
+#: ``fan_in`` option is pinned.  Bounded to a small ladder so the
+#: candidate count stays flat — each candidate keeps only its cheapest
+#: rung (or the unbounded default).
+MERGE_FAN_IN_LADDER = (8, 16, 64)
 
 #: Fallback selectivities when no column sketch is available (the
 #: textbook System-R defaults).
@@ -155,13 +162,17 @@ class Candidate:
     #: and stitches winner payloads afterwards (requires a spill backend
     #: whose codec writes split pages).
     materialization: str = "eager"
+    #: An explicit merge fan-in the sweep found cheaper than the
+    #: unbounded default (``None`` = merge all runs in one pass).
+    fan_in: int | None = None
 
     def label(self) -> str:
         encoding = "" if self.key_encoding == "-" \
             else f"/{self.key_encoding}"
         shards = f"x{self.shards}" if self.shards > 1 else ""
         lazy = "+lazy" if self.materialization == "lazy" else ""
-        return f"{self.path}{encoding}{shards}{lazy}"
+        fan = f"@f{self.fan_in}" if self.fan_in is not None else ""
+        return f"{self.path}{encoding}{shards}{lazy}{fan}"
 
 
 @dataclass(frozen=True)
@@ -374,9 +385,16 @@ class Planner:
         pushdown: Pin top-k cutoff pushdown below joins: ``True`` forces
             it on wherever it is valid, ``False`` disables it, ``None``
             (default) lets the cost model decide.
+        aggregate_fusion: GROUP BY execution strategy — ``"rungen"``
+            (default) fuses aggregation into run generation so memory
+            and spill scale with distinct groups, ``"postsort"``
+            aggregates in a pass over an external sort of the raw input
+            (the unfused baseline), ``"hash"`` keeps the legacy
+            unbounded in-memory hash aggregation.
     """
 
     JOIN_METHODS = ("auto", "hash", "merge")
+    AGGREGATE_FUSION_MODES = ("rungen", "postsort", "hash")
 
     def __init__(
         self,
@@ -392,6 +410,7 @@ class Planner:
         path: str | None = None,
         join_method: str = "auto",
         pushdown: bool | None = None,
+        aggregate_fusion: str = "rungen",
     ):
         self.memory_rows = memory_rows
         self.algorithm = algorithm
@@ -414,6 +433,11 @@ class Planner:
                 f"choose from {self.JOIN_METHODS}")
         self.join_method = join_method
         self.pushdown = pushdown
+        if aggregate_fusion not in self.AGGREGATE_FUSION_MODES:
+            raise PlanError(
+                f"unknown aggregate fusion mode {aggregate_fusion!r}; "
+                f"choose from {self.AGGREGATE_FUSION_MODES}")
+        self.aggregate_fusion = aggregate_fusion
         self._lazy_capable: bool | None = None
 
     def _supports_lazy_spill(self) -> bool:
@@ -560,17 +584,37 @@ class Planner:
         needed = query.limit + query.offset
         key_columns = len(spec.columns)
         forced: list[str] = []
+        pinned_fan_in = self.algorithm_options.get("fan_in")
 
         def cost(path: str, encoding: str, n_shards: int = 1,
-                 materialization: str = "eager") -> PlanCost:
+                 materialization: str = "eager",
+                 fan_in: int | None = None) -> PlanCost:
             return self.cost_model.topk_plan_cost(
                 rows=rows, row_bytes=row_bytes, needed=needed,
                 memory_rows=memory_rows, path=path,
                 key_columns=key_columns,
                 key_encoding=encoding if encoding != "-" else "tuple",
                 desc_obj_columns=spec.desc_object_columns,
-                fan_in=self.algorithm_options.get("fan_in"),
+                fan_in=fan_in if fan_in is not None else pinned_fan_in,
                 shards=n_shards, materialization=materialization)
+
+        def costed(path: str, encoding: str, n_shards: int = 1,
+                   materialization: str = "eager") -> Candidate:
+            """One candidate with merge fan-in swept as a costed
+            dimension: the unbounded default competes against a small
+            ladder and only the cheapest rung survives, keeping the
+            candidate count flat.  A pinned ``fan_in`` option skips
+            the sweep (it is a directive, not a hint)."""
+            best = cost(path, encoding, n_shards, materialization)
+            best_fan: int | None = None
+            if pinned_fan_in is None and best.rows_spilled > 0:
+                for rung in MERGE_FAN_IN_LADDER:
+                    trial = cost(path, encoding, n_shards,
+                                 materialization, fan_in=rung)
+                    if trial.seconds < best.seconds:
+                        best, best_fan = trial, rung
+            return Candidate(path, encoding, n_shards, best,
+                             materialization, fan_in=best_fan)
 
         # Enumeration order doubles as the cost tie-break (``min`` keeps
         # the first of equals): vectorized before the row engine, batch
@@ -582,26 +626,20 @@ class Planner:
             algorithm_options=self.algorithm_options,
             cutoff_seed=cutoff_seed)
         if vector_ok:
-            candidates.append(Candidate("vectorized", "-", 1,
-                                        cost("vectorized", "-")))
+            candidates.append(costed("vectorized", "-"))
             for count in self._shard_counts(table, shards):
-                candidates.append(Candidate("sharded", "-", count,
-                                            cost("sharded", "-", count)))
+                candidates.append(costed("sharded", "-", count))
         # Lazy materialization needs ovc byte keys (the split pages
         # store the encoded sort key next to each row id) and a spill
         # backend whose codec writes split pages.
         lazy_ok = self._supports_lazy_spill()
         for encoding in self._encoding_candidates(spec):
-            candidates.append(Candidate("batch", encoding, 1,
-                                        cost("batch", encoding)))
-            candidates.append(Candidate("row", encoding, 1,
-                                        cost("row", encoding)))
+            candidates.append(costed("batch", encoding))
+            candidates.append(costed("row", encoding))
             if lazy_ok and encoding == "ovc":
                 for path in ("batch", "row"):
-                    candidates.append(Candidate(
-                        path, encoding, 1,
-                        cost(path, encoding, materialization="lazy"),
-                        materialization="lazy"))
+                    candidates.append(
+                        costed(path, encoding, materialization="lazy"))
 
         eligible = candidates
         if self.path is not None:
@@ -669,6 +707,8 @@ class Planner:
                 options["key_encoding"] = chosen.key_encoding
             if chosen.materialization == "lazy":
                 options["late_materialization"] = True
+            if chosen.fan_in is not None:
+                options["fan_in"] = chosen.fan_in
             operator = TopK(
                 node,
                 sort_spec=spec,
@@ -843,7 +883,21 @@ class Planner:
             return resolve(ident)
 
         select = [output_name(name) for name in query.columns or []]
-        node = GroupedAggregate(node, group_columns, aggregates, select)
+        if group_columns and self.aggregate_fusion != "hash":
+            # Memory-governed grouping: "rungen" collapses duplicate
+            # group keys into in-buffer partial aggregates during run
+            # generation, "postsort" externally sorts the raw input and
+            # aggregates adjacent groups in a pass — both bounded by the
+            # session's memory budget.  Global aggregates (one group)
+            # never need either.
+            node = GroupedAggregate(
+                node, group_columns, aggregates, select,
+                memory_rows=self.memory_rows,
+                spill_manager=self.spill_manager_factory(),
+                fusion=self.aggregate_fusion)
+        else:
+            node = GroupedAggregate(node, group_columns, aggregates,
+                                    select)
         # The aggregate output is one row per group, already in memory
         # and emitted in group-key order; a plain in-memory sort +
         # limit is the right tool above it.
@@ -909,6 +963,8 @@ class Planner:
         out_rows: float, left_sorted: bool, right_sorted: bool,
         pushdown_side: str | None, needed: int | None,
         consumer_row_s: float, filter_row_s: float, stats_source: str,
+        memory_rows: int | None = None, row_bytes: float = 64.0,
+        merge_publisher_ok: bool = True,
     ) -> JoinDecision:
         """Cost hash vs merge, with and without cutoff pushdown.
 
@@ -917,15 +973,20 @@ class Planner:
         top-k's consumption, ``consumer_row_s`` per output row) with the
         reduced cardinality: in random arrival order only
         ``expected_admitted(rows, k)`` sort-side rows survive the
-        consumer's own published cutoff.
+        published cutoff.
 
-        The credit applies to the *hash* join only.  A sort-merge join
-        materializes both inputs before emitting a single row, so the
-        consumer publishes its first cutoff after the filter has already
-        passed everything — pushdown under merge is semantically valid
-        but drops nothing (``bench_join.py`` confirms), and costing it
-        as if it pruned would steer the planner toward a filter that
-        never engages.
+        The credit applies to both methods.  Under *hash* the probe side
+        streams into a consumer whose top-k keeps publishing; under
+        *merge* the join's run-generation publisher sharpens the bound
+        while sort-side rows are still arriving, so the filter engages
+        before anything is buffered or spilled — and the merge
+        candidate's spill term (``memory_rows``-aware
+        :meth:`~repro.storage.costmodel.CostModel.join_plan_cost`)
+        shrinks with the surviving cardinality, which is exactly what
+        lets merge+pushdown win on large sort sides.  When the publisher
+        cannot be wired (``merge_publisher_ok=False``: residual
+        predicates filter join output, voiding its ≥``needed``-output
+        guarantee), merge pushdown is costed with no credit, as before.
         """
         model = self.cost_model
         forced: list[str] = []
@@ -936,9 +997,10 @@ class Planner:
             for pushdown in ((False, True) if pushdown_side is not None
                              else (False,)):
                 if pushdown:
+                    engages = method == "hash" or merge_publisher_ok
                     survivors = (model.expected_admitted(
                         sort_side_rows, needed or 1)
-                        if method == "hash" else sort_side_rows)
+                        if engages else sort_side_rows)
                     scale = (survivors / sort_side_rows
                              if sort_side_rows else 1.0)
                     filter_s = sort_side_rows * filter_row_s
@@ -958,7 +1020,8 @@ class Planner:
                 cost = model.join_plan_cost(
                     method=method, build_rows=this_right,
                     probe_rows=this_left, out_rows=this_out,
-                    build_sorted=right_sorted, probe_sorted=left_sorted)
+                    build_sorted=right_sorted, probe_sorted=left_sorted,
+                    memory_rows=memory_rows, row_bytes=row_bytes)
                 cost = JoinCost(
                     seconds=(cost.seconds + filter_s
                              + this_out * consumer_row_s),
@@ -1151,17 +1214,21 @@ class Planner:
         if (topk_decision is not None
                 and topk_decision.chosen.key_encoding == "ovc"):
             filter_row_s += self.cost_model.plan_key_encode_s
+        needed = (query.limit + query.offset if plain_topk else None)
         decision = self._decide_join(
             join_type=join.join_type, left_rows=left_rows,
             right_rows=right_rows, out_rows=out_rows,
             left_sorted=self._sorted_on(left_table, left_key[1]),
             right_sorted=self._sorted_on(right_table, right_key[1]),
-            pushdown_side=pushdown_side,
-            needed=(query.limit + query.offset if plain_topk else None),
+            pushdown_side=pushdown_side, needed=needed,
             consumer_row_s=consumer_row_s, filter_row_s=filter_row_s,
-            stats_source=stats_source)
+            stats_source=stats_source, memory_rows=memory_rows,
+            row_bytes=max(self._schema_row_bytes(left_table.schema),
+                          self._schema_row_bytes(right_table.schema)),
+            merge_publisher_ok=not residual)
 
         bound = None
+        key_of = None
         if decision.chosen.pushdown:
             bound = SharedCutoffBound()
             source_table = (left_table if pushdown_side == "left"
@@ -1178,16 +1245,37 @@ class Planner:
             pushdown_filter = CutoffPushdownFilter(
                 left_node if pushdown_side == "left" else right_node,
                 key_of, bound, description=description)
+            pushdown_filter.estimated_drops = \
+                decision.chosen.cost.filter_rows_dropped
             if pushdown_side == "left":
                 left_node = pushdown_filter
             else:
                 right_node = pushdown_filter
 
-        join_class = (HashJoin if decision.chosen.method == "hash"
-                      else SortMergeJoin)
-        node: Operator = join_class(
-            left_node, right_node, left_index, right_index,
-            join.join_type, ns.schema, tracer=tracer)
+        if decision.chosen.method == "hash":
+            node: Operator = HashJoin(
+                left_node, right_node, left_index, right_index,
+                join.join_type, ns.schema, tracer=tracer)
+        else:
+            publisher = None
+            if (bound is not None and not residual
+                    and needed is not None and needed > 0):
+                # Sharpen the shared bound during the sort side's run
+                # generation.  Residual WHERE predicates void the
+                # publisher's ≥needed-output guarantee (they filter join
+                # output rows), so it stays off and the filter passes
+                # everything — semantically safe either way.
+                publisher = MergePushdownPublisher(
+                    bound, key_of, needed, side=pushdown_side,
+                    gated=join.join_type == "inner",
+                    gate_limit=memory_rows)
+            node = SortMergeJoin(
+                left_node, right_node, left_index, right_index,
+                join.join_type, ns.schema, tracer=tracer,
+                memory_rows=memory_rows,
+                spill_manager=self.spill_manager_factory(),
+                fan_in=self.algorithm_options.get("fan_in"),
+                publisher=publisher)
         node.decision = decision
 
         if residual:

@@ -109,6 +109,10 @@ class Database:
             ``"merge"``); ``"auto"`` (default) costs both.
         pushdown: Pin top-k cutoff pushdown below joins (``True`` on
             wherever valid, ``False`` off, ``None`` costed).
+        aggregate_fusion: GROUP BY strategy — ``"rungen"`` (default)
+            fuses aggregation into run generation, ``"postsort"``
+            aggregates over an external sort of the raw input,
+            ``"hash"`` keeps the legacy unbounded in-memory pass.
     """
 
     def __init__(
@@ -123,6 +127,7 @@ class Database:
         force_path: str | None = None,
         join_method: str = "auto",
         pushdown: bool | None = None,
+        aggregate_fusion: str = "rungen",
     ):
         self._tables: dict[str, Table] = {}
         self.stats_catalog = (stats_catalog if stats_catalog is not None
@@ -137,6 +142,7 @@ class Database:
             path=force_path,
             join_method=join_method,
             pushdown=pushdown,
+            aggregate_fusion=aggregate_fusion,
         )
 
     # -- registry -------------------------------------------------------------

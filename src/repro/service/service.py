@@ -218,11 +218,16 @@ class QueryService:
             for kind in ("queries", "cutoff_publications",
                          "cutoff_adoptions",
                          "rows_dropped_by_remote_cutoff")}
-        # Rank-aware joins: per-side input cardinalities and the output.
+        # Rank-aware joins: per-side input cardinalities and the output,
+        # plus the streaming merge join's sort-side spill volume.
         self._m_join = {
             kind: m.counter(f"service.join.{kind}")
             for kind in ("queries", "rows_build", "rows_probe",
-                         "rows_output")}
+                         "rows_output", "sort_spilled")}
+        # Run-generation-fused GROUP BY: input rows folded into resident
+        # group accumulators instead of being buffered/spilled.
+        self._m_groups_collapsed = m.counter(
+            "service.aggregate.groups_collapsed_rungen")
         # Cutoff pushdown below joins: rows the pre-join filter saw and
         # how many the consumer's published cutoff let it drop.
         self._m_pushdown = {
@@ -428,11 +433,14 @@ class QueryService:
             self._m_join["rows_build"].inc(record.join_rows_build)
             self._m_join["rows_probe"].inc(record.join_rows_probe)
             self._m_join["rows_output"].inc(record.join_rows_output)
+            self._m_join["sort_spilled"].inc(record.join_sort_spilled)
         if record.pushdown_rows_in:
             self._m_pushdown["queries"].inc()
             self._m_pushdown["rows_in"].inc(record.pushdown_rows_in)
             self._m_pushdown["rows_dropped"].inc(
                 record.pushdown_rows_dropped)
+        if record.groups_collapsed_rungen:
+            self._m_groups_collapsed.inc(record.groups_collapsed_rungen)
         return ServiceResult(rows=result.rows, schema=result.schema,
                              query=query, stats=record,
                              operator_stats=result.stats)
@@ -535,9 +543,14 @@ class QueryService:
 
     @staticmethod
     def _record_join_stats(result, record: ServiceStats) -> None:
-        """Fill the record's join/pushdown fields off the plan's join and
-        pre-join cutoff-filter operators (no-op for join-free plans)."""
-        from repro.engine.operators import CutoffPushdownFilter, _JoinBase
+        """Fill the record's join/pushdown/aggregate fields off the
+        plan's operators (no-op for join-free, aggregate-free plans)."""
+        from repro.engine.operators import (
+            CutoffPushdownFilter,
+            GroupedAggregate,
+            SortMergeJoin,
+            _JoinBase,
+        )
 
         stack = [result.plan]
         while stack:
@@ -547,9 +560,14 @@ class QueryService:
                 record.join_rows_build += node.rows_build
                 record.join_rows_probe += node.rows_probe
                 record.join_rows_output += node.rows_matched
+                if isinstance(node, SortMergeJoin):
+                    record.join_sort_spilled += node.join_sort_spilled
             elif isinstance(node, CutoffPushdownFilter):
                 record.pushdown_rows_in += node.rows_in
                 record.pushdown_rows_dropped += node.rows_dropped
+            elif isinstance(node, GroupedAggregate):
+                record.groups_collapsed_rungen += \
+                    node.groups_collapsed_rungen
             stack.extend(node.children())
 
     def _note_deadline_overrun(self, _ticket: QueryTicket) -> None:

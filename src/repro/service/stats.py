@@ -79,6 +79,11 @@ class ServiceStats:
     pushdown_rows_in: int = 0
     #: Rows those filters dropped using the consumer's published cutoff.
     pushdown_rows_dropped: int = 0
+    #: Sort-side rows the streaming merge join(s) spilled to runs.
+    join_sort_spilled: int = 0
+    #: Input rows run-generation-fused GROUP BY collapsed into resident
+    #: group accumulators instead of buffering.
+    groups_collapsed_rungen: int = 0
     #: Error description for ``outcome == "error"``.
     error: str | None = None
 
@@ -112,6 +117,8 @@ class ServiceSnapshot:
     join_rows_output: int = 0
     pushdown_rows_in: int = 0
     pushdown_rows_dropped: int = 0
+    join_sort_spilled: int = 0
+    groups_collapsed_rungen: int = 0
     queue_wait_seconds: float = 0.0
     execution_seconds: float = 0.0
     #: Aggregate engine-side work across all completed queries.
@@ -185,6 +192,8 @@ class ServiceStatsAggregator:
             snap.join_rows_output += stats.join_rows_output
             snap.pushdown_rows_in += stats.pushdown_rows_in
             snap.pushdown_rows_dropped += stats.pushdown_rows_dropped
+            snap.join_sort_spilled += stats.join_sort_spilled
+            snap.groups_collapsed_rungen += stats.groups_collapsed_rungen
             snap.queue_wait_seconds += stats.queue_wait_seconds
             snap.execution_seconds += stats.execution_seconds
             if operator is not None:
@@ -218,6 +227,8 @@ class ServiceStatsAggregator:
                 join_rows_output=snap.join_rows_output,
                 pushdown_rows_in=snap.pushdown_rows_in,
                 pushdown_rows_dropped=snap.pushdown_rows_dropped,
+                join_sort_spilled=snap.join_sort_spilled,
+                groups_collapsed_rungen=snap.groups_collapsed_rungen,
                 queue_wait_seconds=snap.queue_wait_seconds,
                 execution_seconds=snap.execution_seconds,
                 operator=snap.operator.snapshot(),

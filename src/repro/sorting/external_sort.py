@@ -9,6 +9,7 @@ fan-in-limited multi-step merges, and top-k/offset-aware final merges.
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import ConfigurationError
@@ -147,3 +148,114 @@ class ExternalSort:
         for row in self._merger.merge_topk(self.runs, limit, offset=offset):
             self.stats.rows_output += 1
             yield row
+
+
+class StreamingSorter:
+    """Bounded-memory sort of a pre-keyed row stream.
+
+    The building block the streaming sort-merge join sides run on: feed
+    ``(key, row)`` pairs with :meth:`consume_keyed`, read them back in
+    key order from :meth:`stream`.  While the input fits in
+    ``memory_rows`` the sort is one stable in-memory pass and storage is
+    never touched; the first overflowing row hands everything buffered
+    so far to quicksort run generation on the spill substrate, and the
+    output becomes a fan-in-limited multiway merge of the spilled runs
+    (whose files are reclaimed as the stream ends).
+
+    Both paths are stable — the in-memory positional sort, the run
+    loads (arrival order within each load), and the merge's
+    run-position tie-break all preserve arrival order among equal keys —
+    so the output sequence is exactly ``sorted(pairs, key=first)``.
+
+    Args:
+        sort_key: Key extractor matching the keys fed in (only used
+            when spilled runs must be re-read and merged).
+        memory_rows: Rows the sorter may hold before spilling.
+        spill_manager: Secondary-storage substrate (shared managers are
+            fine; the sorter deletes only its own run files and never
+            closes the manager).
+        stats: Shared operator counters (sort/merge comparisons; spill
+            I/O lands on the manager's :class:`IOStats`).
+        fan_in: Optional merge fan-in limit.
+        read_ahead: Pages of background prefetch per run while merging.
+        compute_codes: Persist offset-value codes in runs and merge via
+            the OVC tree of losers (binary-key feeds only).
+    """
+
+    def __init__(
+        self,
+        sort_key: Callable[[tuple], Any],
+        memory_rows: int,
+        spill_manager: SpillManager,
+        stats: OperatorStats | None = None,
+        fan_in: int | None = None,
+        read_ahead: int = 2,
+        compute_codes: bool = False,
+    ):
+        if memory_rows <= 0:
+            raise ConfigurationError("memory_rows must be positive")
+        self._sort_key = sort_key
+        self._memory_rows = memory_rows
+        self._spill_manager = spill_manager
+        self.stats = stats or OperatorStats()
+        self._fan_in = fan_in
+        self._read_ahead = read_ahead
+        self._compute_codes = compute_codes
+        self._keys: list = []
+        self._rows: list[tuple] = []
+        self._generator: QuicksortRunGenerator | None = None
+        #: Whether the input exceeded memory and runs were written.
+        self.spilled = False
+
+    def consume_keyed(self, keyed_rows: Iterable[tuple]) -> None:
+        """Drain ``(key, row)`` pairs into the sorter (eagerly)."""
+        iterator = iter(keyed_rows)
+        if self._generator is None:
+            keys, rows = self._keys, self._rows
+            limit = self._memory_rows
+            for pair in iterator:
+                if len(rows) >= limit:
+                    # Overflow: switch to run generation, seeded with the
+                    # buffered load, and stream the rest straight through.
+                    self.spilled = True
+                    self._generator = QuicksortRunGenerator(
+                        sort_key=self._sort_key,
+                        memory_rows=limit,
+                        spill_manager=self._spill_manager,
+                        stats=self.stats,
+                        compute_codes=self._compute_codes,
+                    )
+                    self._generator.consume_keyed(zip(keys, rows))
+                    self._keys, self._rows = [], []
+                    iterator = chain([pair], iterator)
+                    break
+                keys.append(pair[0])
+                rows.append(pair[1])
+            else:
+                return
+        self._generator.consume_keyed(iterator)
+
+    def stream(self) -> Iterator[tuple[Any, tuple]]:
+        """Yield all consumed ``(key, row)`` pairs in key order."""
+        if self._generator is None:
+            keys, rows = self._keys, self._rows
+            n = len(rows)
+            if n > 1:
+                order = sorted(range(n), key=keys.__getitem__)
+                # Same n log n CPU-effort proxy as a run-buffer sort.
+                self.stats.sort_comparisons += n * max(1, n.bit_length())
+                for position in order:
+                    yield keys[position], rows[position]
+            elif n:
+                yield keys[0], rows[0]
+            return
+        runs = self._generator.finish()
+        merger = Merger(
+            sort_key=self._sort_key,
+            spill_manager=self._spill_manager,
+            fan_in=self._fan_in,
+            read_ahead=self._read_ahead,
+            ovc=self._compute_codes,
+            stats=self.stats,
+        )
+        yield from merger.merge_stream(runs)

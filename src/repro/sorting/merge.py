@@ -393,3 +393,66 @@ class Merger:
                                    self.offset_rows_skipped)
                 self._set_comparison_attributes(span, full_before,
                                                 code_before)
+
+    def merge_stream(self, runs: list[SortedRun], cutoff: Any = None
+                     ) -> Iterator[tuple[Any, tuple]]:
+        """Fully merge ``runs``, yielding every ``(key, row)`` in order.
+
+        The streaming-consumer counterpart of :meth:`merge_topk`: no row
+        budget, keys exposed to the caller (merge joins group on them,
+        aggregate merges combine on them), and the final-level run files
+        are reclaimed when the stream ends — including early
+        ``close()``/``GeneratorExit`` from a short-circuiting consumer —
+        so a caller that owns its spill manager never leaks run storage.
+        Ties between runs resolve by run position (creation order), so
+        equal keys emerge in the order their loads were generated: the
+        merge is stable with respect to the original input sequence.
+        """
+        runs = [run for run in runs if run.row_count > 0]
+        if self._fan_in is not None:
+            # Same level-based plan as merge_topk, minus cutoffs: every
+            # level merges disjoint groups of at most ``fan_in`` runs in
+            # position order, which preserves stability across levels.
+            while len(runs) > self._fan_in:
+                next_level: list[SortedRun] = []
+                for start in range(0, len(runs), self._fan_in):
+                    group = runs[start:start + self._fan_in]
+                    if len(group) == 1:
+                        next_level.append(group[0])
+                        continue
+                    next_level.append(self.merge_step(group))
+                runs = next_level
+        try:
+            yield from self._stream(runs, None, cutoff)
+        finally:
+            if self._spill_manager is not None:
+                for run in runs:
+                    self._release_run(run)
+
+    def merge_aggregated(
+        self,
+        runs: list[SortedRun],
+        combine: Callable[[tuple, tuple], tuple],
+    ) -> Iterator[tuple[Any, tuple]]:
+        """Merge ``runs``, collapsing adjacent equal-key rows.
+
+        The merge surface of run-generation-fused grouped aggregation:
+        each run holds at most one partial-aggregate row per group key,
+        and ``combine(accumulated, arriving)`` folds two partial rows of
+        the same key into one.  Because the underlying merge is ordered,
+        all partials of one key are adjacent, so one combine buffer
+        suffices regardless of group count.  Combination order follows
+        run creation order (the merge's tie-break), keeping the fold
+        deterministic.
+        """
+        current_key = current_row = _NO_GROUP = object()
+        for key, row in self.merge_stream(runs):
+            if current_key is _NO_GROUP:
+                current_key, current_row = key, row
+            elif key == current_key:
+                current_row = combine(current_row, row)
+            else:
+                yield current_key, current_row
+                current_key, current_row = key, row
+        if current_key is not _NO_GROUP:
+            yield current_key, current_row

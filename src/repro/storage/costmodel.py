@@ -356,22 +356,27 @@ class CostModel:
         out_rows: float,
         build_sorted: bool = False,
         probe_sorted: bool = False,
+        memory_rows: int | None = None,
+        row_bytes: float = 64.0,
     ) -> "JoinCost":
         """Estimated cost of one equi-join method, before execution.
 
-        Both physical joins here are in-memory (the engine materializes
-        the build side / both sides), so the estimate is pure CPU:
-
-        * ``hash`` — one hash-table insert per build row, one probe per
-          probe row, one emit per output row;
-        * ``merge`` — an ``n log n`` sort of each *unsorted* side plus a
-          linear zip.  A side whose table is physically sorted on the
-          join key skips its sort term, which is exactly when
-          sort-merge beats hashing.
+        * ``hash`` — in-memory: one hash-table insert per build row, one
+          probe per probe row, one emit per output row;
+        * ``merge`` — streaming: an ``n log n`` sort of each *unsorted*
+          side plus a linear zip.  A side whose table is physically
+          sorted on the join key skips its sort term, which is exactly
+          when sort-merge beats hashing.  When ``memory_rows`` is given,
+          an unsorted side larger than the budget spills through run
+          generation: one sequential write plus one sequential read of
+          that side's rows (the streaming sorter merges in a single
+          pass), charged at the model's bandwidth and request-overhead
+          terms.
         """
         build_rows = max(0.0, float(build_rows))
         probe_rows = max(0.0, float(probe_rows))
         out_rows = max(0.0, float(out_rows))
+        io = 0.0
         if method == "hash":
             cpu = (build_rows * self.plan_hash_build_row_s
                    + probe_rows * self.plan_hash_probe_row_s)
@@ -386,10 +391,21 @@ class CostModel:
             cpu = (sort_s(build_rows, build_sorted)
                    + sort_s(probe_rows, probe_sorted)
                    + (build_rows + probe_rows) * compare)
+            if memory_rows is not None and memory_rows > 0:
+                for rows, pre_sorted in ((build_rows, build_sorted),
+                                         (probe_rows, probe_sorted)):
+                    if pre_sorted or rows <= memory_rows:
+                        continue
+                    spill_bytes = rows * row_bytes
+                    io += spill_bytes * (
+                        1.0 / self.write_bandwidth_bytes_per_s
+                        + 1.0 / self.read_bandwidth_bytes_per_s)
+                    pages = spill_bytes / 65536.0
+                    io += 2 * pages * self.request_overhead_s
         else:
             raise ValueError(f"unknown join method {method!r}")
         cpu += out_rows * self.plan_join_emit_row_s
-        return JoinCost(seconds=cpu, rows_build=build_rows,
+        return JoinCost(seconds=cpu + io, rows_build=build_rows,
                         rows_probe=probe_rows, rows_out=out_rows)
 
 

@@ -41,6 +41,7 @@ from tests.test_strategies import (
     LEFT_SCHEMA,
     RIGHT_SCHEMA,
     joined_tables,
+    left_rows,
     unique_key_tables,
 )
 
@@ -273,6 +274,83 @@ def test_join_without_order_by_is_the_same_multiset(tables, join_method,
         assert sorted(result.rows, key=key) == sorted(joined, key=key)
 
 
+# -- streaming merge + fused aggregation legs (ISSUE 10) ------------------
+
+
+@given(tables=joined_tables(),
+       k=st.integers(1, 25),
+       memory=st.sampled_from([4, 24]),
+       join_type=st.sampled_from(["inner", "left"]))
+@settings(max_examples=50, deadline=None)
+def test_streaming_merge_pushdown_differential(tables, k, memory,
+                                               join_type):
+    """The streaming merge join under spill-forcing memory budgets:
+    pushdown on and off are both byte-identical to the nested-loop
+    oracle, and on never spills more (the run-generation publisher can
+    only remove sort-side input)."""
+    left, right = tables
+    joined = nested_loop_join(left, right, join_type)
+    oracle = reference_topk(joined, [("LV", True), ("LID", True),
+                                     ("RID", True)], k)
+    op = "LEFT JOIN" if join_type == "left" else "JOIN"
+    sql = (f"SELECT * FROM L {op} R ON L.JK = R.RK "
+           f"ORDER BY LV, LID, RID LIMIT {k}")
+
+    def run(pushdown):
+        db = make_db(left, right, memory_rows=memory,
+                     join_method="merge", pushdown=pushdown)
+        return db.sql(sql)
+
+    off = run(False)
+    on = run(True)
+    assert off.rows == oracle
+    assert on.rows == oracle
+    assert on.stats.io.rows_spilled <= off.stats.io.rows_spilled
+
+
+def reference_aggregate(rows):
+    """GROUP BY JK with every aggregate, groups in value order (NULL
+    last), AVG as one exact-int division — the engine's pinned
+    arithmetic."""
+    groups: dict = {}
+    for _lid, jk, lv in rows:
+        groups.setdefault(jk, []).append(lv)
+    ordered = sorted(groups,
+                     key=lambda g: (g is None, g if g is not None else 0))
+    out = []
+    for group in ordered:
+        values = groups[group]
+        total = sum(values)
+        out.append((group, len(values), total, min(values), max(values),
+                    total / len(values)))
+    return out
+
+
+AGGREGATE_SQL = ("SELECT JK, COUNT(*), SUM(LV), MIN(LV), MAX(LV), "
+                 "AVG(LV) FROM L GROUP BY JK")
+
+
+@given(rows=left_rows(max_size=120),
+       memory=st.sampled_from([2, 8, 100_000]))
+@settings(max_examples=50, deadline=None)
+def test_fused_aggregation_differential(rows, memory):
+    """Run-generation-fused GROUP BY vs the post-sort pass vs the
+    legacy in-memory hash: identical outputs (AVG bit-identical by
+    exact-int accumulation), and fusion never spills more than the
+    post-sort pass — partial aggregates are at most one row per
+    (group, run), raw rows are one per input row."""
+    oracle = reference_aggregate(rows)
+    results = {}
+    for fusion in ("rungen", "postsort", "hash"):
+        db = make_db(rows, [], memory_rows=memory,
+                     aggregate_fusion=fusion)
+        results[fusion] = db.sql(AGGREGATE_SQL)
+    for fusion, result in results.items():
+        assert result.rows == oracle, fusion
+    assert (results["rungen"].stats.io.rows_spilled
+            <= results["postsort"].stats.io.rows_spilled)
+
+
 # -- deterministic edge legs ---------------------------------------------
 
 
@@ -328,6 +406,63 @@ class TestEdges:
                    if "pushdown_rows_dropped" in node.details]
         assert filters, rendered
         assert filters[0].details["pushdown_rows_dropped"] > 0
+
+    def test_merge_pushdown_prunes_sort_side_spill_at_scale(self):
+        """The tentpole: with the run-generation publisher wired, the
+        pushed filter halves (at least) the sort side's spill volume
+        under the streaming merge join, byte-identically."""
+        import random
+
+        rng = random.Random(5)
+        left = [(i, rng.randrange(20), rng.randrange(100_000))
+                for i in range(30_000)]
+        right = [(j, j, j) for j in range(20)]
+        joined = nested_loop_join(left, right, "inner")
+        oracle = reference_topk(joined, [("LV", True), ("LID", True)],
+                                100)
+        sql = ("SELECT * FROM L JOIN R ON L.JK = R.RK "
+               "ORDER BY LV, LID LIMIT 100")
+
+        def run(pushdown):
+            db = make_db(left, right, memory_rows=1_000,
+                         join_method="merge", pushdown=pushdown)
+            return db.sql(sql, explain_analyze=True)
+
+        off = run(False)
+        on = run(True)
+        assert off.rows == oracle
+        assert on.rows == oracle
+        assert on.stats.io.rows_spilled * 2 <= off.stats.io.rows_spilled
+        rendered = on.explain_analyze()
+        assert "join_sort_spilled" in rendered
+        assert "pushdown_rungen_publications" in rendered
+        assert "pushdown_dropped_est_vs_actual" in rendered
+
+    def test_fused_aggregation_spills_strictly_less_at_scale(self):
+        """Fusion's point: spilled partial aggregates (≤ one row per
+        group per run) undercut the post-sort pass's raw-row spill,
+        with identical output."""
+        import random
+
+        rng = random.Random(7)
+        # More distinct groups than the memory budget, so both modes
+        # must spill — fusion spills partials, post-sort raw rows.
+        rows = [(i, rng.randrange(5_000), rng.randrange(1_000))
+                for i in range(20_000)]
+
+        def run(fusion):
+            db = make_db(rows, [], memory_rows=500,
+                         aggregate_fusion=fusion)
+            return db.sql(AGGREGATE_SQL, explain_analyze=True)
+
+        fused = run("rungen")
+        postsort = run("postsort")
+        assert fused.rows == postsort.rows == reference_aggregate(rows)
+        assert fused.stats.io.rows_spilled > 0
+        assert (fused.stats.io.rows_spilled
+                < postsort.stats.io.rows_spilled)
+        rendered = fused.explain_analyze()
+        assert "groups_collapsed_rungen" in rendered
 
     @pytest.mark.slow_join
     def test_disk_scale_differential(self):
